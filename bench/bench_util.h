@@ -1,0 +1,159 @@
+// Shared helpers for the bench binaries: run-and-measure wrappers that
+// execute one (protocol, workload, latency) cell and distill the metrics the
+// experiment tables report.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/history/checker.h"
+#include "dsm/metrics/table.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace dsm::bench {
+
+struct CellResult {
+  std::uint64_t writes = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t necessary = 0;
+  std::uint64_t unnecessary = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t stale_discards = 0;
+  std::uint64_t peak_pending = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+  double mean_delay_us = 0;  ///< mean buffering duration of delayed messages
+  SimTime end_time = 0;
+  bool consistent = false;
+  bool settled = false;
+
+  /// Delays per 1000 remote messages — the normalized headline metric.
+  [[nodiscard]] double delay_rate() const {
+    return remote_messages == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(delayed) /
+                     static_cast<double>(remote_messages);
+  }
+  [[nodiscard]] double unnecessary_rate() const {
+    return remote_messages == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(unnecessary) /
+                     static_cast<double>(remote_messages);
+  }
+};
+
+/// Seed-averaging helper: accumulate cells, read back the per-seed mean.
+/// Rates (delay_rate etc.) derive from the averaged numerators/denominators,
+/// i.e. they are message-weighted across seeds.
+struct CellResultAccumulator {
+  void add(const CellResult& c) {
+    sum_.writes += c.writes;
+    sum_.remote_messages += c.remote_messages;
+    sum_.delayed += c.delayed;
+    sum_.necessary += c.necessary;
+    sum_.unnecessary += c.unnecessary;
+    sum_.skipped += c.skipped;
+    sum_.stale_discards += c.stale_discards;
+    sum_.peak_pending = std::max(sum_.peak_pending, c.peak_pending);
+    sum_.net_messages += c.net_messages;
+    sum_.net_bytes += c.net_bytes;
+    sum_.mean_delay_us += c.mean_delay_us;
+    sum_.end_time += c.end_time;
+    sum_.consistent = count_ == 0 ? c.consistent : (sum_.consistent && c.consistent);
+    sum_.settled = count_ == 0 ? c.settled : (sum_.settled && c.settled);
+    ++count_;
+  }
+
+  [[nodiscard]] CellResult mean() const {
+    CellResult m = sum_;
+    if (count_ > 1) {
+      m.writes /= count_;
+      m.remote_messages /= count_;
+      m.delayed /= count_;
+      m.necessary /= count_;
+      m.unnecessary /= count_;
+      m.skipped /= count_;
+      m.stale_discards /= count_;
+      m.net_messages /= count_;
+      m.net_bytes /= count_;
+      m.mean_delay_us /= static_cast<double>(count_);
+      m.end_time /= count_;
+    }
+    return m;
+  }
+
+ private:
+  CellResult sum_;
+  std::size_t count_ = 0;
+};
+
+/// Runs one cell: the given workload under `kind` with `latency`.
+inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
+                           const LatencyModel& latency,
+                           std::uint64_t token_rounds = 1'000'000) {
+  SimRunConfig config;
+  config.kind = kind;
+  config.n_procs = spec.n_procs;
+  config.n_vars = spec.n_vars;
+  config.latency = &latency;
+  config.protocol_config.token_max_rounds = token_rounds;
+
+  const auto result = run_sim(config, generate_workload(spec));
+
+  CellResult cell;
+  cell.settled = result.settled;
+  cell.end_time = result.end_time;
+  cell.writes = result.recorder->history().writes().size();
+  cell.net_messages = result.net.messages_sent;
+  cell.net_bytes = result.net.bytes_sent;
+  for (const auto& s : result.stats) {
+    cell.skipped += s.skipped_writes;
+    cell.stale_discards += s.stale_discards;
+    cell.peak_pending = std::max(cell.peak_pending, s.peak_pending);
+  }
+
+  const auto audit = OptimalityAuditor::audit(*result.recorder);
+  cell.remote_messages = audit.total_remote();
+  cell.delayed = audit.total_delayed();
+  cell.necessary = audit.total_necessary();
+  cell.unnecessary = audit.total_unnecessary();
+  if (!audit.incidents.empty()) {
+    double total = 0;
+    for (const auto& inc : audit.incidents) {
+      total += static_cast<double>(inc.apply_time - inc.receipt_time);
+    }
+    cell.mean_delay_us = total / static_cast<double>(audit.incidents.size());
+  }
+
+  // Token runs carry their delays in protocol stats (batch granularity), not
+  // in receipt-event audits; surface them so the table is not silently zero.
+  if (kind == ProtocolKind::kTokenWs) {
+    for (const auto& s : result.stats) cell.delayed += s.delayed_writes;
+    cell.remote_messages = cell.net_messages;
+  }
+
+  cell.consistent =
+      ConsistencyChecker::check(result.recorder->history()).consistent();
+  return cell;
+}
+
+/// Prints the table and mirrors it to CSV next to the binary if OPTCM_CSV is
+/// set (no filesystem side effects by default).
+inline void emit(const std::string& title, const Table& table) {
+  std::printf("\n## %s\n\n%s", title.c_str(), table.str().c_str());
+  if (const char* dir = std::getenv("OPTCM_CSV")) {
+    const std::string path = std::string(dir) + "/" + title + ".csv";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string csv = table.csv();
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+}  // namespace dsm::bench

@@ -1,0 +1,86 @@
+// exp_delays — the paper's central quantitative claim, measured (E1 in
+// DESIGN.md): write delays per protocol on identical workloads and arrival
+// patterns, swept over system size and access pattern.
+//
+// Expected shape (the claims of Sections 3.5–3.6 and Theorem 4):
+//   * optp.delayed ≤ anbkh.delayed on every cell (equal necessary sets;
+//     ANBKH adds false-causality delays);
+//   * optp.unnecessary == 0 everywhere (Theorem 4);
+//   * the gap widens with more processes and with access patterns that
+//     create little read coupling (partitioned: writes mostly ‖co, so →
+//     drags in more spurious dependencies);
+//   * the -ws variants shave additional delays by jumping superseded writes.
+//
+// token-ws rows are batch-granularity (its messages are round batches, not
+// per-write updates; its "delayed" counts buffered out-of-order batches) —
+// see the footnote the binary prints.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dsm;
+  using namespace dsm::bench;
+
+  const std::vector<std::size_t> procs = {2, 4, 8, 12, 16};
+  const std::vector<std::uint64_t> seeds = {11, 22, 33};
+
+  Table by_n({"n", "protocol", "writes", "remote msgs", "delayed",
+              "delayed/1k", "necessary", "unnecessary", "mean delay (us)"});
+
+  for (const std::size_t n : procs) {
+    for (const auto kind : all_protocol_kinds()) {
+      CellResultAccumulator acc;
+      for (const auto seed : seeds) {
+        WorkloadSpec spec;
+        spec.n_procs = n;
+        spec.n_vars = 8;
+        spec.ops_per_proc = 80;
+        spec.write_fraction = 0.5;
+        spec.pattern = AccessPattern::kUniform;
+        spec.mean_gap = sim_us(300);
+        spec.seed = seed;
+        const auto latency =
+            make_latency(LatencyKind::kLogNormal, sim_us(400), 1.2, seed ^ 0xBEE);
+        acc.add(run_cell(kind, spec, *latency));
+      }
+      const auto c = acc.mean();
+      by_n.add(n, to_string(kind), c.writes, c.remote_messages, c.delayed,
+               c.delay_rate(), c.necessary, c.unnecessary, c.mean_delay_us);
+    }
+  }
+  bench::emit("exp_delays_by_n", by_n);
+
+  Table by_pattern({"pattern", "protocol", "delayed/1k", "unnecessary/1k",
+                    "mean delay (us)"});
+  for (const auto pattern :
+       {AccessPattern::kUniform, AccessPattern::kZipf,
+        AccessPattern::kPartitioned, AccessPattern::kHotspot}) {
+    for (const auto kind : all_protocol_kinds()) {
+      CellResultAccumulator acc;
+      for (const auto seed : seeds) {
+        WorkloadSpec spec;
+        spec.n_procs = 8;
+        spec.n_vars = 8;
+        spec.ops_per_proc = 80;
+        spec.write_fraction = 0.5;
+        spec.pattern = pattern;
+        spec.mean_gap = sim_us(300);
+        spec.seed = seed;
+        const auto latency =
+            make_latency(LatencyKind::kLogNormal, sim_us(400), 1.2, seed ^ 0xF0);
+        acc.add(run_cell(kind, spec, *latency));
+      }
+      const auto c = acc.mean();
+      by_pattern.add(to_string(pattern), to_string(kind), c.delay_rate(),
+                     c.unnecessary_rate(), c.mean_delay_us);
+    }
+  }
+  bench::emit("exp_delays_by_pattern", by_pattern);
+
+  std::printf(
+      "\nNotes: rates are per 1000 remote messages, averaged over %zu seeds.\n"
+      "token-ws rows count buffered out-of-order BATCHES against total\n"
+      "network messages (its wire unit differs; see DESIGN.md §5).\n",
+      seeds.size());
+  return 0;
+}

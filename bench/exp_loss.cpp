@@ -1,0 +1,86 @@
+// exp_loss — protocol behaviour over a faulty datagram network (substrate
+// ablation; DESIGN.md E2/E3 companion).
+//
+// The paper assumes reliable exactly-once channels; this repository builds
+// them from a lossy network with an ARQ layer (dsm/sim/reliable.h).  Loss
+// stretches effective latency tails (a dropped message waits a full RTO),
+// which manufactures exactly the reordering that separates OptP from ANBKH.
+// Measured: retransmission load, write delays and false causality as the
+// drop rate grows.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dsm;
+  using namespace dsm::bench;
+
+  const std::vector<double> drop_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const std::vector<std::uint64_t> seeds = {71, 72, 73};
+
+  Table table({"drop", "protocol", "retx/1k data", "delayed/1k",
+               "unnecessary/1k", "mean delay (us)", "settle (ms)"});
+
+  for (const double drop : drop_rates) {
+    for (const auto kind : {ProtocolKind::kOptP, ProtocolKind::kAnbkh}) {
+      CellResultAccumulator acc;
+      double retx_rate_sum = 0;
+      for (const auto seed : seeds) {
+        WorkloadSpec spec;
+        spec.n_procs = 6;
+        spec.n_vars = 8;
+        spec.ops_per_proc = 60;
+        spec.write_fraction = 0.5;
+        spec.mean_gap = sim_us(300);
+        spec.seed = seed;
+        const auto latency =
+            make_latency(LatencyKind::kUniform, sim_us(400), 0.8, seed ^ 0xD0);
+
+        SimRunConfig cfg;
+        cfg.kind = kind;
+        cfg.n_procs = spec.n_procs;
+        cfg.n_vars = spec.n_vars;
+        cfg.latency = latency.get();
+        cfg.fault.drop = drop;
+        cfg.fault.seed = seed ^ 0xFA;
+        cfg.rto = sim_ms(2);
+
+        const auto result = run_sim(cfg, generate_workload(spec));
+        const auto audit = OptimalityAuditor::audit(*result.recorder);
+
+        CellResult cell;
+        cell.writes = result.recorder->history().writes().size();
+        cell.remote_messages = audit.total_remote();
+        cell.delayed = audit.total_delayed();
+        cell.necessary = audit.total_necessary();
+        cell.unnecessary = audit.total_unnecessary();
+        cell.end_time = result.end_time;
+        if (!audit.incidents.empty()) {
+          double total = 0;
+          for (const auto& inc : audit.incidents) {
+            total += static_cast<double>(inc.apply_time - inc.receipt_time);
+          }
+          cell.mean_delay_us = total / static_cast<double>(audit.incidents.size());
+        }
+        acc.add(cell);
+        retx_rate_sum +=
+            result.reliable.data_sent == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(result.reliable.retransmissions) /
+                      static_cast<double>(result.reliable.data_sent);
+      }
+      const auto c = acc.mean();
+      table.add(drop, to_string(kind),
+                drop == 0.0 ? 0.0 : retx_rate_sum / static_cast<double>(seeds.size()),
+                c.delay_rate(), c.unnecessary_rate(), c.mean_delay_us,
+                static_cast<double>(c.end_time) / 1000.0);
+    }
+  }
+  bench::emit("exp_loss_vs_drop", table);
+
+  std::printf(
+      "\nExpected shape: retransmissions and delays grow with the drop rate;\n"
+      "OptP's unnecessary column stays 0 (the ARQ layer restores the paper's\n"
+      "channel assumptions, so Theorem 4 applies verbatim); ANBKH's false\n"
+      "causality worsens as RTO-induced reordering increases.\n");
+  return 0;
+}

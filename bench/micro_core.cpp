@@ -1,0 +1,190 @@
+// micro_core — google-benchmark microbenchmarks of the hot paths (M1 in
+// DESIGN.md): vector-clock algebra, codec round-trips, the ↦co closure, the
+// consistency checker, protocol op latency and end-to-end simulation
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "dsm/codec/message.h"
+#include "dsm/history/checker.h"
+#include "dsm/protocols/optp.h"
+#include "dsm/vc/vector_clock.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace {
+
+using namespace dsm;
+
+// ------------------------------------------------------------ vector clock
+
+void BM_VectorClockMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  VectorClock a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.below(1000);
+    b[i] = rng.below(1000);
+  }
+  for (auto _ : state) {
+    VectorClock c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VectorClockCompare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  VectorClock a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.below(4);
+    b[i] = rng.below(4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+}
+BENCHMARK(BM_VectorClockCompare)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// ------------------------------------------------------------------ codec
+
+void BM_WriteUpdateEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WriteUpdate m;
+  m.sender = 3;
+  m.var = 7;
+  m.value = 123456;
+  m.write_seq = 42;
+  VectorClock clock(n);
+  for (std::size_t i = 0; i < n; ++i) clock[i] = 100 + i;
+  m.clock = clock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_message(Message{m}));
+  }
+  state.SetLabel(std::to_string(encode_message(Message{m}).size()) + " bytes");
+}
+BENCHMARK(BM_WriteUpdateEncode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WriteUpdateDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WriteUpdate m;
+  m.sender = 3;
+  m.write_seq = 42;
+  m.clock = VectorClock(n);
+  const auto bytes = encode_message(Message{m});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_message(bytes));
+  }
+}
+BENCHMARK(BM_WriteUpdateDecode)->Arg(4)->Arg(16)->Arg(64);
+
+// -------------------------------------------------- history / checker -----
+
+GlobalHistory random_history(std::size_t n_procs, std::size_t ops) {
+  GlobalHistory h(n_procs, 8);
+  Rng rng(7);
+  std::vector<std::vector<std::pair<WriteId, Value>>> last(8);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto p = static_cast<ProcessId>(rng.below(n_procs));
+    const auto x = static_cast<VarId>(rng.below(8));
+    if (rng.chance(0.5) || last[x].empty()) {
+      const auto v = static_cast<Value>(i);
+      const WriteId w = h.add_write(p, x, v);
+      last[x] = {{w, v}};
+    } else {
+      const auto& [w, v] = last[x].back();
+      h.add_read(p, x, v, w);
+    }
+  }
+  return h;
+}
+
+void BM_CoRelationBuild(benchmark::State& state) {
+  const auto h = random_history(6, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoRelation::build(h));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CoRelationBuild)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  const auto h = random_history(6, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConsistencyChecker::check(h));
+  }
+}
+BENCHMARK(BM_ConsistencyCheck)->Arg(100)->Arg(400)->Arg(1600);
+
+// --------------------------------------------------------- protocol ops ---
+
+class NullEndpoint final : public Endpoint {
+ public:
+  void broadcast(std::vector<std::uint8_t> bytes) override {
+    benchmark::DoNotOptimize(bytes);
+  }
+  void send(ProcessId, std::vector<std::uint8_t> bytes) override {
+    benchmark::DoNotOptimize(bytes);
+  }
+};
+
+void BM_OptPWrite(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  NullEndpoint endpoint;
+  ProtocolObserver observer;
+  OptP proto(0, n, 8, endpoint, observer);
+  VarId x = 0;
+  for (auto _ : state) {
+    proto.write(x, 42);
+    x = (x + 1) % 8;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptPWrite)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_OptPRead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  NullEndpoint endpoint;
+  ProtocolObserver observer;
+  OptP proto(0, n, 8, endpoint, observer);
+  proto.write(0, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.read(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OptPRead)->Arg(4)->Arg(16)->Arg(64);
+
+// -------------------------------------------------- end-to-end simulation --
+
+void BM_FullSimRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  WorkloadSpec spec;
+  spec.n_procs = n;
+  spec.n_vars = 8;
+  spec.ops_per_proc = 50;
+  spec.write_fraction = 0.5;
+  spec.seed = 9;
+  const auto scripts = generate_workload(spec);
+  const auto latency = make_latency(LatencyKind::kUniform, sim_us(300), 1.0, 5);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    SimRunConfig config;
+    config.kind = ProtocolKind::kOptP;
+    config.n_procs = n;
+    config.n_vars = 8;
+    config.latency = latency.get();
+    const auto result = run_sim(config, scripts);
+    benchmark::DoNotOptimize(result);
+    ops += n * 50;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel("simulated ops/s");
+}
+BENCHMARK(BM_FullSimRun)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// repro_fig1_fig2 — regenerates paper Figures 1 and 2: per-process event
+// sequences at p3 compliant with Ĥ₁.
+//
+//   Figure 1 run (1): a, c arrive before b — no write delay at p3.
+//   Figure 1 run (2): b arrives before a — one NECESSARY delay
+//     (apply_3(w2(x2)b) waits for apply_3(w1(x1)a)).
+//   Figure 2: the same early-b arrival handled by a non-optimal protocol
+//     (ANBKH): apply_3(w2(x2)b) additionally waits for apply_3(w1(x1)c) —
+//     the delay the paper marks as non-necessary w.r.t. safety.
+//
+// Each sequence below is produced by an actual protocol execution under the
+// corresponding choreography; the audit line gives the Definition-3
+// classification.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dsm/workload/paper_examples.h"
+
+namespace {
+
+using namespace dsm;
+
+void run_case(const char* title, ProtocolKind kind,
+              const paper::Choreography& choreo) {
+  const ConstantLatency latency(sim_us(10));
+  SimRunConfig config;
+  config.kind = kind;
+  config.n_procs = paper::kH1Procs;
+  config.n_vars = paper::kH1Vars;
+  config.latency = &latency;
+  config.latency_override = choreo.latency_override;
+
+  const auto result = run_sim(config, choreo.scripts);
+  const auto audit = OptimalityAuditor::audit(*result.recorder);
+
+  std::printf("== %s (%s) ==\n", title, to_string(kind));
+  // The paper's figures show p3's sequence; print receipt/apply/return only.
+  std::string line;
+  for (const auto& e : result.recorder->events_at(2)) {
+    if (e.kind == EvKind::kSend) continue;
+    if (!line.empty()) line += "  <_3  ";
+    line += event_to_string(e);
+    if (e.kind == EvKind::kApply && e.delayed) line += "*";
+  }
+  std::printf("p3: %s\n", line.c_str());
+  std::printf(
+      "audit: delayed=%llu necessary=%llu unnecessary=%llu  (* = applied "
+      "after buffering)\n\n",
+      static_cast<unsigned long long>(audit.total_delayed()),
+      static_cast<unsigned long long>(audit.total_necessary()),
+      static_cast<unsigned long long>(audit.total_unnecessary()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsm;
+  std::printf("Figures 1 and 2: event sequences at p3 compliant with H1\n\n");
+  run_case("Figure 1, run (1): no write delay", ProtocolKind::kOptP,
+           paper::make_fig1_run1());
+  run_case("Figure 1, run (2): one necessary delay", ProtocolKind::kOptP,
+           paper::make_fig1_run2());
+  run_case("Figure 2: non-optimal protocol on the same history",
+           ProtocolKind::kAnbkh, paper::make_fig1_run2());
+  run_case("Figure 2 variant (pure false causality, cf. Fig. 3)",
+           ProtocolKind::kAnbkh, paper::make_fig3());
+  std::printf(
+      "Run (1) shows zero delays; run (2) one necessary delay under BOTH\n"
+      "protocols; the Figure 2/3 cases show ANBKH's extra, unnecessary wait\n"
+      "on w1(x1)c, which OptP (Definition 5) never performs.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// false_causality_demo — the paper's Figure 3 vs Figure 6, side by side.
+//
+// Runs the identical choreographed scenario (same scripts, same forced
+// message latencies) under ANBKH and under OptP and prints both space-time
+// traces.  Under ANBKH, p3 buffers w2(x2)b until the causally-unrelated
+// w1(x1)c arrives (false causality: send(c) → send(b) but b ‖co c); under
+// OptP, b applies the moment its one real dependency (a) is in.
+//
+// Build & run:  ./build/examples/false_causality_demo
+
+#include <cstdio>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/audit/trace_render.h"
+#include "dsm/workload/paper_examples.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace {
+
+void run_one(dsm::ProtocolKind kind) {
+  using namespace dsm;
+  const auto choreo = paper::make_fig3();
+  const ConstantLatency latency(sim_us(10));
+
+  SimRunConfig config;
+  config.kind = kind;
+  config.n_procs = paper::kH1Procs;
+  config.n_vars = paper::kH1Vars;
+  config.latency = &latency;
+  config.latency_override = choreo.latency_override;
+
+  const auto result = run_sim(config, choreo.scripts);
+  const auto audit = OptimalityAuditor::audit(*result.recorder);
+
+  std::printf("==================== %s ====================\n",
+              to_string(kind));
+  TraceRenderOptions opts;
+  opts.show_returns = false;
+  std::printf("%s", render_space_time(*result.recorder, opts).c_str());
+  std::printf(
+      "\ndelayed=%llu necessary=%llu unnecessary(false causality)=%llu  "
+      "write-delay-optimal=%s\n\n",
+      static_cast<unsigned long long>(audit.total_delayed()),
+      static_cast<unsigned long long>(audit.total_necessary()),
+      static_cast<unsigned long long>(audit.total_unnecessary()),
+      audit.write_delay_optimal() ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Scenario (paper Fig. 3): p1 writes a then c; p2 reads a, applies c,\n"
+      "then writes b; at p3 the arrivals are a, b, ... c (c is slow).\n"
+      "b depends causally on a only — c is concurrent with b.\n\n");
+  run_one(dsm::ProtocolKind::kAnbkh);
+  run_one(dsm::ProtocolKind::kOptP);
+  std::printf(
+      "ANBKH buffers b at p3 until c arrives (one unnecessary delay);\n"
+      "OptP applies b immediately — Theorem 4 in action.\n");
+  return 0;
+}

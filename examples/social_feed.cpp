@@ -1,0 +1,105 @@
+// social_feed — the motivating workload for causal consistency: posts and
+// replies.
+//
+// A post and its replies live in separate variables.  With causal memory, a
+// replica that shows a reply is GUARANTEED to also have the post it answers
+// (reply-writers read the post first, so post ↦co reply).  With a weaker
+// (eventual-only) memory the reply could surface first — the classic
+// "answer before the question" anomaly.
+//
+// The scenario also plants a false-causality trap: alice publishes an
+// *unrelated* status update right after her post.  Bob applies it before
+// replying but never reads it, so update ‖co reply.  The update's message to
+// carol is slow.  OptP shows carol the reply immediately; ANBKH buffers the
+// reply behind the unrelated update (send(update) → send(reply) even though
+// no cause-effect relation exists).
+//
+// Build & run:  ./build/examples/social_feed
+
+#include <cstdio>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/codec/message.h"
+#include "dsm/history/checker.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace {
+
+using namespace dsm;
+
+constexpr VarId kPost = 0;    // alice's post
+constexpr VarId kReply = 1;   // bob's reply (written after reading the post)
+constexpr VarId kStatus = 2;  // alice's unrelated status update
+
+constexpr Value kPostV = 1001;
+constexpr Value kReplyV = 2002;
+constexpr Value kStatusV = 42;
+
+void run_feed(ProtocolKind kind) {
+  // p0 = alice, p1 = bob, p2 = carol.
+  Script alice;
+  alice.push_back(write_step(0, kPost, kPostV));
+  alice.push_back(write_step(20, kStatus, kStatusV));
+
+  Script bob;
+  bob.push_back(read_until_step(0, kPost, kPostV, sim_us(20)));
+  bob.push_back(write_step(100, kReply, kReplyV));  // status applied by then
+
+  Script carol;
+  carol.push_back(read_until_step(0, kReply, kReplyV, sim_us(20)));
+  carol.push_back(read_step(0, kPost));  // the post MUST be there
+
+  // Everything travels in 50µs except the unrelated status update towards
+  // carol, which takes 5ms.
+  const ConstantLatency latency(sim_us(50));
+  SimRunConfig config;
+  config.kind = kind;
+  config.n_procs = 3;
+  config.n_vars = 3;
+  config.latency = &latency;
+  config.latency_override =
+      [](ProcessId, ProcessId to,
+         std::span<const std::uint8_t> bytes) -> std::optional<SimTime> {
+    const auto decoded = decode_message(bytes);
+    if (!decoded) return std::nullopt;
+    const auto* wu = std::get_if<WriteUpdate>(&*decoded);
+    if (wu != nullptr && wu->value == kStatusV && to == 2) return sim_ms(5);
+    return std::nullopt;
+  };
+
+  const auto result = run_sim(config, {alice, bob, carol});
+  const auto& history = result.recorder->history();
+
+  // What did carol see, and when did the reply apply at her replica?
+  Value post_seen = kBottom;
+  for (const OpRef r : history.local(2)) {
+    const Operation& op = history.op(r);
+    if (op.is_read() && op.var == kPost) post_seen = op.value;
+  }
+  const auto reply_apply =
+      result.recorder->find(EvKind::kApply, 2, WriteId{1, 1});
+
+  const auto verdict = ConsistencyChecker::check(history);
+  const auto audit = OptimalityAuditor::audit(*result.recorder);
+  std::printf(
+      "%-8s carol: post=%lld with the reply | reply visible at t=%lluus | "
+      "consistent=%s | delays total=%llu unnecessary=%llu\n",
+      to_string(kind), static_cast<long long>(post_seen),
+      static_cast<unsigned long long>(reply_apply ? reply_apply->time : 0),
+      verdict.consistent() ? "yes" : "NO",
+      static_cast<unsigned long long>(audit.total_delayed()),
+      static_cast<unsigned long long>(audit.total_unnecessary()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("social feed: no reply is ever visible without its post\n\n");
+  run_feed(ProtocolKind::kOptP);
+  run_feed(ProtocolKind::kAnbkh);
+  std::printf(
+      "\nBoth protocols preserve the guarantee.  ANBKH additionally buffers\n"
+      "the reply behind alice's unrelated (concurrent) status update — false\n"
+      "causality: carol's feed shows the answer ~5ms late for no reason.\n");
+  return 0;
+}

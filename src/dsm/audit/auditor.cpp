@@ -1,0 +1,167 @@
+#include "dsm/audit/auditor.h"
+
+#include <unordered_map>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+namespace {
+
+/// (process, write) -> event-order lookup key.
+struct AtWrite {
+  ProcessId at;
+  WriteId w;
+  friend bool operator==(const AtWrite&, const AtWrite&) = default;
+};
+
+struct AtWriteHash {
+  std::size_t operator()(const AtWrite& k) const noexcept {
+    return std::hash<WriteId>{}(k.w) ^ (std::size_t{k.at} * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+using OrderMap = std::unordered_map<AtWrite, const RunEvent*, AtWriteHash>;
+
+}  // namespace
+
+std::uint64_t AuditReport::total_remote() const {
+  std::uint64_t s = 0;
+  for (const auto& p : per_proc) s += p.remote_messages;
+  return s;
+}
+std::uint64_t AuditReport::total_delayed() const {
+  std::uint64_t s = 0;
+  for (const auto& p : per_proc) s += p.delayed;
+  return s;
+}
+std::uint64_t AuditReport::total_necessary() const {
+  std::uint64_t s = 0;
+  for (const auto& p : per_proc) s += p.necessary;
+  return s;
+}
+std::uint64_t AuditReport::total_unnecessary() const {
+  std::uint64_t s = 0;
+  for (const auto& p : per_proc) s += p.unnecessary;
+  return s;
+}
+
+AuditReport OptimalityAuditor::audit(const RunRecorder& recorder) {
+  return audit(recorder.history(), recorder.events());
+}
+
+AuditReport OptimalityAuditor::audit(const GlobalHistory& history,
+                                     const std::vector<RunEvent>& events) {
+  AuditReport report;
+  const auto co = CoRelation::build(history);
+  DSM_REQUIRE(co.has_value());
+
+  const std::size_t n = history.n_procs();
+  report.per_proc.resize(n);
+  for (ProcessId p = 0; p < n; ++p) report.per_proc[p].proc = p;
+
+  // Index first receipt and first apply/skip per (process, write).  A skip
+  // counts as a logical apply at its instant (the write is "applied
+  // immediately before" its superseder).
+  OrderMap receipt_of, applied_of;
+  for (const auto& e : events) {
+    if (e.kind == EvKind::kReceipt) {
+      receipt_of.try_emplace(AtWrite{e.at, e.write}, &e);
+    } else if (e.kind == EvKind::kApply || e.kind == EvKind::kSkip) {
+      applied_of.try_emplace(AtWrite{e.at, e.write}, &e);
+    }
+  }
+
+  // ---- Definition 3 classification of every buffered message -------------
+  for (const auto& e : events) {
+    if (e.kind != EvKind::kReceipt) continue;
+    auto& pa = report.per_proc[e.at];
+    ++pa.remote_messages;
+
+    const auto applied_it = applied_of.find(AtWrite{e.at, e.write});
+    const RunEvent* applied_ev =
+        applied_it == applied_of.end() ? nullptr : applied_it->second;
+
+    // Was the message buffered?  Trust the protocol's own flag when the
+    // write was applied; a write skipped after buffering has no apply event
+    // with a flag, so infer from "anything happened in between".
+    bool delayed = false;
+    if (applied_ev != nullptr && applied_ev->kind == EvKind::kApply &&
+        applied_ev->order > e.order) {
+      delayed = applied_ev->delayed;
+    } else if (applied_ev != nullptr && applied_ev->kind == EvKind::kSkip &&
+               applied_ev->order > e.order + 1) {
+      delayed = true;  // buffered, then superseded
+    }
+    if (!delayed) continue;
+
+    ++pa.delayed;
+    DelayIncident inc;
+    inc.at = e.at;
+    inc.write = e.write;
+    inc.receipt_order = e.order;
+    inc.receipt_time = e.time;
+    if (applied_ev != nullptr) {
+      inc.apply_order = applied_ev->order;
+      inc.apply_time = applied_ev->time;
+      inc.applied = applied_ev->kind == EvKind::kApply;
+    }
+
+    // Necessary iff some write in ↓(w, ↦co) had not been (logically) applied
+    // at this process when the message arrived.
+    const auto wref = history.find_write(e.write);
+    DSM_REQUIRE(wref.has_value());
+    for (const OpRef dep : co->write_causal_past(*wref)) {
+      const WriteId dep_id = history.op(dep).write_id;
+      const auto dep_applied = applied_of.find(AtWrite{e.at, dep_id});
+      if (dep_applied == applied_of.end() ||
+          dep_applied->second->order > e.order) {
+        inc.necessary = true;
+        inc.witness = dep_id;
+        break;
+      }
+    }
+    if (inc.necessary) {
+      ++pa.necessary;
+    } else {
+      ++pa.unnecessary;
+    }
+    report.incidents.push_back(inc);
+  }
+
+  // ---- Safety: per-process apply order extends ↦co over writes -----------
+  const auto writes = history.writes();
+  for (ProcessId k = 0; k < n; ++k) {
+    for (const OpRef a : writes) {
+      for (const OpRef b : writes) {
+        if (a == b || !co->precedes(a, b)) continue;
+        const WriteId wa = history.op(a).write_id;
+        const WriteId wb = history.op(b).write_id;
+        const auto ea = applied_of.find(AtWrite{k, wa});
+        const auto eb = applied_of.find(AtWrite{k, wb});
+        if (ea == applied_of.end() || eb == applied_of.end()) continue;
+        if (ea->second->order > eb->second->order) {
+          report.safety_violations.push_back(
+              "at " + proc_name(k) + ": " + to_string(wa) + " ↦co " +
+              to_string(wb) + " but applied in the opposite order");
+        }
+      }
+    }
+  }
+
+  // ---- Liveness: every write applied-or-skipped at every process ---------
+  for (const OpRef wref : writes) {
+    const WriteId w = history.op(wref).write_id;
+    for (ProcessId k = 0; k < n; ++k) {
+      if (applied_of.find(AtWrite{k, w}) == applied_of.end()) {
+        report.liveness_violations.push_back(to_string(w) +
+                                             " never applied at " +
+                                             proc_name(k));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dsm

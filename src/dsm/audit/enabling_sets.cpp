@@ -1,0 +1,55 @@
+#include "dsm/audit/enabling_sets.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+std::vector<WriteId> x_co_safe_writes(const CoRelation& co, WriteId w) {
+  const GlobalHistory& h = co.history();
+  const auto wref = h.find_write(w);
+  DSM_REQUIRE(wref.has_value());
+  std::vector<WriteId> out;
+  for (const OpRef dep : co.write_causal_past(*wref)) {
+    out.push_back(h.op(dep).write_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<WriteId> x_protocol_writes(const VectorClock& clock, WriteId w) {
+  std::vector<WriteId> out;
+  for (ProcessId j = 0; j < clock.size(); ++j) {
+    const SeqNo upto = clock[j];
+    for (SeqNo s = 1; s <= upto; ++s) {
+      const WriteId other{j, s};
+      if (other != w) out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const VectorClock& send_clock_of(const std::vector<RunEvent>& events,
+                                 WriteId w) {
+  for (const auto& e : events) {
+    if (e.kind == EvKind::kSend && e.write == w) return e.clock;
+  }
+  DSM_REQUIRE(false && "send event not found");
+  static const VectorClock empty;
+  return empty;
+}
+
+std::string enabling_set_str(const std::vector<WriteId>& writes, ProcessId k) {
+  if (writes.empty()) return "{}";
+  std::vector<std::string> parts;
+  parts.reserve(writes.size());
+  for (const auto& w : writes) {
+    parts.push_back("apply_" + std::to_string(k + 1) + "(" + to_string(w) + ")");
+  }
+  return "{" + join(parts, ", ") + "}";
+}
+
+}  // namespace dsm

@@ -1,0 +1,45 @@
+// optcm — enabling-event sets (paper Sections 3.3–3.6, Tables 1 and 2).
+//
+// For an apply event e = apply_k(w):
+//   * X_co-safe(e)  = { apply_k(w') : w' ∈ ↓(w, ↦co) }          (Definition 4)
+//   * X_P(e) for vector-condition protocols = { apply_k(w') : the piggybacked
+//     vector of w counts w' }, i.e. w.clock[w'.proc] ≥ w'.seq.  For OptP the
+//     piggybacked vector is Write_co, and Theorem 1 makes this set equal to
+//     X_co-safe(e); for ANBKH it is the FM clock over sends, yielding
+//     X_ANBKH(e) = { apply_k(w') : send(w') ∈ ↓(send(w), →) } — a superset,
+//     and the gap is exactly the protocol's false causality.
+//
+// These functions regenerate the paper's Table 1 and Table 2 from real data
+// (a history for the former; recorded send clocks for the latter).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/history/co_relation.h"
+#include "dsm/protocols/run_recorder.h"
+
+namespace dsm {
+
+/// The writes whose applies form X_co-safe(apply_k(w)) — independent of k,
+/// as the paper's Table 1 shows (same set for every process).  Sorted by
+/// (proc, seq) for stable printing.
+[[nodiscard]] std::vector<WriteId> x_co_safe_writes(const CoRelation& co,
+                                                    WriteId w);
+
+/// The writes whose applies form X_P(apply_k(w)) for a protocol that
+/// piggybacks `clock` on w's message, where clock[j] = seq of p_j's last
+/// counted write.  Sorted by (proc, seq).
+[[nodiscard]] std::vector<WriteId> x_protocol_writes(const VectorClock& clock,
+                                                     WriteId w);
+
+/// Looks up the send clock of `w` in a recorded event log.
+[[nodiscard]] const VectorClock& send_clock_of(const std::vector<RunEvent>& events,
+                                               WriteId w);
+
+/// "{apply_k(w1^1), apply_k(w2^1)}" — the paper's table-cell notation.
+[[nodiscard]] std::string enabling_set_str(const std::vector<WriteId>& writes,
+                                           ProcessId k);
+
+}  // namespace dsm

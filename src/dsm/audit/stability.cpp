@@ -1,0 +1,80 @@
+#include "dsm/audit/stability.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+StabilityTracker::StabilityTracker(std::size_t n_procs)
+    : n_procs_(n_procs),
+      applied_(n_procs, VectorClock(n_procs)),
+      pending_(n_procs * n_procs),
+      issued_(n_procs) {
+  DSM_REQUIRE(n_procs >= 1);
+}
+
+void StabilityTracker::bump(ProcessId at, WriteId w) {
+  DSM_REQUIRE(at < n_procs_);
+  DSM_REQUIRE(w.proc < n_procs_);
+  issued_[w.proc] = std::max(issued_[w.proc], w.seq);
+
+  VectorClock& seen = applied_[at];
+  auto& holes = pending_[at * n_procs_ + w.proc];
+  if (w.seq == seen[w.proc] + 1) {
+    seen[w.proc] = w.seq;
+    // Absorb any out-of-prefix seqs that are now contiguous (can arise when
+    // a writing-semantics jump reports the surviving write before the skip
+    // events of the writes it superseded reach us, or vice versa).
+    std::sort(holes.begin(), holes.end());
+    while (!holes.empty() && holes.front() == seen[w.proc] + 1) {
+      seen[w.proc] = holes.front();
+      holes.erase(holes.begin());
+    }
+  } else if (w.seq > seen[w.proc]) {
+    holes.push_back(w.seq);
+  }
+  // w.seq <= prefix: duplicate report; ignore.
+}
+
+void StabilityTracker::on_apply(ProcessId at, WriteId w, bool) {
+  const std::scoped_lock lock(mu_);
+  bump(at, w);
+}
+
+void StabilityTracker::on_skip(ProcessId at, WriteId w, WriteId) {
+  const std::scoped_lock lock(mu_);
+  bump(at, w);
+}
+
+VectorClock StabilityTracker::frontier_locked() const {
+  VectorClock out = applied_[0];
+  for (std::size_t k = 1; k < n_procs_; ++k) {
+    for (std::size_t j = 0; j < n_procs_; ++j) {
+      out[j] = std::min(out[j], applied_[k][j]);
+    }
+  }
+  return out;
+}
+
+VectorClock StabilityTracker::frontier() const {
+  const std::scoped_lock lock(mu_);
+  return frontier_locked();
+}
+
+bool StabilityTracker::is_stable(WriteId w) const {
+  DSM_REQUIRE(w.valid());
+  return frontier()[w.proc] >= w.seq;
+}
+
+std::uint64_t StabilityTracker::unstable_count() const {
+  const std::scoped_lock lock(mu_);
+  const VectorClock f = frontier_locked();
+  std::uint64_t count = 0;
+  for (std::size_t j = 0; j < n_procs_; ++j) {
+    count += issued_[j] - std::min(issued_[j], f[j]);
+  }
+  return count;
+}
+
+}  // namespace dsm

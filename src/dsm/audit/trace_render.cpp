@@ -1,0 +1,64 @@
+#include "dsm/audit/trace_render.h"
+
+#include <algorithm>
+
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+std::string render_sequences(const RunRecorder& recorder) {
+  std::string out;
+  for (ProcessId p = 0; p < recorder.history().n_procs(); ++p) {
+    out += proc_name(p) + ": " + recorder.sequence_str(p) + "\n";
+  }
+  return out;
+}
+
+std::string render_space_time(const RunRecorder& recorder,
+                              const TraceRenderOptions& opts) {
+  const std::size_t n = recorder.history().n_procs();
+  const auto& events = recorder.events();
+
+  // One output row per event (already in global order); cell text in the
+  // column of the process where it occurred.
+  struct Row {
+    std::uint64_t time;
+    ProcessId at;
+    std::string text;
+  };
+  std::vector<Row> rows;
+  rows.reserve(events.size());
+  for (const auto& e : events) {
+    if (!opts.show_returns && e.kind == EvKind::kReturn) continue;
+    std::string text = event_to_string(e);
+    if (opts.show_clocks &&
+        (e.kind == EvKind::kSend || e.kind == EvKind::kReceipt)) {
+      text += " " + e.clock.str();
+    }
+    if (e.kind == EvKind::kApply && e.delayed) text += " (was delayed)";
+    rows.push_back(Row{e.time, e.at, std::move(text)});
+  }
+
+  std::vector<std::size_t> widths(n, 4);
+  for (const auto& r : rows) {
+    widths[r.at] = std::max(widths[r.at], r.text.size());
+  }
+
+  std::string out;
+  if (opts.show_time) out += pad_right("t(us)", 10);
+  for (ProcessId p = 0; p < n; ++p) {
+    out += pad_right(proc_name(p), widths[p] + 2);
+  }
+  out += "\n";
+
+  for (const auto& r : rows) {
+    if (opts.show_time) out += pad_right(std::to_string(r.time), 10);
+    for (ProcessId p = 0; p < n; ++p) {
+      out += pad_right(p == r.at ? r.text : "", widths[p] + 2);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dsm

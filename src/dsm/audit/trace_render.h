@@ -1,0 +1,33 @@
+// optcm — textual rendering of recorded runs, in the style of the paper's
+// run figures (Figures 1, 2, 3 and 6).
+//
+// Two renderings:
+//   * sequence lines — one "e <_k e' <_k …" line per process (Figures 1–2);
+//     RunRecorder::sequence_str provides the raw line, render_sequences adds
+//     the per-process framing.
+//   * space-time table — one row per simulated instant, one column per
+//     process, events annotated with the piggybacked vectors (Figures 3, 6:
+//     the Write_co / FM-clock evolution is visible on each send/receipt).
+
+#pragma once
+
+#include <string>
+
+#include "dsm/protocols/run_recorder.h"
+
+namespace dsm {
+
+struct TraceRenderOptions {
+  bool show_clocks = true;   ///< annotate send/receipt with their vectors
+  bool show_returns = true;  ///< include read return events
+  bool show_time = true;     ///< left column of simulated timestamps
+};
+
+/// Per-process sequence lines ("p3: receipt_3(w2^1) <_3 apply_3(w2^1) …").
+[[nodiscard]] std::string render_sequences(const RunRecorder& recorder);
+
+/// Chronological space-time table of the whole run.
+[[nodiscard]] std::string render_space_time(const RunRecorder& recorder,
+                                            const TraceRenderOptions& opts = {});
+
+}  // namespace dsm

@@ -1,0 +1,120 @@
+#include "dsm/codec/codec.h"
+
+namespace dsm {
+
+namespace {
+// Cap on decoded container lengths; a malformed length field must not drive
+// a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxContainer = 1ULL << 24;
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) { u64(v); }
+
+void ByteWriter::i64(std::int64_t v) { u64(zigzag_encode(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::u64_vec(std::span<const std::uint64_t> v) {
+  u64(v.size());
+  for (const auto x : v) u64(x);
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> raw) {
+  buf_.insert(buf_.end(), raw.begin(), raw.end());
+}
+
+std::span<const std::uint8_t> ByteReader::rest() noexcept {
+  if (!ok_) return {};
+  const auto tail = data_.subspan(pos_);
+  pos_ = data_.size();
+  return tail;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() noexcept {
+  if (!ok_ || pos_ >= data_.size()) {
+    fail();
+    return std::nullopt;
+  }
+  return data_[pos_++];
+}
+
+std::optional<std::uint64_t> ByteReader::u64() noexcept {
+  if (!ok_) return std::nullopt;
+  std::uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) {
+      fail();
+      return std::nullopt;
+    }
+    const std::uint8_t byte = data_[pos_++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical over-long encodings in the final group.
+      if (shift == 63 && (byte & 0x7E) != 0) {
+        fail();
+        return std::nullopt;
+      }
+      return result;
+    }
+  }
+  fail();  // > 10 continuation bytes
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() noexcept {
+  const auto v = u64();
+  if (!v || *v > 0xFFFFFFFFULL) {
+    fail();
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(*v);
+}
+
+std::optional<std::int64_t> ByteReader::i64() noexcept {
+  const auto v = u64();
+  if (!v) return std::nullopt;
+  return zigzag_decode(*v);
+}
+
+std::optional<std::string> ByteReader::str() {
+  const auto len = u64();
+  if (!len || *len > kMaxContainer || *len > remaining()) {
+    fail();
+    return std::nullopt;
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(*len));
+  pos_ += static_cast<std::size_t>(*len);
+  return out;
+}
+
+std::optional<std::vector<std::uint64_t>> ByteReader::u64_vec() {
+  const auto len = u64();
+  if (!len || *len > kMaxContainer) {
+    fail();
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(*len));
+  for (std::uint64_t i = 0; i < *len; ++i) {
+    const auto v = u64();
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,146 @@
+#include "dsm/codec/message.h"
+
+namespace dsm {
+
+void WriteUpdate::encode(ByteWriter& w) const {
+  w.u32(sender);
+  w.u32(var);
+  w.i64(value);
+  w.u64(write_seq);
+  w.u64(run);
+  w.u8(meta_only ? 1 : 0);
+  w.u64(blob.size());
+  w.bytes(blob);
+  w.u64_vec(clock.components());
+}
+
+std::optional<WriteUpdate> WriteUpdate::decode(ByteReader& r) {
+  WriteUpdate m;
+  const auto sender = r.u32();
+  const auto var = r.u32();
+  const auto value = r.i64();
+  const auto seq = r.u64();
+  const auto run = r.u64();
+  const auto meta = r.u8();
+  const auto blob_len = r.u64();
+  if (!sender || !var || !value || !seq || !run || !meta || !blob_len ||
+      *blob_len > (1ULL << 24) || *blob_len > r.remaining()) {
+    return std::nullopt;
+  }
+  m.blob.reserve(static_cast<std::size_t>(*blob_len));
+  for (std::uint64_t i = 0; i < *blob_len; ++i) {
+    const auto byte = r.u8();
+    if (!byte) return std::nullopt;
+    m.blob.push_back(*byte);
+  }
+  auto clock = r.u64_vec();
+  if (!clock) return std::nullopt;
+  m.sender = *sender;
+  m.var = *var;
+  m.value = *value;
+  m.write_seq = *seq;
+  m.run = *run;
+  m.meta_only = *meta != 0;
+  m.clock = VectorClock{std::move(*clock)};
+  return m;
+}
+
+void TokenGrant::encode(ByteWriter& w) const {
+  w.u64(round);
+  w.u32(holder);
+}
+
+std::optional<TokenGrant> TokenGrant::decode(ByteReader& r) {
+  TokenGrant m;
+  const auto round = r.u64();
+  const auto holder = r.u32();
+  if (!round || !holder) return std::nullopt;
+  m.round = *round;
+  m.holder = *holder;
+  return m;
+}
+
+void BatchUpdate::encode(ByteWriter& w) const {
+  w.u32(sender);
+  w.u64(round);
+  w.u64(entries.size());
+  for (const auto& e : entries) {
+    w.u32(e.var);
+    w.i64(e.value);
+    w.u64(e.write_seq);
+    w.u64(e.skipped);
+  }
+}
+
+std::optional<BatchUpdate> BatchUpdate::decode(ByteReader& r) {
+  BatchUpdate m;
+  const auto sender = r.u32();
+  const auto round = r.u64();
+  const auto count = r.u64();
+  if (!sender || !round || !count || *count > (1ULL << 24)) return std::nullopt;
+  m.sender = *sender;
+  m.round = *round;
+  m.entries.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    BatchEntry e;
+    const auto var = r.u32();
+    const auto value = r.i64();
+    const auto seq = r.u64();
+    const auto skipped = r.u64();
+    if (!var || !value || !seq || !skipped) return std::nullopt;
+    e.var = *var;
+    e.value = *value;
+    e.write_seq = *seq;
+    e.skipped = *skipped;
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, WriteUpdate>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kWriteUpdate));
+        } else if constexpr (std::is_same_v<T, TokenGrant>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kTokenGrant));
+        } else {
+          w.u8(static_cast<std::uint8_t>(MsgType::kBatchUpdate));
+        }
+        msg.encode(w);
+      },
+      m);
+  return std::move(w).take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto tag = r.u8();
+  if (!tag) return std::nullopt;
+  std::optional<Message> out;
+  switch (static_cast<MsgType>(*tag)) {
+    case MsgType::kWriteUpdate: {
+      auto m = WriteUpdate::decode(r);
+      if (m) out = std::move(*m);
+      break;
+    }
+    case MsgType::kTokenGrant: {
+      auto m = TokenGrant::decode(r);
+      if (m) out = std::move(*m);
+      break;
+    }
+    case MsgType::kBatchUpdate: {
+      auto m = BatchUpdate::decode(r);
+      if (m) out = std::move(*m);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!out || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,106 @@
+// optcm — on-the-wire protocol messages.
+//
+// Three message shapes cover every protocol in the library:
+//   * WriteUpdate — one write operation w_i(x_h)v plus its piggybacked vector
+//     (Write_co for OptP, a Fidge–Mattern clock for ANBKH).  Paper Fig. 4
+//     line 2: send[m(x_h, v, Write_co)] to Π − p_i.
+//   * TokenGrant — circulating-token handoff for the sender-side
+//     writing-semantics protocol (Jiménez et al. [7]).
+//   * BatchUpdate — the token holder's last-write-per-variable batch.
+//
+// Every message encodes to bytes (see codec.h) and decodes defensively; the
+// tagged `decode_message` entry point returns std::nullopt on any malformed
+// input.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/codec/codec.h"
+#include "dsm/vc/vector_clock.h"
+
+namespace dsm {
+
+enum class MsgType : std::uint8_t {
+  kWriteUpdate = 1,
+  kTokenGrant = 2,
+  kBatchUpdate = 3,
+};
+
+/// A single write operation in flight.
+struct WriteUpdate {
+  ProcessId sender = 0;   ///< issuing process p_u
+  VarId var = 0;          ///< written location x_h
+  Value value = 0;        ///< written value v
+  SeqNo write_seq = 0;    ///< k: this is p_u's k-th write (1-based)
+  VectorClock clock;      ///< piggybacked vector (semantics protocol-specific)
+  /// Writing semantics (variants of [2]/[14]): how many immediately preceding
+  /// writes by the same sender — all on the same variable, with identical
+  /// foreign clock components — this write supersedes.  A receiver missing
+  /// only sender-writes in (write_seq - run - 1, write_seq) may apply this
+  /// message anyway, logically applying the superseded writes just before it.
+  /// Always 0 for protocols without writing semantics.
+  std::uint64_t run = 0;
+  /// Partial replication (after [14]): true when this copy of the update
+  /// carries causal metadata only — the receiver is not a replica of `var`
+  /// and must advance its Apply counter without installing the value.
+  bool meta_only = false;
+  /// Application payload attached to the value (models large objects whose
+  /// bodies partial replication avoids shipping to non-replicas).  Empty for
+  /// meta-only copies.
+  std::vector<std::uint8_t> blob;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<WriteUpdate> decode(ByteReader& r);
+
+  friend bool operator==(const WriteUpdate&, const WriteUpdate&) = default;
+};
+
+/// Token handoff for the sender-side writing-semantics protocol.
+struct TokenGrant {
+  std::uint64_t round = 0;  ///< monotone round counter
+  ProcessId holder = 0;     ///< process receiving the token
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<TokenGrant> decode(ByteReader& r);
+
+  friend bool operator==(const TokenGrant&, const TokenGrant&) = default;
+};
+
+/// One coalesced entry of a token-round batch.
+struct BatchEntry {
+  VarId var = 0;
+  Value value = 0;
+  SeqNo write_seq = 0;      ///< seq of the surviving (last) write on var
+  std::uint64_t skipped = 0;///< how many earlier writes on var were coalesced
+
+  friend bool operator==(const BatchEntry&, const BatchEntry&) = default;
+};
+
+/// The token holder's updates for one round (last write per variable).
+struct BatchUpdate {
+  ProcessId sender = 0;
+  std::uint64_t round = 0;
+  std::vector<BatchEntry> entries;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<BatchUpdate> decode(ByteReader& r);
+
+  friend bool operator==(const BatchUpdate&, const BatchUpdate&) = default;
+};
+
+using Message = std::variant<WriteUpdate, TokenGrant, BatchUpdate>;
+
+/// Frame a message with its type tag.
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Decode a framed message; std::nullopt on malformed/truncated/trailing-garbage
+/// input.
+[[nodiscard]] std::optional<Message> decode_message(std::span<const std::uint8_t> bytes);
+
+}  // namespace dsm

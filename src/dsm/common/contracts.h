@@ -1,0 +1,31 @@
+// optcm — lightweight contract checks (C++ Core Guidelines I.6/I.8 style).
+//
+// DSM_REQUIRE / DSM_ENSURE abort with a readable message on violation.  They
+// are active in all build types: the protocols in this library are the object
+// of study, so silently continuing past a broken invariant would invalidate
+// every measurement downstream.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsm::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "optcm: %s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace dsm::detail
+
+/// Precondition check.
+#define DSM_REQUIRE(expr)                                                     \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::dsm::detail::contract_failure("precondition", #expr, __FILE__, __LINE__))
+
+/// Postcondition / invariant check.
+#define DSM_ENSURE(expr)                                                      \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::dsm::detail::contract_failure("invariant", #expr, __FILE__, __LINE__))

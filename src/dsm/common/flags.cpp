@@ -1,0 +1,58 @@
+#include "dsm/common/flags.h"
+
+#include <cstdlib>
+
+namespace dsm {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "";  // bare switch
+    }
+  }
+}
+
+std::optional<std::string> Flags::lookup(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.insert(name);
+  return it->second;
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) {
+  return lookup(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) {
+  const auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) {
+  const auto v = lookup(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) { return lookup(name).has_value(); }
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace dsm

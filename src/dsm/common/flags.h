@@ -1,0 +1,49 @@
+// optcm — minimal command-line flag parsing for the CLI tool and ad-hoc
+// drivers.  Supports "--key=value" and boolean "--switch" (value flags MUST
+// use the "=" form — no "--key value", by design: it keeps positionals
+// unambiguous); everything else is positional.  Every accessor marks its
+// flag consumed, so `unknown()` reports typos.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// String flag (marks it consumed).
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback);
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback);
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+  /// Boolean switch: present (with or without a value) means true.
+  [[nodiscard]] bool get_bool(const std::string& name);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were provided but never consumed — typo detection.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,69 @@
+#include "dsm/common/format.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out{s};
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.append(width - s.size(), ' ');
+  out.append(s);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string var_name(std::uint32_t var0) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x%" PRIu32, var0 + 1);
+  return buf;
+}
+
+std::string proc_name(std::uint32_t proc0) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "p%" PRIu32, proc0 + 1);
+  return buf;
+}
+
+std::string vec_to_string(const std::vector<std::uint64_t>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v[i]);
+    out.append(buf);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string to_string(const WriteId& w) {
+  if (!w.valid()) return "⊥";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "w%" PRIu32 "^%" PRIu64, w.proc + 1, w.seq);
+  return buf;
+}
+
+}  // namespace dsm

@@ -1,0 +1,38 @@
+// optcm — small string-formatting helpers used by printers and trace output.
+//
+// We deliberately avoid iostreams on hot paths and <format> (not fully
+// available on the target toolchain); these helpers cover the few shapes the
+// library needs: paper-style operation names, padded columns, joined lists.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsm {
+
+/// Left-justify `s` into a field of `width` (no truncation).
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Right-justify `s` into a field of `width` (no truncation).
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+/// Join the elements with a separator: {"a","b"} + ", " -> "a, b".
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Fixed-point decimal rendering with the given number of fraction digits.
+[[nodiscard]] std::string fixed(double v, int digits);
+
+/// "x_h" in paper notation (h is converted to 1-based).
+[[nodiscard]] std::string var_name(std::uint32_t var0);
+
+/// "p_i" in paper notation (i is converted to 1-based).
+[[nodiscard]] std::string proc_name(std::uint32_t proc0);
+
+/// Render a vector clock value like "[1,0,2]".
+[[nodiscard]] std::string vec_to_string(const std::vector<std::uint64_t>& v);
+
+}  // namespace dsm

@@ -1,0 +1,126 @@
+#include "dsm/history/causality_graph.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+CausalityGraph::CausalityGraph(const CoRelation& co) : co_(&co) {
+  const GlobalHistory& h = co.history();
+  writes_.assign(h.writes().begin(), h.writes().end());
+  preds_.resize(writes_.size());
+  succs_.resize(writes_.size());
+  index_of_.assign(h.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < writes_.size(); ++i) index_of_[writes_[i]] = i;
+
+  // w ↦co⁰ w' ⇔ w ↦co w' ∧ ∄ write w'' : w ↦co w'' ↦co w'.
+  for (std::size_t a = 0; a < writes_.size(); ++a) {
+    for (std::size_t b = 0; b < writes_.size(); ++b) {
+      if (a == b) continue;
+      const OpRef wa = writes_[a];
+      const OpRef wb = writes_[b];
+      if (!co.precedes(wa, wb)) continue;
+      bool immediate = true;
+      for (const OpRef wm : writes_) {
+        if (wm == wa || wm == wb) continue;
+        if (co.precedes(wa, wm) && co.precedes(wm, wb)) {
+          immediate = false;
+          break;
+        }
+      }
+      if (immediate) {
+        succs_[a].push_back(wb);
+        preds_[b].push_back(wa);
+        ++edges_;
+      }
+    }
+  }
+
+  // Paper: "each write operation can have at most n immediate predecessors".
+  for (const auto& p : preds_) {
+    DSM_ENSURE(p.size() <= h.n_procs());
+  }
+}
+
+std::size_t CausalityGraph::idx(OpRef w) const {
+  DSM_REQUIRE(w < index_of_.size());
+  const std::size_t i = index_of_[w];
+  DSM_REQUIRE(i != static_cast<std::size_t>(-1));
+  return i;
+}
+
+const std::vector<OpRef>& CausalityGraph::predecessors(OpRef write) const {
+  return preds_[idx(write)];
+}
+
+const std::vector<OpRef>& CausalityGraph::successors(OpRef write) const {
+  return succs_[idx(write)];
+}
+
+std::vector<OpRef> CausalityGraph::roots() const {
+  std::vector<OpRef> out;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    if (preds_[i].empty()) out.push_back(writes_[i]);
+  }
+  return out;
+}
+
+std::size_t CausalityGraph::depth() const {
+  // Longest path by DP over ↦co-respecting order.  Writes are appended to
+  // the history in apply order at their issuer, which is consistent with
+  // program order but not necessarily a global topological order, so iterate
+  // to a fixpoint (the DAG is small; this is O(V·E) worst case).
+  std::vector<std::size_t> dist(writes_.size(), 0);
+  bool changed = true;
+  std::size_t best = 0;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < writes_.size(); ++i) {
+      for (const OpRef s : succs_[i]) {
+        const std::size_t j = index_of_[s];
+        if (dist[j] < dist[i] + 1) {
+          dist[j] = dist[i] + 1;
+          best = std::max(best, dist[j]);
+          changed = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::string CausalityGraph::to_dot() const {
+  const GlobalHistory& h = co_->history();
+  std::string out = "digraph write_causality {\n  rankdir=TB;\n";
+  for (const OpRef w : writes_) {
+    out += "  \"" + op_to_string(h.op(w)) + "\";\n";
+  }
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    for (const OpRef s : succs_[i]) {
+      out += "  \"" + op_to_string(h.op(writes_[i])) + "\" -> \"" +
+             op_to_string(h.op(s)) + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string CausalityGraph::to_ascii() const {
+  const GlobalHistory& h = co_->history();
+  std::string out;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    for (const OpRef s : succs_[i]) {
+      out += op_to_string(h.op(writes_[i])) + " --co0--> " +
+             op_to_string(h.op(s)) + "\n";
+    }
+  }
+  for (const OpRef r : roots()) {
+    if (succs_[idx(r)].empty() && preds_[idx(r)].empty()) {
+      out += op_to_string(h.op(r)) + " (isolated)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm

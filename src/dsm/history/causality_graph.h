@@ -1,0 +1,59 @@
+// optcm — the write causality graph (paper Section 4.3, Figure 7).
+//
+// Vertices are the writes of a history; there is an edge w → w' iff
+// w ↦co⁰ w', i.e. w ↦co w' with no *write* w'' such that w ↦co w'' ↦co w'.
+// The paper notes each write has at most n immediate predecessors (one per
+// process) — asserted here and verified by property tests.
+//
+// The graph powers the Figure 7 reproduction and gives the auditor the
+// minimal dependency frontier of each write.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/history/co_relation.h"
+
+namespace dsm {
+
+class CausalityGraph {
+ public:
+  /// Builds the graph from an already-computed ↦co.  `co` (and its history)
+  /// must outlive the graph.
+  explicit CausalityGraph(const CoRelation& co);
+
+  /// Immediate predecessors (↦co⁰) of a write, by OpRef.
+  [[nodiscard]] const std::vector<OpRef>& predecessors(OpRef write) const;
+
+  /// Immediate successors of a write, by OpRef.
+  [[nodiscard]] const std::vector<OpRef>& successors(OpRef write) const;
+
+  /// All writes with no immediate predecessor (sources of the DAG).
+  [[nodiscard]] std::vector<OpRef> roots() const;
+
+  /// Total number of ↦co⁰ edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Longest path length (in edges) through the DAG — the depth of the
+  /// causal dependency chain, an upper bound on forced apply serialization.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// GraphViz DOT rendering (paper-style labels: "w1(x1)a").
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Compact ASCII rendering: one line per edge, topologically sorted.
+  [[nodiscard]] std::string to_ascii() const;
+
+ private:
+  const CoRelation* co_;
+  std::vector<OpRef> writes_;                    // vertex set
+  std::vector<std::vector<OpRef>> preds_;        // indexed like writes_
+  std::vector<std::vector<OpRef>> succs_;
+  std::vector<std::size_t> index_of_;            // OpRef -> position in writes_
+  std::size_t edges_ = 0;
+
+  [[nodiscard]] std::size_t idx(OpRef w) const;
+};
+
+}  // namespace dsm

@@ -1,0 +1,111 @@
+#include "dsm/history/checker.h"
+
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+const char* to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kCyclicCausality: return "cyclic-causality";
+    case ViolationKind::kDanglingReadsFrom: return "dangling-reads-from";
+    case ViolationKind::kVariableMismatch: return "variable-mismatch";
+    case ViolationKind::kValueMismatch: return "value-mismatch";
+    case ViolationKind::kOverwrittenRead: return "overwritten-read";
+    case ViolationKind::kStaleBottomRead: return "stale-bottom-read";
+  }
+  return "?";
+}
+
+CheckResult ConsistencyChecker::check(const GlobalHistory& h) {
+  const auto co = CoRelation::build(h);
+  if (!co) {
+    CheckResult result;
+    // Distinguish "cites a missing write" from a genuine cycle: re-scan the
+    // reads for dangling references first.
+    for (OpRef r = 0; r < h.size(); ++r) {
+      const Operation& op = h.op(r);
+      if (op.is_read() && op.write_id.valid() && !h.find_write(op.write_id)) {
+        result.violations.push_back(
+            {ViolationKind::kDanglingReadsFrom, r, kInvalidOp,
+             op_to_string(op) + " reads from unrecorded write " +
+                 to_string(op.write_id)});
+      }
+    }
+    if (result.violations.empty()) {
+      result.violations.push_back(
+          {ViolationKind::kCyclicCausality, kInvalidOp, kInvalidOp,
+           "recorded process-order + reads-from relation contains a cycle"});
+    }
+    return result;
+  }
+  return check(h, *co);
+}
+
+CheckResult ConsistencyChecker::check(const GlobalHistory& h,
+                                      const CoRelation& co) {
+  CheckResult result;
+
+  for (OpRef r = 0; r < h.size(); ++r) {
+    const Operation& read = h.op(r);
+    if (!read.is_read()) continue;
+    ++result.reads_checked;
+
+    if (!read.write_id.valid()) {
+      // Read of ⊥: Definition 1 (second clause of ↦ro) — no write on this
+      // variable may causally precede the read.
+      for (const OpRef wref : h.writes()) {
+        const Operation& w = h.op(wref);
+        if (w.var == read.var && co.precedes(wref, r)) {
+          result.violations.push_back(
+              {ViolationKind::kStaleBottomRead, r, wref,
+               op_to_string(read) + " returned ⊥ but " + op_to_string(w) +
+                   " is in its causal past"});
+          break;  // one witness per read is enough
+        }
+      }
+      continue;
+    }
+
+    const auto cited = h.find_write(read.write_id);
+    if (!cited) {
+      result.violations.push_back(
+          {ViolationKind::kDanglingReadsFrom, r, kInvalidOp,
+           op_to_string(read) + " reads from unrecorded write " +
+               to_string(read.write_id)});
+      continue;
+    }
+    const Operation& w = h.op(*cited);
+    if (w.var != read.var) {
+      result.violations.push_back(
+          {ViolationKind::kVariableMismatch, r, *cited,
+           op_to_string(read) + " cites " + op_to_string(w) +
+               " on a different variable"});
+      continue;
+    }
+    if (w.value != read.value) {
+      result.violations.push_back(
+          {ViolationKind::kValueMismatch, r, *cited,
+           op_to_string(read) + " cites " + op_to_string(w) +
+               " but the values differ"});
+      continue;
+    }
+
+    // Definition 1's second condition: no write on the same variable strictly
+    // between the cited write and the read in ↦co.
+    for (const OpRef wref : h.writes()) {
+      if (wref == *cited) continue;
+      const Operation& other = h.op(wref);
+      if (other.var != read.var) continue;
+      if (co.precedes(*cited, wref) && co.precedes(wref, r)) {
+        result.violations.push_back(
+            {ViolationKind::kOverwrittenRead, r, wref,
+             op_to_string(read) + " returned a value overwritten by " +
+                 op_to_string(other)});
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsm

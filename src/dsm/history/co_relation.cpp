@@ -1,0 +1,118 @@
+#include "dsm/history/co_relation.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+std::optional<CoRelation> CoRelation::build(const GlobalHistory& h) {
+  const std::size_t n = h.size();
+  CoRelation co{h};
+  co.reach_ = BitMatrix{n};
+
+  // Adjacency: successors of each node under the two base relations.
+  std::vector<std::vector<OpRef>> succ(n);
+  std::vector<std::uint32_t> indegree(n, 0);
+
+  const auto add_edge = [&](OpRef from, OpRef to) {
+    succ[from].push_back(to);
+    ++indegree[to];
+  };
+
+  // Process order: consecutive operations of each local history.
+  for (ProcessId p = 0; p < h.n_procs(); ++p) {
+    const auto ops = h.local(p);
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      add_edge(ops[i], ops[i + 1]);
+    }
+  }
+
+  // Read-from: the write each read returned.  A read whose writer is not in
+  // the history is a recording error; treat as unbuildable (the checker
+  // reports the precise violation separately).
+  for (OpRef r = 0; r < n; ++r) {
+    const Operation& op = h.op(r);
+    if (op.is_read() && op.write_id.valid()) {
+      const auto w = h.find_write(op.write_id);
+      if (!w) return std::nullopt;
+      if (*w != r) add_edge(*w, r);
+    }
+  }
+
+  // Kahn topological order; a leftover node means a cycle.
+  std::vector<OpRef> order;
+  order.reserve(n);
+  std::vector<OpRef> queue;
+  for (OpRef v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const OpRef v = queue.back();
+    queue.pop_back();
+    order.push_back(v);
+    for (const OpRef s : succ[v]) {
+      if (--indegree[s] == 0) queue.push_back(s);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cyclic
+
+  // Reverse topological accumulation: reach(v) = ∪_{v→s} ({s} ∪ reach(s)).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OpRef v = *it;
+    for (const OpRef s : succ[v]) {
+      co.reach_.set(v, s);
+      co.reach_.or_row_into(s, v);
+    }
+  }
+  return co;
+}
+
+bool CoRelation::precedes(OpRef a, OpRef b) const noexcept {
+  return a != b && reach_.get(a, b);
+}
+
+bool CoRelation::concurrent(OpRef a, OpRef b) const noexcept {
+  return a != b && !reach_.get(a, b) && !reach_.get(b, a);
+}
+
+std::vector<OpRef> CoRelation::causal_past(OpRef o) const {
+  DSM_REQUIRE(o < h_->size());
+  std::vector<OpRef> past;
+  for (OpRef v = 0; v < h_->size(); ++v) {
+    if (v != o && reach_.get(v, o)) past.push_back(v);
+  }
+  return past;
+}
+
+std::vector<OpRef> CoRelation::write_causal_past(OpRef o) const {
+  auto past = causal_past(o);
+  std::erase_if(past, [this](OpRef v) { return !h_->op(v).is_write(); });
+  return past;
+}
+
+bool CoRelation::write_precedes(WriteId w, WriteId w2) const {
+  const auto a = h_->find_write(w);
+  const auto b = h_->find_write(w2);
+  DSM_REQUIRE(a.has_value() && b.has_value());
+  return precedes(*a, *b);
+}
+
+bool CoRelation::write_concurrent(WriteId w, WriteId w2) const {
+  const auto a = h_->find_write(w);
+  const auto b = h_->find_write(w2);
+  DSM_REQUIRE(a.has_value() && b.has_value());
+  return concurrent(*a, *b);
+}
+
+std::size_t CoRelation::causal_past_size(OpRef o) const noexcept {
+  // row_popcount counts successors, not predecessors, so count column
+  // membership explicitly.
+  std::size_t count = 0;
+  for (OpRef v = 0; v < h_->size(); ++v) {
+    if (v != o && reach_.get(v, o)) ++count;
+  }
+  return count;
+}
+
+}  // namespace dsm

@@ -1,0 +1,107 @@
+#include "dsm/history/history.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+std::string op_to_string(const Operation& op) {
+  // Values 0..25 print as a..z so the paper's examples read naturally.
+  std::string val;
+  if (op.value == kBottom) {
+    val = "⊥";
+  } else if (op.value >= 0 && op.value < 26) {
+    val.push_back(static_cast<char>('a' + op.value));
+  } else {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, op.value);
+    val = buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%c%u(x%u)%s", op.is_write() ? 'w' : 'r',
+                op.proc + 1, op.var + 1, val.c_str());
+  return buf;
+}
+
+GlobalHistory::GlobalHistory(std::size_t n_procs, std::size_t n_vars)
+    : n_procs_(n_procs),
+      n_vars_(n_vars),
+      by_proc_(n_procs),
+      write_counts_(n_procs, 0) {
+  DSM_REQUIRE(n_procs >= 1);
+  DSM_REQUIRE(n_vars >= 1);
+}
+
+OpRef GlobalHistory::push(Operation op) {
+  const auto ref = static_cast<OpRef>(ops_.size());
+  op.po_index = by_proc_[op.proc].size();
+  ops_.push_back(op);
+  by_proc_[op.proc].push_back(ref);
+  return ref;
+}
+
+WriteId GlobalHistory::add_write(ProcessId p, VarId x, Value v) {
+  DSM_REQUIRE(p < n_procs_);
+  DSM_REQUIRE(x < n_vars_);
+  Operation op;
+  op.proc = p;
+  op.kind = OpKind::kWrite;
+  op.var = x;
+  op.value = v;
+  op.write_id = WriteId{p, ++write_counts_[p]};
+  const OpRef ref = push(op);
+  writes_.push_back(ref);
+  write_index_.emplace(op.write_id, ref);
+  return op.write_id;
+}
+
+OpRef GlobalHistory::add_read(ProcessId p, VarId x, Value v, WriteId reads_from) {
+  DSM_REQUIRE(p < n_procs_);
+  DSM_REQUIRE(x < n_vars_);
+  Operation op;
+  op.proc = p;
+  op.kind = OpKind::kRead;
+  op.var = x;
+  op.value = v;
+  op.write_id = reads_from;
+  return push(op);
+}
+
+const Operation& GlobalHistory::op(OpRef r) const {
+  DSM_REQUIRE(r < ops_.size());
+  return ops_[r];
+}
+
+std::span<const OpRef> GlobalHistory::local(ProcessId p) const {
+  DSM_REQUIRE(p < n_procs_);
+  return by_proc_[p];
+}
+
+std::optional<OpRef> GlobalHistory::find_write(WriteId w) const {
+  const auto it = write_index_.find(w);
+  if (it == write_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+SeqNo GlobalHistory::write_count(ProcessId p) const {
+  DSM_REQUIRE(p < n_procs_);
+  return write_counts_[p];
+}
+
+std::string GlobalHistory::str() const {
+  std::string out;
+  for (ProcessId p = 0; p < n_procs_; ++p) {
+    out += "h" + std::to_string(p + 1) + ": ";
+    std::vector<std::string> parts;
+    parts.reserve(by_proc_[p].size());
+    for (const OpRef r : by_proc_[p]) parts.push_back(op_to_string(ops_[r]));
+    out += join(parts, "; ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,66 @@
+// optcm — global history container (paper Section 2).
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/history/operation.h"
+
+namespace dsm {
+
+/// H = ⟨h_1 … h_n⟩ plus the recorded ↦ro relation, flattened for O(1)
+/// OpRef-based access.  Append-only: operations are added in each process's
+/// program order, exactly as a protocol run (or a scripted example) emits
+/// them.
+class GlobalHistory {
+ public:
+  GlobalHistory(std::size_t n_procs, std::size_t n_vars);
+
+  /// Record the next write of process p.  The write's 1-based sequence number
+  /// is assigned automatically (writes_by(p).size() + 1).  Returns its id.
+  WriteId add_write(ProcessId p, VarId x, Value v);
+
+  /// Record the next read of process p returning value v written by
+  /// `reads_from` (use kNoWrite for a read of the initial value ⊥).
+  OpRef add_read(ProcessId p, VarId x, Value v, WriteId reads_from);
+
+  [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }
+  [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+
+  [[nodiscard]] const Operation& op(OpRef r) const;
+  [[nodiscard]] std::span<const Operation> all_ops() const noexcept { return ops_; }
+
+  /// OpRefs of p's local history, in program order.
+  [[nodiscard]] std::span<const OpRef> local(ProcessId p) const;
+
+  /// OpRef of the write with the given identity, if recorded.
+  [[nodiscard]] std::optional<OpRef> find_write(WriteId w) const;
+
+  /// All writes in the history, in recording order.
+  [[nodiscard]] std::span<const OpRef> writes() const noexcept { return writes_; }
+
+  /// Number of writes issued by process p so far.
+  [[nodiscard]] SeqNo write_count(ProcessId p) const;
+
+  /// Multi-line rendering in the paper's example style ("h1: w1(x1)a; …").
+  [[nodiscard]] std::string str() const;
+
+ private:
+  OpRef push(Operation op);
+
+  std::size_t n_procs_;
+  std::size_t n_vars_;
+  std::vector<Operation> ops_;                 // flattened, append order
+  std::vector<std::vector<OpRef>> by_proc_;    // program order per process
+  std::vector<OpRef> writes_;                  // all writes
+  std::unordered_map<WriteId, OpRef> write_index_;
+  std::vector<SeqNo> write_counts_;            // per process
+};
+
+}  // namespace dsm

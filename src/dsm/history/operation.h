@@ -1,0 +1,45 @@
+// optcm — read/write operations of the shared-memory model (paper Section 2).
+//
+// A local history h_i is the sequence of operations issued by p_i; a global
+// history H = ⟨h_1 … h_n⟩.  We record, for every read, the identity of the
+// write it returned (the ↦ro relation) — the runtime can always produce it
+// because stored values carry their writer's (process, seq) tag.  From
+// process order plus ↦ro the checker recomputes ↦co from scratch.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+enum class OpKind : std::uint8_t { kWrite, kRead };
+
+/// Global index of an operation inside a GlobalHistory (flattened).
+using OpRef = std::uint32_t;
+
+inline constexpr OpRef kInvalidOp = ~OpRef{0};
+
+struct Operation {
+  ProcessId proc = 0;   ///< issuing process
+  SeqNo po_index = 0;   ///< 0-based position in the issuer's local history
+  OpKind kind = OpKind::kWrite;
+  VarId var = 0;
+  Value value = kBottom;
+  /// For writes: this operation's own identity (proc, k-th write, 1-based).
+  /// For reads: the write whose value was returned; kNoWrite for reads of ⊥.
+  WriteId write_id;
+
+  [[nodiscard]] bool is_write() const noexcept { return kind == OpKind::kWrite; }
+  [[nodiscard]] bool is_read() const noexcept { return kind == OpKind::kRead; }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// Paper-style rendering: "w1(x1)a" / "r2(x2)b"; values are printed as
+/// integers (or the letter a..z when small, to match the paper's examples).
+[[nodiscard]] std::string op_to_string(const Operation& op);
+
+}  // namespace dsm

@@ -1,0 +1,97 @@
+#include "dsm/metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+void Summary::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double Summary::mean() const noexcept {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::min() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const noexcept {
+  const auto n = static_cast<double>(values_.size());
+  if (n < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::quantile(double q) const {
+  DSM_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+std::string Summary::str(int digits) const {
+  return "n=" + std::to_string(count()) + " mean=" + fixed(mean(), digits) +
+         " p50=" + fixed(quantile(0.5), digits) +
+         " p99=" + fixed(quantile(0.99), digits) +
+         " max=" + fixed(max(), digits);
+}
+
+Histogram::Histogram(double bucket_width, std::size_t n_buckets)
+    : bucket_width_(bucket_width), counts_(n_buckets, 0) {
+  DSM_REQUIRE(bucket_width > 0);
+  DSM_REQUIRE(n_buckets >= 1);
+}
+
+void Histogram::add(double v) {
+  std::size_t i = v <= 0 ? 0
+                         : static_cast<std::size_t>(v / bucket_width_);
+  i = std::min(i, counts_.size() - 1);
+  ++counts_[i];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  DSM_REQUIRE(i < counts_.size());
+  return counts_[i];
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  const std::uint64_t peak = counts_.empty()
+                                 ? 0
+                                 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = static_cast<double>(i) * bucket_width_;
+    out += pad_left(fixed(lo, 0), 10) + " | ";
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        (counts_[i] * width + peak - 1) / peak);
+    out.append(bar, '#');
+    out += " " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dsm

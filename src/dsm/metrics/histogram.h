@@ -1,0 +1,61 @@
+// optcm — streaming histogram / summary statistics for experiment outputs.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/// Accumulates doubles; exact quantiles via a retained, lazily-sorted sample
+/// vector (experiment cardinalities here are ≤ millions, so retention is
+/// cheaper than an approximate sketch and keeps results exact and
+/// deterministic).
+class Summary {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double total() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// q in [0, 1]; nearest-rank on the sorted sample.  0 on empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// "n=…, mean=…, p50=…, p99=…, max=…".
+  [[nodiscard]] std::string str(int digits = 2) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Fixed-width bucket histogram over [0, bucket_width × n_buckets); the last
+/// bucket absorbs overflow.  Used for delay-duration distributions.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t n_buckets);
+
+  void add(double v);
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::size_t n_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII bar rendering, `width` columns for the largest bucket.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dsm

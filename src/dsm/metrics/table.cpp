@@ -1,0 +1,81 @@
+#include "dsm/metrics/table.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DSM_REQUIRE(!headers_.empty());
+}
+
+void Table::row(std::vector<std::string> cells) {
+  DSM_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row_at(std::size_t i) const {
+  DSM_REQUIRE(i < rows_.size());
+  return rows_[i];
+}
+
+std::string Table::cell_str(double v) { return fixed(v, 2); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  const auto rule = [&]() {
+    std::string s = "+";
+    for (const auto w : widths) {
+      s.append(w + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + pad_right(cells[c], widths[c]) + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+std::string Table::csv() const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') out += "\"\"";
+      else out.push_back(ch);
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  std::vector<std::string> escaped;
+  escaped.reserve(headers_.size());
+  for (const auto& h : headers_) escaped.push_back(escape(h));
+  out += join(escaped, ",") + "\n";
+  for (const auto& r : rows_) {
+    escaped.clear();
+    for (const auto& cell : r) escaped.push_back(escape(cell));
+    out += join(escaped, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace dsm

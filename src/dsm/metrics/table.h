@@ -1,0 +1,48 @@
+// optcm — aligned ASCII tables and CSV export for bench output.
+//
+// Every bench prints its result as one of these tables (the "same rows the
+// paper reports" deliverable) and can mirror it to CSV for plotting.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: converts each cell with to_string-ish formatting.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    row({cell_str(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row_at(std::size_t i) const;
+
+  /// Box-drawn, column-aligned rendering.
+  [[nodiscard]] std::string str() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  static std::string cell_str(const std::string& s) { return s; }
+  static std::string cell_str(const char* s) { return s; }
+  static std::string cell_str(double v);
+  template <typename T>
+  static std::string cell_str(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsm

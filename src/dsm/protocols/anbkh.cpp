@@ -1,0 +1,62 @@
+#include "dsm/protocols/anbkh.h"
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+Anbkh::Anbkh(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+             Endpoint& endpoint, ProtocolObserver& observer,
+             bool writing_semantics)
+    : BufferingProtocol(self, n_procs, n_vars, endpoint, observer,
+                        writing_semantics) {}
+
+void Anbkh::write(VarId x, Value v) {
+  DSM_REQUIRE(x < n_vars_);
+  ++stats_.writes_issued;
+
+  // The write send is the clock's relevant event: VC[self]++ then piggyback.
+  // applied_ is bumped by apply_own_write below, so build the message clock
+  // from the post-increment value first.
+  const SeqNo seq = applied_[self_] + 1;
+
+  VectorClock clock = applied_;
+  clock[self_] = seq;
+
+  WriteUpdate m;
+  m.sender = self_;
+  m.var = x;
+  m.value = v;
+  m.write_seq = seq;
+  m.clock = clock;
+  m.run = next_run(x, clock);
+
+  observer_->on_send(self_, m);
+  endpoint_->broadcast(encode_message(Message{m}));
+
+  (void)apply_own_write(x, v, seq, clock);
+}
+
+ReadResult Anbkh::read(VarId x) {
+  DSM_REQUIRE(x < n_vars_);
+  ++stats_.reads_issued;
+  // Reads are invisible to ANBKH's metadata: local, wait-free, no clock
+  // activity.  (The protocol pays for that simplicity with false causality.)
+  const ReadResult result = peek(x);
+  observer_->on_return(self_, x, result.value, result.writer);
+  return result;
+}
+
+void Anbkh::post_apply(const WriteUpdate& m, bool /*installed*/) {
+  // The FM merge VC := max(VC, m.clock) is already subsumed by the apply
+  // counter update: the enabling condition guarantees m.clock[t] ≤ VC[t] for
+  // all t ≠ sender, and the sender component was just set to m.write_seq.
+  for (ProcessId t = 0; t < n_procs_; ++t) {
+    DSM_ENSURE(m.clock[t] <= applied_[t]);
+  }
+}
+
+std::string Anbkh::name() const {
+  return writing_semantics() ? "anbkh-ws" : "anbkh";
+}
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+// optcm — ANBKH: the causal-broadcast baseline (Ahamad–Neiger–Burns–Kohli–
+// Hutto [1], as characterized in paper Section 3.6).
+//
+// ANBKH orders all apply events by the happened-before relation → of the
+// corresponding send events, enforcing causal message delivery with a
+// Fidge–Mattern vector clock whose relevant events are the write sends:
+//
+//   X_ANBKH(apply_k(w)) = { apply_k(w') : send(w') ∈ ↓(send(w), →) }.
+//
+// Concretely (Birman–Schiper–Stephenson style): VC[j] counts p_j's writes
+// applied here; a write bumps VC[self] and piggybacks VC; a message from p_u
+// is applicable when VC_msg[u] = VC[u] + 1 and ∀t≠u : VC_msg[t] ≤ VC[t].
+// Since applying a message *merges* its clock, the piggybacked vector records
+// every write whose message was delivered before the send — whether or not
+// its value was ever read.  That is the source of *false causality*: in the
+// paper's Figure 3 run, p3 must delay w2(x2)b until w1(x1)c arrives although
+// w2(x2)b ‖co w1(x1)c.  ANBKH is safe but not write-delay optimal.
+//
+// The VC here is exactly BufferingProtocol::applied_ (apply counters double
+// as the clock), which makes the one real difference from OptP stand out:
+// ANBKH piggybacks/merges on APPLY; OptP piggybacks Write_co merged on READ.
+//
+// Constructing with writing_semantics = true yields the receiver-side
+// writing-semantics variant in the spirit of [2]/[14] ("anbkh-ws").
+
+#pragma once
+
+#include "dsm/protocols/buffering.h"
+
+namespace dsm {
+
+class Anbkh final : public BufferingProtocol {
+ public:
+  Anbkh(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+        Endpoint& endpoint, ProtocolObserver& observer,
+        bool writing_semantics = false);
+
+  void write(VarId x, Value v) override;
+  ReadResult read(VarId x) override;
+
+  [[nodiscard]] std::string name() const override;
+
+  /// The Fidge–Mattern clock (== apply counters; exposed for tests).
+  [[nodiscard]] const VectorClock& clock() const noexcept { return applied_; }
+
+ private:
+  void post_apply(const WriteUpdate& m, bool installed) override;
+};
+
+}  // namespace dsm

@@ -1,0 +1,186 @@
+#include "dsm/protocols/buffering.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+BufferingProtocol::BufferingProtocol(ProcessId self, std::size_t n_procs,
+                                     std::size_t n_vars, Endpoint& endpoint,
+                                     ProtocolObserver& observer,
+                                     bool writing_semantics, bool convergent)
+    : CausalProtocol(self, n_procs, n_vars, endpoint, observer),
+      applied_(n_procs),
+      ws_(writing_semantics),
+      convergent_(convergent),
+      lww_key_(n_vars, {0, 0}) {}
+
+bool BufferingProtocol::wins_arbitration(VarId x, const VectorClock& clock,
+                                         ProcessId writer) {
+  if (!convergent_) return true;
+  // ⊥ has key (0,·); any write's clock-sum is ≥ 1, so first writes always
+  // install.  sum() grows strictly along ↦co (Theorem 1), hence the order
+  // extends causality and the outcome is identical at every replica.
+  return std::make_pair(clock.sum(), writer) > lww_key_[x];
+}
+
+void BufferingProtocol::record_winner(VarId x, const VectorClock& clock,
+                                      ProcessId writer) {
+  if (convergent_) lww_key_[x] = {clock.sum(), writer};
+}
+
+bool BufferingProtocol::is_stale(const WriteUpdate& m) const {
+  return applied_[m.sender] >= m.write_seq;
+}
+
+bool BufferingProtocol::can_apply(const WriteUpdate& m) const {
+  const ProcessId u = m.sender;
+  DSM_REQUIRE(u < n_procs_);
+  DSM_REQUIRE(m.clock.size() == n_procs_);
+  DSM_REQUIRE(m.write_seq >= 1);
+
+  // First conjunct: sender progress.  Without writing semantics the message
+  // must be the very next write of u; with it, the gap may lie inside the
+  // superseded run.  Clamp the sender-declared run defensively.
+  const std::uint64_t run = ws_ ? std::min<std::uint64_t>(m.run, m.write_seq - 1) : 0;
+  if (applied_[u] + 1 + run < m.write_seq) return false;
+  if (is_stale(m)) return false;
+
+  // Second conjunct: every foreign causal dependency already applied.
+  for (ProcessId t = 0; t < n_procs_; ++t) {
+    if (t == u) continue;
+    if (m.clock[t] > applied_[t]) return false;
+  }
+  return true;
+}
+
+void BufferingProtocol::on_message(ProcessId from,
+                                   std::span<const std::uint8_t> bytes) {
+  auto decoded = decode_message(bytes);
+  DSM_REQUIRE(decoded.has_value());
+  auto* update = std::get_if<WriteUpdate>(&*decoded);
+  DSM_REQUIRE(update != nullptr);
+  DSM_REQUIRE(update->sender == from);
+
+  ++stats_.messages_received;
+  observer_->on_receipt(self_, *update);
+
+  if (is_stale(*update)) {
+    // Already superseded by a writing-semantics jump; the skip itself was
+    // reported when the jump happened.
+    ++stats_.stale_discards;
+    return;
+  }
+  if (can_apply(*update)) {
+    apply_update(*update, /*delayed=*/false);
+  } else {
+    // Write delay (Definition 3): an enabling event of apply(w) has not yet
+    // occurred at this process, so the message is buffered.
+    ++stats_.delayed_writes;
+    pending_.push_back(std::move(*update));
+    track_peak();
+  }
+}
+
+void BufferingProtocol::apply_update(const WriteUpdate& m, bool delayed) {
+  const ProcessId u = m.sender;
+
+  // Writing semantics: everything in (Apply[u], write_seq) is superseded by
+  // this message — logically applied immediately before it.
+  for (SeqNo k = applied_[u] + 1; k < m.write_seq; ++k) {
+    ++stats_.skipped_writes;
+    observer_->on_skip(self_, WriteId{u, k}, WriteId{u, m.write_seq});
+  }
+
+  applied_[u] = m.write_seq;
+  // Partial replication: metadata-only copies advance the counters (the
+  // Fig. 5 wait condition needs them) but install no value.  Convergent
+  // mode additionally suppresses values outranked by the current holder.
+  bool installed = false;
+  if (!m.meta_only && wins_arbitration(m.var, m.clock, u)) {
+    store(m.var, m.value, WriteId{u, m.write_seq});
+    record_winner(m.var, m.clock, u);
+    installed = true;
+  }
+  post_apply(m, installed);
+  ++stats_.remote_applies;
+  observer_->on_apply(self_, WriteId{u, m.write_seq}, delayed);
+
+  drain();
+}
+
+void BufferingProtocol::drain() {
+  // Fixpoint pass over the buffer: each apply can enable further applies
+  // (and, with writing semantics, render buffered messages stale).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    purge_stale();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (can_apply(pending_[i])) {
+        const WriteUpdate m = std::move(pending_[i]);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        // Note: apply_update recurses into drain(); the recursion terminates
+        // because every apply strictly increases sum(applied_).  Return
+        // afterwards — the nested drain already reached the fixpoint.
+        apply_update(m, /*delayed=*/true);
+        return;
+      }
+    }
+  }
+}
+
+void BufferingProtocol::purge_stale() {
+  std::erase_if(pending_, [this](const WriteUpdate& m) {
+    if (is_stale(m)) {
+      ++stats_.stale_discards;
+      return true;
+    }
+    return false;
+  });
+}
+
+void BufferingProtocol::track_peak() {
+  stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending,
+                                                pending_.size());
+}
+
+bool BufferingProtocol::apply_own_write(VarId x, Value v, SeqNo seq,
+                                        const VectorClock& clock) {
+  DSM_REQUIRE(seq == applied_[self_] + 1);
+  applied_[self_] = seq;
+  bool installed = false;
+  if (wins_arbitration(x, clock, self_)) {
+    store(x, v, WriteId{self_, seq});
+    record_winner(x, clock, self_);
+    installed = true;
+  }
+  observer_->on_apply(self_, WriteId{self_, seq}, /*delayed=*/false);
+  return installed;
+}
+
+std::uint64_t BufferingProtocol::next_run(VarId x, const VectorClock& clock) {
+  if (!ws_) return 0;
+  std::uint64_t run = 0;
+  if (have_prev_write_ && prev_var_ == x) {
+    bool foreign_equal = true;
+    for (ProcessId t = 0; t < n_procs_; ++t) {
+      if (t == self_) continue;
+      if (clock[t] != prev_clock_[t]) {
+        foreign_equal = false;
+        break;
+      }
+    }
+    // No foreign dependency entered between the previous write and this one,
+    // and both hit the same variable: the previous write is superseded.
+    if (foreign_equal) run = prev_run_ + 1;
+  }
+  have_prev_write_ = true;
+  prev_var_ = x;
+  prev_clock_ = clock;
+  prev_run_ = run;
+  return run;
+}
+
+}  // namespace dsm

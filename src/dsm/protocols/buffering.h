@@ -1,0 +1,114 @@
+// optcm — shared receive-side machinery for vector-condition protocols.
+//
+// OptP and ANBKH differ in *which* vector they piggyback and *when* they
+// merge it (on reads vs. on applies) — the receive side is structurally
+// identical: check an enabling condition against per-sender apply counters,
+// apply immediately or buffer, and drain the buffer to a fixpoint after every
+// apply (the paper's "synchronization thread", Fig. 5).  BufferingProtocol
+// factors that machinery, including the optional writing-semantics extension
+// (paper Section 3.6 / footnote 8):
+//
+//   * without writing semantics, a message from p_u carrying write_seq = s
+//     applies when Apply[u] == s−1 and ∀t≠u : clock[t] ≤ Apply[t]
+//     (exactly Fig. 5 line 2);
+//   * with writing semantics, the sender marks each message with the length
+//     `run` of the immediately preceding same-variable, same-foreign-clock
+//     write run it supersedes, and the receiver relaxes the first conjunct to
+//     Apply[u] ≥ s−1−run — superseded writes are "logically applied
+//     immediately before" (skipped), which is sound because the run
+//     construction guarantees no write on another variable lies ↦co-between
+//     a skipped write and this one.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsm/protocols/protocol.h"
+#include "dsm/vc/vector_clock.h"
+
+namespace dsm {
+
+// In plain causal memory, concurrent writes to the same variable are
+// installed in arrival order, so replicas may disagree forever (the model
+// allows it).  With `convergent = true` the protocol adds last-writer-wins
+// arbitration under a deterministic total order that extends ↦co —
+// (sum(clock), writer): the clock-sum strictly grows along ↦co (Theorem 1),
+// ties between concurrent writes break by writer id — so every replica ends
+// at the same value per variable (the "causal+" strengthening popularized by
+// COPS).  A write that loses arbitration still APPLIES (counters advance;
+// safety/optimality untouched); only the value installation is suppressed.
+class BufferingProtocol : public CausalProtocol {
+ public:
+  BufferingProtocol(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+                    Endpoint& endpoint, ProtocolObserver& observer,
+                    bool writing_semantics, bool convergent = false);
+
+  void on_message(ProcessId from, std::span<const std::uint8_t> bytes) final;
+
+  [[nodiscard]] std::size_t pending_count() const final { return pending_.size(); }
+
+  /// Apply counters: applied_[j] = number of p_j's writes applied here
+  /// (the paper's Apply[1..n]; for j == self it equals writes issued).
+  [[nodiscard]] const VectorClock& applied() const noexcept { return applied_; }
+
+  [[nodiscard]] bool writing_semantics() const noexcept { return ws_; }
+
+ protected:
+  /// Fig. 5 line 2 (with the optional writing-semantics relaxation).
+  [[nodiscard]] bool can_apply(const WriteUpdate& m) const;
+
+  /// True iff the message's write was already superseded by a jump.
+  [[nodiscard]] bool is_stale(const WriteUpdate& m) const;
+
+  /// Perform the apply event: account skips, bump Apply[u], install the
+  /// value, call post_apply(), notify the observer, then drain the buffer.
+  void apply_update(const WriteUpdate& m, bool delayed);
+
+  /// Protocol-specific apply side effect (OptP: LastWriteOn[h] := m.clock;
+  /// ANBKH: nothing beyond the counter merge already performed).  `installed`
+  /// is false when convergent arbitration suppressed the value — the clock
+  /// bookkeeping for the variable must then stay with the winner.
+  virtual void post_apply(const WriteUpdate& m, bool installed) = 0;
+
+  /// Record the local apply of one of our own writes (write() helpers).
+  /// Returns false when convergent arbitration suppressed the installation
+  /// (an already-applied concurrent write outranks it).
+  bool apply_own_write(VarId x, Value v, SeqNo seq, const VectorClock& clock);
+
+  [[nodiscard]] bool convergent() const noexcept { return convergent_; }
+
+  /// Sender-side run tracking for writing semantics: returns the run length
+  /// to stamp on a message about to be sent, given the variable written and
+  /// the foreign components of the clock being piggybacked.
+  [[nodiscard]] std::uint64_t next_run(VarId x, const VectorClock& clock);
+
+  VectorClock applied_;
+
+ private:
+  void drain();
+  void purge_stale();
+  void track_peak();
+
+  /// Arbitration: install iff the incoming write outranks the variable's
+  /// current holder under ((clock-sum, writer) — a total order extending
+  /// ↦co).  Always true outside convergent mode.
+  [[nodiscard]] bool wins_arbitration(VarId x, const VectorClock& clock,
+                                      ProcessId writer);
+  void record_winner(VarId x, const VectorClock& clock, ProcessId writer);
+
+  std::vector<WriteUpdate> pending_;
+  bool ws_;
+  bool convergent_;
+  /// Per variable: (clock-sum, writer) of the installed value's write.
+  std::vector<std::pair<std::uint64_t, ProcessId>> lww_key_;
+
+  // Writing-semantics sender state: the variable and foreign clock snapshot
+  // of our previous outgoing write, plus the run length it carried.
+  bool have_prev_write_ = false;
+  VarId prev_var_ = 0;
+  VectorClock prev_clock_;
+  std::uint64_t prev_run_ = 0;
+};
+
+}  // namespace dsm

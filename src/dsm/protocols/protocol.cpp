@@ -1,0 +1,31 @@
+#include "dsm/protocols/protocol.h"
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+CausalProtocol::CausalProtocol(ProcessId self, std::size_t n_procs,
+                               std::size_t n_vars, Endpoint& endpoint,
+                               ProtocolObserver& observer)
+    : self_(self),
+      n_procs_(n_procs),
+      n_vars_(n_vars),
+      endpoint_(&endpoint),
+      observer_(&observer),
+      copies_(n_vars) {
+  DSM_REQUIRE(n_procs >= 1);
+  DSM_REQUIRE(n_vars >= 1);
+  DSM_REQUIRE(self < n_procs);
+}
+
+ReadResult CausalProtocol::peek(VarId x) const {
+  DSM_REQUIRE(x < n_vars_);
+  return copies_[x];
+}
+
+void CausalProtocol::store(VarId x, Value value, WriteId writer) {
+  DSM_REQUIRE(x < n_vars_);
+  copies_[x] = ReadResult{value, writer};
+}
+
+}  // namespace dsm

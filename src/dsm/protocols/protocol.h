@@ -1,0 +1,157 @@
+// optcm — the protocol class 𝒫 (paper Section 3.2) as a C++ interface.
+//
+// Every protocol P ∈ 𝒫 produces, for each write w_i(x_h)v, a send event at
+// the issuer and receipt/apply events at every process; for each read, a
+// return event.  This header fixes that event vocabulary:
+//
+//   * CausalProtocol  — the per-process protocol state machine.  Transport-
+//     agnostic: it talks to the world through an Endpoint (broadcast bytes)
+//     and reports its events to a ProtocolObserver.  The same protocol code
+//     runs inside the deterministic simulator and on real threads.
+//   * ProtocolObserver — receives send/receipt/apply/return/skip events in
+//     the exact order the protocol produces them.  The run recorder, the
+//     optimality auditor and the figure renderers are all observers.
+//   * ProtocolStats — per-process operational counters, including the
+//     paper's central quantity: the number of write messages that suffered a
+//     write delay (Definition 3: buffered at receipt because some enabling
+//     event had not yet occurred).
+//
+// Concurrency contract: a CausalProtocol instance is confined to one logical
+// thread of control.  The simulator guarantees this by construction; the
+// threaded runtime serializes calls with a per-node mutex.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsm/codec/message.h"
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+/// Transport abstraction: how a protocol instance reaches its peers.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Deliver `bytes` to every process except the caller's own (paper Fig. 4
+  /// line 2: send m to Π − p_i).  Reliable, exactly-once, unordered.
+  virtual void broadcast(std::vector<std::uint8_t> bytes) = 0;
+
+  /// Deliver `bytes` to one specific peer (used by the token protocol).
+  virtual void send(ProcessId to, std::vector<std::uint8_t> bytes) = 0;
+};
+
+/// Result of a read operation: the value and the identity of the write that
+/// produced it (kNoWrite when the location still holds ⊥).  The writer tag is
+/// what lets the recorder reconstruct ↦ro without guessing from values.
+struct ReadResult {
+  Value value = kBottom;
+  WriteId writer;
+};
+
+/// Protocol event listener.  Default implementations are no-ops so observers
+/// override only what they need.
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// The issuer is about to propagate write `w` (paper: send event).
+  virtual void on_send(ProcessId /*at*/, const WriteUpdate& /*m*/) {}
+  /// A write message arrived at a process (paper: receipt event).
+  virtual void on_receipt(ProcessId /*at*/, const WriteUpdate& /*m*/) {}
+  /// Write `w` was applied to the local copy.  `delayed` is true iff the
+  /// message was buffered at receipt (Definition 3).
+  virtual void on_apply(ProcessId /*at*/, WriteId /*w*/, bool /*delayed*/) {}
+  /// A read returned (paper: return event).
+  virtual void on_return(ProcessId /*at*/, VarId /*x*/, Value /*v*/,
+                         WriteId /*from*/) {}
+  /// Writing semantics: write `w` was skipped at this process because `by`
+  /// supersedes it (w is "logically applied immediately before" by).
+  virtual void on_skip(ProcessId /*at*/, WriteId /*w*/, WriteId /*by*/) {}
+};
+
+/// Per-process operational counters.
+struct ProtocolStats {
+  std::uint64_t writes_issued = 0;
+  std::uint64_t reads_issued = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t remote_applies = 0;
+  /// Messages buffered at receipt because the enabling condition failed —
+  /// the paper's write-delay count (Definition 3).
+  std::uint64_t delayed_writes = 0;
+  /// Writing semantics only: writes never applied here because a superseding
+  /// write was applied instead.
+  std::uint64_t skipped_writes = 0;
+  /// Writing semantics only: messages discarded on arrival (already
+  /// superseded).
+  std::uint64_t stale_discards = 0;
+  /// High-water mark of the pending (buffered) message set.
+  std::uint64_t peak_pending = 0;
+};
+
+/// Base class for every protocol in the library.  Owns the replicated store
+/// (one copy of all m variables, paper Section 3.1) and the stats block.
+class CausalProtocol {
+ public:
+  CausalProtocol(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+                 Endpoint& endpoint, ProtocolObserver& observer);
+  virtual ~CausalProtocol() = default;
+
+  CausalProtocol(const CausalProtocol&) = delete;
+  CausalProtocol& operator=(const CausalProtocol&) = delete;
+
+  /// Hook called once by the harness after every process is wired to the
+  /// transport and before any operation runs (the token protocol seeds its
+  /// token here).  Default: nothing.
+  virtual void start() {}
+
+  /// Execute w_self(x)v: propagate and apply locally.
+  virtual void write(VarId x, Value v) = 0;
+
+  /// Execute r_self(x): wait-free local read.
+  virtual ReadResult read(VarId x) = 0;
+
+  /// A message (as bytes) arrived from `from`.  May trigger zero or more
+  /// applies, including of previously buffered messages.
+  virtual void on_message(ProcessId from, std::span<const std::uint8_t> bytes) = 0;
+
+  /// Number of currently buffered (received but not applied) updates.
+  [[nodiscard]] virtual std::size_t pending_count() const = 0;
+
+  /// True when the instance has no buffered work and nothing left to
+  /// propagate (the token protocol also requires an empty outgoing batch).
+  /// The harness uses this to decide when a run has settled.
+  [[nodiscard]] virtual bool quiescent() const { return pending_count() == 0; }
+
+  /// Stable identifier used by benches/tables ("optp", "anbkh", …).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+  [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }
+  [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
+  [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
+
+  /// Current local copy of variable x (tagged with its writer).
+  [[nodiscard]] ReadResult peek(VarId x) const;
+
+ protected:
+  /// Install `value` into the local copy of `x` (the apply event's effect).
+  void store(VarId x, Value value, WriteId writer);
+
+  ProcessId self_;
+  std::size_t n_procs_;
+  std::size_t n_vars_;
+  Endpoint* endpoint_;
+  ProtocolObserver* observer_;
+  ProtocolStats stats_;
+
+ private:
+  std::vector<ReadResult> copies_;  // x_1^i … x_m^i, initially ⊥
+};
+
+}  // namespace dsm

@@ -1,0 +1,93 @@
+#include "dsm/protocols/registry.h"
+
+#include "dsm/protocols/anbkh.h"
+#include "dsm/protocols/optp.h"
+#include "dsm/protocols/partial.h"
+#include "dsm/protocols/token.h"
+
+namespace dsm {
+
+const char* to_string(ProtocolKind k) noexcept {
+  switch (k) {
+    case ProtocolKind::kOptP: return "optp";
+    case ProtocolKind::kOptPWs: return "optp-ws";
+    case ProtocolKind::kAnbkh: return "anbkh";
+    case ProtocolKind::kAnbkhWs: return "anbkh-ws";
+    case ProtocolKind::kTokenWs: return "token-ws";
+    case ProtocolKind::kOptPPartial: return "optp-partial";
+    case ProtocolKind::kOptPConv: return "optp-conv";
+  }
+  return "?";
+}
+
+std::optional<ProtocolKind> parse_protocol(std::string_view name) {
+  for (const auto kind : all_protocol_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  if (name == to_string(ProtocolKind::kOptPPartial)) {
+    return ProtocolKind::kOptPPartial;
+  }
+  if (name == to_string(ProtocolKind::kOptPConv)) {
+    return ProtocolKind::kOptPConv;
+  }
+  return std::nullopt;
+}
+
+const std::vector<ProtocolKind>& all_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kOptP, ProtocolKind::kAnbkh, ProtocolKind::kOptPWs,
+      ProtocolKind::kAnbkhWs, ProtocolKind::kTokenWs};
+  return kinds;
+}
+
+const std::vector<ProtocolKind>& class_p_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {ProtocolKind::kOptP,
+                                                  ProtocolKind::kAnbkh};
+  return kinds;
+}
+
+std::unique_ptr<CausalProtocol> make_protocol(ProtocolKind kind, ProcessId self,
+                                              std::size_t n_procs,
+                                              std::size_t n_vars,
+                                              Endpoint& endpoint,
+                                              ProtocolObserver& observer,
+                                              const ProtocolConfig& config) {
+  switch (kind) {
+    case ProtocolKind::kOptP:
+      return std::make_unique<OptP>(self, n_procs, n_vars, endpoint, observer,
+                                    /*writing_semantics=*/false,
+                                    config.write_blob_size);
+    case ProtocolKind::kOptPWs:
+      return std::make_unique<OptP>(self, n_procs, n_vars, endpoint, observer,
+                                    /*writing_semantics=*/true,
+                                    config.write_blob_size);
+    case ProtocolKind::kAnbkh:
+      return std::make_unique<Anbkh>(self, n_procs, n_vars, endpoint, observer,
+                                     /*writing_semantics=*/false);
+    case ProtocolKind::kAnbkhWs:
+      return std::make_unique<Anbkh>(self, n_procs, n_vars, endpoint, observer,
+                                     /*writing_semantics=*/true);
+    case ProtocolKind::kTokenWs:
+      return std::make_unique<TokenWs>(self, n_procs, n_vars, endpoint,
+                                       observer, config.token_max_rounds);
+    case ProtocolKind::kOptPConv:
+      return std::make_unique<OptP>(self, n_procs, n_vars, endpoint, observer,
+                                    /*writing_semantics=*/false,
+                                    config.write_blob_size,
+                                    /*convergent=*/true);
+    case ProtocolKind::kOptPPartial: {
+      auto map = config.replication;
+      if (map == nullptr) {
+        map = std::make_shared<const ReplicationMap>(
+            ReplicationMap::full(n_procs, n_vars));
+      }
+      return std::make_unique<PartialOptP>(self, n_procs, n_vars, endpoint,
+                                           observer, std::move(map),
+                                           /*writing_semantics=*/false,
+                                           config.write_blob_size);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dsm

@@ -1,0 +1,98 @@
+// optcm — replication maps for partial replication (after Raynal–Singhal
+// [14], the paper's reference for partially replicated causal objects).
+//
+// A ReplicationMap fixes, per variable, the set of processes that hold a
+// copy.  PartialOptP ships full updates (value + payload blob) to replicas
+// and metadata-only updates to everyone else, so the causal bookkeeping —
+// the Apply counters the Fig. 5 wait condition checks — stays global while
+// the data plane is partial.  The map is immutable after construction
+// (membership changes are outside the paper's model).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+class ReplicationMap {
+ public:
+  /// Every process replicates every variable (degenerates to full
+  /// replication; PartialOptP then behaves exactly like OptP).
+  [[nodiscard]] static ReplicationMap full(std::size_t n_procs,
+                                           std::size_t n_vars) {
+    ReplicationMap map(n_procs, n_vars);
+    for (auto& row : map.holds_) row.assign(n_procs, true);
+    return map;
+  }
+
+  /// Variable v lives on `factor` consecutive processes starting at
+  /// v mod n_procs (chained declustering).  factor is clamped to n_procs.
+  [[nodiscard]] static ReplicationMap chained(std::size_t n_procs,
+                                              std::size_t n_vars,
+                                              std::size_t factor) {
+    DSM_REQUIRE(factor >= 1);
+    ReplicationMap map(n_procs, n_vars);
+    const std::size_t k = std::min(factor, n_procs);
+    for (VarId v = 0; v < n_vars; ++v) {
+      for (std::size_t i = 0; i < k; ++i) {
+        map.holds_[v][(v + i) % n_procs] = true;
+      }
+    }
+    return map;
+  }
+
+  [[nodiscard]] bool is_replica(VarId var, ProcessId proc) const {
+    DSM_REQUIRE(var < holds_.size());
+    DSM_REQUIRE(proc < n_procs_);
+    return holds_[var][proc];
+  }
+
+  [[nodiscard]] std::vector<ProcessId> replicas(VarId var) const {
+    DSM_REQUIRE(var < holds_.size());
+    std::vector<ProcessId> out;
+    for (ProcessId p = 0; p < n_procs_; ++p) {
+      if (holds_[var][p]) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// A variable this process replicates (its "home" shard); used by
+  /// replication-aware workload generation.
+  [[nodiscard]] std::vector<VarId> vars_of(ProcessId proc) const {
+    std::vector<VarId> out;
+    for (VarId v = 0; v < holds_.size(); ++v) {
+      if (holds_[v][proc]) out.push_back(v);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }
+  [[nodiscard]] std::size_t n_vars() const noexcept { return holds_.size(); }
+
+  /// Average copies per variable — the storage factor.
+  [[nodiscard]] double mean_factor() const {
+    std::size_t total = 0;
+    for (const auto& row : holds_) {
+      for (const bool b : row) total += b;
+    }
+    return holds_.empty()
+               ? 0.0
+               : static_cast<double>(total) / static_cast<double>(holds_.size());
+  }
+
+ private:
+  ReplicationMap(std::size_t n_procs, std::size_t n_vars)
+      : n_procs_(n_procs), holds_(n_vars, std::vector<bool>(n_procs, false)) {
+    DSM_REQUIRE(n_procs >= 1);
+    DSM_REQUIRE(n_vars >= 1);
+  }
+
+  std::size_t n_procs_;
+  std::vector<std::vector<bool>> holds_;  // [var][proc]
+};
+
+}  // namespace dsm

@@ -1,0 +1,139 @@
+#include "dsm/protocols/run_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+const char* to_string(EvKind k) noexcept {
+  switch (k) {
+    case EvKind::kSend: return "send";
+    case EvKind::kReceipt: return "receipt";
+    case EvKind::kApply: return "apply";
+    case EvKind::kReturn: return "return";
+    case EvKind::kSkip: return "skip";
+  }
+  return "?";
+}
+
+std::string event_to_string(const RunEvent& e) {
+  char buf[128];
+  switch (e.kind) {
+    case EvKind::kReturn:
+      std::snprintf(buf, sizeof buf, "return_%u(x%u,%" PRId64 ")", e.at + 1,
+                    e.var + 1, e.value);
+      return buf;
+    case EvKind::kSkip:
+      std::snprintf(buf, sizeof buf, "skip_%u(%s by %s)", e.at + 1,
+                    to_string(e.write).c_str(), to_string(e.other).c_str());
+      return buf;
+    default:
+      std::snprintf(buf, sizeof buf, "%s_%u(%s)", to_string(e.kind), e.at + 1,
+                    to_string(e.write).c_str());
+      return buf;
+  }
+}
+
+RunRecorder::RunRecorder(std::size_t n_procs, std::size_t n_vars, ClockFn clock)
+    : history_(n_procs, n_vars), clock_(std::move(clock)) {}
+
+void RunRecorder::push(RunEvent e) {
+  e.order = next_order_++;
+  e.time = clock_ ? clock_() : 0;
+  events_.push_back(e);
+}
+
+WriteId RunRecorder::record_write(ProcessId p, VarId x, Value v) {
+  const std::scoped_lock lock(mu_);
+  return history_.add_write(p, x, v);
+}
+
+void RunRecorder::record_read(ProcessId p, VarId x, const ReadResult& r) {
+  const std::scoped_lock lock(mu_);
+  history_.add_read(p, x, r.value, r.writer);
+}
+
+void RunRecorder::on_send(ProcessId at, const WriteUpdate& m) {
+  const std::scoped_lock lock(mu_);
+  RunEvent e;
+  e.at = at;
+  e.kind = EvKind::kSend;
+  e.write = WriteId{m.sender, m.write_seq};
+  e.var = m.var;
+  e.value = m.value;
+  e.clock = m.clock;
+  push(e);
+}
+
+void RunRecorder::on_receipt(ProcessId at, const WriteUpdate& m) {
+  const std::scoped_lock lock(mu_);
+  RunEvent e;
+  e.at = at;
+  e.kind = EvKind::kReceipt;
+  e.write = WriteId{m.sender, m.write_seq};
+  e.var = m.var;
+  e.value = m.value;
+  e.clock = m.clock;
+  push(e);
+}
+
+void RunRecorder::on_apply(ProcessId at, WriteId w, bool delayed) {
+  const std::scoped_lock lock(mu_);
+  RunEvent e;
+  e.at = at;
+  e.kind = EvKind::kApply;
+  e.write = w;
+  e.delayed = delayed;
+  push(e);
+}
+
+void RunRecorder::on_return(ProcessId at, VarId x, Value v, WriteId from) {
+  const std::scoped_lock lock(mu_);
+  RunEvent e;
+  e.at = at;
+  e.kind = EvKind::kReturn;
+  e.var = x;
+  e.value = v;
+  e.write = from;
+  push(e);
+}
+
+void RunRecorder::on_skip(ProcessId at, WriteId w, WriteId by) {
+  const std::scoped_lock lock(mu_);
+  RunEvent e;
+  e.at = at;
+  e.kind = EvKind::kSkip;
+  e.write = w;
+  e.other = by;
+  push(e);
+}
+
+std::vector<RunEvent> RunRecorder::events_at(ProcessId p) const {
+  const std::scoped_lock lock(mu_);
+  std::vector<RunEvent> out;
+  for (const auto& e : events_) {
+    if (e.at == p) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<RunEvent> RunRecorder::find(EvKind kind, ProcessId at,
+                                          WriteId w) const {
+  const std::scoped_lock lock(mu_);
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.at == at && e.write == w) return e;
+  }
+  return std::nullopt;
+}
+
+std::string RunRecorder::sequence_str(ProcessId p) const {
+  const auto evs = events_at(p);
+  std::vector<std::string> parts;
+  parts.reserve(evs.size());
+  for (const auto& e : evs) parts.push_back(event_to_string(e));
+  return join(parts, " <_" + std::to_string(p + 1) + " ");
+}
+
+}  // namespace dsm

@@ -1,0 +1,100 @@
+// optcm — run recording: the bridge from protocol executions to the paper's
+// analysis machinery.
+//
+// A RunRecorder is a ProtocolObserver that logs every send / receipt / apply /
+// return / skip event with a global sequence number and a caller-supplied
+// timestamp, and simultaneously builds the GlobalHistory of the run (writes
+// in program order, reads with their ↦ro writer).  The optimality auditor
+// consumes exactly this pair (events, history) to evaluate Definitions 3–5,
+// and the figure renderers pretty-print the event log in the paper's
+// "receipt_3(w_2(x_2)b) <_3 …" style.
+//
+// Thread-safe: the threaded runtime appends from n node threads; a mutex
+// serializes appends (the simulator pays the uncontended-lock cost, which is
+// noise at simulation scale).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/history/history.h"
+#include "dsm/protocols/protocol.h"
+
+namespace dsm {
+
+enum class EvKind : std::uint8_t { kSend, kReceipt, kApply, kReturn, kSkip };
+
+[[nodiscard]] const char* to_string(EvKind k) noexcept;
+
+struct RunEvent {
+  std::uint64_t order = 0;  ///< global sequence number (total order of observation)
+  std::uint64_t time = 0;   ///< caller clock (sim µs or steady-clock ns)
+  ProcessId at = 0;         ///< process where the event occurred
+  EvKind kind = EvKind::kSend;
+  WriteId write;            ///< subject write (send/receipt/apply/skip)
+  WriteId other;            ///< skip: the superseding write
+  VarId var = 0;            ///< return events
+  Value value = kBottom;    ///< return events
+  bool delayed = false;     ///< apply events: buffered at receipt (Def. 3)
+  /// send/receipt events: the piggybacked vector (Write_co for OptP, the FM
+  /// clock for ANBKH).  The auditor derives protocol enabling sets from it.
+  VectorClock clock;
+};
+
+/// "apply_3(w1^2)" — paper-style event label.
+[[nodiscard]] std::string event_to_string(const RunEvent& e);
+
+class RunRecorder final : public ProtocolObserver {
+ public:
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// `clock` supplies event timestamps; defaults to a constant 0 (pure
+  /// logical order).
+  RunRecorder(std::size_t n_procs, std::size_t n_vars, ClockFn clock = {});
+
+  // -- history building (called by the workload driver) --------------------
+  /// Record that process p is about to issue its next write of v to x.
+  WriteId record_write(ProcessId p, VarId x, Value v);
+  /// Record a completed read.
+  void record_read(ProcessId p, VarId x, const ReadResult& r);
+
+  // -- ProtocolObserver ----------------------------------------------------
+  void on_send(ProcessId at, const WriteUpdate& m) override;
+  void on_receipt(ProcessId at, const WriteUpdate& m) override;
+  void on_apply(ProcessId at, WriteId w, bool delayed) override;
+  void on_return(ProcessId at, VarId x, Value v, WriteId from) override;
+  void on_skip(ProcessId at, WriteId w, WriteId by) override;
+
+  // -- results ---------------------------------------------------------------
+  [[nodiscard]] const GlobalHistory& history() const noexcept { return history_; }
+  [[nodiscard]] const std::vector<RunEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Events that occurred at process p, in their global observation order.
+  [[nodiscard]] std::vector<RunEvent> events_at(ProcessId p) const;
+
+  /// The first event of the given kind for (write, process), if any.
+  [[nodiscard]] std::optional<RunEvent> find(EvKind kind, ProcessId at,
+                                             WriteId w) const;
+
+  /// Paper-style one-line sequence for process p:
+  /// "receipt_3(w2^1) <_3 apply_3(w2^1) <_3 …".
+  [[nodiscard]] std::string sequence_str(ProcessId p) const;
+
+ private:
+  void push(RunEvent e);
+
+  mutable std::mutex mu_;
+  GlobalHistory history_;
+  std::vector<RunEvent> events_;
+  ClockFn clock_;
+  std::uint64_t next_order_ = 0;
+};
+
+}  // namespace dsm

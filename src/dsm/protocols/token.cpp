@@ -1,0 +1,179 @@
+#include "dsm/protocols/token.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+TokenWs::TokenWs(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+                 Endpoint& endpoint, ProtocolObserver& observer,
+                 std::uint64_t max_rounds)
+    : CausalProtocol(self, n_procs, n_vars, endpoint, observer),
+      max_rounds_(max_rounds),
+      last_seq_from_(n_procs, 0) {}
+
+void TokenWs::start() {
+  if (self_ == 0) {
+    held_round_ = 0;
+    try_emit();
+  }
+}
+
+void TokenWs::write(VarId x, Value v) {
+  DSM_REQUIRE(x < n_vars_);
+  ++stats_.writes_issued;
+  const SeqNo seq = ++writes_total_;
+
+  // Local apply is immediate: a process always observes its own writes.
+  store(x, v, WriteId{self_, seq});
+  observer_->on_apply(self_, WriteId{self_, seq}, /*delayed=*/false);
+
+  // Coalesce into the current batch: only the last write per variable will
+  // be propagated when the token arrives (sender-side writing semantics).
+  auto [it, inserted] = batch_.try_emplace(x);
+  if (!inserted) {
+    it->second.skipped += 1;
+    ++tstats_.coalesced_writes;
+  }
+  it->second.var = x;
+  it->second.value = v;
+  it->second.write_seq = seq;
+}
+
+ReadResult TokenWs::read(VarId x) {
+  DSM_REQUIRE(x < n_vars_);
+  ++stats_.reads_issued;
+  const ReadResult result = peek(x);
+  observer_->on_return(self_, x, result.value, result.writer);
+  return result;
+}
+
+void TokenWs::on_message(ProcessId from, std::span<const std::uint8_t> bytes) {
+  auto decoded = decode_message(bytes);
+  DSM_REQUIRE(decoded.has_value());
+  ++stats_.messages_received;
+  if (const auto* grant = std::get_if<TokenGrant>(&*decoded)) {
+    DSM_REQUIRE(grant->holder == self_);
+    (void)from;
+    handle_grant(*grant);
+  } else if (const auto* batch = std::get_if<BatchUpdate>(&*decoded)) {
+    DSM_REQUIRE(batch->sender == from);
+    handle_batch(*batch);
+  } else {
+    DSM_REQUIRE(false && "unexpected message type for token-ws");
+  }
+}
+
+void TokenWs::handle_grant(const TokenGrant& g) {
+  DSM_REQUIRE(!held_round_.has_value());
+  DSM_REQUIRE(g.round % n_procs_ == self_);
+  held_round_ = g.round;
+  if (g.round > next_round_) ++tstats_.token_waits;  // lagging batches gate us
+  try_emit();
+}
+
+void TokenWs::try_emit() {
+  // Emit only when every earlier round's batch has been applied here: then
+  // everything we read (and thus everything our batch causally depends on)
+  // is ordered before our batch at every process.
+  if (!held_round_ || next_round_ != *held_round_) return;
+  const std::uint64_t round = *held_round_;
+  held_round_.reset();
+
+  BatchUpdate b;
+  b.sender = self_;
+  b.round = round;
+  b.entries.reserve(batch_.size());
+  for (auto& [var, entry] : batch_) b.entries.push_back(entry);
+  batch_.clear();
+
+  ++tstats_.rounds_held;
+  if (b.entries.empty()) ++tstats_.empty_batches;
+
+  endpoint_->broadcast(encode_message(Message{b}));
+
+  // Our own batch counts as applied (values were installed at write time).
+  last_seq_from_[self_] = writes_total_;
+  next_round_ = round + 1;
+
+  // Pass the token unless the circulation cap was reached.
+  if (round + 1 < max_rounds_) {
+    const auto next_holder = static_cast<ProcessId>((round + 1) % n_procs_);
+    TokenGrant grant{round + 1, next_holder};
+    if (next_holder == self_) {
+      handle_grant(grant);  // n == 1 degenerate case
+    } else {
+      endpoint_->send(next_holder, encode_message(Message{grant}));
+    }
+  }
+  drain_batches();
+}
+
+void TokenWs::handle_batch(const BatchUpdate& b) {
+  if (b.round == next_round_) {
+    apply_batch(b, /*delayed=*/false);
+    drain_batches();
+  } else {
+    DSM_REQUIRE(b.round > next_round_);  // rounds never repeat
+    ++stats_.delayed_writes;             // unit: delayed *batches* (see bench docs)
+    buffered_.push_back(b);
+    stats_.peak_pending =
+        std::max<std::uint64_t>(stats_.peak_pending, buffered_.size());
+  }
+}
+
+void TokenWs::apply_batch(const BatchUpdate& b, bool delayed) {
+  DSM_REQUIRE(b.round == next_round_);
+
+  // Entries in sender program order so surviving writes apply in ↦po order.
+  std::vector<BatchEntry> entries = b.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const BatchEntry& x, const BatchEntry& y) {
+              return x.write_seq < y.write_seq;
+            });
+
+  SeqNo max_seq = last_seq_from_[b.sender];
+  for (const auto& e : entries) max_seq = std::max(max_seq, e.write_seq);
+
+  // Walk the sender's sequence range in order, emitting a skip (superseded,
+  // never applied here) or an apply per write — strictly in ↦po order, so
+  // the observed event order extends ↦co.
+  std::size_t next_entry = 0;
+  for (SeqNo k = last_seq_from_[b.sender] + 1; k <= max_seq; ++k) {
+    if (next_entry < entries.size() && entries[next_entry].write_seq == k) {
+      const BatchEntry& e = entries[next_entry++];
+      store(e.var, e.value, WriteId{b.sender, k});
+      ++stats_.remote_applies;
+      observer_->on_apply(self_, WriteId{b.sender, k}, delayed);
+    } else {
+      ++stats_.skipped_writes;
+      observer_->on_skip(self_, WriteId{b.sender, k}, WriteId{b.sender, max_seq});
+    }
+  }
+
+  last_seq_from_[b.sender] = max_seq;
+  next_round_ = b.round + 1;
+}
+
+void TokenWs::drain_batches() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < buffered_.size(); ++i) {
+      if (buffered_[i].round == next_round_) {
+        const BatchUpdate b = std::move(buffered_[i]);
+        buffered_.erase(buffered_.begin() + static_cast<std::ptrdiff_t>(i));
+        apply_batch(b, /*delayed=*/true);
+        progress = true;
+        break;
+      }
+    }
+    // A freshly unblocked round may let a deferred token grant emit.
+    try_emit();
+  }
+}
+
+std::size_t TokenWs::pending_count() const { return buffered_.size(); }
+
+}  // namespace dsm

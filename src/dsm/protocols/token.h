@@ -1,0 +1,96 @@
+// optcm — sender-side writing semantics with a circulating token, after
+// Jiménez–Fernández–Cholvi [7] (paper Section 3.6).
+//
+// The paper's description of [7]: a process p_i applies remote state only in
+// token order and "sends its set of updates only when t_i = i.  When a
+// process performs several write operations on the same variable x and then
+// t_i = i, it only sends the update message corresponding to the last write
+// operation on x" — other processes never see the overwritten values.
+//
+// Concretely here (the brief announcement leaves details open; see DESIGN.md
+// §5 for the substitution note):
+//   * A token circulates p_0 → p_1 → … → p_{n−1} → p_0; possession of round
+//     r belongs to process (r mod n).
+//   * Writes apply locally at once (a process always sees its own writes) and
+//     are coalesced per variable into the current batch.
+//   * On receiving the token for round r, the holder waits until it has
+//     applied every batch of rounds < r, then broadcasts its batch (possibly
+//     empty — receivers need round continuity), counts it as applied, and
+//     passes the token.
+//   * Receivers apply batches strictly in round order; an out-of-order batch
+//     is buffered (that is this protocol's write delay).
+//
+// The round order is a total order consistent with ↦co (a write's causal
+// past lies in rounds ≤ its own batch round, and anything foreign it read
+// came from a strictly earlier round), so histories are causally consistent —
+// in fact sequentially consistent, which is why [7] can also serve stronger
+// models.  The price: writes wait for the token (publication latency grows
+// linearly in n) and overwritten values are never propagated, so the
+// protocol is outside class 𝒫.
+//
+// `max_rounds` bounds circulation so simulations terminate; pick it larger
+// than the workload needs (the harness uses ops × n + slack).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dsm/protocols/protocol.h"
+
+namespace dsm {
+
+class TokenWs final : public CausalProtocol {
+ public:
+  TokenWs(ProcessId self, std::size_t n_procs, std::size_t n_vars,
+          Endpoint& endpoint, ProtocolObserver& observer,
+          std::uint64_t max_rounds);
+
+  /// Process 0 seeds the token.  Called by the harness once all processes
+  /// are wired to the transport.
+  void start() override;
+
+  void write(VarId x, Value v) override;
+  ReadResult read(VarId x) override;
+  void on_message(ProcessId from, std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] std::size_t pending_count() const override;
+  [[nodiscard]] std::string name() const override { return "token-ws"; }
+
+  /// Quiescent additionally requires the outgoing batch to be empty: writes
+  /// still waiting for the token are unpropagated work.
+  [[nodiscard]] bool quiescent() const override {
+    return buffered_.empty() && batch_.empty();
+  }
+
+  /// Rounds whose batches this process has applied (next expected round).
+  [[nodiscard]] std::uint64_t next_round() const noexcept { return next_round_; }
+
+  /// Extra, token-specific counters.
+  struct TokenStats {
+    std::uint64_t rounds_held = 0;       ///< batches we broadcast
+    std::uint64_t empty_batches = 0;     ///< of which empty
+    std::uint64_t coalesced_writes = 0;  ///< own writes superseded pre-send
+    std::uint64_t token_waits = 0;       ///< grants that had to wait for lagging batches
+  };
+  [[nodiscard]] const TokenStats& token_stats() const noexcept { return tstats_; }
+
+ private:
+  void handle_grant(const TokenGrant& g);
+  void handle_batch(const BatchUpdate& b);
+  void apply_batch(const BatchUpdate& b, bool delayed);
+  void try_emit();
+  void drain_batches();
+
+  std::uint64_t max_rounds_;
+  std::uint64_t next_round_ = 0;              ///< next round to apply
+  std::optional<std::uint64_t> held_round_;   ///< grant received, not yet emitted
+  SeqNo writes_total_ = 0;                    ///< own write counter (WriteIds)
+  std::map<VarId, BatchEntry> batch_;         ///< current coalesced batch
+  std::vector<BatchUpdate> buffered_;         ///< out-of-order foreign batches
+  std::vector<SeqNo> last_seq_from_;          ///< per sender: highest seq covered
+  TokenStats tstats_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,61 @@
+#include "dsm/runtime/causal_memory.h"
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+CausalMemory::CausalMemory(const Options& options)
+    : capacity_(options.capacity) {
+  DSM_REQUIRE(options.replicas >= 1);
+  DSM_REQUIRE(options.capacity >= 1);
+  ThreadCluster::Config config;
+  config.kind = options.protocol;
+  config.n_procs = options.replicas;
+  config.n_vars = options.capacity;
+  config.protocol_config = options.protocol_config;
+  config.max_jitter_us = options.max_jitter_us;
+  config.seed = options.seed;
+  cluster_ = std::make_unique<ThreadCluster>(config);
+}
+
+CausalMemory::Session CausalMemory::session(ProcessId replica) {
+  DSM_REQUIRE(replica < cluster_->n_procs());
+  return Session(*this, replica);
+}
+
+bool CausalMemory::sync(std::chrono::milliseconds timeout) {
+  return cluster_->await_quiescence(timeout);
+}
+
+std::optional<VarId> CausalMemory::resolve(std::string_view name) {
+  const std::scoped_lock lock(names_mu_);
+  const auto it = names_.find(std::string(name));
+  if (it != names_.end()) return it->second;
+  if (names_.size() >= capacity_) return std::nullopt;
+  const auto id = static_cast<VarId>(names_.size());
+  names_.emplace(std::string(name), id);
+  return id;
+}
+
+std::size_t CausalMemory::names_in_use() const {
+  const std::scoped_lock lock(names_mu_);
+  return names_.size();
+}
+
+void CausalMemory::Session::write(std::string_view name, Value v) {
+  const auto var = owner_->resolve(name);
+  DSM_REQUIRE(var.has_value() && "variable capacity exhausted");
+  owner_->cluster_->write(replica_, *var, v);
+}
+
+Value CausalMemory::Session::read(std::string_view name) {
+  return read_tagged(name).value;
+}
+
+ReadResult CausalMemory::Session::read_tagged(std::string_view name) {
+  const auto var = owner_->resolve(name);
+  DSM_REQUIRE(var.has_value() && "variable capacity exhausted");
+  return owner_->cluster_->read(replica_, *var);
+}
+
+}  // namespace dsm

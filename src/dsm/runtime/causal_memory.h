@@ -1,0 +1,88 @@
+// optcm — CausalMemory: the application-facing facade.
+//
+// This is the API a downstream user adopts: a replicated shared memory with
+// named variables and per-replica sessions, causally consistent under the
+// protocol of their choice (OptP by default — the paper's write-delay-optimal
+// protocol).  It wraps ThreadCluster; the heavy machinery (recorder, auditor,
+// checker) stays available underneath for anyone who wants to verify a run.
+//
+//   CausalMemory mem({.replicas = 3, .capacity = 64});
+//   auto alice = mem.session(0);
+//   auto bob   = mem.session(1);
+//   alice.write("draft", 42);
+//   mem.sync();
+//   bob.read("draft");   // 42, and every causally prior write is visible
+
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "dsm/runtime/thread_cluster.h"
+
+namespace dsm {
+
+class CausalMemory {
+ public:
+  struct Options {
+    std::size_t replicas = 3;
+    /// Maximum number of distinct named variables.
+    std::size_t capacity = 64;
+    ProtocolKind protocol = ProtocolKind::kOptP;
+    /// Artificial delivery jitter (µs) to surface interleavings in demos.
+    std::uint32_t max_jitter_us = 0;
+    std::uint64_t seed = 1;
+    ProtocolConfig protocol_config;
+  };
+
+  explicit CausalMemory(const Options& options);
+
+  /// A handle bound to one replica; cheap to copy.
+  class Session {
+   public:
+    void write(std::string_view name, Value v);
+    [[nodiscard]] Value read(std::string_view name);
+    /// Read with the writer's identity (kNoWrite when unwritten).
+    [[nodiscard]] ReadResult read_tagged(std::string_view name);
+    [[nodiscard]] ProcessId replica() const noexcept { return replica_; }
+
+   private:
+    friend class CausalMemory;
+    Session(CausalMemory& owner, ProcessId replica)
+        : owner_(&owner), replica_(replica) {}
+    CausalMemory* owner_;
+    ProcessId replica_;
+  };
+
+  [[nodiscard]] Session session(ProcessId replica);
+
+  /// Wait until every issued write is visible everywhere (quiescence).
+  /// Returns false on timeout.
+  bool sync(std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Resolve (or allocate) the VarId behind a name; std::nullopt when the
+  /// capacity is exhausted and the name is new.
+  [[nodiscard]] std::optional<VarId> resolve(std::string_view name);
+
+  /// Number of distinct names allocated so far.
+  [[nodiscard]] std::size_t names_in_use() const;
+
+  /// Underlying machinery, for verification-minded users.
+  [[nodiscard]] ThreadCluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] const RunRecorder& recorder() const noexcept {
+    return cluster_->recorder();
+  }
+
+ private:
+  std::unique_ptr<ThreadCluster> cluster_;
+  mutable std::mutex names_mu_;
+  std::unordered_map<std::string, VarId> names_;
+  std::size_t capacity_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,74 @@
+// optcm — bounded-wait MPSC mailbox for the threaded runtime.
+//
+// Producers are peer node threads broadcasting write updates; the single
+// consumer is the owning node's delivery thread.  close() releases a blocked
+// consumer permanently (shutdown path).  The mailbox carries opaque byte
+// payloads — the same encoded messages the simulator transports — so the
+// codec is exercised identically in both deployments.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+struct MailEnvelope {
+  ProcessId from = 0;
+  std::vector<std::uint8_t> bytes;
+  /// Artificial extra delay the consumer honours before processing
+  /// (microseconds); models link latency jitter in the threaded deployment.
+  std::uint32_t delay_us = 0;
+};
+
+class Mailbox {
+ public:
+  /// Enqueue; wakes the consumer.  Returns false after close().
+  bool push(MailEnvelope envelope) {
+    {
+      const std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      queue_.push_back(std::move(envelope));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an envelope is available or the mailbox is closed.
+  /// std::nullopt means closed-and-drained: the consumer should exit.
+  std::optional<MailEnvelope> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    MailEnvelope envelope = std::move(queue_.front());
+    queue_.pop_front();
+    return envelope;
+  }
+
+  void close() {
+    {
+      const std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<MailEnvelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dsm

@@ -1,0 +1,157 @@
+#include "dsm/runtime/thread_cluster.h"
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+void ThreadCluster::ClusterEndpoint::broadcast(std::vector<std::uint8_t> bytes) {
+  for (ProcessId to = 0; to < cluster_->nodes_.size(); ++to) {
+    if (to != self_) cluster_->post(self_, to, bytes);
+  }
+}
+
+void ThreadCluster::ClusterEndpoint::send(ProcessId to,
+                                          std::vector<std::uint8_t> bytes) {
+  cluster_->post(self_, to, std::move(bytes));
+}
+
+ThreadCluster::ThreadCluster(const Config& config)
+    : n_vars_(config.n_vars),
+      max_jitter_us_(config.max_jitter_us),
+      jitter_rng_(config.seed),
+      epoch_(std::chrono::steady_clock::now()) {
+  DSM_REQUIRE(config.n_procs >= 1);
+
+  recorder_ = std::make_unique<RunRecorder>(
+      config.n_procs, config.n_vars, [this] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+      });
+
+  ProtocolObserver* observer = recorder_.get();
+  if (!config.extra_observers.empty()) {
+    std::vector<ProtocolObserver*> targets{recorder_.get()};
+    targets.insert(targets.end(), config.extra_observers.begin(),
+                   config.extra_observers.end());
+    fanout_ = std::make_unique<FanoutObserver>(std::move(targets));
+    observer = fanout_.get();
+  }
+
+  nodes_.reserve(config.n_procs);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    auto node = std::make_unique<Node>();
+    node->endpoint = std::make_unique<ClusterEndpoint>(*this, p);
+    node->protocol =
+        make_protocol(config.kind, p, config.n_procs, config.n_vars,
+                      *node->endpoint, *observer, config.protocol_config);
+    node->mailbox = std::make_unique<Mailbox>();
+    nodes_.push_back(std::move(node));
+  }
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    nodes_[p]->delivery = std::thread([this, p] { deliver_loop(p); });
+  }
+  // start() may send (the token seed), so run it after delivery threads are
+  // accepting messages.
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    const std::scoped_lock lock(nodes_[p]->mu);
+    nodes_[p]->protocol->start();
+  }
+}
+
+ThreadCluster::~ThreadCluster() { shutdown(); }
+
+void ThreadCluster::shutdown() {
+  if (stopped_.exchange(true)) return;
+  for (auto& node : nodes_) node->mailbox->close();
+  for (auto& node : nodes_) {
+    if (node->delivery.joinable()) node->delivery.join();
+  }
+}
+
+void ThreadCluster::post(ProcessId from, ProcessId to,
+                         std::vector<std::uint8_t> bytes) {
+  DSM_REQUIRE(to < nodes_.size());
+  MailEnvelope envelope;
+  envelope.from = from;
+  envelope.bytes = std::move(bytes);
+  if (max_jitter_us_ > 0) {
+    const std::scoped_lock lock(jitter_mu_);
+    envelope.delay_us =
+        static_cast<std::uint32_t>(jitter_rng_.below(max_jitter_us_ + 1));
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!nodes_[to]->mailbox->push(std::move(envelope))) {
+    // Shutdown raced the send; the message is dropped, which is fine because
+    // nothing after shutdown() observes the run.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadCluster::deliver_loop(ProcessId p) {
+  Node& node = *nodes_[p];
+  while (true) {
+    auto envelope = node.mailbox->pop();
+    if (!envelope) return;  // closed and drained
+    if (envelope->delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(envelope->delay_us));
+    }
+    {
+      const std::scoped_lock lock(node.mu);
+      node.protocol->on_message(envelope->from, envelope->bytes);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadCluster::write(ProcessId p, VarId x, Value v) {
+  DSM_REQUIRE(p < nodes_.size());
+  const std::scoped_lock lock(nodes_[p]->mu);
+  recorder_->record_write(p, x, v);
+  nodes_[p]->protocol->write(x, v);
+}
+
+ReadResult ThreadCluster::read(ProcessId p, VarId x) {
+  DSM_REQUIRE(p < nodes_.size());
+  const std::scoped_lock lock(nodes_[p]->mu);
+  const ReadResult r = nodes_[p]->protocol->read(x);
+  recorder_->record_read(p, x, r);
+  return r;
+}
+
+ReadResult ThreadCluster::peek(ProcessId p, VarId x) const {
+  DSM_REQUIRE(p < nodes_.size());
+  const std::scoped_lock lock(nodes_[p]->mu);
+  return nodes_[p]->protocol->peek(x);
+}
+
+ProtocolStats ThreadCluster::stats(ProcessId p) const {
+  DSM_REQUIRE(p < nodes_.size());
+  const std::scoped_lock lock(nodes_[p]->mu);
+  return nodes_[p]->protocol->stats();
+}
+
+bool ThreadCluster::await_quiescence(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      bool quiescent = true;
+      for (const auto& node : nodes_) {
+        const std::scoped_lock lock(node->mu);
+        if (!node->protocol->quiescent()) {
+          quiescent = false;
+          break;
+        }
+      }
+      // Re-check in-flight: a protocol might have sent while we scanned.
+      if (quiescent && in_flight_.load(std::memory_order_acquire) == 0) {
+        return true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return false;
+}
+
+}  // namespace dsm

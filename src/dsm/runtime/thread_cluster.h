@@ -1,0 +1,114 @@
+// optcm — threaded deployment: n protocol instances on real threads.
+//
+// Where the simulator proves *what* the protocols do (deterministically), the
+// threaded cluster proves the same code is correct under real concurrency:
+// every node runs a delivery thread draining its mailbox; client threads call
+// read/write through the cluster; a per-node mutex serializes protocol access
+// (the CausalProtocol concurrency contract).  Messages travel as encoded
+// bytes, with optional seeded per-message delivery jitter so interleavings
+// vary across seeds while staying loosely reproducible.
+//
+// The recorder captures the same event log as in simulation, so the
+// consistency checker and the optimality auditor run unchanged on threaded
+// runs — the integration tests do exactly that.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsm/audit/stability.h"
+#include "dsm/common/rng.h"
+#include "dsm/protocols/registry.h"
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/runtime/mailbox.h"
+
+namespace dsm {
+
+class ThreadCluster {
+ public:
+  struct Config {
+    ProtocolKind kind = ProtocolKind::kOptP;
+    std::size_t n_procs = 3;
+    std::size_t n_vars = 8;
+    ProtocolConfig protocol_config;
+    /// Max artificial per-message delivery delay (µs); 0 disables jitter.
+    std::uint32_t max_jitter_us = 0;
+    std::uint64_t seed = 1;
+    /// Additional observers teed alongside the recorder (e.g. a
+    /// StabilityTracker); must be thread-safe and outlive the cluster.
+    std::vector<ProtocolObserver*> extra_observers;
+  };
+
+  explicit ThreadCluster(const Config& config);
+  ~ThreadCluster();
+
+  ThreadCluster(const ThreadCluster&) = delete;
+  ThreadCluster& operator=(const ThreadCluster&) = delete;
+
+  /// Issue w_p(x)v.  Thread-safe; callers for different p proceed in
+  /// parallel.
+  void write(ProcessId p, VarId x, Value v);
+
+  /// Issue r_p(x).
+  ReadResult read(ProcessId p, VarId x);
+
+  /// Non-recording peek at p's local copy (monitoring only).
+  [[nodiscard]] ReadResult peek(ProcessId p, VarId x) const;
+
+  /// Blocks until no message is in flight and every protocol is quiescent,
+  /// or the timeout elapses.  Returns true on quiescence.
+  bool await_quiescence(std::chrono::milliseconds timeout);
+
+  /// Stops delivery threads (idempotent; also run by the destructor).
+  void shutdown();
+
+  [[nodiscard]] const RunRecorder& recorder() const noexcept { return *recorder_; }
+  [[nodiscard]] ProtocolStats stats(ProcessId p) const;
+  [[nodiscard]] std::size_t n_procs() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
+
+ private:
+  struct Node;
+
+  /// Endpoint implementation pushing encoded bytes into peer mailboxes.
+  class ClusterEndpoint final : public Endpoint {
+   public:
+    ClusterEndpoint(ThreadCluster& cluster, ProcessId self)
+        : cluster_(&cluster), self_(self) {}
+    void broadcast(std::vector<std::uint8_t> bytes) override;
+    void send(ProcessId to, std::vector<std::uint8_t> bytes) override;
+
+   private:
+    ThreadCluster* cluster_;
+    ProcessId self_;
+  };
+
+  struct Node {
+    std::unique_ptr<ClusterEndpoint> endpoint;
+    std::unique_ptr<CausalProtocol> protocol;
+    std::unique_ptr<Mailbox> mailbox;
+    std::thread delivery;
+    mutable std::mutex mu;  ///< serializes all protocol access
+  };
+
+  void deliver_loop(ProcessId p);
+  void post(ProcessId from, ProcessId to, std::vector<std::uint8_t> bytes);
+
+  std::size_t n_vars_;
+  std::uint32_t max_jitter_us_;
+  std::unique_ptr<RunRecorder> recorder_;
+  std::unique_ptr<ProtocolObserver> fanout_;  ///< set iff extra observers given
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<bool> stopped_{false};
+  std::mutex jitter_mu_;
+  Rng jitter_rng_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,41 @@
+#include "dsm/sim/event_queue.h"
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+void EventQueue::schedule_at(SimTime at, Action fn) {
+  DSM_REQUIRE(at >= now_);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimTime delay, Action fn) {
+  DSM_REQUIRE(delay <= kSimTimeMax - now_);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (std::function copy) and pop first.  The
+  // action itself runs after the pop so it may schedule new events freely.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  return fired;
+}
+
+std::size_t EventQueue::run_until(SimTime horizon) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().at <= horizon && step()) ++fired;
+  return fired;
+}
+
+}  // namespace dsm

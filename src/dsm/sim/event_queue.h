@@ -1,0 +1,62 @@
+// optcm — deterministic discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order: ties at the same simulated
+// instant resolve by scheduling order, never by container internals, so a
+// run is a pure function of (workload, latency seed).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "dsm/sim/sim_time.h"
+
+namespace dsm {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, Action fn);
+
+  /// Schedule `fn` after a delay relative to now().
+  void schedule_after(SimTime delay, Action fn);
+
+  /// Current simulated time (the timestamp of the last fired event).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Fire the earliest event.  Returns false if the queue was empty.
+  bool step();
+
+  /// Fire events until the queue drains or `max_events` fired.  Returns the
+  /// number of events fired.
+  std::size_t run(std::size_t max_events = ~std::size_t{0});
+
+  /// Fire events with timestamp <= horizon.  Returns events fired.
+  std::size_t run_until(SimTime horizon);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,52 @@
+// optcm — network fault injection.
+//
+// The paper assumes reliable exactly-once channels (Section 3.1).  The
+// simulator can instead model a faulty datagram network — independent,
+// per-message drops and duplications — over which dsm/sim/reliable.h builds
+// the reliable channel the paper assumes.  Faults are deterministic in the
+// seed and the message's channel coordinates, like everything else here.
+
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/common/rng.h"
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+struct FaultPlan {
+  double drop = 0.0;       ///< probability a message silently vanishes
+  double duplicate = 0.0;  ///< probability a message is delivered twice
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return drop > 0.0 || duplicate > 0.0;
+  }
+
+  /// Deterministic per-message fault draw.
+  struct Draw {
+    bool dropped = false;
+    bool duplicated = false;
+  };
+
+  [[nodiscard]] Draw draw(ProcessId from, ProcessId to,
+                          std::uint64_t pair_index) const {
+    if (!active()) return {};
+    std::uint64_t s = seed ^ 0xFA017;
+    s ^= splitmix64(s) ^ (std::uint64_t{from} << 32 | to);
+    s ^= splitmix64(s) ^ pair_index;
+    Rng rng(splitmix64(s));
+    Draw d;
+    d.dropped = rng.chance(drop);
+    if (!d.dropped) d.duplicated = rng.chance(duplicate);
+    return d;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,131 @@
+#include "dsm/sim/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+namespace {
+
+/// Deterministic per-message stream: one-shot Rng seeded from the message's
+/// channel coordinates.  Stateless across calls, so latency() is const and
+/// thread-safe, and the draw is identical no matter in which order messages
+/// are generated.
+Rng message_rng(std::uint64_t seed, ProcessId from, ProcessId to,
+                std::uint64_t pair_index) {
+  std::uint64_t s = seed;
+  s ^= splitmix64(s) ^ (std::uint64_t{from} << 32 | to);
+  s ^= splitmix64(s) ^ pair_index;
+  splitmix64(s);
+  return Rng{s};
+}
+
+}  // namespace
+
+std::string ConstantLatency::describe() const {
+  return "constant(" + std::to_string(delay_) + "us)";
+}
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi, std::uint64_t seed)
+    : lo_(lo), hi_(hi), seed_(seed) {
+  DSM_REQUIRE(lo <= hi);
+}
+
+SimTime UniformLatency::latency(ProcessId from, ProcessId to,
+                                std::uint64_t pair_index) const {
+  Rng rng = message_rng(seed_, from, to, pair_index);
+  return lo_ + rng.below(hi_ - lo_ + 1);
+}
+
+std::string UniformLatency::describe() const {
+  return "uniform(" + std::to_string(lo_) + ".." + std::to_string(hi_) + "us)";
+}
+
+ExponentialLatency::ExponentialLatency(SimTime base, double mean_extra,
+                                       std::uint64_t seed)
+    : base_(base), mean_extra_(mean_extra), seed_(seed) {
+  DSM_REQUIRE(mean_extra > 0.0);
+}
+
+SimTime ExponentialLatency::latency(ProcessId from, ProcessId to,
+                                    std::uint64_t pair_index) const {
+  Rng rng = message_rng(seed_, from, to, pair_index);
+  const double extra = rng.exponential(mean_extra_);
+  return base_ + static_cast<SimTime>(extra);
+}
+
+std::string ExponentialLatency::describe() const {
+  return "exponential(base=" + std::to_string(base_) +
+         "us, mean_extra=" + fixed(mean_extra_, 1) + "us)";
+}
+
+LogNormalLatency::LogNormalLatency(double mu, double sigma, std::uint64_t seed)
+    : mu_(mu), sigma_(sigma), seed_(seed) {
+  DSM_REQUIRE(sigma >= 0.0);
+}
+
+SimTime LogNormalLatency::latency(ProcessId from, ProcessId to,
+                                  std::uint64_t pair_index) const {
+  Rng rng = message_rng(seed_, from, to, pair_index);
+  const double v = rng.lognormal(mu_, sigma_);
+  return static_cast<SimTime>(std::max(1.0, v));
+}
+
+std::string LogNormalLatency::describe() const {
+  return "lognormal(mu=" + fixed(mu_, 2) + ", sigma=" + fixed(sigma_, 2) + ")";
+}
+
+SlowLinkLatency::SlowLinkLatency(ProcessId slow_from, ProcessId slow_to,
+                                 SimTime slow, SimTime fast)
+    : slow_from_(slow_from), slow_to_(slow_to), slow_(slow), fast_(fast) {
+  DSM_REQUIRE(slow >= fast);
+}
+
+SimTime SlowLinkLatency::latency(ProcessId from, ProcessId to,
+                                 std::uint64_t) const {
+  return (from == slow_from_ && to == slow_to_) ? slow_ : fast_;
+}
+
+std::string SlowLinkLatency::describe() const {
+  return "slowlink(" + proc_name(slow_from_) + "->" + proc_name(slow_to_) +
+         "=" + std::to_string(slow_) + "us, rest=" + std::to_string(fast_) +
+         "us)";
+}
+
+const char* to_string(LatencyKind k) noexcept {
+  switch (k) {
+    case LatencyKind::kConstant: return "constant";
+    case LatencyKind::kUniform: return "uniform";
+    case LatencyKind::kExponential: return "exponential";
+    case LatencyKind::kLogNormal: return "lognormal";
+  }
+  return "?";
+}
+
+std::unique_ptr<LatencyModel> make_latency(LatencyKind kind, SimTime scale,
+                                           double spread, std::uint64_t seed) {
+  DSM_REQUIRE(scale > 0);
+  DSM_REQUIRE(spread >= 0.0);
+  switch (kind) {
+    case LatencyKind::kConstant:
+      return std::make_unique<ConstantLatency>(scale);
+    case LatencyKind::kUniform: {
+      const auto half = static_cast<SimTime>(static_cast<double>(scale) * spread);
+      const SimTime lo = scale > half ? scale - half : 1;
+      return std::make_unique<UniformLatency>(lo, scale + half, seed);
+    }
+    case LatencyKind::kExponential:
+      return std::make_unique<ExponentialLatency>(
+          scale, std::max(1.0, static_cast<double>(scale) * spread), seed);
+    case LatencyKind::kLogNormal: {
+      // median exp(mu) == scale; sigma grows with spread.
+      const double mu = std::log(static_cast<double>(scale));
+      return std::make_unique<LogNormalLatency>(mu, std::max(0.05, spread), seed);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dsm

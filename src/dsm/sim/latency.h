@@ -1,0 +1,122 @@
+// optcm — network latency models.
+//
+// The paper assumes only reliable asynchronous channels; *which* applies get
+// delayed is purely a function of message arrival order, so the latency model
+// is the experiment's independent variable.  All models are deterministic
+// given their seed, and the per-message draw is keyed on
+// (from, to, per-pair message index) so that two protocols sending the same
+// logical message stream (e.g. OptP and ANBKH: one broadcast per write, in
+// the same program order) observe *identical* arrival patterns — the delay
+// comparison then isolates the protocols' enabling conditions.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dsm/common/rng.h"
+#include "dsm/common/types.h"
+#include "dsm/sim/sim_time.h"
+
+namespace dsm {
+
+/// Deterministic latency oracle: the delay of the k-th message ever sent on
+/// the directed channel from→to.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  [[nodiscard]] virtual SimTime latency(ProcessId from, ProcessId to,
+                                        std::uint64_t pair_index) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Every message takes exactly `delay` (FIFO channels by construction).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimTime delay) : delay_(delay) {}
+  [[nodiscard]] SimTime latency(ProcessId, ProcessId, std::uint64_t) const override {
+    return delay_;
+  }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform in [lo, hi] — reordering channels when hi > lo + message spacing.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi, std::uint64_t seed);
+  [[nodiscard]] SimTime latency(ProcessId from, ProcessId to,
+                                std::uint64_t pair_index) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  SimTime lo_, hi_;
+  std::uint64_t seed_;
+};
+
+/// base + Exp(mean_extra): heavy-ish tail, the classic WAN stand-in.
+class ExponentialLatency final : public LatencyModel {
+ public:
+  ExponentialLatency(SimTime base, double mean_extra, std::uint64_t seed);
+  [[nodiscard]] SimTime latency(ProcessId from, ProcessId to,
+                                std::uint64_t pair_index) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  SimTime base_;
+  double mean_extra_;
+  std::uint64_t seed_;
+};
+
+/// LogNormal(mu, sigma) microseconds — long tail, strong reordering.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  LogNormalLatency(double mu, double sigma, std::uint64_t seed);
+  [[nodiscard]] SimTime latency(ProcessId from, ProcessId to,
+                                std::uint64_t pair_index) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double mu_, sigma_;
+  std::uint64_t seed_;
+};
+
+/// One slow directed link (from→to gets `slow`, everything else `fast`):
+/// the minimal topology that manufactures false causality (paper Fig. 3:
+/// p1→p3 is slow, so p3 sees p2's write before p1's).
+class SlowLinkLatency final : public LatencyModel {
+ public:
+  SlowLinkLatency(ProcessId slow_from, ProcessId slow_to, SimTime slow,
+                  SimTime fast);
+  [[nodiscard]] SimTime latency(ProcessId from, ProcessId to,
+                                std::uint64_t pair_index) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  ProcessId slow_from_, slow_to_;
+  SimTime slow_, fast_;
+};
+
+/// Convenience factory selection used by benches/tests to sweep models.
+enum class LatencyKind : std::uint8_t {
+  kConstant,
+  kUniform,
+  kExponential,
+  kLogNormal,
+};
+
+[[nodiscard]] const char* to_string(LatencyKind k) noexcept;
+
+/// Builds a model with "comparable" scale across kinds: median latency near
+/// `scale` microseconds, spread controlled by `spread` in [0, ∞) where 0 is
+/// degenerate-constant and larger values reorder more aggressively.
+[[nodiscard]] std::unique_ptr<LatencyModel> make_latency(LatencyKind kind,
+                                                         SimTime scale,
+                                                         double spread,
+                                                         std::uint64_t seed);
+
+}  // namespace dsm

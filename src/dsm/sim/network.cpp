@@ -1,0 +1,79 @@
+#include "dsm/sim/network.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+Network::Network(EventQueue& queue, const LatencyModel& latency,
+                 std::size_t n_procs)
+    : queue_(&queue),
+      latency_(&latency),
+      sinks_(n_procs, nullptr),
+      pair_index_(n_procs * n_procs, 0) {
+  DSM_REQUIRE(n_procs >= 1);
+}
+
+void Network::attach(ProcessId p, MessageSink& sink) {
+  DSM_REQUIRE(p < sinks_.size());
+  DSM_REQUIRE(sinks_[p] == nullptr);
+  sinks_[p] = &sink;
+}
+
+std::uint64_t& Network::pair_counter(ProcessId from, ProcessId to) {
+  return pair_index_[static_cast<std::size_t>(from) * sinks_.size() + to];
+}
+
+void Network::send(ProcessId from, ProcessId to,
+                   std::vector<std::uint8_t> bytes) {
+  DSM_REQUIRE(from < sinks_.size());
+  DSM_REQUIRE(to < sinks_.size());
+  DSM_REQUIRE(from != to);
+  MessageSink* sink = sinks_[to];
+  DSM_REQUIRE(sink != nullptr);
+
+  const std::uint64_t index = pair_counter(from, to)++;
+
+  SimTime delay;
+  std::optional<SimTime> forced;
+  if (override_) forced = override_(from, to, bytes);
+  if (forced) {
+    delay = *forced;
+  } else {
+    delay = latency_->latency(from, to, index);
+  }
+
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes.size();
+  stats_.max_latency_seen = std::max(stats_.max_latency_seen, delay);
+
+  const FaultPlan::Draw draw = fault_.draw(from, to, index);
+  if (draw.dropped) {
+    ++fstats_.dropped;
+    return;
+  }
+  if (draw.duplicated) {
+    ++fstats_.duplicated;
+    // The duplicate takes an independent latency draw: it can arrive before
+    // or after the original.
+    const SimTime dup_delay =
+        forced ? *forced : latency_->latency(from, to, index ^ 0x8000000000000000ULL);
+    queue_->schedule_after(dup_delay, [sink, from, payload = bytes]() {
+      sink->deliver(from, payload);
+    });
+  }
+
+  queue_->schedule_after(
+      delay, [sink, from, payload = std::move(bytes)]() {
+        sink->deliver(from, payload);
+      });
+}
+
+void Network::broadcast(ProcessId from, const std::vector<std::uint8_t>& bytes) {
+  for (ProcessId to = 0; to < sinks_.size(); ++to) {
+    if (to != from) send(from, to, bytes);
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,86 @@
+// optcm — simulated reliable network.
+//
+// Implements exactly the channel assumptions of paper Section 3.1: every
+// message sent is delivered exactly once, no spurious messages, unbounded but
+// finite delay.  Channels are NOT FIFO — two messages on the same directed
+// link may overtake each other when the latency model reorders them; the
+// protocols' enabling conditions, not the transport, are responsible for
+// ordering (exactly the setting the paper analyzes).
+//
+// An optional per-message override lets benches choreograph the exact arrival
+// orders of the paper's figures.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/sim/event_queue.h"
+#include "dsm/sim/fault.h"
+#include "dsm/sim/latency.h"
+
+namespace dsm {
+
+/// Receiver half of a simulated process.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void deliver(ProcessId from, std::span<const std::uint8_t> bytes) = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  SimTime max_latency_seen = 0;
+};
+
+class Network {
+ public:
+  /// Inspect a message about to be sent and, if engaged, dictate its latency
+  /// (used to reproduce the paper's choreographed runs).
+  using LatencyOverride = std::function<std::optional<SimTime>(
+      ProcessId from, ProcessId to, std::span<const std::uint8_t> bytes)>;
+
+  Network(EventQueue& queue, const LatencyModel& latency, std::size_t n_procs);
+
+  /// Register the sink for process p.  Must be called for all processes
+  /// before any send; sinks must outlive the network.
+  void attach(ProcessId p, MessageSink& sink);
+
+  /// Unicast `bytes` from `from` to `to`; delivery is scheduled on the event
+  /// queue after the modeled latency.
+  void send(ProcessId from, ProcessId to, std::vector<std::uint8_t> bytes);
+
+  /// Fan-out to every process except `from` (paper footnote 5: the
+  /// propagation mechanism is irrelevant at this abstraction level).
+  void broadcast(ProcessId from, const std::vector<std::uint8_t>& bytes);
+
+  void set_latency_override(LatencyOverride hook) { override_ = std::move(hook); }
+
+  /// Turn the network into a faulty datagram service (drops/duplicates).
+  /// Protocols expect the paper's reliable channels, so a faulty network
+  /// must be paired with the ReliableNode layer (dsm/sim/reliable.h).
+  void set_fault_plan(const FaultPlan& plan) { fault_ = plan; }
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fstats_; }
+  [[nodiscard]] std::size_t n_procs() const noexcept { return sinks_.size(); }
+
+ private:
+  EventQueue* queue_;
+  const LatencyModel* latency_;
+  std::vector<MessageSink*> sinks_;
+  std::vector<std::uint64_t> pair_index_;  // per directed channel counter
+  LatencyOverride override_;
+  FaultPlan fault_;
+  NetworkStats stats_;
+  FaultStats fstats_;
+
+  [[nodiscard]] std::uint64_t& pair_counter(ProcessId from, ProcessId to);
+};
+
+}  // namespace dsm

@@ -1,0 +1,105 @@
+#include "dsm/sim/reliable.h"
+
+#include "dsm/codec/codec.h"
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+ReliableNode::ReliableNode(EventQueue& queue, Network& network, ProcessId self,
+                           MessageSink& upper, Config config)
+    : queue_(&queue),
+      network_(&network),
+      self_(self),
+      upper_(&upper),
+      config_(config),
+      tx_(network.n_procs()),
+      rx_(network.n_procs()) {
+  network.attach(self, *this);
+}
+
+std::vector<std::uint8_t> ReliableNode::encode_frame(
+    FrameType type, std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(seq);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+void ReliableNode::send(ProcessId to, std::vector<std::uint8_t> payload) {
+  DSM_REQUIRE(to < tx_.size());
+  DSM_REQUIRE(to != self_);
+  PeerTx& peer = tx_[to];
+  const std::uint64_t seq = peer.next_seq++;
+  peer.unacked.emplace(seq, std::move(payload));
+  ++stats_.data_sent;
+  transmit(to, seq, peer.unacked.at(seq));
+  arm_timer(to, seq, 0);
+}
+
+void ReliableNode::broadcast(const std::vector<std::uint8_t>& payload) {
+  for (ProcessId to = 0; to < tx_.size(); ++to) {
+    if (to != self_) send(to, payload);
+  }
+}
+
+void ReliableNode::transmit(ProcessId to, std::uint64_t seq,
+                            const std::vector<std::uint8_t>& payload) {
+  network_->send(self_, to, encode_frame(FrameType::kData, seq, payload));
+}
+
+void ReliableNode::arm_timer(ProcessId to, std::uint64_t seq,
+                             std::size_t attempt) {
+  queue_->schedule_after(config_.rto, [this, to, seq, attempt] {
+    const auto it = tx_[to].unacked.find(seq);
+    if (it == tx_[to].unacked.end()) return;  // acked meanwhile
+    if (attempt >= config_.max_retries) {
+      // Should never happen with drop < 1; counted so tests can alarm.
+      ++stats_.abandoned;
+      tx_[to].unacked.erase(it);
+      return;
+    }
+    ++stats_.retransmissions;
+    transmit(to, seq, it->second);
+    arm_timer(to, seq, attempt + 1);
+  });
+}
+
+void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  const auto type = r.u8();
+  const auto seq = r.u64();
+  DSM_REQUIRE(type.has_value() && seq.has_value());
+
+  switch (static_cast<FrameType>(*type)) {
+    case FrameType::kData: {
+      // Always (re-)ACK: the original ACK may have been lost.
+      ++stats_.acks_sent;
+      network_->send(self_, from, encode_frame(FrameType::kAck, *seq, {}));
+
+      PeerRx& peer = rx_[from];
+      if (peer.saw(*seq)) {
+        ++stats_.duplicates_suppressed;
+        return;
+      }
+      peer.mark(*seq);
+      ++stats_.delivered;
+      upper_->deliver(from, r.rest());
+      return;
+    }
+    case FrameType::kAck: {
+      tx_[from].unacked.erase(*seq);
+      return;
+    }
+  }
+  DSM_REQUIRE(false && "unknown frame type");
+}
+
+bool ReliableNode::quiescent() const noexcept {
+  for (const auto& peer : tx_) {
+    if (!peer.unacked.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dsm

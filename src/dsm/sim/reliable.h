@@ -1,0 +1,109 @@
+// optcm — reliable exactly-once channels over a faulty datagram network.
+//
+// Paper Section 3.1 assumes "reliable channels.  Each message sent by a
+// process is eventually received exactly once and no spurious message can
+// ever be delivered."  This substrate *builds* that assumption from a lossy,
+// duplicating network (see fault.h) with a classic per-channel ARQ:
+//
+//   * every payload gets a per-(sender→receiver) sequence number and is kept
+//     by the sender until acknowledged; a retransmission timer resends it
+//     every `rto` until the ACK lands (at-least-once);
+//   * the receiver delivers a sequence number at most once — a compact
+//     watermark-plus-set dedup — and (re-)ACKs every DATA frame it sees
+//     (exactly-once upward);
+//   * channels stay NON-FIFO on purpose: a fresh sequence number is
+//     delivered upward immediately even if earlier ones are still missing.
+//     The DSM protocols order applies themselves; imposing FIFO here would
+//     silently hand ANBKH ordering it did not pay for.
+//
+// Wire format: one byte frame type (DATA/ACK), varint sequence number, then
+// the raw payload (DATA only).  ACKs are never retransmitted — a lost ACK
+// just provokes one more retransmission, which the dedup absorbs.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dsm/sim/network.h"
+
+namespace dsm {
+
+struct ReliableStats {
+  std::uint64_t data_sent = 0;        ///< first transmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;        ///< payloads handed to the upper layer
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t abandoned = 0;        ///< gave up after max_retries (bug alarm)
+};
+
+/// ARQ tuning knobs.
+struct ReliableConfig {
+  SimTime rto = sim_ms(2);
+  std::size_t max_retries = 10'000;
+};
+
+class ReliableNode final : public MessageSink {
+ public:
+  using Config = ReliableConfig;
+
+  /// Registers itself as process `self`'s sink on `network`.  `upper`
+  /// receives deduplicated payloads exactly once each.
+  ReliableNode(EventQueue& queue, Network& network, ProcessId self,
+               MessageSink& upper, Config config = {});
+
+  // -- sending (the upper layer's Endpoint calls these) ---------------------
+  void send(ProcessId to, std::vector<std::uint8_t> payload);
+  void broadcast(const std::vector<std::uint8_t>& payload);
+
+  // -- MessageSink (frames arriving from the network) ------------------------
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
+
+  [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
+
+  /// True when every sent payload has been acknowledged.
+  [[nodiscard]] bool quiescent() const noexcept;
+
+ private:
+  enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
+
+  struct PeerTx {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> unacked;  // seq -> payload
+  };
+  struct PeerRx {
+    std::uint64_t watermark = 0;            ///< all seq <= watermark seen
+    std::set<std::uint64_t> seen_above;     ///< seen seqs > watermark
+    [[nodiscard]] bool saw(std::uint64_t seq) const {
+      return seq <= watermark || seen_above.count(seq) != 0;
+    }
+    void mark(std::uint64_t seq) {
+      seen_above.insert(seq);
+      while (seen_above.count(watermark + 1) != 0) {
+        seen_above.erase(++watermark);
+      }
+    }
+  };
+
+  void transmit(ProcessId to, std::uint64_t seq,
+                const std::vector<std::uint8_t>& payload);
+  void arm_timer(ProcessId to, std::uint64_t seq, std::size_t attempt);
+
+  static std::vector<std::uint8_t> encode_frame(FrameType type,
+                                                std::uint64_t seq,
+                                                std::span<const std::uint8_t> payload);
+
+  EventQueue* queue_;
+  Network* network_;
+  ProcessId self_;
+  MessageSink* upper_;
+  Config config_;
+  std::vector<PeerTx> tx_;
+  std::vector<PeerRx> rx_;
+  ReliableStats stats_;
+};
+
+}  // namespace dsm

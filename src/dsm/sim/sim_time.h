@@ -1,0 +1,22 @@
+// optcm — simulated time.
+//
+// Integer microseconds: floating-point time would make run reproducibility
+// hostage to rounding, and every determinism test in this repository hinges
+// on "same seed ⇒ byte-identical trace".
+
+#pragma once
+
+#include <cstdint>
+
+namespace dsm {
+
+using SimTime = std::uint64_t;  ///< microseconds since simulation start
+
+inline constexpr SimTime kSimTimeMax = ~SimTime{0};
+
+/// Convenience literals for readable bench/test code.
+constexpr SimTime sim_us(std::uint64_t v) noexcept { return v; }
+constexpr SimTime sim_ms(std::uint64_t v) noexcept { return v * 1000; }
+constexpr SimTime sim_s(std::uint64_t v) noexcept { return v * 1000 * 1000; }
+
+}  // namespace dsm

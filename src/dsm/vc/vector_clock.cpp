@@ -1,0 +1,92 @@
+#include "dsm/vc/vector_clock.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+const char* to_string(ClockOrder o) noexcept {
+  switch (o) {
+    case ClockOrder::kEqual: return "equal";
+    case ClockOrder::kLess: return "less";
+    case ClockOrder::kGreater: return "greater";
+    case ClockOrder::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+std::uint64_t VectorClock::operator[](std::size_t i) const noexcept {
+  DSM_REQUIRE(i < c_.size());
+  return c_[i];
+}
+
+std::uint64_t& VectorClock::operator[](std::size_t i) noexcept {
+  DSM_REQUIRE(i < c_.size());
+  return c_[i];
+}
+
+std::uint64_t VectorClock::tick(std::size_t i) noexcept {
+  DSM_REQUIRE(i < c_.size());
+  return ++c_[i];
+}
+
+void VectorClock::merge(const VectorClock& other) noexcept {
+  DSM_REQUIRE(c_.size() == other.c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const noexcept {
+  DSM_REQUIRE(c_.size() == other.c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.c_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::less(const VectorClock& other) const noexcept {
+  DSM_REQUIRE(c_.size() == other.c_.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.c_[i]) return false;
+    if (c_[i] < other.c_[i]) strict = true;
+  }
+  return strict;
+}
+
+bool VectorClock::concurrent(const VectorClock& other) const noexcept {
+  return compare(other) == ClockOrder::kConcurrent;
+}
+
+ClockOrder VectorClock::compare(const VectorClock& other) const noexcept {
+  DSM_REQUIRE(c_.size() == other.c_.size());
+  bool some_less = false;    // ∃k : this[k] < other[k]
+  bool some_greater = false; // ∃k : this[k] > other[k]
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] < other.c_[i]) some_less = true;
+    else if (c_[i] > other.c_[i]) some_greater = true;
+    if (some_less && some_greater) return ClockOrder::kConcurrent;
+  }
+  if (some_less) return ClockOrder::kLess;
+  if (some_greater) return ClockOrder::kGreater;
+  return ClockOrder::kEqual;
+}
+
+std::uint64_t VectorClock::sum() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto v : c_) s += v;
+  return s;
+}
+
+std::string VectorClock::str() const { return vec_to_string(c_); }
+
+VectorClock merged(const VectorClock& a, const VectorClock& b) {
+  VectorClock out = a;
+  out.merge(b);
+  return out;
+}
+
+}  // namespace dsm

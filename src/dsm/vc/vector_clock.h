@@ -1,0 +1,90 @@
+// optcm — dense vector clocks with the paper's comparison relations.
+//
+// Section 4.3 defines, for two vectors V, V' of equal length:
+//     V ≤ V'  ⇔  ∀k : V[k] ≤ V'[k]
+//     V < V'  ⇔  V ≤ V'  ∧  ∃k : V[k] < V'[k]
+//     V ‖ V'  ⇔  ¬(V < V') ∧ ¬(V' < V)
+//
+// The same type serves two roles in this repository:
+//   * Write_co — OptP's vector characterizing ↦co (Theorems 1–2); updated on
+//     local writes and on reads (component-wise max with LastWriteOn[h]).
+//   * Fidge–Mattern clocks over write sends — ANBKH's vector characterizing →
+//     restricted to write events; updated on writes and on applies.
+// The difference between the two protocols is *when* merges happen, not the
+// vector algebra; keeping one type makes that difference legible.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+/// Result of comparing two vector clocks under the paper's partial order.
+enum class ClockOrder : std::uint8_t {
+  kEqual,       ///< V == V' component-wise
+  kLess,        ///< V <  V'
+  kGreater,     ///< V' <  V
+  kConcurrent,  ///< V ‖ V'
+};
+
+[[nodiscard]] const char* to_string(ClockOrder o) noexcept;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Zero clock of dimension n (one component per process, as in the paper's
+  /// Write_co[1..n] and Apply[1..n]).
+  explicit VectorClock(std::size_t n) : c_(n, 0) {}
+
+  /// Construct from explicit components (test/bench convenience).
+  explicit VectorClock(std::vector<std::uint64_t> components)
+      : c_(std::move(components)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return c_.empty(); }
+
+  [[nodiscard]] std::uint64_t operator[](std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t& operator[](std::size_t i) noexcept;
+
+  /// Increment component i by one and return the new value (paper Fig. 4
+  /// line 1: Write_co[i] := Write_co[i] + 1).
+  std::uint64_t tick(std::size_t i) noexcept;
+
+  /// Component-wise maximum with `other` (paper Fig. 5 read line 1:
+  /// Write_co := max(Write_co, LastWriteOn[h])). Sizes must match.
+  void merge(const VectorClock& other) noexcept;
+
+  /// Paper relations.  `leq` is ≤, `less` is <, `concurrent` is ‖.
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept;
+  [[nodiscard]] bool less(const VectorClock& other) const noexcept;
+  [[nodiscard]] bool concurrent(const VectorClock& other) const noexcept;
+
+  /// Full classification in one pass.
+  [[nodiscard]] ClockOrder compare(const VectorClock& other) const noexcept;
+
+  /// Sum of all components (handy for progress metrics).
+  [[nodiscard]] std::uint64_t sum() const noexcept;
+
+  [[nodiscard]] std::span<const std::uint64_t> components() const noexcept {
+    return c_;
+  }
+
+  /// "[1,0,2]" — matches the paper's figures.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+/// Free-function merge returning a fresh clock (does not mutate inputs).
+[[nodiscard]] VectorClock merged(const VectorClock& a, const VectorClock& b);
+
+}  // namespace dsm

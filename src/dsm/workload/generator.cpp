@@ -1,0 +1,122 @@
+#include "dsm/workload/generator.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+const char* to_string(AccessPattern p) noexcept {
+  switch (p) {
+    case AccessPattern::kUniform: return "uniform";
+    case AccessPattern::kZipf: return "zipf";
+    case AccessPattern::kPartitioned: return "partitioned";
+    case AccessPattern::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::describe() const {
+  return std::string(to_string(pattern)) + "(n=" + std::to_string(n_procs) +
+         ", m=" + std::to_string(n_vars) +
+         ", ops=" + std::to_string(ops_per_proc) +
+         ", wf=" + fixed(write_fraction, 2) + ", seed=" + std::to_string(seed) +
+         ")";
+}
+
+std::vector<Script> generate_workload(const WorkloadSpec& spec) {
+  DSM_REQUIRE(spec.n_procs >= 1);
+  DSM_REQUIRE(spec.n_vars >= 1);
+  DSM_REQUIRE(spec.write_fraction >= 0.0 && spec.write_fraction <= 1.0);
+
+  Rng master(spec.seed);
+  const ZipfSampler zipf(spec.n_vars, spec.zipf_s);
+
+  std::vector<Script> scripts(spec.n_procs);
+  for (ProcessId p = 0; p < spec.n_procs; ++p) {
+    Rng rng = master.split();
+    Script& script = scripts[p];
+    script.reserve(spec.ops_per_proc);
+
+    // Shard bounds for kPartitioned (contiguous, evenly split).
+    const std::size_t shard_lo = p * spec.n_vars / spec.n_procs;
+    const std::size_t shard_hi = (p + 1) * spec.n_vars / spec.n_procs;
+    const std::size_t shard_size = std::max<std::size_t>(1, shard_hi - shard_lo);
+
+    SeqNo writes = 0;
+    for (std::size_t i = 0; i < spec.ops_per_proc; ++i) {
+      const bool is_write = rng.chance(spec.write_fraction);
+
+      VarId var = 0;
+      switch (spec.pattern) {
+        case AccessPattern::kUniform:
+          var = static_cast<VarId>(rng.below(spec.n_vars));
+          break;
+        case AccessPattern::kZipf:
+          var = static_cast<VarId>(zipf.sample(rng));
+          break;
+        case AccessPattern::kPartitioned:
+          if (is_write && !rng.chance(spec.remote_write_fraction)) {
+            var = static_cast<VarId>(shard_lo + rng.below(shard_size));
+          } else {
+            var = static_cast<VarId>(rng.below(spec.n_vars));
+          }
+          break;
+        case AccessPattern::kHotspot:
+          var = rng.chance(spec.hotspot_fraction)
+                    ? 0
+                    : static_cast<VarId>(rng.below(spec.n_vars));
+          break;
+      }
+
+      const auto gap = static_cast<SimTime>(
+          rng.exponential(static_cast<double>(spec.mean_gap)));
+
+      if (is_write) {
+        ++writes;
+        // Globally unique, trace-friendly value: issuer * 10^6 + seq.
+        const Value v = static_cast<Value>(p) * 1'000'000 +
+                        static_cast<Value>(writes);
+        script.push_back(write_step(gap, var, v));
+      } else {
+        script.push_back(read_step(gap, var));
+      }
+    }
+  }
+  return scripts;
+}
+
+std::vector<Script> generate_replica_workload(const WorkloadSpec& spec,
+                                              const ReplicationMap& map) {
+  DSM_REQUIRE(map.n_procs() == spec.n_procs);
+  DSM_REQUIRE(map.n_vars() == spec.n_vars);
+
+  Rng master(spec.seed);
+  std::vector<Script> scripts(spec.n_procs);
+  for (ProcessId p = 0; p < spec.n_procs; ++p) {
+    Rng rng = master.split();
+    const auto shard = map.vars_of(p);
+    DSM_REQUIRE(!shard.empty() &&
+                "every process must replicate at least one variable");
+    Script& script = scripts[p];
+    script.reserve(spec.ops_per_proc);
+    SeqNo writes = 0;
+    for (std::size_t i = 0; i < spec.ops_per_proc; ++i) {
+      const VarId var = shard[rng.below(shard.size())];
+      const auto gap = static_cast<SimTime>(
+          rng.exponential(static_cast<double>(spec.mean_gap)));
+      if (rng.chance(spec.write_fraction)) {
+        ++writes;
+        const Value v = static_cast<Value>(p) * 1'000'000 +
+                        static_cast<Value>(writes);
+        script.push_back(write_step(gap, var, v));
+      } else {
+        script.push_back(read_step(gap, var));
+      }
+    }
+  }
+  return scripts;
+}
+
+}  // namespace dsm

@@ -1,0 +1,65 @@
+// optcm — random workload generation.
+//
+// Produces per-process scripts from a seeded specification.  The access
+// pattern controls how much read-coupling (and therefore how much genuine
+// ↦co structure) the workload creates:
+//
+//   * kUniform      — every op picks a uniform variable; moderate coupling.
+//   * kZipf         — skewed popularity (exponent zipf_s); hot variables
+//                     create long read-from chains.
+//   * kPartitioned  — each process writes (mostly) its own variable shard
+//                     and reads anywhere: little cross-process write
+//                     coupling, lots of ‖co concurrency — the regime where
+//                     ANBKH's false causality is most wasteful.
+//   * kHotspot      — a fraction of accesses hit variable 0, the rest
+//                     uniform; the classic contended-counter shape.
+//
+// Write values are globally unique (encode issuer and sequence), which makes
+// histories easy to eyeball in traces.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/common/rng.h"
+#include "dsm/protocols/replication.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+enum class AccessPattern : std::uint8_t {
+  kUniform,
+  kZipf,
+  kPartitioned,
+  kHotspot,
+};
+
+[[nodiscard]] const char* to_string(AccessPattern p) noexcept;
+
+struct WorkloadSpec {
+  std::size_t n_procs = 4;
+  std::size_t n_vars = 8;
+  std::size_t ops_per_proc = 100;
+  double write_fraction = 0.5;   ///< probability an op is a write
+  AccessPattern pattern = AccessPattern::kUniform;
+  double zipf_s = 0.9;           ///< kZipf exponent
+  double hotspot_fraction = 0.2; ///< kHotspot: probability of hitting var 0
+  double remote_write_fraction = 0.1;  ///< kPartitioned: writes off own shard
+  SimTime mean_gap = sim_us(500);///< exponential think time between ops
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministic: equal specs yield equal scripts.
+[[nodiscard]] std::vector<Script> generate_workload(const WorkloadSpec& spec);
+
+/// Replication-aware variant for PartialOptP: every process only reads and
+/// writes variables it replicates (uniformly over its shard; the spec's
+/// pattern field is ignored).  Requires every process to replicate at least
+/// one variable.
+[[nodiscard]] std::vector<Script> generate_replica_workload(
+    const WorkloadSpec& spec, const ReplicationMap& map);
+
+}  // namespace dsm

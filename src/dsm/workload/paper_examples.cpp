@@ -1,0 +1,120 @@
+#include "dsm/workload/paper_examples.h"
+
+#include "dsm/codec/message.h"
+
+namespace dsm {
+namespace paper {
+namespace {
+
+/// Shared script timing for all Ĥ₁ runs: generous gaps so the reactive reads
+/// land where the example requires under every choreography below.
+///   p1: w(x1)a at t=0;   w(x1)c at t=20.
+///   p2: poll x1 (every 2µs) until it returns a, read, wait 40µs, w(x2)b —
+///       the read happens around t≈6 (before c reaches p2 at t≈25) and the
+///       write around t≈46 (after c was applied at p2, so send(c) → send(b)).
+///   p3: poll x2 until b, read, wait 10µs, w(x2)d.
+std::vector<Script> h1_scripts() {
+  Script p1;
+  p1.push_back(write_step(0, kX1, kA));
+  p1.push_back(write_step(20, kX1, kC));
+
+  Script p2;
+  p2.push_back(read_until_step(0, kX1, kA, sim_us(2)));
+  p2.push_back(write_step(40, kX2, kB));
+
+  Script p3;
+  p3.push_back(read_until_step(0, kX2, kB, sim_us(2)));
+  p3.push_back(write_step(10, kX2, kD));
+
+  return {p1, p2, p3};
+}
+
+/// Builds a latency override that keys on (written value, destination).
+/// Unmatched messages (e.g. d's fan-out) fall back to `other`.
+Network::LatencyOverride value_keyed_override(
+    std::vector<std::tuple<Value, ProcessId, SimTime>> rules, SimTime other) {
+  return [rules = std::move(rules), other](
+             ProcessId /*from*/, ProcessId to,
+             std::span<const std::uint8_t> bytes) -> std::optional<SimTime> {
+    const auto decoded = decode_message(bytes);
+    if (!decoded) return std::nullopt;
+    const auto* wu = std::get_if<WriteUpdate>(&*decoded);
+    if (wu == nullptr) return std::nullopt;
+    for (const auto& [value, dest, delay] : rules) {
+      if (wu->value == value && dest == to) return delay;
+    }
+    return other;
+  };
+}
+
+}  // namespace
+
+GlobalHistory make_h1_history() {
+  GlobalHistory h(kH1Procs, kH1Vars);
+  const WriteId wa = h.add_write(0, kX1, kA);   // w1(x1)a
+  const WriteId wc = h.add_write(0, kX1, kC);   // w1(x1)c
+  (void)wc;
+  h.add_read(1, kX1, kA, wa);                   // r2(x1)a
+  const WriteId wb = h.add_write(1, kX2, kB);   // w2(x2)b
+  h.add_read(2, kX2, kB, wb);                   // r3(x2)b
+  h.add_write(2, kX2, kD);                      // w3(x2)d
+  return h;
+}
+
+std::vector<Script> make_h1_scripts() { return h1_scripts(); }
+
+Choreography make_fig1_run1() {
+  // p3 receives a (t≈10), c (t≈35), then b (t≈106): everything applies on
+  // arrival — the run with no write delay.
+  Choreography c;
+  c.scripts = h1_scripts();
+  c.latency_override = value_keyed_override(
+      {
+          {kA, 2, sim_us(10)},   // w1(x1)a -> p3: fast
+          {kC, 2, sim_us(15)},   // w1(x1)c -> p3: arrives ≈35, after a
+          {kB, 2, sim_us(60)},   // w2(x2)b -> p3: arrives ≈106, last
+          {kA, 1, sim_us(5)},    // a -> p2: enables the read
+          {kC, 1, sim_us(5)},    // c -> p2 at ≈25, before b is written
+      },
+      sim_us(10));
+  return c;
+}
+
+Choreography make_fig1_run2() {
+  // p3 receives b (t≈56) BEFORE a (t≈100): b must wait for a — a necessary
+  // delay under any safe protocol (a ↦co b).  c arrives later still (≈170).
+  Choreography c;
+  c.scripts = h1_scripts();
+  c.latency_override = value_keyed_override(
+      {
+          {kA, 2, sim_us(100)},
+          {kC, 2, sim_us(150)},
+          {kB, 2, sim_us(10)},
+          {kA, 1, sim_us(5)},
+          {kC, 1, sim_us(5)},
+      },
+      sim_us(10));
+  return c;
+}
+
+Choreography make_fig3() {
+  // p3 receives a (t≈30), then b (t≈56) while c is still in flight (t≈1020).
+  // OptP applies b on arrival (a, its only ↦co dependency, is in).  ANBKH
+  // buffers b until c arrives, although w2(x2)b ‖co w1(x1)c — the
+  // false-causality run of Figure 3 / footnote 7.
+  Choreography c;
+  c.scripts = h1_scripts();
+  c.latency_override = value_keyed_override(
+      {
+          {kA, 2, sim_us(30)},
+          {kC, 2, sim_us(1000)},
+          {kB, 2, sim_us(10)},
+          {kA, 1, sim_us(5)},
+          {kC, 1, sim_us(5)},
+      },
+      sim_us(10));
+  return c;
+}
+
+}  // namespace paper
+}  // namespace dsm

@@ -1,0 +1,67 @@
+// optcm — the paper's worked example Ĥ₁ (Example 1) and the choreographed
+// runs of its figures.
+//
+//   Ĥ₁:   h1: w1(x1)a; w1(x1)c
+//         h2: r2(x1)a; w2(x2)b
+//         h3: r3(x2)b; w3(x2)d
+//
+// with  w1(x1)a ↦co w2(x2)b,  w1(x1)a ↦co w1(x1)c,  w2(x2)b ↦co w3(x2)d
+// and   w1(x1)c ‖co w2(x2)b,  w1(x1)c ‖co w3(x2)d.
+//
+// Values use the letter encoding of op_to_string: a=0, b=1, c=2, d=3.
+// Variables: x1 = 0, x2 = 1.
+//
+// `make_h1_scripts` produces Ĥ₁ reactively (p2 reads once it sees a, p3 once
+// it sees b), so the *same history* arises under every protocol and latency
+// assignment; the choreographies then pin message latencies to force the
+// arrival orders of the paper's run figures:
+//
+//   * Figure 1 run (1): p3 receives a, c, then b — no write delay.
+//   * Figure 1 run (2): p3 receives b before a — one NECESSARY delay
+//     (w2(x2)b waits for w1(x1)a ↦co w2(x2)b).
+//   * Figure 3 (= Figure 2's scenario): p3 receives a, then b, with c still
+//     in flight.  OptP applies b immediately (its only ↦co dependency, a, is
+//     there); ANBKH delays b until c arrives although b ‖co c — one
+//     UNNECESSARY delay, the paper's false-causality example.
+
+#pragma once
+
+#include <vector>
+
+#include "dsm/history/history.h"
+#include "dsm/sim/network.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+namespace paper {
+
+// Ĥ₁'s cast, by value (see op_to_string letter encoding).
+inline constexpr Value kA = 0;
+inline constexpr Value kB = 1;
+inline constexpr Value kC = 2;
+inline constexpr Value kD = 3;
+inline constexpr VarId kX1 = 0;
+inline constexpr VarId kX2 = 1;
+inline constexpr std::size_t kH1Procs = 3;
+inline constexpr std::size_t kH1Vars = 2;
+
+/// Ĥ₁ as a directly-constructed history (no simulation): the input to the
+/// Table 1 and Figure 7 reproductions and to checker unit tests.
+[[nodiscard]] GlobalHistory make_h1_history();
+
+/// Reactive scripts that realize Ĥ₁ under any protocol / latency model.
+[[nodiscard]] std::vector<Script> make_h1_scripts();
+
+/// Scripts plus forced per-message latencies reproducing one of the paper's
+/// run figures.
+struct Choreography {
+  std::vector<Script> scripts;
+  Network::LatencyOverride latency_override;
+};
+
+[[nodiscard]] Choreography make_fig1_run1();  ///< zero delays at p3
+[[nodiscard]] Choreography make_fig1_run2();  ///< one necessary delay at p3
+[[nodiscard]] Choreography make_fig3();       ///< ANBKH false causality at p3
+
+}  // namespace paper
+}  // namespace dsm

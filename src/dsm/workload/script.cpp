@@ -1,0 +1,42 @@
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+ScriptStep write_step(SimTime delay, VarId x, Value v) {
+  ScriptStep s;
+  s.delay = delay;
+  s.kind = StepKind::kWrite;
+  s.var = x;
+  s.value = v;
+  return s;
+}
+
+ScriptStep read_step(SimTime delay, VarId x) {
+  ScriptStep s;
+  s.delay = delay;
+  s.kind = StepKind::kRead;
+  s.var = x;
+  return s;
+}
+
+ScriptStep read_until_step(SimTime delay, VarId x, Value v, SimTime poll_every) {
+  ScriptStep s;
+  s.delay = delay;
+  s.kind = StepKind::kReadUntil;
+  s.var = x;
+  s.value = v;
+  s.poll_every = poll_every;
+  return s;
+}
+
+std::size_t count_steps(const std::vector<Script>& scripts, StepKind kind) {
+  std::size_t n = 0;
+  for (const auto& script : scripts) {
+    for (const auto& step : script) {
+      if (step.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace dsm

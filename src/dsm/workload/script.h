@@ -1,0 +1,52 @@
+// optcm — per-process operation scripts.
+//
+// A run's application-level behaviour is a Script per process: a sequence of
+// steps executed in order, each after a delay relative to the completion of
+// the previous step.  Three step kinds:
+//
+//   * Write(x, v)            — issue w(x)v.
+//   * Read(x)                — issue r(x), whatever the value.
+//   * ReadUntil(x, v)        — poll the local copy (without issuing reads)
+//     until it holds the write carrying value v, then issue one real read.
+//     This is how the paper's reactive examples are scripted: p_3 in Ĥ₁
+//     reads x₂ only once it returns b — under any protocol and any latency
+//     assignment, so the *same history* is produced and only the event
+//     orders/delays differ (exactly what Figures 1–3 and 6 contrast).
+//
+// Polling uses CausalProtocol::peek, which performs no Write_co merge and
+// records nothing; the semantically relevant read happens exactly once.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/sim/sim_time.h"
+
+namespace dsm {
+
+enum class StepKind : std::uint8_t { kWrite, kRead, kReadUntil };
+
+struct ScriptStep {
+  SimTime delay = 0;  ///< gap after the previous step completed
+  StepKind kind = StepKind::kWrite;
+  VarId var = 0;
+  Value value = 0;                 ///< Write: value written; ReadUntil: value awaited
+  SimTime poll_every = sim_us(50); ///< ReadUntil polling period
+  SimTime timeout = sim_s(3600);   ///< ReadUntil: give up and read anyway
+};
+
+using Script = std::vector<ScriptStep>;
+
+/// Step factories (keep bench/test scripts terse).
+[[nodiscard]] ScriptStep write_step(SimTime delay, VarId x, Value v);
+[[nodiscard]] ScriptStep read_step(SimTime delay, VarId x);
+[[nodiscard]] ScriptStep read_until_step(SimTime delay, VarId x, Value v,
+                                         SimTime poll_every = sim_us(50));
+
+/// Total number of steps of a given kind across all scripts.
+[[nodiscard]] std::size_t count_steps(const std::vector<Script>& scripts,
+                                      StepKind kind);
+
+}  // namespace dsm

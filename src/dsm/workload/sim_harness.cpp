@@ -1,0 +1,251 @@
+#include "dsm/workload/sim_harness.h"
+
+#include <algorithm>
+
+#include "dsm/common/contracts.h"
+#include "dsm/sim/event_queue.h"
+
+namespace dsm {
+namespace {
+
+/// Endpoint implementation over the simulated network — either directly
+/// (reliable-network mode) or through the per-process ARQ node (fault mode).
+class SimEndpoint final : public Endpoint {
+ public:
+  SimEndpoint(Network& net, ProcessId self) : net_(&net), self_(self) {}
+  SimEndpoint(ReliableNode& node, ProcessId self)
+      : reliable_(&node), self_(self) {}
+
+  void broadcast(std::vector<std::uint8_t> bytes) override {
+    if (reliable_ != nullptr) {
+      reliable_->broadcast(bytes);
+    } else {
+      net_->broadcast(self_, bytes);
+    }
+  }
+  void send(ProcessId to, std::vector<std::uint8_t> bytes) override {
+    if (reliable_ != nullptr) {
+      reliable_->send(to, std::move(bytes));
+    } else {
+      net_->send(self_, to, std::move(bytes));
+    }
+  }
+
+ private:
+  Network* net_ = nullptr;
+  ReliableNode* reliable_ = nullptr;
+  ProcessId self_;
+};
+
+/// MessageSink adapter: network delivery -> protocol receive.  Constructible
+/// before the protocol exists (the ARQ wiring is circular otherwise).
+class ProtocolSink final : public MessageSink {
+ public:
+  ProtocolSink() = default;
+  explicit ProtocolSink(CausalProtocol& proto) : proto_(&proto) {}
+  void set_protocol(CausalProtocol& proto) { proto_ = &proto; }
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override {
+    DSM_REQUIRE(proto_ != nullptr);
+    proto_->on_message(from, bytes);
+  }
+
+ private:
+  CausalProtocol* proto_ = nullptr;
+};
+
+/// Per-process script executor: runs steps as a chain of queue events.
+class ScriptRunner {
+ public:
+  ScriptRunner(EventQueue& queue, RunRecorder& recorder,
+               CausalProtocol& proto, ProcessId self, const Script& script)
+      : queue_(&queue),
+        recorder_(&recorder),
+        proto_(&proto),
+        self_(self),
+        script_(&script) {}
+
+  void begin() { schedule_step(0, 0); }
+
+  [[nodiscard]] bool done() const noexcept { return next_ >= script_->size(); }
+
+ private:
+  void schedule_step(std::size_t idx, SimTime extra_delay) {
+    if (idx >= script_->size()) return;
+    const ScriptStep& step = (*script_)[idx];
+    queue_->schedule_after(step.delay + extra_delay,
+                           [this, idx] { execute(idx); });
+  }
+
+  void execute(std::size_t idx) {
+    const ScriptStep& step = (*script_)[idx];
+    switch (step.kind) {
+      case StepKind::kWrite: {
+        recorder_->record_write(self_, step.var, step.value);
+        proto_->write(step.var, step.value);
+        break;
+      }
+      case StepKind::kRead: {
+        const ReadResult r = proto_->read(step.var);
+        recorder_->record_read(self_, step.var, r);
+        break;
+      }
+      case StepKind::kReadUntil: {
+        // Poll without reading; fire the one real read when the awaited
+        // value is visible (or the timeout elapsed).
+        if (proto_->peek(step.var).value != step.value &&
+            waited_ < step.timeout) {
+          waited_ += step.poll_every;
+          queue_->schedule_after(step.poll_every, [this, idx] { execute(idx); });
+          return;
+        }
+        waited_ = 0;
+        const ReadResult r = proto_->read(step.var);
+        recorder_->record_read(self_, step.var, r);
+        break;
+      }
+    }
+    next_ = idx + 1;
+    schedule_step(next_, 0);
+  }
+
+  EventQueue* queue_;
+  RunRecorder* recorder_;
+  CausalProtocol* proto_;
+  ProcessId self_;
+  const Script* script_;
+  std::size_t next_ = 0;
+  SimTime waited_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t SimRunResult::total_delayed() const {
+  std::uint64_t s = 0;
+  for (const auto& st : stats) s += st.delayed_writes;
+  return s;
+}
+std::uint64_t SimRunResult::total_applies() const {
+  std::uint64_t s = 0;
+  for (const auto& st : stats) s += st.remote_applies;
+  return s;
+}
+std::uint64_t SimRunResult::total_skipped() const {
+  std::uint64_t s = 0;
+  for (const auto& st : stats) s += st.skipped_writes;
+  return s;
+}
+std::uint64_t SimRunResult::peak_pending() const {
+  std::uint64_t s = 0;
+  for (const auto& st : stats) s = std::max(s, st.peak_pending);
+  return s;
+}
+
+SimRunResult run_sim(const SimRunConfig& config,
+                     const std::vector<Script>& scripts) {
+  DSM_REQUIRE(config.latency != nullptr);
+  DSM_REQUIRE(scripts.size() == config.n_procs);
+
+  EventQueue queue;
+  Network net(queue, *config.latency, config.n_procs);
+  if (config.latency_override) {
+    net.set_latency_override(config.latency_override);
+  }
+
+  auto recorder = std::make_unique<RunRecorder>(
+      config.n_procs, config.n_vars, [&queue] { return queue.now(); });
+
+  // Wiring order matters in fault mode: the ARQ node registers itself as the
+  // network sink and needs the (not-yet-filled) protocol sink as its upper
+  // layer; the endpoint then routes protocol sends through the ARQ node.
+  std::vector<ProtocolSink> sinks(config.n_procs);
+  std::vector<std::unique_ptr<ReliableNode>> arq;
+  std::vector<SimEndpoint> endpoints;
+  endpoints.reserve(config.n_procs);
+  if (config.fault.active()) {
+    net.set_fault_plan(config.fault);
+    ReliableNode::Config arq_config;
+    arq_config.rto = config.rto;
+    arq.reserve(config.n_procs);
+    for (ProcessId p = 0; p < config.n_procs; ++p) {
+      arq.push_back(
+          std::make_unique<ReliableNode>(queue, net, p, sinks[p], arq_config));
+      endpoints.emplace_back(*arq[p], p);
+    }
+  } else {
+    for (ProcessId p = 0; p < config.n_procs; ++p) {
+      net.attach(p, sinks[p]);
+      endpoints.emplace_back(net, p);
+    }
+  }
+
+  std::vector<std::unique_ptr<CausalProtocol>> protos;
+  protos.reserve(config.n_procs);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    protos.push_back(make_protocol(config.kind, p, config.n_procs,
+                                   config.n_vars, endpoints[p], *recorder,
+                                   config.protocol_config));
+    sinks[p].set_protocol(*protos[p]);
+  }
+
+  for (auto& proto : protos) proto->start();
+
+  std::vector<ScriptRunner> runners;
+  runners.reserve(config.n_procs);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    runners.emplace_back(queue, *recorder, *protos[p], p, scripts[p]);
+  }
+  for (auto& r : runners) r.begin();
+
+  // Run to quiescence: the queue draining is sufficient; for token runs the
+  // queue never drains, so poll the protocols' quiescence between chunks.
+  const auto all_done = [&] {
+    return std::all_of(runners.begin(), runners.end(),
+                       [](const ScriptRunner& r) { return r.done(); });
+  };
+  const auto all_quiescent = [&] {
+    return std::all_of(protos.begin(), protos.end(),
+                       [](const auto& p) { return p->quiescent(); }) &&
+           std::all_of(arq.begin(), arq.end(),
+                       [](const auto& node) { return node->quiescent(); });
+  };
+
+  SimRunResult result;
+  std::size_t chunks = 0;
+  while (true) {
+    const std::size_t fired = queue.run_until(queue.now() + config.settle_chunk);
+    if (queue.empty()) {
+      result.settled = all_done() && all_quiescent();
+      break;
+    }
+    if (all_done() && all_quiescent()) {
+      result.settled = true;
+      break;
+    }
+    // The next event lies beyond the chunk horizon (e.g. a heavy-tail
+    // latency draw): jump to it so the loop always makes progress.
+    if (fired == 0) queue.step();
+    if (++chunks >= config.max_settle_chunks) {
+      result.settled = false;  // stuck or cap too tight; caller inspects
+      break;
+    }
+  }
+
+  result.end_time = queue.now();
+  result.net = net.stats();
+  result.faults = net.fault_stats();
+  for (const auto& node : arq) {
+    const auto& s = node->stats();
+    result.reliable.data_sent += s.data_sent;
+    result.reliable.retransmissions += s.retransmissions;
+    result.reliable.acks_sent += s.acks_sent;
+    result.reliable.delivered += s.delivered;
+    result.reliable.duplicates_suppressed += s.duplicates_suppressed;
+    result.reliable.abandoned += s.abandoned;
+  }
+  result.stats.reserve(config.n_procs);
+  for (const auto& proto : protos) result.stats.push_back(proto->stats());
+  result.recorder = std::move(recorder);
+  return result;
+}
+
+}  // namespace dsm

@@ -1,0 +1,64 @@
+// optcm — the simulation harness: one protocol cluster, one workload, one
+// deterministic run.
+//
+// Wires n protocol instances to the simulated network, executes the
+// per-process scripts as chained events, lets the system settle, and returns
+// the recorded run (history + event log + per-process stats).  Everything —
+// operation interleaving, message latencies, tie-breaking — is a pure
+// function of the config, so runs are exactly reproducible and two protocol
+// kinds can be compared on identical message-arrival patterns (see
+// latency.h on per-pair-indexed draws).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dsm/protocols/registry.h"
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/sim/network.h"
+#include "dsm/sim/reliable.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+struct SimRunConfig {
+  ProtocolKind kind = ProtocolKind::kOptP;
+  std::size_t n_procs = 3;
+  std::size_t n_vars = 2;
+  const LatencyModel* latency = nullptr;  ///< required; not owned
+  Network::LatencyOverride latency_override;  ///< optional choreography hook
+  ProtocolConfig protocol_config;
+  /// Faulty-datagram mode: when active, the harness interposes the ARQ layer
+  /// (dsm/sim/reliable.h) between protocols and the lossy network, restoring
+  /// the paper's exactly-once channel assumption end to end.
+  FaultPlan fault;
+  SimTime rto = sim_ms(2);  ///< retransmission timeout of the ARQ layer
+  /// After the scripts finish, keep simulating in chunks of `settle_chunk`
+  /// until every protocol is quiescent, at most `max_settle_chunks` times
+  /// (the token protocol's circulation keeps the queue non-empty forever, so
+  /// "queue drained" is not a usable stop condition for it).
+  SimTime settle_chunk = sim_ms(50);
+  std::size_t max_settle_chunks = 10'000;
+};
+
+struct SimRunResult {
+  std::unique_ptr<RunRecorder> recorder;   ///< history + ordered event log
+  std::vector<ProtocolStats> stats;        ///< per process
+  NetworkStats net;
+  FaultStats faults;                       ///< drops/dups injected (if any)
+  ReliableStats reliable;                  ///< ARQ totals (if fault mode)
+  SimTime end_time = 0;
+  bool settled = false;  ///< all protocols quiescent before the chunk cap
+
+  [[nodiscard]] std::uint64_t total_delayed() const;
+  [[nodiscard]] std::uint64_t total_applies() const;
+  [[nodiscard]] std::uint64_t total_skipped() const;
+  [[nodiscard]] std::uint64_t peak_pending() const;
+};
+
+/// Runs `scripts[p]` on process p (scripts.size() == config.n_procs).
+[[nodiscard]] SimRunResult run_sim(const SimRunConfig& config,
+                                   const std::vector<Script>& scripts);
+
+}  // namespace dsm

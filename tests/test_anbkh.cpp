@@ -1,0 +1,119 @@
+// Protocol-level tests for the ANBKH baseline: causal-broadcast behaviour,
+// the Fidge–Mattern merge-on-apply, and the false causality of Figure 3 /
+// Table 2 that makes it non-optimal.
+
+#include <gtest/gtest.h>
+
+#include "dsm/protocols/anbkh.h"
+#include "dsm/workload/paper_examples.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using paper::kA;
+using paper::kB;
+using paper::kC;
+using paper::kX1;
+using paper::kX2;
+using testutil::DirectCluster;
+
+Anbkh& anbkh(DirectCluster& c, ProcessId p) {
+  return static_cast<Anbkh&>(c.node(p));
+}
+
+TEST(Anbkh, ClockMergesOnApplyWithoutAnyRead) {
+  // The defining difference from OptP: merely APPLYING a foreign write
+  // advances the clock that future writes piggyback.
+  DirectCluster c(ProtocolKind::kAnbkh, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  EXPECT_EQ(anbkh(c, 1).clock(), (VectorClock{{1, 0, 0}}));  // no read needed
+}
+
+TEST(Anbkh, FalseCausality_Figure3) {
+  // Same scenario as OptP's NoFalseCausality test; ANBKH must delay b at p3
+  // until c arrives, although b ‖co c — the paper's Figure 3 / footnote 7.
+  DirectCluster c(ProtocolKind::kAnbkh, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(0, kX1, kC);
+  ASSERT_TRUE(c.deliver_to(1, 0));   // c applied at p2: send(c) → send(b)
+  c.write(1, kX2, kB);               // b carries FM clock [2,1,0]
+
+  ASSERT_TRUE(c.deliver_to(2, 0));   // a at p3
+  ASSERT_TRUE(c.deliver_to(2, 1));   // b at p3 — BUFFERED (waits for c)
+  EXPECT_EQ(c.node(2).peek(kX2).value, kBottom);
+  EXPECT_EQ(c.node(2).pending_count(), 1u);
+  EXPECT_EQ(c.node(2).stats().delayed_writes, 1u);
+
+  ASSERT_TRUE(c.deliver_to(2, 0));   // c finally arrives
+  EXPECT_EQ(c.node(2).peek(kX2).value, kB);  // b flushed after c
+  EXPECT_EQ(c.node(2).pending_count(), 0u);
+}
+
+TEST(Anbkh, SameScenarioClockIsSupersetOfOptPs) {
+  // b's piggybacked clock under ANBKH is [2,1,0] (counts c); under OptP it
+  // would be [1,1,0].  Verified via the recorded send event.
+  DirectCluster c(ProtocolKind::kAnbkh, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(0, kX1, kC);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  c.write(1, kX2, kB);
+  const auto send_b = c.recorder().find(EvKind::kSend, 1, WriteId{1, 1});
+  ASSERT_TRUE(send_b.has_value());
+  EXPECT_EQ(send_b->clock, (VectorClock{{2, 1, 0}}));
+}
+
+TEST(Anbkh, CausalDeliveryFromSingleSenderIsFifo) {
+  DirectCluster c(ProtocolKind::kAnbkh, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  auto held = c.intercept_to(1);
+  ASSERT_EQ(held.size(), 2u);
+  c.inject(std::move(held[1]));  // seq 2 first -> buffered
+  EXPECT_EQ(c.node(1).peek(0).value, kBottom);
+  c.inject(std::move(held[0]));
+  EXPECT_EQ(c.node(1).peek(0).value, 2);
+  EXPECT_EQ(c.node(1).stats().delayed_writes, 1u);
+}
+
+TEST(Anbkh, TransitiveCausalChainEnforced) {
+  // p1 writes; p2 applies it then writes; p3 gets p2's write first: must
+  // wait for p1's even though p2 never read it (→-ordering, stricter than
+  // ↦co — this is exactly why ANBKH over-delays but stays safe).
+  DirectCluster c(ProtocolKind::kAnbkh, 3, 2);
+  c.write(0, kX1, 1);
+  ASSERT_TRUE(c.deliver_to(1, 0));   // applied at p2, never read
+  c.write(1, kX2, 2);
+  ASSERT_TRUE(c.deliver_to(2, 1));   // p2's write first at p3
+  EXPECT_EQ(c.node(2).peek(kX2).value, kBottom);
+  EXPECT_EQ(c.node(2).pending_count(), 1u);
+  ASSERT_TRUE(c.deliver_to(2, 0));
+  EXPECT_EQ(c.node(2).peek(kX2).value, 2);
+}
+
+TEST(Anbkh, ReadsDoNotTouchTheClock) {
+  DirectCluster c(ProtocolKind::kAnbkh, 2, 1);
+  c.write(1, 0, 9);
+  ASSERT_TRUE(c.deliver_to(0, 1));
+  const VectorClock before = anbkh(c, 0).clock();
+  (void)c.read(0, 0);
+  (void)c.read(0, 0);
+  EXPECT_EQ(anbkh(c, 0).clock(), before);
+  EXPECT_EQ(c.node(0).stats().reads_issued, 2u);
+}
+
+TEST(Anbkh, NameAndStats) {
+  DirectCluster c(ProtocolKind::kAnbkh, 2, 1);
+  EXPECT_EQ(c.node(0).name(), "anbkh");
+  c.write(0, 0, 1);
+  c.deliver_all();
+  EXPECT_EQ(c.node(1).stats().remote_applies, 1u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,156 @@
+// Tests for the optimality auditor (Definitions 3–5): necessary vs
+// unnecessary delays, safety/liveness verdicts, enabling sets.
+
+#include <gtest/gtest.h>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/audit/enabling_sets.h"
+#include "dsm/workload/paper_examples.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using paper::kA;
+using paper::kB;
+using paper::kC;
+using paper::kX1;
+using paper::kX2;
+using testutil::DirectCluster;
+
+/// Drives the paper's Figure 3 arrival pattern on a DirectCluster and
+/// returns the audit: a at p2; p2 reads; c at p2; b written; at p3 a then b
+/// then (finally) c; remaining messages flushed.
+AuditReport run_fig3(ProtocolKind kind) {
+  DirectCluster c(kind, 3, 2);
+  c.write(0, kX1, kA);
+  EXPECT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(0, kX1, kC);
+  EXPECT_TRUE(c.deliver_to(1, 0));
+  c.write(1, kX2, kB);
+  EXPECT_TRUE(c.deliver_to(2, 0));  // a
+  EXPECT_TRUE(c.deliver_to(2, 1));  // b (OptP applies; ANBKH buffers)
+  EXPECT_TRUE(c.deliver_to(2, 0));  // c
+  c.deliver_all();
+  return OptimalityAuditor::audit(c.recorder());
+}
+
+TEST(Auditor, OptPHasNoDelayInFigure3) {
+  const AuditReport report = run_fig3(ProtocolKind::kOptP);
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.live());
+  EXPECT_EQ(report.total_delayed(), 0u);
+  EXPECT_TRUE(report.write_delay_optimal());
+}
+
+TEST(Auditor, AnbkhHasExactlyOneUnnecessaryDelayInFigure3) {
+  const AuditReport report = run_fig3(ProtocolKind::kAnbkh);
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.live());
+  EXPECT_EQ(report.total_delayed(), 1u);
+  EXPECT_EQ(report.total_unnecessary(), 1u);
+  EXPECT_EQ(report.total_necessary(), 0u);
+  EXPECT_FALSE(report.write_delay_optimal());
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].at, 2u);                     // at p3
+  EXPECT_EQ(report.incidents[0].write, (WriteId{1, 1}));     // w2(x2)b
+  EXPECT_FALSE(report.incidents[0].necessary);
+}
+
+TEST(Auditor, NecessaryDelayClassifiedWithWitness) {
+  // Figure 1 run (2): b reaches p3 before a — delayed, and necessarily so.
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(1, kX2, kB);
+  ASSERT_TRUE(c.deliver_to(2, 1));  // b first
+  ASSERT_TRUE(c.deliver_to(2, 0));  // then a
+  c.deliver_all();
+  const AuditReport report = OptimalityAuditor::audit(c.recorder());
+  EXPECT_EQ(report.total_delayed(), 1u);
+  EXPECT_EQ(report.total_necessary(), 1u);
+  EXPECT_EQ(report.total_unnecessary(), 0u);
+  EXPECT_TRUE(report.write_delay_optimal());  // necessary delays are fine
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_TRUE(report.incidents[0].necessary);
+  EXPECT_EQ(report.incidents[0].witness, (WriteId{0, 1}));  // waiting for a
+}
+
+TEST(Auditor, LivenessViolationDetectedOnPartialRun) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 1);
+  c.write(0, 0, 1);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  // p3 never receives the write.
+  const AuditReport report = OptimalityAuditor::audit(c.recorder());
+  EXPECT_FALSE(report.live());
+  ASSERT_EQ(report.liveness_violations.size(), 1u);
+  EXPECT_NE(report.liveness_violations[0].find("p3"), std::string::npos);
+}
+
+TEST(Auditor, PerProcessBreakdownSumsToTotals) {
+  const AuditReport report = run_fig3(ProtocolKind::kAnbkh);
+  std::uint64_t delayed = 0;
+  for (const auto& p : report.per_proc) delayed += p.delayed;
+  EXPECT_EQ(delayed, report.total_delayed());
+  // Every remote message is accounted: 3 writes (a, c, b) broadcast to 2
+  // peers each.
+  EXPECT_EQ(report.total_remote(), 6u);
+}
+
+TEST(Auditor, SkipsCountAsLogicalAppliesForLiveness) {
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  auto held = c.intercept_to(1);
+  c.inject(std::move(held[1]));  // jump: seq1 skipped
+  c.inject(std::move(held[0]));  // stale
+  const AuditReport report = OptimalityAuditor::audit(c.recorder());
+  EXPECT_TRUE(report.live());  // skip of w1 at p2 counts as logical apply
+  EXPECT_TRUE(report.safe());
+}
+
+// -------------------------------------------------------- enabling sets ----
+
+TEST(EnablingSets, XCoSafeMatchesTable1) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  // Table 1 rows (the set is the same for every process k).
+  EXPECT_TRUE(x_co_safe_writes(*co, WriteId{0, 1}).empty());
+  EXPECT_EQ(x_co_safe_writes(*co, WriteId{0, 2}),
+            (std::vector<WriteId>{{0, 1}}));
+  EXPECT_EQ(x_co_safe_writes(*co, WriteId{1, 1}),
+            (std::vector<WriteId>{{0, 1}}));
+  EXPECT_EQ(x_co_safe_writes(*co, WriteId{2, 1}),
+            (std::vector<WriteId>{{0, 1}, {1, 1}}));
+}
+
+TEST(EnablingSets, XProtocolFromAnbkhClockMatchesTable2) {
+  // In the Figure 3 run, b's FM clock is [2,1,0]:
+  // X_ANBKH(apply_k(b)) = {apply_k(a), apply_k(c)} ⊃ X_co-safe = {apply_k(a)}.
+  const VectorClock clock_b{{2, 1, 0}};
+  EXPECT_EQ(x_protocol_writes(clock_b, WriteId{1, 1}),
+            (std::vector<WriteId>{{0, 1}, {0, 2}}));
+  // And d's clock [2,1,1] yields {a, c, b}.
+  const VectorClock clock_d{{2, 1, 1}};
+  EXPECT_EQ(x_protocol_writes(clock_d, WriteId{2, 1}),
+            (std::vector<WriteId>{{0, 1}, {0, 2}, {1, 1}}));
+}
+
+TEST(EnablingSets, SetStringUsesPaperNotation) {
+  EXPECT_EQ(enabling_set_str({}, 0), "{}");
+  EXPECT_EQ(enabling_set_str({{0, 1}, {1, 1}}, 2),
+            "{apply_3(w1^1), apply_3(w2^1)}");
+}
+
+TEST(EnablingSets, SendClockLookup) {
+  DirectCluster c(ProtocolKind::kAnbkh, 2, 1);
+  c.write(0, 0, 5);
+  const auto& clock = send_clock_of(c.recorder().events(), WriteId{0, 1});
+  EXPECT_EQ(clock, (VectorClock{{1, 0}}));
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,147 @@
+// Negative tests for the verification machinery itself: the auditor must
+// FLAG corrupted runs, not just bless correct ones.  Event logs here are
+// hand-forged (no protocol produces them) to exercise each detector.
+
+#include <gtest/gtest.h>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/workload/paper_examples.h"
+
+namespace dsm {
+namespace {
+
+RunEvent apply_ev(std::uint64_t order, ProcessId at, WriteId w,
+                  bool delayed = false) {
+  RunEvent e;
+  e.order = order;
+  e.at = at;
+  e.kind = EvKind::kApply;
+  e.write = w;
+  e.delayed = delayed;
+  return e;
+}
+
+RunEvent receipt_ev(std::uint64_t order, ProcessId at, WriteId w) {
+  RunEvent e;
+  e.order = order;
+  e.at = at;
+  e.kind = EvKind::kReceipt;
+  e.write = w;
+  return e;
+}
+
+/// Ĥ₁'s writes: a = w1^1, c = w1^2, b = w2^1, d = w3^1.
+const WriteId kWa{0, 1}, kWc{0, 2}, kWb{1, 1}, kWd{2, 1};
+
+TEST(AuditorNegative, OutOfCausalOrderAppliesAreFlagged) {
+  const GlobalHistory h = paper::make_h1_history();
+  // At p3: b applied BEFORE a although a ↦co b — a safety violation.
+  std::vector<RunEvent> events;
+  events.push_back(apply_ev(0, 2, kWb));
+  events.push_back(apply_ev(1, 2, kWa));
+  events.push_back(apply_ev(2, 2, kWc));
+  events.push_back(apply_ev(3, 2, kWd));
+  // Other processes apply correctly (keeps liveness noise out).
+  std::uint64_t order = 4;
+  for (ProcessId p = 0; p < 2; ++p) {
+    for (const auto w : {kWa, kWc, kWb, kWd}) {
+      events.push_back(apply_ev(order++, p, w));
+    }
+  }
+  const auto report = OptimalityAuditor::audit(h, events);
+  ASSERT_FALSE(report.safe());
+  EXPECT_NE(report.safety_violations[0].find("w1^1"), std::string::npos);
+  EXPECT_NE(report.safety_violations[0].find("w2^1"), std::string::npos);
+  EXPECT_FALSE(report.write_delay_optimal());  // unsafe runs are never optimal
+}
+
+TEST(AuditorNegative, MissingAppliesAreLivenessViolations) {
+  const GlobalHistory h = paper::make_h1_history();
+  std::vector<RunEvent> events;
+  std::uint64_t order = 0;
+  // Everyone applies everything except: p2 never applies d.
+  for (ProcessId p = 0; p < 3; ++p) {
+    for (const auto w : {kWa, kWc, kWb, kWd}) {
+      if (p == 1 && w == kWd) continue;
+      events.push_back(apply_ev(order++, p, w));
+    }
+  }
+  const auto report = OptimalityAuditor::audit(h, events);
+  EXPECT_TRUE(report.safe());
+  ASSERT_FALSE(report.live());
+  EXPECT_NE(report.liveness_violations[0].find("w3^1"), std::string::npos);
+  EXPECT_NE(report.liveness_violations[0].find("p2"), std::string::npos);
+}
+
+TEST(AuditorNegative, ForgedUnnecessaryDelayIsClassified) {
+  const GlobalHistory h = paper::make_h1_history();
+  std::vector<RunEvent> events;
+  std::uint64_t order = 0;
+  // p1 and p2 apply everything in order.
+  for (ProcessId p = 0; p < 2; ++p) {
+    for (const auto w : {kWa, kWc, kWb, kWd}) {
+      events.push_back(apply_ev(order++, p, w));
+    }
+  }
+  // At p3: a applied; b RECEIVED with everything it needs in, but applied
+  // late with the delayed flag — an unnecessary delay by Definition 3.
+  events.push_back(apply_ev(order++, 2, kWa));
+  events.push_back(receipt_ev(order++, 2, kWb));
+  events.push_back(apply_ev(order++, 2, kWc));
+  events.push_back(apply_ev(order++, 2, kWb, /*delayed=*/true));
+  events.push_back(apply_ev(order++, 2, kWd));
+  const auto report = OptimalityAuditor::audit(h, events);
+  EXPECT_TRUE(report.safe());
+  EXPECT_EQ(report.total_unnecessary(), 1u);
+  EXPECT_FALSE(report.write_delay_optimal());
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].write, kWb);
+  EXPECT_FALSE(report.incidents[0].necessary);
+}
+
+TEST(AuditorNegative, NecessaryDelayIsNotPenalized) {
+  const GlobalHistory h = paper::make_h1_history();
+  std::vector<RunEvent> events;
+  std::uint64_t order = 0;
+  for (ProcessId p = 0; p < 2; ++p) {
+    for (const auto w : {kWa, kWc, kWb, kWd}) {
+      events.push_back(apply_ev(order++, p, w));
+    }
+  }
+  // At p3: b received BEFORE a's apply — its delay has a witness.
+  events.push_back(receipt_ev(order++, 2, kWb));
+  events.push_back(apply_ev(order++, 2, kWa));
+  events.push_back(apply_ev(order++, 2, kWb, /*delayed=*/true));
+  events.push_back(apply_ev(order++, 2, kWc));
+  events.push_back(apply_ev(order++, 2, kWd));
+  const auto report = OptimalityAuditor::audit(h, events);
+  EXPECT_TRUE(report.safe());
+  EXPECT_EQ(report.total_necessary(), 1u);
+  EXPECT_EQ(report.total_unnecessary(), 0u);
+  EXPECT_TRUE(report.write_delay_optimal());
+  EXPECT_EQ(report.incidents[0].witness, kWa);
+}
+
+TEST(AuditorNegative, SkipOrderingViolationsAreFlagged) {
+  // A skip (logical apply) of w ordered AFTER a causally-later write's apply
+  // is a safety violation too.
+  GlobalHistory h(2, 1);
+  h.add_write(0, 0, 1);  // w1^1
+  h.add_write(0, 0, 2);  // w1^2, w1^1 ↦co w1^2
+  std::vector<RunEvent> events;
+  events.push_back(apply_ev(0, 0, WriteId{0, 1}));
+  events.push_back(apply_ev(1, 0, WriteId{0, 2}));
+  events.push_back(apply_ev(2, 1, WriteId{0, 2}));  // p2 applies seq 2 first…
+  RunEvent skip;
+  skip.order = 3;
+  skip.at = 1;
+  skip.kind = EvKind::kSkip;
+  skip.write = WriteId{0, 1};
+  skip.other = WriteId{0, 2};
+  events.push_back(skip);  // …and only then logically applies seq 1
+  const auto report = OptimalityAuditor::audit(h, events);
+  EXPECT_FALSE(report.safe());
+}
+
+}  // namespace
+}  // namespace dsm

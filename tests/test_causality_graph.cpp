@@ -1,0 +1,122 @@
+// Tests for the write causality graph (paper Section 4.3, Figure 7).
+//
+// Note on the paper text: the Figure 7 paragraph says "w1(x1)c is a
+// w3(x2)d's immediate predecessor", which contradicts the paper's own
+// Example 1 (w1(x1)c ‖co w3(x2)d) and Table 1 (X_co-safe of apply(w3(x2)d)
+// contains only a and b).  We follow Example 1/Table 1 — the graph of Ĥ₁ has
+// edges a→c, a→b, b→d — and treat the Figure 7 sentence as a typo (see
+// EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "dsm/history/causality_graph.h"
+#include "dsm/workload/paper_examples.h"
+
+namespace dsm {
+namespace {
+
+constexpr OpRef kWa = 0, kWc = 1, kWb = 3, kWd = 5;
+
+class H1Graph : public ::testing::Test {
+ protected:
+  H1Graph() : h_(paper::make_h1_history()), co_(*CoRelation::build(h_)), g_(co_) {}
+  GlobalHistory h_;
+  CoRelation co_;
+  CausalityGraph g_;
+};
+
+TEST_F(H1Graph, EdgesMatchExampleOne) {
+  EXPECT_EQ(g_.successors(kWa), (std::vector<OpRef>{kWc, kWb}));
+  EXPECT_EQ(g_.successors(kWb), (std::vector<OpRef>{kWd}));
+  EXPECT_TRUE(g_.successors(kWc).empty());  // c ‖co everything downstream
+  EXPECT_TRUE(g_.successors(kWd).empty());
+  EXPECT_EQ(g_.edge_count(), 3u);
+}
+
+TEST_F(H1Graph, PredecessorsMirrorSuccessors) {
+  EXPECT_TRUE(g_.predecessors(kWa).empty());
+  EXPECT_EQ(g_.predecessors(kWc), (std::vector<OpRef>{kWa}));
+  EXPECT_EQ(g_.predecessors(kWb), (std::vector<OpRef>{kWa}));
+  EXPECT_EQ(g_.predecessors(kWd), (std::vector<OpRef>{kWb}));
+}
+
+TEST_F(H1Graph, RootsAndDepth) {
+  EXPECT_EQ(g_.roots(), (std::vector<OpRef>{kWa}));
+  EXPECT_EQ(g_.depth(), 2u);  // a -> b -> d
+}
+
+TEST_F(H1Graph, DotContainsAllEdges) {
+  const std::string dot = g_.to_dot();
+  EXPECT_NE(dot.find("\"w1(x1)a\" -> \"w1(x1)c\""), std::string::npos);
+  EXPECT_NE(dot.find("\"w1(x1)a\" -> \"w2(x2)b\""), std::string::npos);
+  EXPECT_NE(dot.find("\"w2(x2)b\" -> \"w3(x2)d\""), std::string::npos);
+  EXPECT_EQ(dot.find("\"w1(x1)c\" ->"), std::string::npos);
+}
+
+TEST_F(H1Graph, AsciiListsEdges) {
+  const std::string ascii = g_.to_ascii();
+  EXPECT_NE(ascii.find("w1(x1)a --co0--> w2(x2)b"), std::string::npos);
+}
+
+// ------------------------------------------------------------------------
+
+TEST(CausalityGraph, TransitiveEdgeIsSuppressed) {
+  // Chain a -> b -> c of writes via reads; a -> c must NOT be an edge.
+  GlobalHistory h(3, 3);
+  const WriteId wa = h.add_write(0, 0, 1);
+  h.add_read(1, 0, 1, wa);
+  const WriteId wb = h.add_write(1, 1, 2);
+  h.add_read(2, 1, 2, wb);
+  h.add_write(2, 2, 3);
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  const CausalityGraph g(*co);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(CausalityGraph, IsolatedWritesHaveNoEdges) {
+  GlobalHistory h(3, 3);
+  h.add_write(0, 0, 1);
+  h.add_write(1, 1, 2);
+  h.add_write(2, 2, 3);
+  const auto co = CoRelation::build(h);
+  const CausalityGraph g(*co);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.roots().size(), 3u);
+  EXPECT_EQ(g.depth(), 0u);
+  EXPECT_NE(g.to_ascii().find("(isolated)"), std::string::npos);
+}
+
+TEST(CausalityGraph, ProcessOrderChainIsAPath) {
+  GlobalHistory h(1, 1);
+  for (int i = 0; i < 5; ++i) h.add_write(0, 0, i);
+  const auto co = CoRelation::build(h);
+  const CausalityGraph g(*co);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.depth(), 4u);
+  EXPECT_EQ(g.roots().size(), 1u);
+}
+
+TEST(CausalityGraph, DiamondHasTwoImmediatePredecessors) {
+  // p1 writes a; p2 and p3 both read a then write; p4 reads both and writes:
+  // the sink has exactly two immediate predecessors.
+  GlobalHistory h(4, 4);
+  const WriteId wa = h.add_write(0, 0, 1);
+  h.add_read(1, 0, 1, wa);
+  const WriteId wb = h.add_write(1, 1, 2);
+  h.add_read(2, 0, 1, wa);
+  const WriteId wc = h.add_write(2, 2, 3);
+  h.add_read(3, 1, 2, wb);
+  h.add_read(3, 2, 3, wc);
+  h.add_write(3, 3, 4);
+  const auto co = CoRelation::build(h);
+  const CausalityGraph g(*co);
+  const auto sink = *h.find_write(WriteId{3, 1});
+  EXPECT_EQ(g.predecessors(sink).size(), 2u);
+  // Paper: at most n immediate predecessors — here 2 < 4. The constructor
+  // DSM_ENSUREs the bound for every vertex.
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,147 @@
+// Tests for the causal-consistency checker (paper Definitions 1–2).
+
+#include <gtest/gtest.h>
+
+#include "dsm/history/checker.h"
+#include "dsm/workload/paper_examples.h"
+
+namespace dsm {
+namespace {
+
+TEST(Checker, H1IsCausallyConsistent) {
+  const GlobalHistory h = paper::make_h1_history();
+  const CheckResult result = ConsistencyChecker::check(h);
+  EXPECT_TRUE(result.consistent());
+  EXPECT_EQ(result.reads_checked, 2u);
+}
+
+TEST(Checker, EmptyHistoryIsConsistent) {
+  const GlobalHistory h(2, 2);
+  const CheckResult result = ConsistencyChecker::check(h);
+  EXPECT_TRUE(result.consistent());
+  EXPECT_EQ(result.reads_checked, 0u);
+}
+
+TEST(Checker, BottomReadBeforeAnyWriteIsLegal) {
+  GlobalHistory h(2, 1);
+  h.add_read(0, 0, kBottom, kNoWrite);
+  h.add_write(1, 0, 5);
+  // p1's ⊥-read has no write in its causal past: legal.
+  EXPECT_TRUE(ConsistencyChecker::check(h).consistent());
+}
+
+TEST(Checker, StaleBottomReadIsIllegal) {
+  // p1 writes x then reads ⊥ from x: the write is in the read's causal past.
+  GlobalHistory h(1, 1);
+  h.add_write(0, 0, 5);
+  h.add_read(0, 0, kBottom, kNoWrite);
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kStaleBottomRead);
+}
+
+TEST(Checker, OverwrittenReadIsIllegal) {
+  // Definition 1: p1 writes a then c to x1; p2 reads a *after* having read c
+  // would be fine; but reading a with c already ↦co-before the read is not.
+  // Construct: p2 reads c (establishing c in its past) then reads a.
+  GlobalHistory h(2, 1);
+  const WriteId wa = h.add_write(0, 0, 0);  // w1(x1)a
+  const WriteId wc = h.add_write(0, 0, 2);  // w1(x1)c, a ↦co c
+  h.add_read(1, 0, 2, wc);                  // r2(x1)c
+  h.add_read(1, 0, 0, wa);                  // r2(x1)a — stale: a ↦co c ↦co read
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kOverwrittenRead);
+  EXPECT_NE(result.violations[0].detail.find("overwritten"), std::string::npos);
+}
+
+TEST(Checker, ReadingOldValueWithoutCausalLinkIsLegal) {
+  // Two *concurrent* writes to x: a process may read either (this is causal,
+  // not sequential, consistency).
+  GlobalHistory h(3, 1);
+  const WriteId w1 = h.add_write(0, 0, 10);
+  const WriteId w2 = h.add_write(1, 0, 20);
+  h.add_read(2, 0, 10, w1);
+  (void)w2;
+  EXPECT_TRUE(ConsistencyChecker::check(h).consistent());
+}
+
+TEST(Checker, ProcessesMayDisagreeOnConcurrentWriteOrder) {
+  // The paper's central liberality: two processes see concurrent writes in
+  // opposite orders.  p3 reads 10 then 20; p4 reads 20 then 10.
+  GlobalHistory h(4, 1);
+  const WriteId w1 = h.add_write(0, 0, 10);
+  const WriteId w2 = h.add_write(1, 0, 20);
+  h.add_read(2, 0, 10, w1);
+  h.add_read(2, 0, 20, w2);
+  h.add_read(3, 0, 20, w2);
+  h.add_read(3, 0, 10, w1);
+  EXPECT_TRUE(ConsistencyChecker::check(h).consistent());
+}
+
+TEST(Checker, RereadingAfterSeeingNewerCausalValueIsIllegal) {
+  // Same as above but the writes are causally ordered: once p3 read 20
+  // (which causally follows 10), rereading 10 is a violation.
+  GlobalHistory h(3, 2);
+  const WriteId w1 = h.add_write(0, 0, 10);
+  h.add_read(1, 0, 10, w1);                // p2 reads 10
+  const WriteId w2 = h.add_write(1, 0, 20);  // so 10 ↦co 20
+  h.add_read(2, 0, 20, w2);
+  h.add_read(2, 0, 10, w1);  // illegal
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_FALSE(result.consistent());
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kOverwrittenRead);
+}
+
+TEST(Checker, ValueMismatchDetected) {
+  GlobalHistory h(2, 1);
+  const WriteId w = h.add_write(0, 0, 7);
+  h.add_read(1, 0, 8, w);  // recorded value disagrees with the cited write
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kValueMismatch);
+}
+
+TEST(Checker, VariableMismatchDetected) {
+  GlobalHistory h(2, 2);
+  const WriteId w = h.add_write(0, 0, 7);
+  h.add_read(1, 1, 7, w);  // cites a write on x1 for a read of x2
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kVariableMismatch);
+}
+
+TEST(Checker, DanglingReadsFromDetected) {
+  GlobalHistory h(2, 1);
+  h.add_read(1, 0, 7, WriteId{0, 9});
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kDanglingReadsFrom);
+}
+
+TEST(Checker, CyclicCausalityDetected) {
+  GlobalHistory h(1, 1);
+  h.add_read(0, 0, 7, WriteId{0, 1});  // reads own later write
+  h.add_write(0, 0, 7);
+  const CheckResult result = ConsistencyChecker::check(h);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kCyclicCausality);
+}
+
+TEST(Checker, MultipleViolationsAllReported) {
+  GlobalHistory h(2, 2);
+  const WriteId w = h.add_write(0, 0, 7);
+  h.add_read(1, 0, 8, w);   // value mismatch
+  h.add_read(1, 1, 7, w);   // variable mismatch
+  const CheckResult result = ConsistencyChecker::check(h);
+  EXPECT_EQ(result.violations.size(), 2u);
+  EXPECT_EQ(result.reads_checked, 2u);
+}
+
+TEST(Checker, ViolationKindNames) {
+  EXPECT_STREQ(to_string(ViolationKind::kOverwrittenRead), "overwritten-read");
+  EXPECT_STREQ(to_string(ViolationKind::kCyclicCausality), "cyclic-causality");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,130 @@
+// Degenerate and boundary configurations: single process, single variable,
+// empty runs, huge values — the configurations sweeps never visit.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/history/checker.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/sim_harness.h"
+#include "dsm/protocols/optp.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using testutil::DirectCluster;
+
+TEST(EdgeCases, SingleProcessClusterNeedsNoMessages) {
+  DirectCluster c(ProtocolKind::kOptP, 1, 2);
+  c.write(0, 0, 5);
+  c.write(0, 1, 6);
+  EXPECT_EQ(c.in_flight(), 0u);  // broadcast to Π − p_i = ∅
+  EXPECT_EQ(c.read(0, 0).value, 5);
+  const auto report = OptimalityAuditor::audit(c.recorder());
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.live());
+  EXPECT_TRUE(ConsistencyChecker::check(c.recorder().history()).consistent());
+}
+
+TEST(EdgeCases, SingleVariableManyWriters) {
+  DirectCluster c(ProtocolKind::kOptP, 4, 1);
+  for (ProcessId p = 0; p < 4; ++p) c.write(p, 0, p);
+  c.deliver_all();
+  // Everyone converged to SOME write; each replica's value is one of the
+  // four concurrent writes and the run is consistent.
+  for (ProcessId p = 0; p < 4; ++p) {
+    const Value v = c.node(p).peek(0).value;
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+  EXPECT_TRUE(ConsistencyChecker::check(c.recorder().history()).consistent());
+}
+
+TEST(EdgeCases, EmptyRunAuditsClean) {
+  DirectCluster c(ProtocolKind::kAnbkh, 3, 3);
+  const auto report = OptimalityAuditor::audit(c.recorder());
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.live());
+  EXPECT_TRUE(report.write_delay_optimal());
+  EXPECT_EQ(report.total_remote(), 0u);
+}
+
+TEST(EdgeCases, ExtremeValuesSurviveTheStack) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  const Value lo = std::numeric_limits<Value>::min() + 1;  // kBottom is min()
+  const Value hi = std::numeric_limits<Value>::max();
+  c.write(0, 0, lo);
+  c.deliver_all();
+  EXPECT_EQ(c.node(1).peek(0).value, lo);
+  c.write(1, 0, hi);
+  c.deliver_all();
+  EXPECT_EQ(c.node(0).peek(0).value, hi);
+  EXPECT_TRUE(ConsistencyChecker::check(c.recorder().history()).consistent());
+}
+
+TEST(EdgeCases, ReadHeavyRunHasNoMessagesBeyondWrites) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, 0, 1);
+  c.deliver_all();
+  for (int i = 0; i < 50; ++i) {
+    (void)c.read(1, 0);
+    (void)c.read(2, 1);
+  }
+  EXPECT_EQ(c.in_flight(), 0u);  // reads are local and wait-free
+  EXPECT_EQ(c.node(1).stats().reads_issued, 50u);
+}
+
+TEST(EdgeCases, SelfDeliveryNeverHappens) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 1);
+  c.write(1, 0, 9);
+  for (std::size_t i = 0; i < c.in_flight(); ++i) {
+    EXPECT_NE(c.flight(i).to, 1u);
+    EXPECT_EQ(c.flight(i).from, 1u);
+  }
+}
+
+TEST(EdgeCases, ZeroOpsWorkloadSettlesImmediately) {
+  const ConstantLatency lat(10);
+  SimRunConfig cfg;
+  cfg.kind = ProtocolKind::kOptP;
+  cfg.n_procs = 2;
+  cfg.n_vars = 1;
+  cfg.latency = &lat;
+  const auto result = run_sim(cfg, {Script{}, Script{}});
+  EXPECT_TRUE(result.settled);
+  EXPECT_EQ(result.recorder->history().size(), 0u);
+  EXPECT_EQ(result.net.messages_sent, 0u);
+}
+
+TEST(EdgeCases, InterleavedVariablesKeepIndependentLastWriteOn) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 3);
+  c.write(0, 0, 1);
+  c.write(0, 1, 2);
+  c.write(0, 2, 3);
+  c.deliver_all();
+  // Reading x3 must pull in x3's writer's past (which here includes x1, x2
+  // via program order) — but reading x1 first must NOT leak x3's tick.
+  auto& p2 = c.node(1);
+  (void)c.read(1, 0);
+  const auto& optp = static_cast<const OptP&>(p2);
+  EXPECT_EQ(optp.write_co(), (VectorClock{{1, 0}}));
+  (void)c.read(1, 2);
+  EXPECT_EQ(optp.write_co(), (VectorClock{{3, 0}}));
+}
+
+TEST(EdgeCases, WorkloadGeneratorSingleProcSingleVar) {
+  WorkloadSpec spec;
+  spec.n_procs = 1;
+  spec.n_vars = 1;
+  spec.ops_per_proc = 10;
+  const auto scripts = generate_workload(spec);
+  ASSERT_EQ(scripts.size(), 1u);
+  EXPECT_EQ(scripts[0].size(), 10u);
+  for (const auto& step : scripts[0]) EXPECT_EQ(step.var, 0u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,78 @@
+// Unit tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "dsm/common/flags.h"
+
+namespace dsm {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, KeyValueForm) {
+  auto flags = make({"--procs=8", "--pattern=zipf"});
+  EXPECT_EQ(flags.get_int("procs", 1), 8);
+  EXPECT_EQ(flags.get("pattern", "uniform"), "zipf");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  auto flags = make({});
+  EXPECT_EQ(flags.get_int("procs", 4), 4);
+  EXPECT_EQ(flags.get("pattern", "uniform"), "uniform");
+  EXPECT_DOUBLE_EQ(flags.get_double("spread", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("trace"));
+}
+
+TEST(Flags, BareSwitch) {
+  auto flags = make({"--trace", "--audit"});
+  EXPECT_TRUE(flags.get_bool("trace"));
+  EXPECT_TRUE(flags.get_bool("audit"));
+  EXPECT_FALSE(flags.get_bool("history"));
+}
+
+TEST(Flags, Positionals) {
+  auto flags = make({"run", "--seed=3", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(Flags, DoubleParsing) {
+  auto flags = make({"--write-fraction=0.75"});
+  EXPECT_DOUBLE_EQ(flags.get_double("write-fraction", 0.5), 0.75);
+}
+
+TEST(Flags, NegativeIntegers) {
+  auto flags = make({"--offset=-42"});
+  EXPECT_EQ(flags.get_int("offset", 0), -42);
+}
+
+TEST(Flags, UnknownReportsUnconsumed) {
+  auto flags = make({"--used=1", "--typo=2"});
+  (void)flags.get_int("used", 0);
+  const auto unknown = flags.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, EmptyValueFallsBackForNumbers) {
+  auto flags = make({"--procs="});
+  EXPECT_EQ(flags.get_int("procs", 9), 9);  // empty value -> fallback
+}
+
+TEST(Flags, ProgramName) {
+  auto flags = make({});
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+TEST(Flags, LastDuplicateWins) {
+  auto flags = make({"--seed=1", "--seed=2"});
+  EXPECT_EQ(flags.get_int("seed", 0), 2);
+}
+
+}  // namespace
+}  // namespace dsm

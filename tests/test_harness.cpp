@@ -1,0 +1,253 @@
+// Tests for the simulation harness: script execution, the paper
+// choreographies end-to-end, determinism, and workload generation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/history/checker.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/paper_examples.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace dsm {
+namespace {
+
+using paper::kB;
+using paper::kD;
+using paper::kX2;
+
+SimRunConfig base_config(ProtocolKind kind, const LatencyModel& lat) {
+  SimRunConfig cfg;
+  cfg.kind = kind;
+  cfg.n_procs = 3;
+  cfg.n_vars = 2;
+  cfg.latency = &lat;
+  return cfg;
+}
+
+bool histories_equal(const GlobalHistory& a, const GlobalHistory& b) {
+  if (a.size() != b.size() || a.n_procs() != b.n_procs()) return false;
+  for (ProcessId p = 0; p < a.n_procs(); ++p) {
+    const auto la = a.local(p);
+    const auto lb = b.local(p);
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!(a.op(la[i]) == b.op(lb[i]))) return false;
+    }
+  }
+  return true;
+}
+
+TEST(SimHarness, H1ScriptsProduceH1UnderEveryClassPProtocol) {
+  const ConstantLatency lat(10);
+  for (const auto kind : {ProtocolKind::kOptP, ProtocolKind::kAnbkh}) {
+    const auto result = run_sim(base_config(kind, lat), paper::make_h1_scripts());
+    ASSERT_TRUE(result.settled) << to_string(kind);
+    EXPECT_TRUE(histories_equal(result.recorder->history(),
+                                paper::make_h1_history()))
+        << to_string(kind) << "\n"
+        << result.recorder->history().str();
+  }
+}
+
+TEST(SimHarness, Fig3ChoreographyOptPZeroDelaysAnbkhOneUnnecessary) {
+  const ConstantLatency lat(10);
+  const auto choreo = paper::make_fig3();
+
+  auto cfg = base_config(ProtocolKind::kOptP, lat);
+  cfg.latency_override = choreo.latency_override;
+  const auto optp = run_sim(cfg, choreo.scripts);
+  ASSERT_TRUE(optp.settled);
+  EXPECT_EQ(optp.total_delayed(), 0u);
+  const auto optp_audit = OptimalityAuditor::audit(*optp.recorder);
+  EXPECT_TRUE(optp_audit.write_delay_optimal());
+
+  cfg.kind = ProtocolKind::kAnbkh;
+  const auto anbkh = run_sim(cfg, choreo.scripts);
+  ASSERT_TRUE(anbkh.settled);
+  EXPECT_EQ(anbkh.total_delayed(), 1u);
+  const auto anbkh_audit = OptimalityAuditor::audit(*anbkh.recorder);
+  EXPECT_EQ(anbkh_audit.total_unnecessary(), 1u);
+  EXPECT_FALSE(anbkh_audit.write_delay_optimal());
+
+  // Both runs realize the same history Ĥ₁ — only the delays differ.
+  EXPECT_TRUE(histories_equal(optp.recorder->history(),
+                              anbkh.recorder->history()));
+}
+
+TEST(SimHarness, Fig1Run1NoDelaysUnderBothProtocols) {
+  const ConstantLatency lat(10);
+  const auto choreo = paper::make_fig1_run1();
+  for (const auto kind : {ProtocolKind::kOptP, ProtocolKind::kAnbkh}) {
+    auto cfg = base_config(kind, lat);
+    cfg.latency_override = choreo.latency_override;
+    const auto result = run_sim(cfg, choreo.scripts);
+    ASSERT_TRUE(result.settled);
+    EXPECT_EQ(result.total_delayed(), 0u) << to_string(kind);
+  }
+}
+
+TEST(SimHarness, Fig1Run2OneNecessaryDelayUnderBothProtocols) {
+  const ConstantLatency lat(10);
+  const auto choreo = paper::make_fig1_run2();
+  for (const auto kind : {ProtocolKind::kOptP, ProtocolKind::kAnbkh}) {
+    auto cfg = base_config(kind, lat);
+    cfg.latency_override = choreo.latency_override;
+    const auto result = run_sim(cfg, choreo.scripts);
+    ASSERT_TRUE(result.settled);
+    const auto audit = OptimalityAuditor::audit(*result.recorder);
+    EXPECT_EQ(audit.total_necessary(), 1u) << to_string(kind);
+    EXPECT_EQ(audit.total_unnecessary(), 0u) << to_string(kind);
+    EXPECT_TRUE(audit.write_delay_optimal()) << to_string(kind);
+  }
+}
+
+TEST(SimHarness, SameSeedSameTrace) {
+  const UniformLatency lat(10, 400, 77);
+  const WorkloadSpec spec{.n_procs = 4,
+                          .n_vars = 4,
+                          .ops_per_proc = 40,
+                          .write_fraction = 0.5,
+                          .pattern = AccessPattern::kUniform,
+                          .seed = 9};
+  const auto scripts = generate_workload(spec);
+  SimRunConfig cfg;
+  cfg.kind = ProtocolKind::kOptP;
+  cfg.n_procs = 4;
+  cfg.n_vars = 4;
+  cfg.latency = &lat;
+
+  const auto r1 = run_sim(cfg, scripts);
+  const auto r2 = run_sim(cfg, scripts);
+  ASSERT_TRUE(r1.settled && r2.settled);
+  const auto& e1 = r1.recorder->events();
+  const auto& e2 = r2.recorder->events();
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].kind, e2[i].kind);
+    EXPECT_EQ(e1[i].at, e2[i].at);
+    EXPECT_EQ(e1[i].write, e2[i].write);
+    EXPECT_EQ(e1[i].time, e2[i].time);
+  }
+}
+
+TEST(SimHarness, TokenProtocolSettles) {
+  const ConstantLatency lat(20);
+  const WorkloadSpec spec{.n_procs = 3,
+                          .n_vars = 3,
+                          .ops_per_proc = 20,
+                          .write_fraction = 0.6,
+                          .seed = 4};
+  SimRunConfig cfg;
+  cfg.kind = ProtocolKind::kTokenWs;
+  cfg.n_procs = 3;
+  cfg.n_vars = 3;
+  cfg.latency = &lat;
+  const auto result = run_sim(cfg, generate_workload(spec));
+  EXPECT_TRUE(result.settled);
+  // History of a token run stays causally consistent.
+  EXPECT_TRUE(
+      ConsistencyChecker::check(result.recorder->history()).consistent());
+}
+
+TEST(SimHarness, ReadUntilTimesOutAndReadsAnyway) {
+  // The awaited value is never written: the reactive read must not hang.
+  Script p0;
+  {
+    ScriptStep s = read_until_step(0, 0, 42, sim_us(10));
+    s.timeout = sim_ms(1);
+    p0.push_back(s);
+  }
+  const ConstantLatency lat(10);
+  SimRunConfig cfg;
+  cfg.kind = ProtocolKind::kOptP;
+  cfg.n_procs = 1;
+  cfg.n_vars = 1;
+  cfg.latency = &lat;
+  const auto result = run_sim(cfg, {p0});
+  ASSERT_TRUE(result.settled);
+  EXPECT_EQ(result.stats[0].reads_issued, 1u);
+  EXPECT_EQ(result.recorder->history().size(), 1u);  // the one ⊥-read
+}
+
+// ---------------------------------------------------------- generator ------
+
+TEST(Generator, Deterministic) {
+  const WorkloadSpec spec{.seed = 123};
+  const auto a = generate_workload(spec);
+  const auto b = generate_workload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p].size(), b[p].size());
+    for (std::size_t i = 0; i < a[p].size(); ++i) {
+      EXPECT_EQ(a[p][i].kind, b[p][i].kind);
+      EXPECT_EQ(a[p][i].var, b[p][i].var);
+      EXPECT_EQ(a[p][i].value, b[p][i].value);
+      EXPECT_EQ(a[p][i].delay, b[p][i].delay);
+    }
+  }
+}
+
+TEST(Generator, RespectsWriteFraction) {
+  WorkloadSpec spec;
+  spec.ops_per_proc = 2000;
+  spec.write_fraction = 0.25;
+  const auto scripts = generate_workload(spec);
+  const auto writes = count_steps(scripts, StepKind::kWrite);
+  const auto reads = count_steps(scripts, StepKind::kRead);
+  const double frac =
+      static_cast<double>(writes) / static_cast<double>(writes + reads);
+  EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(Generator, PartitionedWritesMostlyOwnShard) {
+  WorkloadSpec spec;
+  spec.n_procs = 4;
+  spec.n_vars = 8;
+  spec.ops_per_proc = 1000;
+  spec.write_fraction = 1.0;
+  spec.pattern = AccessPattern::kPartitioned;
+  spec.remote_write_fraction = 0.0;
+  const auto scripts = generate_workload(spec);
+  for (ProcessId p = 0; p < 4; ++p) {
+    for (const auto& step : scripts[p]) {
+      EXPECT_GE(step.var, p * 2u);
+      EXPECT_LT(step.var, (p + 1) * 2u);
+    }
+  }
+}
+
+TEST(Generator, HotspotConcentratesOnVarZero) {
+  WorkloadSpec spec;
+  spec.n_vars = 16;
+  spec.ops_per_proc = 2000;
+  spec.pattern = AccessPattern::kHotspot;
+  spec.hotspot_fraction = 0.5;
+  const auto scripts = generate_workload(spec);
+  std::size_t hot = 0, total = 0;
+  for (const auto& script : scripts) {
+    for (const auto& step : script) {
+      ++total;
+      if (step.var == 0) ++hot;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.45);
+}
+
+TEST(Generator, ValuesAreGloballyUnique) {
+  WorkloadSpec spec;
+  spec.write_fraction = 1.0;
+  spec.ops_per_proc = 200;
+  const auto scripts = generate_workload(spec);
+  std::set<Value> seen;
+  for (const auto& script : scripts) {
+    for (const auto& step : script) {
+      EXPECT_TRUE(seen.insert(step.value).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,178 @@
+// Tests for the history model and the ↦co relation (paper Section 2),
+// anchored on the paper's Example 1 history Ĥ₁.
+
+#include <gtest/gtest.h>
+
+#include "dsm/history/co_relation.h"
+#include "dsm/history/history.h"
+#include "dsm/workload/paper_examples.h"
+
+namespace dsm {
+namespace {
+
+using paper::kA;
+using paper::kB;
+using paper::kC;
+using paper::kD;
+using paper::kX1;
+using paper::kX2;
+
+// OpRefs in make_h1_history's recording order.
+constexpr OpRef kWa = 0;  // w1(x1)a
+constexpr OpRef kWc = 1;  // w1(x1)c
+constexpr OpRef kR2 = 2;  // r2(x1)a
+constexpr OpRef kWb = 3;  // w2(x2)b
+constexpr OpRef kR3 = 4;  // r3(x2)b
+constexpr OpRef kWd = 5;  // w3(x2)d
+
+TEST(GlobalHistory, H1Shape) {
+  const GlobalHistory h = paper::make_h1_history();
+  EXPECT_EQ(h.n_procs(), 3u);
+  EXPECT_EQ(h.n_vars(), 2u);
+  EXPECT_EQ(h.size(), 6u);
+  EXPECT_EQ(h.writes().size(), 4u);
+  EXPECT_EQ(h.local(0).size(), 2u);
+  EXPECT_EQ(h.local(1).size(), 2u);
+  EXPECT_EQ(h.local(2).size(), 2u);
+}
+
+TEST(GlobalHistory, WriteIdsAreOneBasedPerProcess) {
+  const GlobalHistory h = paper::make_h1_history();
+  EXPECT_EQ(h.op(kWa).write_id, (WriteId{0, 1}));
+  EXPECT_EQ(h.op(kWc).write_id, (WriteId{0, 2}));
+  EXPECT_EQ(h.op(kWb).write_id, (WriteId{1, 1}));
+  EXPECT_EQ(h.op(kWd).write_id, (WriteId{2, 1}));
+  EXPECT_EQ(h.write_count(0), 2u);
+  EXPECT_EQ(h.write_count(1), 1u);
+}
+
+TEST(GlobalHistory, FindWrite) {
+  const GlobalHistory h = paper::make_h1_history();
+  EXPECT_EQ(h.find_write(WriteId{0, 2}), kWc);
+  EXPECT_FALSE(h.find_write(WriteId{0, 3}).has_value());
+  EXPECT_FALSE(h.find_write(kNoWrite).has_value());
+}
+
+TEST(GlobalHistory, PaperStyleRendering) {
+  const GlobalHistory h = paper::make_h1_history();
+  const std::string s = h.str();
+  EXPECT_NE(s.find("h1: w1(x1)a; w1(x1)c"), std::string::npos);
+  EXPECT_NE(s.find("h2: r2(x1)a; w2(x2)b"), std::string::npos);
+  EXPECT_NE(s.find("h3: r3(x2)b; w3(x2)d"), std::string::npos);
+}
+
+TEST(OpToString, LetterAndNumericValues) {
+  Operation op;
+  op.proc = 0;
+  op.kind = OpKind::kWrite;
+  op.var = 0;
+  op.value = 0;
+  EXPECT_EQ(op_to_string(op), "w1(x1)a");
+  op.value = 100;
+  EXPECT_EQ(op_to_string(op), "w1(x1)100");
+  op.kind = OpKind::kRead;
+  op.value = kBottom;
+  EXPECT_EQ(op_to_string(op), "r1(x1)⊥");
+}
+
+// ------------------------------------------------------------- CoRelation --
+
+TEST(CoRelation, H1MatchesExampleOne) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+
+  // The paper's stated relations:
+  //   w1(x1)a ↦co w2(x2)b, w1(x1)a ↦co w1(x1)c, w2(x2)b ↦co w3(x2)d,
+  //   w1(x1)c ‖co w2(x2)b, w1(x1)c ‖co w3(x2)d.
+  EXPECT_TRUE(co->precedes(kWa, kWb));
+  EXPECT_TRUE(co->precedes(kWa, kWc));
+  EXPECT_TRUE(co->precedes(kWb, kWd));
+  EXPECT_TRUE(co->concurrent(kWc, kWb));
+  EXPECT_TRUE(co->concurrent(kWc, kWd));
+  // Transitivity: a ↦co d through b.
+  EXPECT_TRUE(co->precedes(kWa, kWd));
+  // Asymmetry.
+  EXPECT_FALSE(co->precedes(kWb, kWa));
+}
+
+TEST(CoRelation, ReadsParticipateInTheRelation) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  // w1(x1)a ↦ro r2(x1)a ↦po w2(x2)b.
+  EXPECT_TRUE(co->precedes(kWa, kR2));
+  EXPECT_TRUE(co->precedes(kR2, kWb));
+  // The read of b at p3 is after b.
+  EXPECT_TRUE(co->precedes(kWb, kR3));
+}
+
+TEST(CoRelation, CausalPastOfD) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  // ↓(w3(x2)d) = {w1(x1)a, r2(x1)a, w2(x2)b, r3(x2)b}; writes: {a, b}.
+  EXPECT_EQ(co->causal_past(kWd),
+            (std::vector<OpRef>{kWa, kR2, kWb, kR3}));
+  EXPECT_EQ(co->write_causal_past(kWd), (std::vector<OpRef>{kWa, kWb}));
+  EXPECT_EQ(co->causal_past_size(kWd), 4u);
+}
+
+TEST(CoRelation, WritePrecedesByIds) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  EXPECT_TRUE(co->write_precedes(WriteId{0, 1}, WriteId{1, 1}));
+  EXPECT_FALSE(co->write_precedes(WriteId{0, 2}, WriteId{1, 1}));
+  EXPECT_TRUE(co->write_concurrent(WriteId{0, 2}, WriteId{2, 1}));
+}
+
+TEST(CoRelation, RootsHaveEmptyPast) {
+  const GlobalHistory h = paper::make_h1_history();
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  EXPECT_TRUE(co->causal_past(kWa).empty());
+}
+
+TEST(CoRelation, CycleIsRejected) {
+  // p1 reads a value from a write that is *after* the read in p1's own
+  // program order -> r ↦po w and w ↦ro r: a cycle.
+  GlobalHistory h(2, 1);
+  h.add_read(0, 0, 7, WriteId{0, 1});  // reads from p1's own later write
+  h.add_write(0, 0, 7);
+  EXPECT_FALSE(CoRelation::build(h).has_value());
+}
+
+TEST(CoRelation, DanglingReadsFromIsRejected) {
+  GlobalHistory h(2, 1);
+  h.add_read(0, 0, 7, WriteId{1, 5});  // p2 never wrote 5 times
+  EXPECT_FALSE(CoRelation::build(h).has_value());
+}
+
+TEST(CoRelation, SingleProcessChainIsTotal) {
+  GlobalHistory h(1, 1);
+  h.add_write(0, 0, 1);
+  h.add_write(0, 0, 2);
+  h.add_write(0, 0, 3);
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  EXPECT_TRUE(co->precedes(0, 1));
+  EXPECT_TRUE(co->precedes(1, 2));
+  EXPECT_TRUE(co->precedes(0, 2));
+  EXPECT_FALSE(co->precedes(2, 0));
+}
+
+TEST(CoRelation, IndependentProcessesAreFullyConcurrent) {
+  GlobalHistory h(3, 3);
+  h.add_write(0, 0, 1);
+  h.add_write(1, 1, 2);
+  h.add_write(2, 2, 3);
+  const auto co = CoRelation::build(h);
+  ASSERT_TRUE(co.has_value());
+  EXPECT_TRUE(co->concurrent(0, 1));
+  EXPECT_TRUE(co->concurrent(1, 2));
+  EXPECT_TRUE(co->concurrent(0, 2));
+}
+
+}  // namespace
+}  // namespace dsm

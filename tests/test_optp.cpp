@@ -1,0 +1,232 @@
+// Protocol-level tests for OptP (paper Section 4): data-structure evolution
+// exactly as Figure 6, the wait condition of Figure 5, and the headline
+// behaviour — no false causality.
+
+#include <gtest/gtest.h>
+
+#include "dsm/protocols/optp.h"
+#include "dsm/workload/paper_examples.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using paper::kA;
+using paper::kB;
+using paper::kC;
+using paper::kD;
+using paper::kX1;
+using paper::kX2;
+using testutil::DirectCluster;
+
+OptP& optp(DirectCluster& c, ProcessId p) {
+  return static_cast<OptP&>(c.node(p));
+}
+
+TEST(OptP, LocalWriteAppliesImmediately) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  const auto r = c.read(0, kX1);
+  EXPECT_EQ(r.value, kA);
+  EXPECT_EQ(r.writer, (WriteId{0, 1}));
+  EXPECT_EQ(c.node(0).stats().writes_issued, 1u);
+}
+
+TEST(OptP, UnwrittenLocationReadsBottom) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 2);
+  const auto r = c.read(1, kX2);
+  EXPECT_EQ(r.value, kBottom);
+  EXPECT_EQ(r.writer, kNoWrite);
+}
+
+TEST(OptP, WriteTicksOwnComponentOnly) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(1, kX1, 5);
+  c.write(1, kX1, 6);
+  EXPECT_EQ(optp(c, 1).write_co(), (VectorClock{{0, 2, 0}}));
+  EXPECT_EQ(optp(c, 0).write_co(), (VectorClock{{0, 0, 0}}));
+}
+
+TEST(OptP, ReadMergesLastWriteOn_Figure6) {
+  // Reproduce the Figure 6 metadata evolution at p2:
+  // after applying w1(x1)a and READING it, p2's Write_co = [1,0,0]; its
+  // write w2(x2)b then carries Write_co = [1,1,0].
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  // Applying alone must NOT merge (that would be ANBKH's mistake).
+  EXPECT_EQ(optp(c, 1).write_co(), (VectorClock{{0, 0, 0}}));
+  const auto r = c.read(1, kX1);
+  EXPECT_EQ(r.value, kA);
+  EXPECT_EQ(optp(c, 1).write_co(), (VectorClock{{1, 0, 0}}));
+  c.write(1, kX2, kB);
+  EXPECT_EQ(optp(c, 1).write_co(), (VectorClock{{1, 1, 0}}));
+}
+
+TEST(OptP, ApplyWithoutReadLeavesWriteCoUntouched_Figure6) {
+  // Figure 6's key subtlety: p2 applies w1(x1)c before writing b, but since
+  // it never READS c, w2(x2)b.Write_co does not track c ([1,1,0], not
+  // [2,1,0]).
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);              // reads a -> merges [1,0,0]
+  c.write(0, kX1, kC);
+  ASSERT_TRUE(c.deliver_to(1, 0));   // c applied at p2 (no read!)
+  EXPECT_EQ(c.node(1).peek(kX1).value, kC);
+  c.write(1, kX2, kB);
+  EXPECT_EQ(optp(c, 1).write_co(), (VectorClock{{1, 1, 0}}));
+}
+
+TEST(OptP, LastWriteOnStoresTheAppliedWritesVector) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(2, 0));
+  EXPECT_EQ(optp(c, 2).last_write_on(kX1), (VectorClock{{1, 0, 0}}));
+  EXPECT_EQ(optp(c, 2).last_write_on(kX2), (VectorClock{{0, 0, 0}}));
+}
+
+TEST(OptP, WaitConditionDelaysOutOfOrderSenderWrites) {
+  // p1's second write arrives at p3 before its first: Apply[1] = 0 but the
+  // message has Write_co[1] = 2 -> buffered; applying after the first.
+  DirectCluster c2(ProtocolKind::kOptP, 3, 2);
+  c2.write(0, kX1, 10);
+  c2.write(0, kX1, 20);
+  auto held = c2.intercept_to(2);
+  ASSERT_EQ(held.size(), 2u);
+  c2.inject(std::move(held[1]));  // seq 2 first
+  EXPECT_EQ(c2.node(2).pending_count(), 1u);
+  EXPECT_EQ(c2.node(2).peek(kX1).value, kBottom);  // not applied
+  EXPECT_EQ(c2.node(2).stats().delayed_writes, 1u);
+  c2.inject(std::move(held[0]));  // seq 1 unblocks both
+  EXPECT_EQ(c2.node(2).pending_count(), 0u);
+  EXPECT_EQ(c2.node(2).peek(kX1).value, 20);
+  EXPECT_EQ(c2.node(2).stats().remote_applies, 2u);
+}
+
+TEST(OptP, NoFalseCausality_Figure3Scenario) {
+  // The paper's headline: p3 applies w2(x2)b WITHOUT waiting for the
+  // concurrent w1(x1)c, even though send(c) → send(b).
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));   // a reaches p2
+  (void)c.read(1, kX1);              // p2 reads a
+  c.write(0, kX1, kC);
+  ASSERT_TRUE(c.deliver_to(1, 0));   // c applied at p2 (send(c) → send(b))
+  c.write(1, kX2, kB);               // b with Write_co [1,1,0]
+
+  // At p3: a arrives, then b; c still in flight.
+  ASSERT_TRUE(c.deliver_to(2, 0));   // a
+  ASSERT_TRUE(c.deliver_to(2, 1));   // b — applies immediately under OptP
+  EXPECT_EQ(c.node(2).peek(kX2).value, kB);
+  EXPECT_EQ(c.node(2).pending_count(), 0u);
+  EXPECT_EQ(c.node(2).stats().delayed_writes, 0u);
+}
+
+TEST(OptP, NecessaryDelayStillEnforced_Figure1Run2) {
+  // b arrives at p3 before a: a ↦co b, so b MUST wait (safety).
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(1, kX2, kB);
+
+  ASSERT_TRUE(c.deliver_to(2, 1));   // b first: must buffer
+  EXPECT_EQ(c.node(2).peek(kX2).value, kBottom);
+  EXPECT_EQ(c.node(2).stats().delayed_writes, 1u);
+  ASSERT_TRUE(c.deliver_to(2, 0));   // a: unblocks b
+  EXPECT_EQ(c.node(2).peek(kX1).value, kA);
+  EXPECT_EQ(c.node(2).peek(kX2).value, kB);
+  EXPECT_EQ(c.node(2).pending_count(), 0u);
+}
+
+TEST(OptP, CascadedDrainAppliesChains) {
+  // Three causally-chained writes delivered in reverse order: one unblocking
+  // message must flush the whole buffer.
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  c.write(0, 0, 3);
+  auto held = c.intercept_to(1);
+  ASSERT_EQ(held.size(), 3u);
+  c.inject(std::move(held[2]));
+  c.inject(std::move(held[1]));
+  EXPECT_EQ(c.node(1).pending_count(), 2u);
+  c.inject(std::move(held[0]));
+  EXPECT_EQ(c.node(1).pending_count(), 0u);
+  EXPECT_EQ(c.node(1).peek(0).value, 3);
+  EXPECT_EQ(c.node(1).stats().delayed_writes, 2u);
+  EXPECT_EQ(c.node(1).stats().peak_pending, 2u);
+}
+
+TEST(OptP, ConcurrentWritesLastApplyWinsPerReplica) {
+  // Two ‖co writes to the same variable: each replica keeps the one it
+  // applied last; replicas may disagree (causal memory does not converge).
+  DirectCluster c(ProtocolKind::kOptP, 3, 1);
+  c.write(0, 0, 100);
+  c.write(1, 0, 200);
+  // p3 receives p1's then p2's; p1 receives p2's; p2 receives p1's.
+  ASSERT_TRUE(c.deliver_to(2, 0));
+  ASSERT_TRUE(c.deliver_to(2, 1));
+  ASSERT_TRUE(c.deliver_to(0, 1));
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  EXPECT_EQ(c.node(2).peek(0).value, 200);
+  EXPECT_EQ(c.node(0).peek(0).value, 200);  // p1: own 100 then applied 200
+  EXPECT_EQ(c.node(1).peek(0).value, 100);  // p2: own 200 then applied 100
+}
+
+TEST(OptP, ReadOfConcurrentWriteDoesNotOrderIt) {
+  // After p1 reads p2's concurrent write, p1's next write must causally
+  // follow it (read-from!), i.e. Write_co merges on read of remote value.
+  DirectCluster c(ProtocolKind::kOptP, 2, 2);
+  c.write(1, kX1, 7);
+  ASSERT_TRUE(c.deliver_to(0, 1));
+  (void)c.read(0, kX1);
+  c.write(0, kX2, 8);
+  EXPECT_EQ(optp(c, 0).write_co(), (VectorClock{{1, 1}}));
+}
+
+TEST(OptP, StatsCountersAreCoherent) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  c.deliver_all();
+  const auto& s = c.node(1).stats();
+  EXPECT_EQ(s.messages_received, 2u);
+  EXPECT_EQ(s.remote_applies, 2u);
+  EXPECT_EQ(s.delayed_writes, 0u);
+  EXPECT_EQ(s.skipped_writes, 0u);
+  EXPECT_EQ(c.node(1).name(), "optp");
+}
+
+TEST(OptP, H1HistoryRecordedConsistently) {
+  // Execute Ĥ₁ via the DirectCluster and verify the recorded history equals
+  // the hand-built one (shape + reads-from).
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, kX1, kA);
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, kX1);
+  c.write(0, kX1, kC);
+  c.write(1, kX2, kB);
+  ASSERT_TRUE(c.deliver_to(2, 0));  // a
+  ASSERT_TRUE(c.deliver_to(2, 1));  // b
+  (void)c.read(2, kX2);
+  c.write(2, kX2, kD);
+  c.deliver_all();
+
+  // Same per-process operation sequences (flat recording order may differ).
+  const GlobalHistory& h = c.recorder().history();
+  const GlobalHistory expected = paper::make_h1_history();
+  ASSERT_EQ(h.size(), expected.size());
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto got = h.local(p);
+    const auto want = expected.local(p);
+    ASSERT_EQ(got.size(), want.size()) << "p" << p;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(h.op(got[i]), expected.op(want[i])) << "p" << p << " op " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,165 @@
+// Unit tests for the run recorder, event rendering and the trace renderers.
+
+#include <gtest/gtest.h>
+
+#include "dsm/audit/trace_render.h"
+#include "dsm/protocols/registry.h"
+#include "dsm/protocols/run_recorder.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using testutil::DirectCluster;
+
+TEST(RunRecorder, EventsGetMonotoneOrderAndClock) {
+  std::uint64_t fake_time = 100;
+  RunRecorder rec(2, 1, [&fake_time] { return fake_time += 10; });
+  WriteUpdate m;
+  m.sender = 0;
+  m.write_seq = 1;
+  m.clock = VectorClock(2);
+  rec.on_send(0, m);
+  rec.on_receipt(1, m);
+  rec.on_apply(1, WriteId{0, 1}, true);
+  const auto& events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].order, 0u);
+  EXPECT_EQ(events[1].order, 1u);
+  EXPECT_EQ(events[2].order, 2u);
+  EXPECT_EQ(events[0].time, 110u);
+  EXPECT_EQ(events[2].time, 130u);
+  EXPECT_TRUE(events[2].delayed);
+}
+
+TEST(RunRecorder, FindLocatesFirstMatch) {
+  RunRecorder rec(2, 1);
+  rec.on_apply(1, WriteId{0, 1}, false);
+  rec.on_apply(1, WriteId{0, 1}, true);  // (would not happen in real runs)
+  const auto found = rec.find(EvKind::kApply, 1, WriteId{0, 1});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_FALSE(found->delayed);  // the first one
+  EXPECT_FALSE(rec.find(EvKind::kApply, 0, WriteId{0, 1}).has_value());
+}
+
+TEST(RunRecorder, EventsAtFiltersByProcess) {
+  RunRecorder rec(3, 1);
+  rec.on_apply(0, WriteId{0, 1}, false);
+  rec.on_apply(2, WriteId{0, 1}, false);
+  rec.on_apply(2, WriteId{1, 1}, false);
+  EXPECT_EQ(rec.events_at(0).size(), 1u);
+  EXPECT_EQ(rec.events_at(1).size(), 0u);
+  EXPECT_EQ(rec.events_at(2).size(), 2u);
+}
+
+TEST(RunRecorder, HistoryRecordingAssignsIds) {
+  RunRecorder rec(2, 2);
+  const WriteId w1 = rec.record_write(0, 0, 5);
+  const WriteId w2 = rec.record_write(0, 1, 6);
+  EXPECT_EQ(w1, (WriteId{0, 1}));
+  EXPECT_EQ(w2, (WriteId{0, 2}));
+  rec.record_read(1, 0, ReadResult{5, w1});
+  EXPECT_EQ(rec.history().size(), 3u);
+}
+
+TEST(EventToString, PaperNotation) {
+  RunEvent e;
+  e.at = 2;
+  e.kind = EvKind::kApply;
+  e.write = WriteId{1, 1};
+  EXPECT_EQ(event_to_string(e), "apply_3(w2^1)");
+
+  e.kind = EvKind::kReturn;
+  e.var = 1;
+  e.value = 7;
+  EXPECT_EQ(event_to_string(e), "return_3(x2,7)");
+
+  e.kind = EvKind::kSkip;
+  e.write = WriteId{0, 2};
+  e.other = WriteId{0, 4};
+  EXPECT_EQ(event_to_string(e), "skip_3(w1^2 by w1^4)");
+}
+
+TEST(SequenceStr, JoinsWithProcessOrderSymbol) {
+  RunRecorder rec(3, 1);
+  WriteUpdate m;
+  m.sender = 0;
+  m.write_seq = 1;
+  m.clock = VectorClock(3);
+  rec.on_receipt(2, m);
+  rec.on_apply(2, WriteId{0, 1}, false);
+  const std::string seq = rec.sequence_str(2);
+  EXPECT_EQ(seq, "receipt_3(w1^1) <_3 apply_3(w1^1)");
+}
+
+// ------------------------------------------------------------ renderers ----
+
+TEST(TraceRender, SequencesListEveryProcess) {
+  DirectCluster c(ProtocolKind::kOptP, 3, 2);
+  c.write(0, 0, 1);
+  c.deliver_all();
+  const std::string out = render_sequences(c.recorder());
+  EXPECT_NE(out.find("p1: send_1(w1^1)"), std::string::npos);
+  EXPECT_NE(out.find("p2: receipt_2(w1^1)"), std::string::npos);
+  EXPECT_NE(out.find("p3: "), std::string::npos);
+}
+
+TEST(TraceRender, SpaceTimeShowsClocksAndDelays) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  auto held = c.intercept_to(1);
+  c.inject(std::move(held[1]));  // out of order -> delay
+  c.inject(std::move(held[0]));
+  const std::string out = render_space_time(c.recorder());
+  EXPECT_NE(out.find("[1,0]"), std::string::npos);   // send clock annotation
+  EXPECT_NE(out.find("(was delayed)"), std::string::npos);
+  EXPECT_NE(out.find("t(us)"), std::string::npos);
+}
+
+TEST(TraceRender, OptionsSuppressSections) {
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  c.write(0, 0, 1);
+  c.deliver_all();
+  (void)c.read(1, 0);
+  TraceRenderOptions opts;
+  opts.show_clocks = false;
+  opts.show_returns = false;
+  opts.show_time = false;
+  const std::string out = render_space_time(c.recorder(), opts);
+  EXPECT_EQ(out.find("[1,0]"), std::string::npos);
+  EXPECT_EQ(out.find("return"), std::string::npos);
+  EXPECT_EQ(out.find("t(us)"), std::string::npos);
+  EXPECT_NE(out.find("apply_2(w1^1)"), std::string::npos);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, NamesRoundTrip) {
+  for (const auto kind : all_protocol_kinds()) {
+    const auto parsed = parse_protocol(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_protocol("nope").has_value());
+  EXPECT_FALSE(parse_protocol("").has_value());
+}
+
+TEST(Registry, AllKindsAreConstructibleAndNamed) {
+  for (const auto kind : all_protocol_kinds()) {
+    DirectCluster c(kind, 2, 2);
+    EXPECT_EQ(c.node(0).name(), to_string(kind));
+    EXPECT_EQ(c.node(0).n_procs(), 2u);
+    EXPECT_EQ(c.node(0).n_vars(), 2u);
+  }
+}
+
+TEST(Registry, ClassPSubsetIsCorrect) {
+  const auto& class_p = class_p_protocol_kinds();
+  ASSERT_EQ(class_p.size(), 2u);
+  EXPECT_EQ(class_p[0], ProtocolKind::kOptP);
+  EXPECT_EQ(class_p[1], ProtocolKind::kAnbkh);
+}
+
+}  // namespace
+}  // namespace dsm

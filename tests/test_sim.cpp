@@ -1,0 +1,241 @@
+// Tests for the discrete-event simulator: queue ordering, latency models,
+// network delivery semantics.
+
+#include <gtest/gtest.h>
+
+#include "dsm/sim/event_queue.h"
+#include "dsm/sim/latency.h"
+#include "dsm/sim/network.h"
+
+namespace dsm {
+namespace {
+
+// ------------------------------------------------------------ EventQueue --
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(30, [&] { fired.push_back(3); });
+  q.schedule_at(10, [&] { fired.push_back(1); });
+  q.schedule_at(20, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7, [&fired, i] { fired.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) q.schedule_after(5, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, RunUntilRespectsHorizon) {
+  EventQueue q;
+  int count = 0;
+  for (SimTime t = 0; t < 100; t += 10) {
+    q.schedule_at(t, [&] { ++count; });
+  }
+  EXPECT_EQ(q.run_until(45), 5u);  // t = 0,10,20,30,40
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.pending(), 5u);
+}
+
+TEST(EventQueue, RunMaxEventsCap) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule_at(static_cast<SimTime>(i), [] {});
+  EXPECT_EQ(q.run(3), 3u);
+  EXPECT_EQ(q.pending(), 7u);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+}
+
+// --------------------------------------------------------------- Latency --
+
+TEST(Latency, ConstantModel) {
+  const ConstantLatency lat(42);
+  EXPECT_EQ(lat.latency(0, 1, 0), 42u);
+  EXPECT_EQ(lat.latency(3, 2, 999), 42u);
+}
+
+TEST(Latency, UniformStaysInRangeAndIsDeterministic) {
+  const UniformLatency lat(10, 20, 77);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const SimTime v = lat.latency(0, 1, i);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    EXPECT_EQ(v, lat.latency(0, 1, i));  // stateless: same draw every call
+  }
+}
+
+TEST(Latency, DrawsDifferAcrossChannelsAndIndices) {
+  const UniformLatency lat(0, 1'000'000, 5);
+  EXPECT_NE(lat.latency(0, 1, 0), lat.latency(0, 1, 1));
+  EXPECT_NE(lat.latency(0, 1, 0), lat.latency(1, 0, 0));
+  EXPECT_NE(lat.latency(0, 1, 0), lat.latency(0, 2, 0));
+}
+
+TEST(Latency, ExponentialAtLeastBase) {
+  const ExponentialLatency lat(100, 50.0, 3);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_GE(lat.latency(1, 2, i), 100u);
+  }
+}
+
+TEST(Latency, LogNormalPositive) {
+  const LogNormalLatency lat(4.0, 1.0, 3);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_GE(lat.latency(0, 1, i), 1u);
+  }
+}
+
+TEST(Latency, SlowLinkOnlySlowsTheConfiguredChannel) {
+  const SlowLinkLatency lat(0, 2, 1000, 10);
+  EXPECT_EQ(lat.latency(0, 2, 0), 1000u);
+  EXPECT_EQ(lat.latency(2, 0, 0), 10u);
+  EXPECT_EQ(lat.latency(0, 1, 0), 10u);
+}
+
+TEST(Latency, FactoryProducesEveryKind) {
+  for (const auto kind :
+       {LatencyKind::kConstant, LatencyKind::kUniform,
+        LatencyKind::kExponential, LatencyKind::kLogNormal}) {
+    const auto model = make_latency(kind, 100, 0.5, 9);
+    ASSERT_NE(model, nullptr);
+    EXPECT_GE(model->latency(0, 1, 0), 1u);
+    EXPECT_FALSE(model->describe().empty());
+  }
+}
+
+// ---------------------------------------------------------------- Network --
+
+class Collector final : public MessageSink {
+ public:
+  struct Delivery {
+    ProcessId from;
+    std::vector<std::uint8_t> bytes;
+    SimTime at;
+  };
+
+  Collector(EventQueue& q) : q_(&q) {}
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override {
+    deliveries.push_back(
+        {from, {bytes.begin(), bytes.end()}, q_->now()});
+  }
+  std::vector<Delivery> deliveries;
+
+ private:
+  EventQueue* q_;
+};
+
+TEST(Network, DeliversExactlyOnceAfterLatency) {
+  EventQueue q;
+  const ConstantLatency lat(25);
+  Network net(q, lat, 2);
+  Collector c0(q), c1(q);
+  net.attach(0, c0);
+  net.attach(1, c1);
+
+  net.send(0, 1, {1, 2, 3});
+  q.run();
+  ASSERT_EQ(c1.deliveries.size(), 1u);
+  EXPECT_EQ(c1.deliveries[0].from, 0u);
+  EXPECT_EQ(c1.deliveries[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(c1.deliveries[0].at, 25u);
+  EXPECT_TRUE(c0.deliveries.empty());  // no spurious messages
+}
+
+TEST(Network, BroadcastSkipsSender) {
+  EventQueue q;
+  const ConstantLatency lat(5);
+  Network net(q, lat, 3);
+  Collector c0(q), c1(q), c2(q);
+  net.attach(0, c0);
+  net.attach(1, c1);
+  net.attach(2, c2);
+  net.broadcast(1, {9});
+  q.run();
+  EXPECT_EQ(c0.deliveries.size(), 1u);
+  EXPECT_TRUE(c1.deliveries.empty());
+  EXPECT_EQ(c2.deliveries.size(), 1u);
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 2u);
+}
+
+TEST(Network, ChannelsMayReorder) {
+  // Two messages on the same channel with decreasing latencies overtake.
+  EventQueue q;
+  const UniformLatency lat(0, 0, 1);  // placeholder; override drives delays
+  Network net(q, lat, 2);
+  Collector c1(q);
+  Collector c0(q);
+  net.attach(0, c0);
+  net.attach(1, c1);
+  int msg_index = 0;
+  net.set_latency_override(
+      [&msg_index](ProcessId, ProcessId,
+                   std::span<const std::uint8_t>) -> std::optional<SimTime> {
+        return msg_index++ == 0 ? 100 : 10;
+      });
+  net.send(0, 1, {1});
+  net.send(0, 1, {2});
+  q.run();
+  ASSERT_EQ(c1.deliveries.size(), 2u);
+  EXPECT_EQ(c1.deliveries[0].bytes[0], 2);  // second message arrives first
+  EXPECT_EQ(c1.deliveries[1].bytes[0], 1);
+}
+
+TEST(Network, OverrideFallsBackToModelWhenDisengaged) {
+  EventQueue q;
+  const ConstantLatency lat(33);
+  Network net(q, lat, 2);
+  Collector c1(q);
+  Collector c0(q);
+  net.attach(0, c0);
+  net.attach(1, c1);
+  net.set_latency_override(
+      [](ProcessId, ProcessId, std::span<const std::uint8_t> bytes)
+          -> std::optional<SimTime> {
+        return bytes[0] == 7 ? std::optional<SimTime>{1} : std::nullopt;
+      });
+  net.send(0, 1, {7});
+  net.send(0, 1, {8});
+  q.run();
+  ASSERT_EQ(c1.deliveries.size(), 2u);
+  EXPECT_EQ(c1.deliveries[0].at, 1u);
+  EXPECT_EQ(c1.deliveries[1].at, 33u);
+}
+
+TEST(Network, MaxLatencyStatTracked) {
+  EventQueue q;
+  const UniformLatency lat(10, 500, 4);
+  Network net(q, lat, 2);
+  Collector c0(q), c1(q);
+  net.attach(0, c0);
+  net.attach(1, c1);
+  for (int i = 0; i < 50; ++i) net.send(0, 1, {0});
+  q.run();
+  EXPECT_GE(net.stats().max_latency_seen, 10u);
+  EXPECT_LE(net.stats().max_latency_seen, 500u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,128 @@
+// Tests for the token-based sender-side writing-semantics protocol
+// (Jiménez et al. [7], paper Section 3.6).
+
+#include <gtest/gtest.h>
+
+#include "dsm/history/checker.h"
+#include "dsm/protocols/token.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using testutil::DirectCluster;
+
+ProtocolConfig small_cap(std::uint64_t rounds) {
+  ProtocolConfig cfg;
+  cfg.token_max_rounds = rounds;
+  return cfg;
+}
+
+TokenWs& token(DirectCluster& c, ProcessId p) {
+  return static_cast<TokenWs&>(c.node(p));
+}
+
+TEST(TokenWs, OwnWritesVisibleImmediately) {
+  DirectCluster c(ProtocolKind::kTokenWs, 3, 2, small_cap(100));
+  c.write(1, 0, 42);
+  EXPECT_EQ(c.read(1, 0).value, 42);
+  // …but not remotely until the token carries them.
+  EXPECT_EQ(c.node(0).peek(0).value, kBottom);
+}
+
+TEST(TokenWs, TokenCarriesBatchesRoundRobin) {
+  DirectCluster c(ProtocolKind::kTokenWs, 3, 2, small_cap(6));
+  c.write(1, 0, 7);   // p2 buffers: waits for its token turn
+  c.deliver_all();    // circulate: rounds 0..5 (two full laps)
+  EXPECT_EQ(c.node(0).peek(0).value, 7);
+  EXPECT_EQ(c.node(2).peek(0).value, 7);
+  EXPECT_GE(token(c, 1).token_stats().rounds_held, 1u);
+}
+
+TEST(TokenWs, LastWritePerVariableWins) {
+  // Three writes to x before p1's turn: only the last propagates; the two
+  // overwritten ones are never seen remotely (paper: "the other processes
+  // only see the last write of x done by p").
+  DirectCluster c(ProtocolKind::kTokenWs, 2, 2, small_cap(4));
+  c.write(1, 0, 1);
+  c.write(1, 0, 2);
+  c.write(1, 0, 3);
+  c.write(1, 1, 50);
+  c.deliver_all();
+  EXPECT_EQ(c.node(0).peek(0).value, 3);
+  EXPECT_EQ(c.node(0).peek(1).value, 50);
+  EXPECT_EQ(token(c, 1).token_stats().coalesced_writes, 2u);
+  EXPECT_EQ(c.node(0).stats().skipped_writes, 2u);
+  EXPECT_EQ(c.node(0).stats().remote_applies, 2u);
+}
+
+TEST(TokenWs, EmptyBatchesKeepRoundContinuity) {
+  DirectCluster c(ProtocolKind::kTokenWs, 3, 1, small_cap(9));
+  c.deliver_all();  // three idle laps
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(token(c, p).next_round(), 9u);
+    EXPECT_EQ(c.node(p).pending_count(), 0u);
+  }
+  EXPECT_GE(token(c, 0).token_stats().empty_batches, 3u);
+}
+
+TEST(TokenWs, CirculationStopsAtCap) {
+  DirectCluster c(ProtocolKind::kTokenWs, 2, 1, small_cap(2));
+  c.deliver_all();
+  EXPECT_EQ(c.in_flight(), 0u);  // no grant after the cap
+  EXPECT_EQ(token(c, 0).token_stats().rounds_held, 1u);
+  EXPECT_EQ(token(c, 1).token_stats().rounds_held, 1u);
+}
+
+TEST(TokenWs, OutOfOrderBatchIsBuffered) {
+  // Deliver round-1 batch before round-0 batch at p3.
+  DirectCluster c(ProtocolKind::kTokenWs, 3, 2, small_cap(2));
+  c.write(0, 0, 10);  // round 0 batch (p1 holds the token initially)
+  // p1 emits round 0 batch + grant on start/write… the batch for round 0 was
+  // already emitted at start() (empty, before the write).  Use p2's batch
+  // instead: let everything up to round 1 flow except p2's batch to p3.
+  auto held = c.intercept_to(2);
+  // held contains p1's round-0 batch for p3 (and possibly more).
+  c.deliver_all();  // rest circulates; p3 still missing round 0
+  // p2's round-1 batch to p3 may now be in flight or already held.
+  auto held2 = c.intercept_to(2);
+  for (auto& f : held2) held.push_back(std::move(f));
+  // Inject in REVERSE order: later rounds first.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    c.inject(std::move(*it));
+  }
+  EXPECT_EQ(c.node(2).pending_count(), 0u);  // everything applied in the end
+  EXPECT_EQ(token(c, 2).next_round(), 2u);
+}
+
+TEST(TokenWs, QuiescentReflectsUnpublishedWrites) {
+  DirectCluster c(ProtocolKind::kTokenWs, 2, 1, small_cap(100));
+  EXPECT_TRUE(c.node(1).quiescent());
+  c.write(1, 0, 5);
+  EXPECT_FALSE(c.node(1).quiescent());  // batch not yet propagated
+  c.deliver_all();
+  EXPECT_TRUE(c.node(1).quiescent());
+}
+
+TEST(TokenWs, HistoryIsCausallyConsistent) {
+  DirectCluster c(ProtocolKind::kTokenWs, 3, 2, small_cap(12));
+  c.write(0, 0, 1);
+  c.deliver_all();
+  (void)c.read(1, 0);
+  c.write(1, 1, 2);
+  c.deliver_all();
+  (void)c.read(2, 1);
+  c.write(2, 0, 3);
+  c.deliver_all();
+  (void)c.read(0, 0);
+  const auto result = ConsistencyChecker::check(c.recorder().history());
+  EXPECT_TRUE(result.consistent());
+}
+
+TEST(TokenWs, Name) {
+  DirectCluster c(ProtocolKind::kTokenWs, 2, 1, small_cap(2));
+  EXPECT_EQ(c.node(0).name(), "token-ws");
+}
+
+}  // namespace
+}  // namespace dsm

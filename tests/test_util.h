@@ -1,0 +1,131 @@
+// Shared test utilities: a manually-driven protocol cluster.
+//
+// DirectCluster wires n protocol instances so that every broadcast/send is
+// captured as an in-flight message which the test delivers explicitly, in any
+// order.  This gives protocol-level tests surgical control over arrival
+// orders (the independent variable of the whole paper) without the
+// simulator.  Recorder, checker and auditor all work on DirectCluster runs.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dsm/protocols/registry.h"
+#include "dsm/protocols/run_recorder.h"
+
+namespace dsm::testutil {
+
+class DirectCluster {
+ public:
+  struct Flight {
+    ProcessId from;
+    ProcessId to;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  DirectCluster(ProtocolKind kind, std::size_t n_procs, std::size_t n_vars,
+                ProtocolConfig config = {})
+      : recorder_(n_procs, n_vars) {
+    endpoints_.reserve(n_procs);
+    for (ProcessId p = 0; p < n_procs; ++p) {
+      endpoints_.push_back(std::make_unique<CapturingEndpoint>(*this, p, n_procs));
+    }
+    for (ProcessId p = 0; p < n_procs; ++p) {
+      protocols_.push_back(make_protocol(kind, p, n_procs, n_vars,
+                                         *endpoints_[p], recorder_, config));
+    }
+    for (auto& proto : protocols_) proto->start();
+  }
+
+  [[nodiscard]] CausalProtocol& node(ProcessId p) { return *protocols_[p]; }
+  [[nodiscard]] RunRecorder& recorder() { return recorder_; }
+  [[nodiscard]] std::size_t n_procs() const { return protocols_.size(); }
+
+  // -- issuing operations (records history alongside) -----------------------
+  void write(ProcessId p, VarId x, Value v) {
+    recorder_.record_write(p, x, v);
+    protocols_[p]->write(x, v);
+  }
+  ReadResult read(ProcessId p, VarId x) {
+    const ReadResult r = protocols_[p]->read(x);
+    recorder_.record_read(p, x, r);
+    return r;
+  }
+
+  // -- in-flight message control --------------------------------------------
+  [[nodiscard]] std::size_t in_flight() const { return flights_.size(); }
+  [[nodiscard]] const Flight& flight(std::size_t i) const { return flights_[i]; }
+
+  /// Deliver the i-th in-flight message (removes it).
+  void deliver(std::size_t i) {
+    Flight f = std::move(flights_[i]);
+    flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(i));
+    protocols_[f.to]->on_message(f.from, f.bytes);
+  }
+
+  /// Deliver the first in-flight message addressed to `to` (and from `from`,
+  /// if given).  Returns false when none matches.
+  bool deliver_to(ProcessId to, std::optional<ProcessId> from = std::nullopt) {
+    for (std::size_t i = 0; i < flights_.size(); ++i) {
+      if (flights_[i].to == to && (!from || flights_[i].from == *from)) {
+        deliver(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Deliver everything currently in flight, FIFO, including messages sent
+  /// as a consequence (runs to empty).
+  void deliver_all() {
+    while (!flights_.empty()) deliver(0);
+  }
+
+  /// Drop every in-flight message addressed to `to` into a holding area
+  /// "later" — returns them so the test can re-inject with push_back_flight.
+  std::vector<Flight> intercept_to(ProcessId to) {
+    std::vector<Flight> held;
+    for (std::size_t i = 0; i < flights_.size();) {
+      if (flights_[i].to == to) {
+        held.push_back(std::move(flights_[i]));
+        flights_.erase(flights_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    return held;
+  }
+
+  void inject(Flight f) {
+    protocols_[f.to]->on_message(f.from, f.bytes);
+  }
+
+ private:
+  class CapturingEndpoint final : public Endpoint {
+   public:
+    CapturingEndpoint(DirectCluster& owner, ProcessId self, std::size_t n)
+        : owner_(&owner), self_(self), n_(n) {}
+    void broadcast(std::vector<std::uint8_t> bytes) override {
+      for (ProcessId to = 0; to < n_; ++to) {
+        if (to != self_) owner_->flights_.push_back({self_, to, bytes});
+      }
+    }
+    void send(ProcessId to, std::vector<std::uint8_t> bytes) override {
+      owner_->flights_.push_back({self_, to, std::move(bytes)});
+    }
+
+   private:
+    DirectCluster* owner_;
+    ProcessId self_;
+    std::size_t n_;
+  };
+
+  RunRecorder recorder_;
+  std::vector<std::unique_ptr<CapturingEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<CausalProtocol>> protocols_;
+  std::deque<Flight> flights_;
+};
+
+}  // namespace dsm::testutil

@@ -1,0 +1,163 @@
+// Unit + property tests for VectorClock: the paper's ≤ / < / ‖ relations and
+// the merge lattice laws.
+
+#include <gtest/gtest.h>
+
+#include "dsm/common/rng.h"
+#include "dsm/vc/vector_clock.h"
+
+namespace dsm {
+namespace {
+
+VectorClock vc(std::vector<std::uint64_t> v) { return VectorClock{std::move(v)}; }
+
+TEST(VectorClock, ZeroConstruction) {
+  const VectorClock v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0u);
+  EXPECT_EQ(v.sum(), 0u);
+}
+
+TEST(VectorClock, TickIncrementsOneComponent) {
+  VectorClock v(3);
+  EXPECT_EQ(v.tick(1), 1u);
+  EXPECT_EQ(v.tick(1), 2u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v[2], 0u);
+}
+
+TEST(VectorClock, PaperRelationLess) {
+  // V < V' ⇔ V ≤ V' ∧ ∃k V[k] < V'[k]  (Section 4.3).
+  EXPECT_TRUE(vc({1, 0, 0}).less(vc({1, 1, 0})));
+  EXPECT_FALSE(vc({1, 1, 0}).less(vc({1, 1, 0})));  // equal: not strict
+  EXPECT_FALSE(vc({2, 0, 0}).less(vc({1, 1, 0})));  // incomparable
+}
+
+TEST(VectorClock, PaperRelationLeq) {
+  EXPECT_TRUE(vc({1, 1}).leq(vc({1, 1})));
+  EXPECT_TRUE(vc({0, 1}).leq(vc({1, 1})));
+  EXPECT_FALSE(vc({2, 0}).leq(vc({1, 1})));
+}
+
+TEST(VectorClock, PaperRelationConcurrent) {
+  // V ‖ V' ⇔ ¬(V < V') ∧ ¬(V' < V); note equal vectors are NOT concurrent
+  // under compare() (kEqual), matching the paper's usage where distinct
+  // writes always differ in the issuer component.
+  EXPECT_TRUE(vc({2, 0, 0}).concurrent(vc({1, 1, 0})));
+  EXPECT_FALSE(vc({1, 0, 0}).concurrent(vc({1, 1, 0})));
+  EXPECT_FALSE(vc({1, 1, 0}).concurrent(vc({1, 1, 0})));
+}
+
+TEST(VectorClock, CompareClassifiesAllFourCases) {
+  EXPECT_EQ(vc({1, 2}).compare(vc({1, 2})), ClockOrder::kEqual);
+  EXPECT_EQ(vc({1, 1}).compare(vc({1, 2})), ClockOrder::kLess);
+  EXPECT_EQ(vc({1, 3}).compare(vc({1, 2})), ClockOrder::kGreater);
+  EXPECT_EQ(vc({0, 3}).compare(vc({1, 2})), ClockOrder::kConcurrent);
+}
+
+TEST(VectorClock, MergeIsComponentwiseMax) {
+  VectorClock a = vc({3, 0, 5});
+  a.merge(vc({1, 4, 5}));
+  EXPECT_EQ(a, vc({3, 4, 5}));
+}
+
+TEST(VectorClock, MergedFreeFunctionDoesNotMutate) {
+  const VectorClock a = vc({1, 0});
+  const VectorClock b = vc({0, 1});
+  const VectorClock c = merged(a, b);
+  EXPECT_EQ(c, vc({1, 1}));
+  EXPECT_EQ(a, vc({1, 0}));
+  EXPECT_EQ(b, vc({0, 1}));
+}
+
+TEST(VectorClock, StrRendering) {
+  EXPECT_EQ(vc({1, 0, 2}).str(), "[1,0,2]");
+  EXPECT_EQ(VectorClock{}.str(), "[]");
+}
+
+TEST(VectorClock, ClockOrderNames) {
+  EXPECT_STREQ(to_string(ClockOrder::kConcurrent), "concurrent");
+  EXPECT_STREQ(to_string(ClockOrder::kLess), "less");
+}
+
+// ---------------------- property sweep: lattice / order laws ---------------
+
+struct VcPropertyParams {
+  std::uint64_t seed;
+  std::size_t dim;
+};
+
+class VcProperty : public ::testing::TestWithParam<VcPropertyParams> {
+ protected:
+  VectorClock random_clock(Rng& rng, std::size_t dim) {
+    std::vector<std::uint64_t> v(dim);
+    for (auto& x : v) x = rng.below(5);
+    return VectorClock{std::move(v)};
+  }
+};
+
+TEST_P(VcProperty, MergeLatticeLaws) {
+  Rng rng(GetParam().seed);
+  const std::size_t dim = GetParam().dim;
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = random_clock(rng, dim);
+    const VectorClock b = random_clock(rng, dim);
+    const VectorClock c = random_clock(rng, dim);
+    // Commutativity, associativity, idempotence.
+    EXPECT_EQ(merged(a, b), merged(b, a));
+    EXPECT_EQ(merged(merged(a, b), c), merged(a, merged(b, c)));
+    EXPECT_EQ(merged(a, a), a);
+    // Merge is an upper bound.
+    EXPECT_TRUE(a.leq(merged(a, b)));
+    EXPECT_TRUE(b.leq(merged(a, b)));
+  }
+}
+
+TEST_P(VcProperty, OrderIsAPartialOrder) {
+  Rng rng(GetParam().seed ^ 0xABCD);
+  const std::size_t dim = GetParam().dim;
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = random_clock(rng, dim);
+    const VectorClock b = random_clock(rng, dim);
+    const VectorClock c = random_clock(rng, dim);
+    // Irreflexivity and asymmetry of <.
+    EXPECT_FALSE(a.less(a));
+    EXPECT_FALSE(a.less(b) && b.less(a));
+    // Transitivity.
+    if (a.less(b) && b.less(c)) {
+      EXPECT_TRUE(a.less(c));
+    }
+    // Exactly one of: equal, <, >, ‖.
+    const int classified = (a == b) + a.less(b) + b.less(a) + a.concurrent(b);
+    EXPECT_EQ(classified, 1);
+  }
+}
+
+TEST_P(VcProperty, CompareAgreesWithRelations) {
+  Rng rng(GetParam().seed ^ 0x5555);
+  const std::size_t dim = GetParam().dim;
+  for (int iter = 0; iter < 200; ++iter) {
+    const VectorClock a = random_clock(rng, dim);
+    const VectorClock b = random_clock(rng, dim);
+    switch (a.compare(b)) {
+      case ClockOrder::kEqual: EXPECT_EQ(a, b); break;
+      case ClockOrder::kLess: EXPECT_TRUE(a.less(b)); break;
+      case ClockOrder::kGreater: EXPECT_TRUE(b.less(a)); break;
+      case ClockOrder::kConcurrent: EXPECT_TRUE(a.concurrent(b)); break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VcProperty,
+    ::testing::Values(VcPropertyParams{1, 1}, VcPropertyParams{2, 2},
+                      VcPropertyParams{3, 3}, VcPropertyParams{4, 5},
+                      VcPropertyParams{5, 8}, VcPropertyParams{6, 16}),
+    [](const ::testing::TestParamInfo<VcPropertyParams>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_dim" +
+             std::to_string(param_info.param.dim);
+    });
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,168 @@
+// Tests for the writing-semantics variants (paper Section 3.6, footnote 8):
+// OptP-WS and ANBKH-WS with the sender-declared run piggyback.
+
+#include <gtest/gtest.h>
+
+#include "dsm/codec/message.h"
+#include "dsm/history/checker.h"
+#include "dsm/protocols/optp.h"
+#include "test_util.h"
+
+namespace dsm {
+namespace {
+
+using testutil::DirectCluster;
+
+std::optional<WriteUpdate> decode_update(const testutil::DirectCluster::Flight& f) {
+  auto m = decode_message(f.bytes);
+  if (!m) return std::nullopt;
+  if (auto* wu = std::get_if<WriteUpdate>(&*m)) return *wu;
+  return std::nullopt;
+}
+
+TEST(WritingSemantics, RunGrowsAlongSameVariableStreak) {
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 2);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  c.write(0, 0, 3);
+  c.write(0, 1, 4);  // different variable: run resets
+  ASSERT_EQ(c.in_flight(), 4u);
+  EXPECT_EQ(decode_update(c.flight(0))->run, 0u);
+  EXPECT_EQ(decode_update(c.flight(1))->run, 1u);
+  EXPECT_EQ(decode_update(c.flight(2))->run, 2u);
+  EXPECT_EQ(decode_update(c.flight(3))->run, 0u);
+}
+
+TEST(WritingSemantics, ReadOfForeignValueBreaksTheRun) {
+  // OptP-WS: a read that merges foreign causality between two writes to the
+  // same variable must break the run (a foreign write may now lie ↦co-between
+  // them).
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 2);
+  c.write(1, 1, 99);
+  ASSERT_TRUE(c.deliver_to(0, 1));
+  c.write(0, 0, 1);
+  (void)c.read(0, 1);  // merges p2's write into Write_co
+  c.write(0, 0, 2);
+  auto held = c.intercept_to(1);
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(decode_update(held[0])->run, 0u);
+  EXPECT_EQ(decode_update(held[1])->run, 0u);  // broken by the read
+}
+
+TEST(WritingSemantics, ApplyBreaksAnbkhRunButNotOptPs) {
+  // Applying a foreign write advances ANBKH's clock (breaking its run) but
+  // not OptP's Write_co — OptP-WS coalesces strictly more.
+  for (const auto kind : {ProtocolKind::kOptPWs, ProtocolKind::kAnbkhWs}) {
+    DirectCluster c(kind, 2, 2);
+    c.write(1, 1, 99);
+    c.write(0, 0, 1);
+    ASSERT_TRUE(c.deliver_to(0, 1));  // foreign apply between own writes
+    c.write(0, 0, 2);
+    auto held = c.intercept_to(1);
+    ASSERT_EQ(held.size(), 2u);
+    const auto run = decode_update(held[1])->run;
+    if (kind == ProtocolKind::kOptPWs) {
+      EXPECT_EQ(run, 1u) << "OptP-WS: apply without read keeps the run";
+    } else {
+      EXPECT_EQ(run, 0u) << "ANBKH-WS: any apply breaks the run";
+    }
+  }
+}
+
+TEST(WritingSemantics, ReceiverJumpsOverMissingSupersededWrite) {
+  // w2 (run=1) arrives without w1: applied immediately, w1 logically skipped.
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 1);
+  c.write(0, 0, 10);
+  c.write(0, 0, 20);
+  auto held = c.intercept_to(1);
+  ASSERT_EQ(held.size(), 2u);
+  c.inject(std::move(held[1]));  // seq 2 with run=1
+  EXPECT_EQ(c.node(1).peek(0).value, 20);
+  EXPECT_EQ(c.node(1).stats().delayed_writes, 0u);  // the WS win
+  EXPECT_EQ(c.node(1).stats().skipped_writes, 1u);
+  // The late w1 arrives stale and is discarded.
+  c.inject(std::move(held[0]));
+  EXPECT_EQ(c.node(1).peek(0).value, 20);
+  EXPECT_EQ(c.node(1).stats().stale_discards, 1u);
+  EXPECT_EQ(c.node(1).stats().remote_applies, 1u);
+}
+
+TEST(WritingSemantics, WithoutWsSameScenarioDelays) {
+  // Control: plain OptP must buffer the out-of-order message instead.
+  DirectCluster c(ProtocolKind::kOptP, 2, 1);
+  c.write(0, 0, 10);
+  c.write(0, 0, 20);
+  auto held = c.intercept_to(1);
+  c.inject(std::move(held[1]));
+  EXPECT_EQ(c.node(1).peek(0).value, kBottom);
+  EXPECT_EQ(c.node(1).stats().delayed_writes, 1u);
+}
+
+TEST(WritingSemantics, SkipEventsReportedOncePerSkippedWrite) {
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 1);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  c.write(0, 0, 3);
+  auto held = c.intercept_to(1);
+  c.inject(std::move(held[2]));  // seq 3, run=2: skips 1 and 2
+  std::size_t skips = 0;
+  for (const auto& e : c.recorder().events()) {
+    if (e.kind == EvKind::kSkip && e.at == 1) ++skips;
+  }
+  EXPECT_EQ(skips, 2u);
+  EXPECT_EQ(c.node(1).stats().skipped_writes, 2u);
+  // Late arrivals of 1 and 2 are silent discards (no double reporting).
+  c.inject(std::move(held[0]));
+  c.inject(std::move(held[1]));
+  EXPECT_EQ(c.node(1).stats().skipped_writes, 2u);
+  EXPECT_EQ(c.node(1).stats().stale_discards, 2u);
+}
+
+TEST(WritingSemantics, RunDoesNotLetForeignDependenciesSlip) {
+  // The relaxation only weakens the SENDER-progress conjunct; foreign
+  // dependencies still gate the apply.
+  DirectCluster c(ProtocolKind::kOptPWs, 3, 2);
+  c.write(0, 0, 1);               // p1: w(x1)
+  ASSERT_TRUE(c.deliver_to(1, 0));
+  (void)c.read(1, 0);             // p2 reads it
+  c.write(1, 1, 10);              // depends on p1's write
+  c.write(1, 1, 20);              // run=1 over the previous
+  auto held = c.intercept_to(2);
+  ASSERT_EQ(held.size(), 3u);     // p1's write + p2's two writes
+  // Deliver only p2's second write: run lets it skip p2's first, but p1's
+  // write is missing -> must buffer.
+  c.inject(std::move(held[2]));
+  EXPECT_EQ(c.node(2).peek(1).value, kBottom);
+  EXPECT_EQ(c.node(2).stats().delayed_writes, 1u);
+  c.inject(std::move(held[0]));   // p1's write unblocks
+  EXPECT_EQ(c.node(2).peek(1).value, 20);
+  EXPECT_EQ(c.node(2).stats().skipped_writes, 1u);
+}
+
+TEST(WritingSemantics, HistoryStaysCausallyConsistentWithSkips) {
+  // End-to-end sanity: a run with jumps and stale discards still yields a
+  // causally consistent history (reads never see skipped values).
+  DirectCluster c(ProtocolKind::kOptPWs, 2, 2);
+  c.write(0, 0, 1);
+  c.write(0, 0, 2);
+  c.write(0, 1, 3);
+  auto held = c.intercept_to(1);
+  c.inject(std::move(held[1]));  // seq2 (skips seq1)
+  (void)c.read(1, 0);
+  c.inject(std::move(held[2]));  // seq3 (x2)
+  (void)c.read(1, 1);
+  c.inject(std::move(held[0]));  // stale seq1
+  (void)c.read(1, 0);
+  const auto result = ConsistencyChecker::check(c.recorder().history());
+  EXPECT_TRUE(result.consistent()) << result.violations.size();
+}
+
+TEST(WritingSemantics, NamesReflectVariant) {
+  DirectCluster a(ProtocolKind::kOptPWs, 2, 1);
+  DirectCluster b(ProtocolKind::kAnbkhWs, 2, 1);
+  EXPECT_EQ(a.node(0).name(), "optp-ws");
+  EXPECT_EQ(b.node(0).name(), "anbkh-ws");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,347 @@
+// optcm — command-line driver for the library.
+//
+// Subcommands:
+//
+//   optcm run      run one protocol on a generated workload and report
+//                  stats, the Definition-3/5 audit, and (optionally) the
+//                  full trace and history.
+//   optcm compare  run EVERY protocol on the identical workload and arrival
+//                  pattern; print the comparison table.
+//   optcm paper    print the paper artifacts (Example 1 history, Table 1,
+//                  Table 2, Figures 1/3/6 traces, Figure 7 graph).
+//   optcm replay   re-audit an exported trace: optcm replay trace.jsonl
+//                  (produce one with: optcm run --export=trace.jsonl).
+//
+// Common workload/network flags (all "--key=value"):
+//   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run only)
+//   --procs=N --vars=M --ops=K --write-fraction=F --seed=S
+//   --pattern=uniform|zipf|partitioned|hotspot  --zipf-s=S --hotspot=F
+//   --gap=USEC            mean think time between ops
+//   --latency=constant|uniform|exponential|lognormal
+//   --scale=USEC --spread=X
+//   --drop=P --dup=P      faulty network + ARQ channel layer
+//   --trace --history --sequences   extra output (run only)
+//
+// Examples:
+//   optcm run --protocol=optp --procs=8 --ops=200 --latency=lognormal
+//   optcm compare --procs=12 --pattern=partitioned --spread=2.0
+//   optcm paper table2
+
+#include <cstdio>
+#include <string>
+
+#include "dsm/audit/auditor.h"
+#include "dsm/audit/enabling_sets.h"
+#include "dsm/audit/trace_io.h"
+#include "dsm/audit/trace_render.h"
+#include "dsm/common/flags.h"
+#include "dsm/history/causality_graph.h"
+#include "dsm/history/checker.h"
+#include "dsm/metrics/table.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/paper_examples.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace {
+
+using namespace dsm;
+
+struct CommonOptions {
+  WorkloadSpec spec;
+  LatencyKind latency_kind = LatencyKind::kLogNormal;
+  SimTime scale = sim_us(400);
+  double spread = 1.0;
+  FaultPlan fault;
+};
+
+int usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s <run|compare> [--key=value ...]\n"
+               "       %s paper [history|table1|table2|fig1|fig3|fig6|fig7|all]\n"
+               "       %s replay <trace.jsonl>\n"
+               "see the header of tools/optcm_cli.cpp for the full flag list\n",
+               program, program, program);
+  return 2;
+}
+
+AccessPattern parse_pattern(const std::string& name) {
+  if (name == "zipf") return AccessPattern::kZipf;
+  if (name == "partitioned") return AccessPattern::kPartitioned;
+  if (name == "hotspot") return AccessPattern::kHotspot;
+  return AccessPattern::kUniform;
+}
+
+LatencyKind parse_latency(const std::string& name) {
+  if (name == "constant") return LatencyKind::kConstant;
+  if (name == "uniform") return LatencyKind::kUniform;
+  if (name == "exponential") return LatencyKind::kExponential;
+  return LatencyKind::kLogNormal;
+}
+
+CommonOptions parse_common(Flags& flags) {
+  CommonOptions o;
+  o.spec.n_procs = static_cast<std::size_t>(flags.get_int("procs", 4));
+  o.spec.n_vars = static_cast<std::size_t>(flags.get_int("vars", 8));
+  o.spec.ops_per_proc = static_cast<std::size_t>(flags.get_int("ops", 100));
+  o.spec.write_fraction = flags.get_double("write-fraction", 0.5);
+  o.spec.pattern = parse_pattern(flags.get("pattern", "uniform"));
+  o.spec.zipf_s = flags.get_double("zipf-s", 0.9);
+  o.spec.hotspot_fraction = flags.get_double("hotspot", 0.2);
+  o.spec.mean_gap = static_cast<SimTime>(flags.get_int("gap", 300));
+  o.spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  o.latency_kind = parse_latency(flags.get("latency", "lognormal"));
+  o.scale = static_cast<SimTime>(flags.get_int("scale", 400));
+  o.spread = flags.get_double("spread", 1.0);
+  o.fault.drop = flags.get_double("drop", 0.0);
+  o.fault.duplicate = flags.get_double("dup", 0.0);
+  o.fault.seed = o.spec.seed ^ 0xFA;
+  return o;
+}
+
+SimRunResult run_one(ProtocolKind kind, const CommonOptions& o) {
+  const auto latency =
+      make_latency(o.latency_kind, o.scale, o.spread, o.spec.seed ^ 0xC11);
+  SimRunConfig cfg;
+  cfg.kind = kind;
+  cfg.n_procs = o.spec.n_procs;
+  cfg.n_vars = o.spec.n_vars;
+  cfg.latency = latency.get();
+  cfg.fault = o.fault;
+  cfg.protocol_config.token_max_rounds =
+      o.spec.ops_per_proc * o.spec.n_procs * 50 + 1000;
+  return run_sim(cfg, generate_workload(o.spec));
+}
+
+void print_report(ProtocolKind kind, const SimRunResult& result) {
+  const auto audit = OptimalityAuditor::audit(*result.recorder);
+  const auto check = ConsistencyChecker::check(result.recorder->history());
+
+  Table table({"metric", "value"});
+  table.add("protocol", to_string(kind));
+  table.add("settled", result.settled ? "yes" : "NO");
+  table.add("simulated time (ms)",
+            static_cast<double>(result.end_time) / 1000.0);
+  table.add("writes", result.recorder->history().writes().size());
+  table.add("operations", result.recorder->history().size());
+  table.add("network messages", result.net.messages_sent);
+  table.add("network bytes", result.net.bytes_sent);
+  table.add("remote write messages", audit.total_remote());
+  table.add("delayed (Def. 3)", audit.total_delayed());
+  table.add("necessary delays", audit.total_necessary());
+  table.add("unnecessary delays (false causality)", audit.total_unnecessary());
+  table.add("write-delay optimal run (Def. 5)",
+            audit.write_delay_optimal() ? "yes" : "NO");
+  table.add("safe (applies extend co)", audit.safe() ? "yes" : "NO");
+  table.add("live (all writes applied/skipped)", audit.live() ? "yes" : "NO");
+  table.add("causally consistent (Defs. 1-2)", check.consistent() ? "yes" : "NO");
+  if (result.faults.dropped + result.faults.duplicated > 0) {
+    table.add("messages dropped", result.faults.dropped);
+    table.add("messages duplicated", result.faults.duplicated);
+    table.add("retransmissions", result.reliable.retransmissions);
+    table.add("dup deliveries suppressed", result.reliable.duplicates_suppressed);
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+int cmd_run(Flags& flags) {
+  const auto kind = parse_protocol(flags.get("protocol", "optp"));
+  if (!kind) {
+    std::fprintf(stderr, "unknown protocol\n");
+    return 2;
+  }
+  const CommonOptions o = parse_common(flags);
+  const bool want_trace = flags.get_bool("trace");
+  const bool want_history = flags.get_bool("history");
+  const bool want_sequences = flags.get_bool("sequences");
+  const std::string export_path = flags.get("export", "");
+
+  const auto result = run_one(*kind, o);
+  std::printf("workload: %s\n\n", o.spec.describe().c_str());
+  print_report(*kind, result);
+  if (want_history) {
+    std::printf("\nhistory:\n%s", result.recorder->history().str().c_str());
+  }
+  if (want_sequences) {
+    std::printf("\n%s", render_sequences(*result.recorder).c_str());
+  }
+  if (want_trace) {
+    std::printf("\n%s", render_space_time(*result.recorder).c_str());
+  }
+  if (!export_path.empty()) {
+    if (std::FILE* f = std::fopen(export_path.c_str(), "w")) {
+      const std::string text = export_trace_jsonl(*result.recorder);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("\ntrace exported to %s\n", export_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+  }
+  return result.settled ? 0 : 1;
+}
+
+int cmd_replay(Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "usage: optcm replay <trace.jsonl>\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  const auto imported = import_trace_jsonl(text);
+  if (!imported) {
+    std::fprintf(stderr, "malformed trace\n");
+    return 1;
+  }
+  const auto audit = OptimalityAuditor::audit(imported->history, imported->events);
+  const auto check = ConsistencyChecker::check(imported->history);
+  Table table({"metric", "value"});
+  table.add("operations", imported->history.size());
+  table.add("events", imported->events.size());
+  table.add("delayed (Def. 3)", audit.total_delayed());
+  table.add("necessary", audit.total_necessary());
+  table.add("unnecessary (false causality)", audit.total_unnecessary());
+  table.add("write-delay optimal run", audit.write_delay_optimal() ? "yes" : "NO");
+  table.add("safe", audit.safe() ? "yes" : "NO");
+  table.add("live", audit.live() ? "yes" : "NO");
+  table.add("causally consistent", check.consistent() ? "yes" : "NO");
+  std::printf("%s", table.str().c_str());
+  if (flags.get_bool("history")) {
+    std::printf("\n%s", imported->history.str().c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(Flags& flags) {
+  const CommonOptions o = parse_common(flags);
+  std::printf("workload: %s\n", o.spec.describe().c_str());
+
+  Table table({"protocol", "delayed", "delayed/1k", "necessary", "unnecessary",
+               "skipped", "peak buffer", "net bytes", "optimal run"});
+  for (const auto kind : all_protocol_kinds()) {
+    const auto result = run_one(kind, o);
+    const auto audit = OptimalityAuditor::audit(*result.recorder);
+    std::uint64_t skipped = 0;
+    std::uint64_t peak = 0;
+    for (const auto& s : result.stats) {
+      skipped += s.skipped_writes;
+      peak = std::max(peak, s.peak_pending);
+    }
+    const double rate =
+        audit.total_remote() == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(audit.total_delayed()) /
+                  static_cast<double>(audit.total_remote());
+    table.add(to_string(kind), audit.total_delayed(), rate,
+              audit.total_necessary(), audit.total_unnecessary(), skipped,
+              peak, result.net.bytes_sent,
+              audit.write_delay_optimal() ? "yes" : "NO");
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_paper(Flags& flags) {
+  const std::string which =
+      flags.positional().size() > 1 ? flags.positional()[1] : "all";
+  const bool all = which == "all";
+
+  const ConstantLatency latency(sim_us(10));
+  SimRunConfig cfg;
+  cfg.kind = ProtocolKind::kOptP;
+  cfg.n_procs = paper::kH1Procs;
+  cfg.n_vars = paper::kH1Vars;
+  cfg.latency = &latency;
+
+  if (all || which == "history") {
+    const auto result = run_sim(cfg, paper::make_h1_scripts());
+    std::printf("== Example 1 (H1), produced by an OptP run ==\n%s\n",
+                result.recorder->history().str().c_str());
+  }
+  if (all || which == "table1") {
+    const auto result = run_sim(cfg, paper::make_h1_scripts());
+    const auto co = CoRelation::build(result.recorder->history());
+    std::printf("== Table 1: X_co-safe(e) ==\n");
+    for (const OpRef wref : result.recorder->history().writes()) {
+      const auto& op = result.recorder->history().op(wref);
+      std::printf("  apply_k(%s) -> %s\n", op_to_string(op).c_str(),
+                  enabling_set_str(x_co_safe_writes(*co, op.write_id), 0).c_str());
+    }
+    std::printf("\n");
+  }
+  if (all || which == "table2" || which == "fig3" || which == "fig6" ||
+      which == "fig1") {
+    const auto choreo =
+        which == "fig1" ? paper::make_fig1_run2() : paper::make_fig3();
+    for (const auto kind : {ProtocolKind::kAnbkh, ProtocolKind::kOptP}) {
+      auto c2 = cfg;
+      c2.kind = kind;
+      c2.latency_override = choreo.latency_override;
+      const auto result = run_sim(c2, choreo.scripts);
+      const auto audit = OptimalityAuditor::audit(*result.recorder);
+      std::printf("== choreographed run under %s ==\n%s", to_string(kind),
+                  render_space_time(*result.recorder).c_str());
+      std::printf("delayed=%llu unnecessary=%llu\n\n",
+                  static_cast<unsigned long long>(audit.total_delayed()),
+                  static_cast<unsigned long long>(audit.total_unnecessary()));
+      if (which == "table2" && kind == ProtocolKind::kAnbkh) {
+        const auto co = CoRelation::build(result.recorder->history());
+        std::printf("== Table 2: X_ANBKH(e) from the run's send clocks ==\n");
+        for (const OpRef wref : result.recorder->history().writes()) {
+          const auto& op = result.recorder->history().op(wref);
+          const auto& clock =
+              send_clock_of(result.recorder->events(), op.write_id);
+          std::printf("  apply_k(%s) -> %s\n", op_to_string(op).c_str(),
+                      enabling_set_str(
+                          x_protocol_writes(clock, op.write_id), 0).c_str());
+        }
+        std::printf("\n");
+        (void)co;
+      }
+    }
+  }
+  if (all || which == "fig7") {
+    const auto result = run_sim(cfg, paper::make_h1_scripts());
+    const auto co = CoRelation::build(result.recorder->history());
+    const CausalityGraph graph(*co);
+    std::printf("== Figure 7: write causality graph ==\n%s\n%s",
+                graph.to_ascii().c_str(), graph.to_dot().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return usage(argv[0]);
+  const std::string& command = flags.positional()[0];
+
+  int rc;
+  if (command == "run") {
+    rc = cmd_run(flags);
+  } else if (command == "compare") {
+    rc = cmd_compare(flags);
+  } else if (command == "paper") {
+    rc = cmd_paper(flags);
+  } else if (command == "replay") {
+    rc = cmd_replay(flags);
+  } else {
+    return usage(argv[0]);
+  }
+
+  for (const auto& name : flags.unknown()) {
+    std::fprintf(stderr, "warning: unrecognized flag --%s\n", name.c_str());
+  }
+  return rc;
+}
