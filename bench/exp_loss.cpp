@@ -42,7 +42,7 @@ int main() {
         cfg.latency = latency.get();
         cfg.fault.drop = drop;
         cfg.fault.seed = seed ^ 0xFA;
-        cfg.rto = sim_ms(2);
+        cfg.arq.rto = sim_ms(2);
 
         const auto result = run_sim(cfg, generate_workload(spec));
         const auto audit = OptimalityAuditor::audit(*result.recorder);

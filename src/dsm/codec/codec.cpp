@@ -43,6 +43,17 @@ std::span<const std::uint8_t> ByteReader::rest() noexcept {
   return tail;
 }
 
+std::optional<std::span<const std::uint8_t>> ByteReader::take(
+    std::size_t n) noexcept {
+  if (!ok_ || n > remaining()) {
+    fail();
+    return std::nullopt;
+  }
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::optional<std::uint8_t> ByteReader::u8() noexcept {
   if (!ok_ || pos_ >= data_.size()) {
     fail();

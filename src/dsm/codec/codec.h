@@ -57,6 +57,11 @@ class ByteReader {
   /// the reader is exhausted afterwards.
   [[nodiscard]] std::span<const std::uint8_t> rest() noexcept;
 
+  /// Consume exactly `n` raw bytes (length-prefixed sub-buffers, e.g.
+  /// checkpoint sections).  std::nullopt if fewer than `n` remain.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> take(
+      std::size_t n) noexcept;
+
   /// True iff no decode error occurred so far.
   [[nodiscard]] bool ok() const noexcept { return ok_; }
   /// True iff the whole buffer was consumed (call at the end of decode).

@@ -160,6 +160,55 @@ bool BufferingProtocol::apply_own_write(VarId x, Value v, SeqNo seq,
   return installed;
 }
 
+void BufferingProtocol::snapshot(ByteWriter& w) const {
+  CausalProtocol::snapshot(w);
+  w.u64_vec(applied_.components());
+  w.u64(pending_.size());
+  for (const WriteUpdate& m : pending_) m.encode(w);
+  w.u64(lww_key_.size());
+  for (const auto& [sum, writer] : lww_key_) {
+    w.u64(sum);
+    w.u32(writer);
+  }
+  w.u8(have_prev_write_ ? 1 : 0);
+  w.u32(prev_var_);
+  w.u64_vec(prev_clock_.components());
+  w.u64(prev_run_);
+}
+
+bool BufferingProtocol::restore(ByteReader& r) {
+  if (!CausalProtocol::restore(r)) return false;
+  auto applied = r.u64_vec();
+  if (!applied || applied->size() != n_procs_) return false;
+  applied_ = VectorClock{std::move(*applied)};
+  const auto n_pending = r.u64();
+  if (!n_pending || *n_pending > (1ULL << 24)) return false;
+  pending_.clear();
+  for (std::uint64_t i = 0; i < *n_pending; ++i) {
+    auto m = WriteUpdate::decode(r);
+    if (!m || m->clock.size() != n_procs_) return false;
+    pending_.push_back(std::move(*m));
+  }
+  const auto n_keys = r.u64();
+  if (!n_keys || *n_keys != lww_key_.size()) return false;
+  for (auto& key : lww_key_) {
+    const auto sum = r.u64();
+    const auto writer = r.u32();
+    if (!sum || !writer) return false;
+    key = {*sum, *writer};
+  }
+  const auto have_prev = r.u8();
+  const auto prev_var = r.u32();
+  auto prev_clock = r.u64_vec();
+  const auto prev_run = r.u64();
+  if (!have_prev || !prev_var || !prev_clock || !prev_run) return false;
+  have_prev_write_ = *have_prev != 0;
+  prev_var_ = *prev_var;
+  prev_clock_ = VectorClock{std::move(*prev_clock)};
+  prev_run_ = *prev_run;
+  return true;
+}
+
 std::uint64_t BufferingProtocol::next_run(VarId x, const VectorClock& clock) {
   if (!ws_) return 0;
   std::uint64_t run = 0;

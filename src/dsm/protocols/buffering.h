@@ -54,6 +54,9 @@ class BufferingProtocol : public CausalProtocol {
 
   [[nodiscard]] bool writing_semantics() const noexcept { return ws_; }
 
+  void snapshot(ByteWriter& w) const override;
+  [[nodiscard]] bool restore(ByteReader& r) override;
+
  protected:
   /// Fig. 5 line 2 (with the optional writing-semantics relaxation).
   [[nodiscard]] bool can_apply(const WriteUpdate& m) const;

@@ -71,6 +71,28 @@ void OptP::post_apply(const WriteUpdate& m, bool installed) {
   if (installed) last_write_on_[m.var] = m.clock;
 }
 
+void OptP::snapshot(ByteWriter& w) const {
+  BufferingProtocol::snapshot(w);
+  w.u64_vec(write_co_.components());
+  w.u64(last_write_on_.size());
+  for (const VectorClock& v : last_write_on_) w.u64_vec(v.components());
+}
+
+bool OptP::restore(ByteReader& r) {
+  if (!BufferingProtocol::restore(r)) return false;
+  auto write_co = r.u64_vec();
+  if (!write_co || write_co->size() != n_procs_) return false;
+  write_co_ = VectorClock{std::move(*write_co)};
+  const auto count = r.u64();
+  if (!count || *count != last_write_on_.size()) return false;
+  for (VectorClock& v : last_write_on_) {
+    auto components = r.u64_vec();
+    if (!components || components->size() != n_procs_) return false;
+    v = VectorClock{std::move(*components)};
+  }
+  return true;
+}
+
 const VectorClock& OptP::last_write_on(VarId x) const {
   DSM_REQUIRE(x < n_vars_);
   return last_write_on_[x];

@@ -54,6 +54,9 @@ class OptP : public BufferingProtocol {
   /// LastWriteOn[h] (exposed for tests).
   [[nodiscard]] const VectorClock& last_write_on(VarId x) const;
 
+  void snapshot(ByteWriter& w) const override;
+  [[nodiscard]] bool restore(ByteReader& r) override;
+
  protected:
   /// Fig. 4 lines 1–2 minus the transmission: tick Write_co, build the
   /// update (with payload blob) and announce the send to the observer.

@@ -28,4 +28,27 @@ void CausalProtocol::store(VarId x, Value value, WriteId writer) {
   copies_[x] = ReadResult{value, writer};
 }
 
+void CausalProtocol::snapshot(ByteWriter& w) const {
+  w.u64(copies_.size());
+  for (const ReadResult& copy : copies_) {
+    w.i64(copy.value);
+    w.u32(copy.writer.proc);
+    w.u64(copy.writer.seq);
+  }
+}
+
+bool CausalProtocol::restore(ByteReader& r) {
+  const auto count = r.u64();
+  if (!count || *count != copies_.size()) return false;
+  for (ReadResult& copy : copies_) {
+    const auto value = r.i64();
+    const auto proc = r.u32();
+    const auto seq = r.u64();
+    if (!value || !proc || !seq) return false;
+    copy.value = *value;
+    copy.writer = WriteId{*proc, *seq};
+  }
+  return true;
+}
+
 }  // namespace dsm

@@ -92,6 +92,21 @@ struct ProtocolStats {
   std::uint64_t stale_discards = 0;
   /// High-water mark of the pending (buffered) message set.
   std::uint64_t peak_pending = 0;
+
+  /// Accumulate counters across process incarnations (crash recovery sums a
+  /// process's stats over its lifetimes).  peak_pending is a high-water
+  /// mark, so it maxes instead of summing.
+  ProtocolStats& operator+=(const ProtocolStats& o) noexcept {
+    writes_issued += o.writes_issued;
+    reads_issued += o.reads_issued;
+    messages_received += o.messages_received;
+    remote_applies += o.remote_applies;
+    delayed_writes += o.delayed_writes;
+    skipped_writes += o.skipped_writes;
+    stale_discards += o.stale_discards;
+    peak_pending = peak_pending > o.peak_pending ? peak_pending : o.peak_pending;
+    return *this;
+  }
 };
 
 /// Base class for every protocol in the library.  Owns the replicated store
@@ -130,6 +145,18 @@ class CausalProtocol {
 
   /// Stable identifier used by benches/tables ("optp", "anbkh", …).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Serialize the protocol's durable state (store, apply counters, pending
+  /// buffer, protocol-specific vectors) into `w` — the checkpoint half of
+  /// crash recovery (beyond the paper's crash-free model; docs/FAULTS.md).
+  /// Subclasses chain: call the base snapshot first, then append their own
+  /// state.  Operational stats are deliberately NOT checkpointed: a crash
+  /// loses counters, and the harness accumulates them across incarnations.
+  virtual void snapshot(ByteWriter& w) const;
+
+  /// Inverse of snapshot() onto a freshly constructed instance with the same
+  /// shape (self, n_procs, n_vars).  Returns false on malformed input.
+  [[nodiscard]] virtual bool restore(ByteReader& r);
 
   [[nodiscard]] ProcessId self() const noexcept { return self_; }
   [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }

@@ -1,0 +1,163 @@
+// optcm — crash recovery: write logging and anti-entropy catch-up.
+//
+// Crash tolerance is an EXTENSION beyond the paper's model (Section 3.1
+// assumes crash-free processes); see docs/FAULTS.md for the full fault model
+// and DESIGN.md §5 for the scoping note.  The pieces:
+//
+//   * RecoveryNode sits between the transport and a class-𝒫 protocol
+//     (anything derived from BufferingProtocol).  As the protocol's Endpoint
+//     it intercepts outgoing WriteUpdates; as the transport's upward sink it
+//     intercepts incoming ones.  Either way it appends the update to a
+//     per-sender log — the material served to restarting peers.
+//   * On restart, a node broadcasts CatchUpRequest(seen) where seen[u] is
+//     the contiguous prefix of p_u's writes present in its restored log.
+//     Peers reply with every logged write above those watermarks; the writes
+//     are fed to the protocol exactly like network deliveries, so the
+//     enabling condition, buffering, and writing semantics all apply
+//     unchanged.  A peer that sees a request proving the REQUESTER is ahead
+//     issues its own request back (symmetric re-request — this is what
+//     repairs overlapping crashes).  Requests are triggered, never periodic,
+//     and keyed on received (not applied) watermarks, so the exchange
+//     terminates: after one round trip both sides have received everything
+//     the other had.
+//   * The checkpoint hook is invoked after every event that mutates durable
+//     state (deliveries and catch-up handling here; script operations in the
+//     harness) — a synchronous write-ahead log.  Restore therefore never
+//     rolls back an apply, which keeps the audited trace honest: a delayed
+//     apply in the deduplicated trace is delayed for a real protocol reason,
+//     never because the process forgot state (Theorem 4 auditing survives
+//     the fault sweep).
+//
+// Duplicate deliveries are expected here by design: a write can arrive both
+// through a catch-up reply and through the sender's ARQ retransmission (the
+// ACK never fired while the receiver was down).  BufferingProtocol's
+// staleness check absorbs them; ReplayFilterObserver (below) additionally
+// deduplicates the observer event stream so recorders and auditors see each
+// receipt/apply once.
+//
+// The log is unpruned: every write ever seen is kept, which is what a small
+// simulated run wants.  A production deployment would truncate below the
+// stable vector (all-processes-applied watermark, cf. audit/stability.h).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dsm/common/sink.h"
+#include "dsm/protocols/buffering.h"
+
+namespace dsm {
+
+struct RecoveryStats {
+  std::uint64_t requests_sent = 0;      ///< catch-up requests issued
+  std::uint64_t requests_received = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t writes_served = 0;      ///< log entries shipped in replies
+  std::uint64_t writes_recovered = 0;   ///< reply entries fed to the protocol
+  std::uint64_t catch_up_bytes = 0;     ///< encoded reply bytes sent
+
+  RecoveryStats& operator+=(const RecoveryStats& o) noexcept {
+    requests_sent += o.requests_sent;
+    requests_received += o.requests_received;
+    replies_sent += o.replies_sent;
+    replies_received += o.replies_received;
+    writes_served += o.writes_served;
+    writes_recovered += o.writes_recovered;
+    catch_up_bytes += o.catch_up_bytes;
+    return *this;
+  }
+};
+
+class RecoveryNode final : public Endpoint, public MessageSink {
+ public:
+  /// Invoked after any state mutation that must be durable (synchronous
+  /// checkpoint).  Installed by the harness; may be empty in tests.
+  using CheckpointHook = std::function<void()>;
+
+  RecoveryNode(ProcessId self, std::size_t n_procs, Endpoint& lower);
+
+  /// Wire the protocol (constructed after this node, since the protocol's
+  /// Endpoint is this node).
+  void set_protocol(BufferingProtocol& proto) { proto_ = &proto; }
+  void set_checkpoint_hook(CheckpointHook hook) { checkpoint_ = std::move(hook); }
+
+  // -- Endpoint (protocol → world): log own writes, pass through ------------
+  void broadcast(std::vector<std::uint8_t> bytes) override;
+  void send(ProcessId to, std::vector<std::uint8_t> bytes) override;
+
+  // -- MessageSink (world → protocol): log foreign writes, handle catch-up --
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
+
+  /// Broadcast a CatchUpRequest carrying the received watermarks — the
+  /// restart path (also usable after a long partition heals).
+  void request_catch_up();
+
+  /// seen[u] = length of the contiguous prefix of p_u's writes in the log.
+  [[nodiscard]] VectorClock seen() const;
+
+  // -- checkpoint of the log -------------------------------------------------
+  void snapshot(ByteWriter& w) const;
+  [[nodiscard]] bool restore(ByteReader& r);
+
+  [[nodiscard]] const RecoveryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t log_entries() const noexcept;
+
+ private:
+  void log_update(const WriteUpdate& m);
+  void handle_request(const CatchUpRequest& req);
+  void handle_reply(const CatchUpReply& rep);
+  void forward_to_protocol(const WriteUpdate& m);
+  void checkpoint();
+
+  ProcessId self_;
+  std::size_t n_procs_;
+  Endpoint* lower_;
+  BufferingProtocol* proto_ = nullptr;
+  CheckpointHook checkpoint_;
+  /// log_[u][k-1] = p_u's k-th write.  Slots with write_seq == 0 are holes
+  /// (non-FIFO arrival); for partial replication the slot keeps the best
+  /// copy seen (a full copy replaces a metadata-only one, never vice versa).
+  std::vector<std::vector<WriteUpdate>> log_;
+  RecoveryStats stats_;
+};
+
+/// Observer adapter that forwards each receipt/apply/skip event for a given
+/// (process, write) at most once, and send events at most once per write.
+/// Under crash recovery the same update can legitimately reach a process
+/// twice (catch-up reply + ARQ retransmission whose ACK died with the
+/// crash); the protocol absorbs the duplicate, and this filter keeps the
+/// recorded trace — the input to the checker, auditor, and determinism
+/// comparisons — free of the echo.  Return events pass through untouched
+/// (every read is a distinct operation).
+///
+/// Thread-safe (an internal mutex guards the seen-set), so the same filter
+/// serves the single-threaded simulator and the threaded cluster.
+class ReplayFilterObserver final : public ProtocolObserver {
+ public:
+  explicit ReplayFilterObserver(ProtocolObserver& target) : target_(&target) {}
+
+  void on_send(ProcessId at, const WriteUpdate& m) override;
+  void on_receipt(ProcessId at, const WriteUpdate& m) override;
+  void on_apply(ProcessId at, WriteId w, bool delayed) override;
+  void on_return(ProcessId at, VarId x, Value v, WriteId from) override;
+  void on_skip(ProcessId at, WriteId w, WriteId by) override;
+
+  [[nodiscard]] std::uint64_t suppressed() const;
+
+ private:
+  using Key = std::tuple<std::uint8_t, ProcessId, ProcessId, SeqNo>;
+  [[nodiscard]] bool first(std::uint8_t kind, ProcessId at, WriteId w);
+
+  ProtocolObserver* target_;
+  mutable std::mutex mu_;
+  std::set<Key> seen_;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace dsm

@@ -176,4 +176,61 @@ void TokenWs::drain_batches() {
 
 std::size_t TokenWs::pending_count() const { return buffered_.size(); }
 
+void TokenWs::snapshot(ByteWriter& w) const {
+  CausalProtocol::snapshot(w);
+  w.u64(next_round_);
+  w.u8(held_round_.has_value() ? 1 : 0);
+  w.u64(held_round_.value_or(0));
+  w.u64(writes_total_);
+  w.u64(batch_.size());
+  for (const auto& [var, e] : batch_) {
+    w.u32(var);
+    w.i64(e.value);
+    w.u64(e.write_seq);
+    w.u64(e.skipped);
+  }
+  w.u64(buffered_.size());
+  for (const BatchUpdate& b : buffered_) b.encode(w);
+  std::vector<std::uint64_t> seqs(last_seq_from_.begin(), last_seq_from_.end());
+  w.u64_vec(seqs);
+}
+
+bool TokenWs::restore(ByteReader& r) {
+  if (!CausalProtocol::restore(r)) return false;
+  const auto next_round = r.u64();
+  const auto has_held = r.u8();
+  const auto held = r.u64();
+  const auto writes_total = r.u64();
+  const auto n_batch = r.u64();
+  if (!next_round || !has_held || !held || !writes_total || !n_batch ||
+      *n_batch > (1ULL << 24)) {
+    return false;
+  }
+  next_round_ = *next_round;
+  held_round_ = *has_held != 0 ? std::optional<std::uint64_t>{*held}
+                               : std::nullopt;
+  writes_total_ = *writes_total;
+  batch_.clear();
+  for (std::uint64_t i = 0; i < *n_batch; ++i) {
+    const auto var = r.u32();
+    const auto value = r.i64();
+    const auto seq = r.u64();
+    const auto skipped = r.u64();
+    if (!var || !value || !seq || !skipped) return false;
+    batch_[*var] = BatchEntry{*var, *value, *seq, *skipped};
+  }
+  const auto n_buffered = r.u64();
+  if (!n_buffered || *n_buffered > (1ULL << 24)) return false;
+  buffered_.clear();
+  for (std::uint64_t i = 0; i < *n_buffered; ++i) {
+    auto b = BatchUpdate::decode(r);
+    if (!b) return false;
+    buffered_.push_back(std::move(*b));
+  }
+  auto seqs = r.u64_vec();
+  if (!seqs || seqs->size() != last_seq_from_.size()) return false;
+  std::copy(seqs->begin(), seqs->end(), last_seq_from_.begin());
+  return true;
+}
+
 }  // namespace dsm

@@ -67,6 +67,13 @@ class TokenWs final : public CausalProtocol {
   /// Rounds whose batches this process has applied (next expected round).
   [[nodiscard]] std::uint64_t next_round() const noexcept { return next_round_; }
 
+  /// State checkpoint.  Note: a crashed token HOLDER loses the in-flight
+  /// TokenGrant — regenerating a lost token (election) is outside this
+  /// repository's scope, so the crash harness rejects token-ws plans; the
+  /// serialization exists so the checkpoint API is total across protocols.
+  void snapshot(ByteWriter& w) const override;
+  [[nodiscard]] bool restore(ByteReader& r) override;
+
   /// Extra, token-specific counters.
   struct TokenStats {
     std::uint64_t rounds_held = 0;       ///< batches we broadcast

@@ -1,5 +1,6 @@
 #include "dsm/runtime/thread_cluster.h"
 
+#include "dsm/codec/codec.h"
 #include "dsm/common/contracts.h"
 
 namespace dsm {
@@ -16,8 +17,11 @@ void ThreadCluster::ClusterEndpoint::send(ProcessId to,
 }
 
 ThreadCluster::ThreadCluster(const Config& config)
-    : n_vars_(config.n_vars),
+    : kind_(config.kind),
+      protocol_config_(config.protocol_config),
+      n_vars_(config.n_vars),
       max_jitter_us_(config.max_jitter_us),
+      recoverable_(config.recoverable),
       jitter_rng_(config.seed),
       epoch_(std::chrono::steady_clock::now()) {
   DSM_REQUIRE(config.n_procs >= 1);
@@ -30,25 +34,29 @@ ThreadCluster::ThreadCluster(const Config& config)
                 .count());
       });
 
-  ProtocolObserver* observer = recorder_.get();
+  observer_ = recorder_.get();
   if (!config.extra_observers.empty()) {
     std::vector<ProtocolObserver*> targets{recorder_.get()};
     targets.insert(targets.end(), config.extra_observers.begin(),
                    config.extra_observers.end());
     fanout_ = std::make_unique<FanoutObserver>(std::move(targets));
-    observer = fanout_.get();
+    observer_ = fanout_.get();
+  }
+  if (recoverable_) {
+    // Catch-up replies can redeliver a write the protocol already absorbed;
+    // record each event once so checker/auditor input stays replay-free.
+    filter_ = std::make_unique<ReplayFilterObserver>(*observer_);
+    observer_ = filter_.get();
   }
 
   nodes_.reserve(config.n_procs);
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     auto node = std::make_unique<Node>();
     node->endpoint = std::make_unique<ClusterEndpoint>(*this, p);
-    node->protocol =
-        make_protocol(config.kind, p, config.n_procs, config.n_vars,
-                      *node->endpoint, *observer, config.protocol_config);
     node->mailbox = std::make_unique<Mailbox>();
     nodes_.push_back(std::move(node));
   }
+  for (ProcessId p = 0; p < config.n_procs; ++p) build_node_locked(p);
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     nodes_[p]->delivery = std::thread([this, p] { deliver_loop(p); });
   }
@@ -57,10 +65,41 @@ ThreadCluster::ThreadCluster(const Config& config)
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     const std::scoped_lock lock(nodes_[p]->mu);
     nodes_[p]->protocol->start();
+    // Time-zero baseline: a process killed before its first operation still
+    // restores to a well-formed (empty) state.
+    if (recoverable_) checkpoint_locked(p);
   }
 }
 
 ThreadCluster::~ThreadCluster() { shutdown(); }
+
+void ThreadCluster::build_node_locked(ProcessId p) {
+  Node& node = *nodes_[p];
+  if (recoverable_) {
+    node.recovery =
+        std::make_unique<RecoveryNode>(p, nodes_.size(), *node.endpoint);
+    node.protocol = make_protocol(kind_, p, nodes_.size(), n_vars_,
+                                  *node.recovery, *observer_, protocol_config_);
+    node.buffering = dynamic_cast<BufferingProtocol*>(node.protocol.get());
+    DSM_REQUIRE(node.buffering != nullptr &&
+                "recoverable clusters need a class-P buffering protocol; a "
+                "crashed token holder would require an election");
+    node.recovery->set_protocol(*node.buffering);
+    node.recovery->set_checkpoint_hook([this, p] { checkpoint_locked(p); });
+  } else {
+    node.protocol = make_protocol(kind_, p, nodes_.size(), n_vars_,
+                                  *node.endpoint, *observer_, protocol_config_);
+  }
+}
+
+void ThreadCluster::checkpoint_locked(ProcessId p) {
+  Node& node = *nodes_[p];
+  DSM_REQUIRE(node.protocol != nullptr);
+  ByteWriter w;
+  node.protocol->snapshot(w);
+  node.recovery->snapshot(w);
+  node.checkpoint = std::move(w).take();
+}
 
 void ThreadCluster::shutdown() {
   if (stopped_.exchange(true)) return;
@@ -99,7 +138,14 @@ void ThreadCluster::deliver_loop(ProcessId p) {
     }
     {
       const std::scoped_lock lock(node.mu);
-      node.protocol->on_message(envelope->from, envelope->bytes);
+      if (!node.up) {
+        // Crashed host: the message is lost; catch-up repairs it later.
+        crash_dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else if (node.recovery != nullptr) {
+        node.recovery->deliver(envelope->from, envelope->bytes);
+      } else {
+        node.protocol->on_message(envelope->from, envelope->bytes);
+      }
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -107,29 +153,91 @@ void ThreadCluster::deliver_loop(ProcessId p) {
 
 void ThreadCluster::write(ProcessId p, VarId x, Value v) {
   DSM_REQUIRE(p < nodes_.size());
-  const std::scoped_lock lock(nodes_[p]->mu);
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(node.up && "write() on a killed process");
   recorder_->record_write(p, x, v);
-  nodes_[p]->protocol->write(x, v);
+  node.protocol->write(x, v);
+  if (recoverable_) checkpoint_locked(p);
 }
 
 ReadResult ThreadCluster::read(ProcessId p, VarId x) {
   DSM_REQUIRE(p < nodes_.size());
-  const std::scoped_lock lock(nodes_[p]->mu);
-  const ReadResult r = nodes_[p]->protocol->read(x);
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(node.up && "read() on a killed process");
+  const ReadResult r = node.protocol->read(x);
   recorder_->record_read(p, x, r);
+  // OptP merges Write_co on reads, so reads mutate durable state too.
+  if (recoverable_) checkpoint_locked(p);
   return r;
 }
 
 ReadResult ThreadCluster::peek(ProcessId p, VarId x) const {
   DSM_REQUIRE(p < nodes_.size());
   const std::scoped_lock lock(nodes_[p]->mu);
+  if (!nodes_[p]->up) return {};
   return nodes_[p]->protocol->peek(x);
+}
+
+void ThreadCluster::kill(ProcessId p) {
+  DSM_REQUIRE(recoverable_);
+  DSM_REQUIRE(p < nodes_.size());
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(node.up && "kill() on an already-killed process");
+  // The dying incarnation's counters survive in the accumulators (stats are
+  // volatile by design — they are not part of the checkpoint).
+  node.stats_acc += node.protocol->stats();
+  node.rec_acc += node.recovery->stats();
+  node.protocol.reset();
+  node.buffering = nullptr;
+  node.recovery.reset();
+  node.up = false;
+}
+
+void ThreadCluster::restart(ProcessId p) {
+  DSM_REQUIRE(recoverable_);
+  DSM_REQUIRE(p < nodes_.size());
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(!node.up && "restart() on a live process");
+  build_node_locked(p);
+  ByteReader r(node.checkpoint);
+  DSM_REQUIRE(node.protocol->restore(r));
+  DSM_REQUIRE(node.recovery->restore(r));
+  DSM_REQUIRE(r.exhausted());
+  node.up = true;
+  node.recovery->request_catch_up();
+  checkpoint_locked(p);
+}
+
+bool ThreadCluster::alive(ProcessId p) const {
+  DSM_REQUIRE(p < nodes_.size());
+  const std::scoped_lock lock(nodes_[p]->mu);
+  return nodes_[p]->up;
 }
 
 ProtocolStats ThreadCluster::stats(ProcessId p) const {
   DSM_REQUIRE(p < nodes_.size());
   const std::scoped_lock lock(nodes_[p]->mu);
-  return nodes_[p]->protocol->stats();
+  ProtocolStats s = nodes_[p]->stats_acc;
+  if (nodes_[p]->protocol != nullptr) s += nodes_[p]->protocol->stats();
+  return s;
+}
+
+RecoveryStats ThreadCluster::recovery_stats() const {
+  RecoveryStats total;
+  for (const auto& node : nodes_) {
+    const std::scoped_lock lock(node->mu);
+    total += node->rec_acc;
+    if (node->recovery != nullptr) total += node->recovery->stats();
+  }
+  return total;
+}
+
+std::uint64_t ThreadCluster::replay_suppressed() const {
+  return filter_ != nullptr ? filter_->suppressed() : 0;
 }
 
 bool ThreadCluster::await_quiescence(std::chrono::milliseconds timeout) {
@@ -139,7 +247,7 @@ bool ThreadCluster::await_quiescence(std::chrono::milliseconds timeout) {
       bool quiescent = true;
       for (const auto& node : nodes_) {
         const std::scoped_lock lock(node->mu);
-        if (!node->protocol->quiescent()) {
+        if (!node->up || !node->protocol->quiescent()) {
           quiescent = false;
           break;
         }

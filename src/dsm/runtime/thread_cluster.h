@@ -11,6 +11,17 @@
 // The recorder captures the same event log as in simulation, so the
 // consistency checker and the optimality auditor run unchanged on threaded
 // runs — the integration tests do exactly that.
+//
+// Recoverable mode (config.recoverable) adds crash tolerance with the same
+// checkpoint mechanics as the simulator's crash mode: a RecoveryNode sits
+// between the transport and each protocol, every state-mutating operation
+// synchronously checkpoints under the node mutex, kill(p) destroys the
+// protocol instance (messages delivered while down are dropped, like a
+// crashed host), and restart(p) rebuilds it from the checkpoint and runs
+// anti-entropy catch-up against the peers' write logs.  There is no ARQ
+// layer here — mailboxes are lossless — so the catch-up exchange is the ONLY
+// repair path for messages dropped while down; it suffices because every
+// peer logs every write it has seen and serves it on request.
 
 #pragma once
 
@@ -23,6 +34,7 @@
 
 #include "dsm/audit/stability.h"
 #include "dsm/common/rng.h"
+#include "dsm/protocols/recovery.h"
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/mailbox.h"
@@ -39,6 +51,9 @@ class ThreadCluster {
     /// Max artificial per-message delivery delay (µs); 0 disables jitter.
     std::uint32_t max_jitter_us = 0;
     std::uint64_t seed = 1;
+    /// Enable kill()/restart(): checkpointing, write logging and catch-up.
+    /// Requires a class-𝒫 buffering protocol (token-ws is rejected).
+    bool recoverable = false;
     /// Additional observers teed alongside the recorder (e.g. a
     /// StabilityTracker); must be thread-safe and outlive the cluster.
     std::vector<ProtocolObserver*> extra_observers;
@@ -51,24 +66,42 @@ class ThreadCluster {
   ThreadCluster& operator=(const ThreadCluster&) = delete;
 
   /// Issue w_p(x)v.  Thread-safe; callers for different p proceed in
-  /// parallel.
+  /// parallel.  The process must be up.
   void write(ProcessId p, VarId x, Value v);
 
-  /// Issue r_p(x).
+  /// Issue r_p(x).  The process must be up.
   ReadResult read(ProcessId p, VarId x);
 
-  /// Non-recording peek at p's local copy (monitoring only).
+  /// Non-recording peek at p's local copy (monitoring only; ⊥ while down).
   [[nodiscard]] ReadResult peek(ProcessId p, VarId x) const;
 
+  /// Crash process p (recoverable mode only): its protocol state dies, and
+  /// messages delivered while it is down are dropped.
+  void kill(ProcessId p);
+
+  /// Restart a killed process from its last checkpoint and broadcast a
+  /// catch-up request for everything missed while down.
+  void restart(ProcessId p);
+
+  [[nodiscard]] bool alive(ProcessId p) const;
+
   /// Blocks until no message is in flight and every protocol is quiescent,
-  /// or the timeout elapses.  Returns true on quiescence.
+  /// or the timeout elapses.  Returns true on quiescence.  Never true while
+  /// a process is down.
   bool await_quiescence(std::chrono::milliseconds timeout);
 
   /// Stops delivery threads (idempotent; also run by the destructor).
   void shutdown();
 
   [[nodiscard]] const RunRecorder& recorder() const noexcept { return *recorder_; }
+  /// Summed across incarnations in recoverable mode.
   [[nodiscard]] ProtocolStats stats(ProcessId p) const;
+  [[nodiscard]] RecoveryStats recovery_stats() const;
+  /// Observer events suppressed as replays (recoverable mode).
+  [[nodiscard]] std::uint64_t replay_suppressed() const;
+  [[nodiscard]] std::uint64_t crash_dropped() const noexcept {
+    return crash_dropped_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t n_procs() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
 
@@ -90,21 +123,38 @@ class ThreadCluster {
 
   struct Node {
     std::unique_ptr<ClusterEndpoint> endpoint;
+    std::unique_ptr<RecoveryNode> recovery;  ///< recoverable mode only
     std::unique_ptr<CausalProtocol> protocol;
+    BufferingProtocol* buffering = nullptr;  ///< recoverable mode only
     std::unique_ptr<Mailbox> mailbox;
     std::thread delivery;
     mutable std::mutex mu;  ///< serializes all protocol access
+    // All fields below are guarded by mu.
+    bool up = true;
+    std::vector<std::uint8_t> checkpoint;
+    ProtocolStats stats_acc;    ///< counters of dead incarnations
+    RecoveryStats rec_acc;
   };
 
   void deliver_loop(ProcessId p);
   void post(ProcessId from, ProcessId to, std::vector<std::uint8_t> bytes);
+  /// Constructs the protocol stack for p.  Caller holds p's mutex (or is the
+  /// constructor, before threads start).
+  void build_node_locked(ProcessId p);
+  void checkpoint_locked(ProcessId p);
 
+  ProtocolKind kind_;
+  ProtocolConfig protocol_config_;
   std::size_t n_vars_;
   std::uint32_t max_jitter_us_;
+  bool recoverable_;
   std::unique_ptr<RunRecorder> recorder_;
   std::unique_ptr<ProtocolObserver> fanout_;  ///< set iff extra observers given
+  std::unique_ptr<ReplayFilterObserver> filter_;  ///< recoverable mode only
+  ProtocolObserver* observer_ = nullptr;  ///< the chain head protocols report to
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> crash_dropped_{0};
   std::atomic<bool> stopped_{false};
   std::mutex jitter_mu_;
   Rng jitter_rng_;

@@ -21,6 +21,26 @@ void Network::attach(ProcessId p, MessageSink& sink) {
   sinks_[p] = &sink;
 }
 
+void Network::detach(ProcessId p) {
+  DSM_REQUIRE(p < sinks_.size());
+  DSM_REQUIRE(sinks_[p] != nullptr);
+  sinks_[p] = nullptr;
+  detach_used_ = true;
+}
+
+void Network::deliver_now(ProcessId from, ProcessId to,
+                          const std::vector<std::uint8_t>& payload) {
+  // The sink is resolved at DELIVERY time, not capture time: the receiver
+  // may have crashed (detached) or restarted (re-attached a fresh sink)
+  // while the message was in flight.
+  MessageSink* sink = sinks_[to];
+  if (sink == nullptr) {
+    ++fstats_.crash_dropped;
+    return;
+  }
+  sink->deliver(from, payload);
+}
+
 std::uint64_t& Network::pair_counter(ProcessId from, ProcessId to) {
   return pair_index_[static_cast<std::size_t>(from) * sinks_.size() + to];
 }
@@ -30,8 +50,9 @@ void Network::send(ProcessId from, ProcessId to,
   DSM_REQUIRE(from < sinks_.size());
   DSM_REQUIRE(to < sinks_.size());
   DSM_REQUIRE(from != to);
-  MessageSink* sink = sinks_[to];
-  DSM_REQUIRE(sink != nullptr);
+  // A null sink is a wiring bug — unless detach() has ever been used, in
+  // which case it means the receiver is currently crashed.
+  DSM_REQUIRE(sinks_[to] != nullptr || detach_used_);
 
   const std::uint64_t index = pair_counter(from, to)++;
 
@@ -48,6 +69,13 @@ void Network::send(ProcessId from, ProcessId to,
   stats_.bytes_sent += bytes.size();
   stats_.max_latency_seen = std::max(stats_.max_latency_seen, delay);
 
+  // Partition windows are evaluated at send time: a message launched before
+  // the window opened is already "on the wire" and still arrives.
+  if (fault_.severed(from, to, queue_->now())) {
+    ++fstats_.partition_dropped;
+    return;
+  }
+
   const FaultPlan::Draw draw = fault_.draw(from, to, index);
   if (draw.dropped) {
     ++fstats_.dropped;
@@ -59,14 +87,14 @@ void Network::send(ProcessId from, ProcessId to,
     // or after the original.
     const SimTime dup_delay =
         forced ? *forced : latency_->latency(from, to, index ^ 0x8000000000000000ULL);
-    queue_->schedule_after(dup_delay, [sink, from, payload = bytes]() {
-      sink->deliver(from, payload);
+    queue_->schedule_after(dup_delay, [this, from, to, payload = bytes]() {
+      deliver_now(from, to, payload);
     });
   }
 
   queue_->schedule_after(
-      delay, [sink, from, payload = std::move(bytes)]() {
-        sink->deliver(from, payload);
+      delay, [this, from, to, payload = std::move(bytes)]() {
+        deliver_now(from, to, payload);
       });
 }
 

@@ -18,19 +18,13 @@
 #include <span>
 #include <vector>
 
+#include "dsm/common/sink.h"
 #include "dsm/common/types.h"
 #include "dsm/sim/event_queue.h"
 #include "dsm/sim/fault.h"
 #include "dsm/sim/latency.h"
 
 namespace dsm {
-
-/// Receiver half of a simulated process.
-class MessageSink {
- public:
-  virtual ~MessageSink() = default;
-  virtual void deliver(ProcessId from, std::span<const std::uint8_t> bytes) = 0;
-};
 
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
@@ -48,8 +42,13 @@ class Network {
   Network(EventQueue& queue, const LatencyModel& latency, std::size_t n_procs);
 
   /// Register the sink for process p.  Must be called for all processes
-  /// before any send; sinks must outlive the network.
+  /// before any send; sinks must outlive the network (or be detach()ed).
   void attach(ProcessId p, MessageSink& sink);
+
+  /// Remove process p's sink — the crash path.  Messages already in flight
+  /// to p (and any sent while detached) are counted as crash drops instead
+  /// of delivered.  A later attach() models the restart.
+  void detach(ProcessId p);
 
   /// Unicast `bytes` from `from` to `to`; delivery is scheduled on the event
   /// queue after the modeled latency.
@@ -79,8 +78,11 @@ class Network {
   FaultPlan fault_;
   NetworkStats stats_;
   FaultStats fstats_;
+  bool detach_used_ = false;  // once true, a null sink means "crashed"
 
   [[nodiscard]] std::uint64_t& pair_counter(ProcessId from, ProcessId to);
+  void deliver_now(ProcessId from, ProcessId to,
+                   const std::vector<std::uint8_t>& payload);
 };
 
 }  // namespace dsm

@@ -1,7 +1,11 @@
 #include "dsm/sim/reliable.h"
 
-#include "dsm/codec/codec.h"
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
 #include "dsm/common/contracts.h"
+#include "dsm/common/rng.h"
 
 namespace dsm {
 
@@ -14,8 +18,14 @@ ReliableNode::ReliableNode(EventQueue& queue, Network& network, ProcessId self,
       config_(config),
       tx_(network.n_procs()),
       rx_(network.n_procs()) {
+  DSM_REQUIRE(config_.min_rto > 0);
+  DSM_REQUIRE(config_.min_rto <= config_.max_rto);
+  DSM_REQUIRE(config_.rto > 0);
+  for (PeerTx& peer : tx_) peer.rto = config_.rto;
   network.attach(self, *this);
 }
+
+ReliableNode::~ReliableNode() { *alive_ = false; }
 
 std::vector<std::uint8_t> ReliableNode::encode_frame(
     FrameType type, std::uint64_t seq, std::span<const std::uint8_t> payload) {
@@ -31,10 +41,11 @@ void ReliableNode::send(ProcessId to, std::vector<std::uint8_t> payload) {
   DSM_REQUIRE(to != self_);
   PeerTx& peer = tx_[to];
   const std::uint64_t seq = peer.next_seq++;
-  peer.unacked.emplace(seq, std::move(payload));
+  peer.unacked.emplace(seq,
+                       TxEntry{std::move(payload), queue_->now(), false});
   ++stats_.data_sent;
-  transmit(to, seq, peer.unacked.at(seq));
-  arm_timer(to, seq, 0);
+  transmit(to, seq, peer.unacked.at(seq).payload);
+  arm_timer(to, seq, 0, peer.rto);
 }
 
 void ReliableNode::broadcast(const std::vector<std::uint8_t>& payload) {
@@ -48,21 +59,76 @@ void ReliableNode::transmit(ProcessId to, std::uint64_t seq,
   network_->send(self_, to, encode_frame(FrameType::kData, seq, payload));
 }
 
+SimTime ReliableNode::jitter(ProcessId to, std::uint64_t seq,
+                             std::size_t attempt, SimTime interval) const {
+  const SimTime bound = interval / 4;
+  if (bound == 0) return 0;
+  // Same sponge chain as FaultPlan::draw: fold each coordinate through the
+  // splitmix64 finalizer so every (node, peer, seq, attempt) gets an
+  // independent, reproducible draw.
+  std::uint64_t s = config_.jitter_seed;
+  s = splitmix64(s) ^ ((std::uint64_t{self_} << 32) | std::uint64_t{to});
+  s = splitmix64(s) ^ seq;
+  s = splitmix64(s) ^ static_cast<std::uint64_t>(attempt);
+  return splitmix64(s) % (bound + 1);
+}
+
 void ReliableNode::arm_timer(ProcessId to, std::uint64_t seq,
-                             std::size_t attempt) {
-  queue_->schedule_after(config_.rto, [this, to, seq, attempt] {
-    const auto it = tx_[to].unacked.find(seq);
-    if (it == tx_[to].unacked.end()) return;  // acked meanwhile
-    if (attempt >= config_.max_retries) {
-      // Should never happen with drop < 1; counted so tests can alarm.
-      ++stats_.abandoned;
-      tx_[to].unacked.erase(it);
-      return;
-    }
-    ++stats_.retransmissions;
-    transmit(to, seq, it->second);
-    arm_timer(to, seq, attempt + 1);
-  });
+                             std::size_t attempt, SimTime interval) {
+  const SimTime wait = interval + jitter(to, seq, attempt, interval);
+  queue_->schedule_after(
+      wait, [this, alive = alive_, to, seq, attempt, interval] {
+        if (!*alive) return;  // node crashed/destroyed; timer is stale
+        const auto it = tx_[to].unacked.find(seq);
+        if (it == tx_[to].unacked.end()) return;  // acked meanwhile
+        if (attempt >= config_.max_retries) {
+          ++stats_.abandoned;
+          tx_[to].unacked.erase(it);
+          if (config_.on_abandon) {
+            config_.on_abandon(to, seq);
+            return;
+          }
+          DSM_REQUIRE(false &&
+                      "ARQ abandoned a payload: max_retries exhausted — the "
+                      "channel can no longer claim exactly-once delivery");
+        }
+        ++stats_.retransmissions;
+        it->second.retransmitted = true;  // Karn: disqualify from RTT sampling
+        transmit(to, seq, it->second.payload);
+        // Exponential backoff capped at max_rto.
+        const SimTime next = std::min(interval * 2, config_.max_rto);
+        arm_timer(to, seq, attempt + 1, next);
+      });
+}
+
+SimTime ReliableNode::clamp_rto(double rto_us) const {
+  const double lo = static_cast<double>(config_.min_rto);
+  const double hi = static_cast<double>(config_.max_rto);
+  return static_cast<SimTime>(std::llround(std::clamp(rto_us, lo, hi)));
+}
+
+void ReliableNode::sample_rtt(PeerTx& peer, SimTime rtt) {
+  const double r = static_cast<double>(rtt);
+  if (!peer.have_rtt) {
+    peer.srtt = r;
+    peer.rttvar = r / 2.0;
+    peer.have_rtt = true;
+  } else {
+    peer.rttvar = 0.75 * peer.rttvar + 0.25 * std::abs(peer.srtt - r);
+    peer.srtt = 0.875 * peer.srtt + 0.125 * r;
+  }
+  peer.rto = clamp_rto(peer.srtt + 4.0 * peer.rttvar);
+  ++stats_.rtt_samples;
+}
+
+void ReliableNode::on_ack(ProcessId from, std::uint64_t seq) {
+  PeerTx& peer = tx_[from];
+  const auto it = peer.unacked.find(seq);
+  if (it == peer.unacked.end()) return;  // duplicate ACK
+  if (!it->second.retransmitted) {
+    sample_rtt(peer, queue_->now() - it->second.first_sent);
+  }
+  peer.unacked.erase(it);
 }
 
 void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) {
@@ -88,16 +154,95 @@ void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) 
       return;
     }
     case FrameType::kAck: {
-      tx_[from].unacked.erase(*seq);
+      on_ack(from, *seq);
       return;
     }
   }
   DSM_REQUIRE(false && "unknown frame type");
 }
 
+SimTime ReliableNode::current_rto(ProcessId to) const {
+  DSM_REQUIRE(to < tx_.size());
+  return tx_[to].rto;
+}
+
 bool ReliableNode::quiescent() const noexcept {
   for (const auto& peer : tx_) {
     if (!peer.unacked.empty()) return false;
+  }
+  return true;
+}
+
+void ReliableNode::snapshot(ByteWriter& w) const {
+  w.u64(tx_.size());
+  for (const PeerTx& peer : tx_) {
+    w.u64(peer.next_seq);
+    w.u64(peer.unacked.size());
+    for (const auto& [seq, entry] : peer.unacked) {
+      w.u64(seq);
+      w.u64(entry.payload.size());
+      w.bytes(entry.payload);
+    }
+    w.u8(peer.have_rtt ? 1 : 0);
+    w.u64(std::bit_cast<std::uint64_t>(peer.srtt));
+    w.u64(std::bit_cast<std::uint64_t>(peer.rttvar));
+    w.u64(peer.rto);
+  }
+  for (const PeerRx& peer : rx_) {
+    w.u64(peer.watermark);
+    std::vector<std::uint64_t> above(peer.seen_above.begin(),
+                                     peer.seen_above.end());
+    w.u64_vec(above);
+  }
+}
+
+bool ReliableNode::restore(ByteReader& r) {
+  const auto n = r.u64();
+  if (!n || *n != tx_.size()) return false;
+  for (PeerTx& peer : tx_) {
+    const auto next_seq = r.u64();
+    const auto count = r.u64();
+    if (!next_seq || !count) return false;
+    peer.next_seq = *next_seq;
+    peer.unacked.clear();
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      const auto seq = r.u64();
+      const auto len = r.u64();
+      if (!seq || !len) return false;
+      const auto raw = r.take(static_cast<std::size_t>(*len));
+      if (!raw) return false;
+      // Restored payloads count as retransmitted: their original send time
+      // is gone, so Karn's rule disqualifies them from RTT sampling.
+      peer.unacked.emplace(
+          *seq, TxEntry{std::vector<std::uint8_t>(raw->begin(), raw->end()),
+                        queue_->now(), true});
+    }
+    const auto have = r.u8();
+    const auto srtt = r.u64();
+    const auto rttvar = r.u64();
+    const auto rto = r.u64();
+    if (!have || !srtt || !rttvar || !rto) return false;
+    peer.have_rtt = *have != 0;
+    peer.srtt = std::bit_cast<double>(*srtt);
+    peer.rttvar = std::bit_cast<double>(*rttvar);
+    peer.rto = *rto;
+  }
+  for (PeerRx& peer : rx_) {
+    const auto watermark = r.u64();
+    auto above = r.u64_vec();
+    if (!watermark || !above) return false;
+    peer.watermark = *watermark;
+    peer.seen_above = std::set<std::uint64_t>(above->begin(), above->end());
+  }
+  // Everything unacked at checkpoint time is immediately retransmitted: the
+  // peers may never have seen it, and the pre-crash timers died with the old
+  // node instance.
+  for (ProcessId to = 0; to < tx_.size(); ++to) {
+    for (const auto& [seq, entry] : tx_[to].unacked) {
+      ++stats_.retransmissions;
+      transmit(to, seq, entry.payload);
+      arm_timer(to, seq, 0, tx_[to].rto);
+    }
   }
   return true;
 }

@@ -7,7 +7,7 @@
 //
 //   * every payload gets a per-(sender→receiver) sequence number and is kept
 //     by the sender until acknowledged; a retransmission timer resends it
-//     every `rto` until the ACK lands (at-least-once);
+//     until the ACK lands (at-least-once);
 //   * the receiver delivers a sequence number at most once — a compact
 //     watermark-plus-set dedup — and (re-)ACKs every DATA frame it sees
 //     (exactly-once upward);
@@ -16,17 +16,43 @@
 //     The DSM protocols order applies themselves; imposing FIFO here would
 //     silently hand ANBKH ordering it did not pay for.
 //
+// The retransmission timeout is ADAPTIVE per peer, after RFC 6298: smoothed
+// RTT and RTT variance from ACK round-trips (SRTT ← 7/8·SRTT + 1/8·R,
+// RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − R|, RTO = SRTT + 4·RTTVAR clamped to
+// [min_rto, max_rto]), Karn's rule (never sample a retransmitted packet),
+// per-packet exponential backoff capped at max_rto, and a small
+// DETERMINISTIC jitter (splitmix64 over (jitter_seed, self, peer, seq,
+// attempt)) to break synchronized retransmission storms while preserving
+// "same seed ⇒ byte-identical trace".  `config.rto` is the initial RTO
+// before the first sample.
+//
+// Exhausting `max_retries` is a hard error: with restart-eventually crash
+// plans and healing partitions every payload is eventually deliverable, so
+// abandonment means the simulation (or its fault plan) is broken.  Install
+// `on_abandon` to turn it into a callback instead (tests of the alarm path).
+//
 // Wire format: one byte frame type (DATA/ACK), varint sequence number, then
 // the raw payload (DATA only).  ACKs are never retransmitted — a lost ACK
 // just provokes one more retransmission, which the dedup absorbs.
+//
+// For crash/recovery the node checkpoints: snapshot() serializes sequence
+// numbers, unacked payloads, RTT estimator state, and the receive dedup
+// state; restore() reloads them on a FRESH node (same wiring) and
+// immediately retransmits everything unacked.  Losing rx dedup state would
+// break exactly-once (a retransmission of an already-delivered seq would be
+// delivered again); losing tx next_seq would reuse sequence numbers that
+// peers silently suppress.  See docs/FAULTS.md.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "dsm/codec/codec.h"
 #include "dsm/sim/network.h"
 
 namespace dsm {
@@ -38,12 +64,31 @@ struct ReliableStats {
   std::uint64_t delivered = 0;        ///< payloads handed to the upper layer
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t abandoned = 0;        ///< gave up after max_retries (bug alarm)
+  std::uint64_t rtt_samples = 0;      ///< ACKs that updated the RTT estimator
+
+  ReliableStats& operator+=(const ReliableStats& o) noexcept {
+    data_sent += o.data_sent;
+    retransmissions += o.retransmissions;
+    acks_sent += o.acks_sent;
+    delivered += o.delivered;
+    duplicates_suppressed += o.duplicates_suppressed;
+    abandoned += o.abandoned;
+    rtt_samples += o.rtt_samples;
+    return *this;
+  }
 };
 
 /// ARQ tuning knobs.
 struct ReliableConfig {
-  SimTime rto = sim_ms(2);
+  SimTime rto = sim_ms(2);        ///< initial RTO (before the first RTT sample)
+  SimTime min_rto = sim_us(500);  ///< lower clamp on the adaptive RTO
+  SimTime max_rto = sim_ms(200);  ///< upper clamp, also the backoff cap
   std::size_t max_retries = 10'000;
+  std::uint64_t jitter_seed = 0x1E77;  ///< deterministic retransmit jitter
+  /// Called instead of aborting when a payload exhausts max_retries.  The
+  /// default (unset) hard-fails via DSM_REQUIRE: silent message loss would
+  /// invalidate every liveness claim downstream.
+  std::function<void(ProcessId to, std::uint64_t seq)> on_abandon;
 };
 
 class ReliableNode final : public MessageSink {
@@ -54,6 +99,10 @@ class ReliableNode final : public MessageSink {
   /// receives deduplicated payloads exactly once each.
   ReliableNode(EventQueue& queue, Network& network, ProcessId self,
                MessageSink& upper, Config config = {});
+  ~ReliableNode();
+
+  ReliableNode(const ReliableNode&) = delete;
+  ReliableNode& operator=(const ReliableNode&) = delete;
 
   // -- sending (the upper layer's Endpoint calls these) ---------------------
   void send(ProcessId to, std::vector<std::uint8_t> payload);
@@ -62,7 +111,16 @@ class ReliableNode final : public MessageSink {
   // -- MessageSink (frames arriving from the network) ------------------------
   void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
 
+  // -- checkpoint / restore --------------------------------------------------
+  void snapshot(ByteWriter& w) const;
+  /// Restores a snapshot onto this (freshly constructed) node and
+  /// retransmits every unacked payload.  Returns false on malformed input.
+  [[nodiscard]] bool restore(ByteReader& r);
+
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
+
+  /// Current adaptive RTO toward `to` (initial config.rto before a sample).
+  [[nodiscard]] SimTime current_rto(ProcessId to) const;
 
   /// True when every sent payload has been acknowledged.
   [[nodiscard]] bool quiescent() const noexcept;
@@ -70,9 +128,19 @@ class ReliableNode final : public MessageSink {
  private:
   enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
 
+  struct TxEntry {
+    std::vector<std::uint8_t> payload;
+    SimTime first_sent = 0;     ///< for the RTT sample
+    bool retransmitted = false; ///< Karn: retransmitted packets never sample
+  };
   struct PeerTx {
     std::uint64_t next_seq = 1;
-    std::map<std::uint64_t, std::vector<std::uint8_t>> unacked;  // seq -> payload
+    std::map<std::uint64_t, TxEntry> unacked;  // seq -> entry
+    // RFC 6298 estimator (microseconds, as doubles for the EWMAs).
+    bool have_rtt = false;
+    double srtt = 0.0;
+    double rttvar = 0.0;
+    SimTime rto = 0;  ///< current RTO; initialized from config
   };
   struct PeerRx {
     std::uint64_t watermark = 0;            ///< all seq <= watermark seen
@@ -90,7 +158,13 @@ class ReliableNode final : public MessageSink {
 
   void transmit(ProcessId to, std::uint64_t seq,
                 const std::vector<std::uint8_t>& payload);
-  void arm_timer(ProcessId to, std::uint64_t seq, std::size_t attempt);
+  void arm_timer(ProcessId to, std::uint64_t seq, std::size_t attempt,
+                 SimTime interval);
+  void on_ack(ProcessId from, std::uint64_t seq);
+  void sample_rtt(PeerTx& peer, SimTime rtt);
+  [[nodiscard]] SimTime clamp_rto(double rto_us) const;
+  [[nodiscard]] SimTime jitter(ProcessId to, std::uint64_t seq,
+                               std::size_t attempt, SimTime interval) const;
 
   static std::vector<std::uint8_t> encode_frame(FrameType type,
                                                 std::uint64_t seq,
@@ -104,6 +178,10 @@ class ReliableNode final : public MessageSink {
   std::vector<PeerTx> tx_;
   std::vector<PeerRx> rx_;
   ReliableStats stats_;
+  /// Outstanding timer lambdas check this token: when the node is destroyed
+  /// (crash path) the events already in the queue become no-ops instead of
+  /// touching freed memory.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace dsm

@@ -1,6 +1,8 @@
 #include "dsm/workload/sim_harness.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "dsm/common/contracts.h"
 #include "dsm/sim/event_queue.h"
@@ -53,20 +55,58 @@ class ProtocolSink final : public MessageSink {
   CausalProtocol* proto_ = nullptr;
 };
 
+/// Late-bound sink with a stable address: the ARQ node (constructed first,
+/// registers with the network) delivers upward through this, and the target
+/// behind it — the recovery node — is destroyed and rebuilt on every
+/// crash/restart cycle.
+class LateSink final : public MessageSink {
+ public:
+  void set(MessageSink* sink) noexcept { sink_ = sink; }
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override {
+    DSM_REQUIRE(sink_ != nullptr);
+    sink_->deliver(from, bytes);
+  }
+
+ private:
+  MessageSink* sink_ = nullptr;
+};
+
 /// Per-process script executor: runs steps as a chain of queue events.
+///
+/// Crash mode extras: the protocol is fetched through an accessor (the
+/// instance is rebuilt on restart), a step firing while the process is down
+/// is stashed and replayed on resume(), `after_op` (the checkpoint hook)
+/// runs after every completed operation, and `issued` counts this process's
+/// writes (the recovery-completion target).
 class ScriptRunner {
  public:
-  ScriptRunner(EventQueue& queue, RunRecorder& recorder,
-               CausalProtocol& proto, ProcessId self, const Script& script)
+  using ProtoFn = std::function<CausalProtocol*()>;
+  using AfterOp = std::function<void()>;
+
+  ScriptRunner(EventQueue& queue, RunRecorder& recorder, ProtoFn proto,
+               ProcessId self, const Script& script, AfterOp after_op = {},
+               std::vector<std::uint64_t>* issued = nullptr)
       : queue_(&queue),
         recorder_(&recorder),
-        proto_(&proto),
+        proto_(std::move(proto)),
         self_(self),
-        script_(&script) {}
+        script_(&script),
+        after_op_(std::move(after_op)),
+        issued_(issued) {}
 
   void begin() { schedule_step(0, 0); }
 
   [[nodiscard]] bool done() const noexcept { return next_ >= script_->size(); }
+
+  void suspend() noexcept { down_ = true; }
+  void resume() {
+    down_ = false;
+    if (stashed_) {
+      stashed_ = false;
+      const std::size_t idx = stash_idx_;
+      queue_->schedule_after(0, [this, idx] { execute(idx); });
+    }
+  }
 
  private:
   void schedule_step(std::size_t idx, SimTime extra_delay) {
@@ -77,45 +117,249 @@ class ScriptRunner {
   }
 
   void execute(std::size_t idx) {
+    if (down_) {
+      // The process is crashed; park the step until the restart.
+      stashed_ = true;
+      stash_idx_ = idx;
+      return;
+    }
+    CausalProtocol* proto = proto_();
+    DSM_REQUIRE(proto != nullptr);
     const ScriptStep& step = (*script_)[idx];
     switch (step.kind) {
       case StepKind::kWrite: {
         recorder_->record_write(self_, step.var, step.value);
-        proto_->write(step.var, step.value);
+        proto->write(step.var, step.value);
+        if (issued_ != nullptr) ++(*issued_)[self_];
         break;
       }
       case StepKind::kRead: {
-        const ReadResult r = proto_->read(step.var);
+        const ReadResult r = proto->read(step.var);
         recorder_->record_read(self_, step.var, r);
         break;
       }
       case StepKind::kReadUntil: {
         // Poll without reading; fire the one real read when the awaited
         // value is visible (or the timeout elapsed).
-        if (proto_->peek(step.var).value != step.value &&
+        if (proto->peek(step.var).value != step.value &&
             waited_ < step.timeout) {
           waited_ += step.poll_every;
           queue_->schedule_after(step.poll_every, [this, idx] { execute(idx); });
           return;
         }
         waited_ = 0;
-        const ReadResult r = proto_->read(step.var);
+        const ReadResult r = proto->read(step.var);
         recorder_->record_read(self_, step.var, r);
         break;
       }
     }
+    if (after_op_) after_op_();
     next_ = idx + 1;
     schedule_step(next_, 0);
   }
 
   EventQueue* queue_;
   RunRecorder* recorder_;
-  CausalProtocol* proto_;
+  ProtoFn proto_;
   ProcessId self_;
   const Script* script_;
+  AfterOp after_op_;
+  std::vector<std::uint64_t>* issued_;
   std::size_t next_ = 0;
   SimTime waited_ = 0;
+  bool down_ = false;
+  bool stashed_ = false;
+  std::size_t stash_idx_ = 0;
 };
+
+/// One rebuildable process: everything here dies on crash and is
+/// reconstructed (then restored from the checkpoint) on restart.
+struct ProcNode {
+  std::unique_ptr<ReliableNode> arq;
+  std::unique_ptr<SimEndpoint> lower;  ///< recovery node's path downward
+  std::unique_ptr<RecoveryNode> recovery;
+  std::unique_ptr<CausalProtocol> proto;
+  BufferingProtocol* buffering = nullptr;
+  bool up = true;
+};
+
+/// Crash/restart mode: full stack Network → ARQ → RecoveryNode → protocol,
+/// synchronous checkpoints after every state-mutating event, anti-entropy
+/// catch-up on restart.  Kept separate from the plain path so the latter
+/// stays byte-for-byte identical to pre-crash-support runs.
+SimRunResult run_sim_crash(const SimRunConfig& config,
+                           const std::vector<Script>& scripts) {
+  config.crash.validate(config.n_procs);
+
+  EventQueue queue;
+  Network net(queue, *config.latency, config.n_procs);
+  if (config.latency_override) {
+    net.set_latency_override(config.latency_override);
+  }
+  net.set_fault_plan(config.fault);
+
+  auto recorder = std::make_unique<RunRecorder>(
+      config.n_procs, config.n_vars, [&queue] { return queue.now(); });
+  // A write can legitimately reach a process twice (catch-up reply + ARQ
+  // retransmission whose ACK died with the crash); record each event once.
+  ReplayFilterObserver filter(*recorder);
+
+  SimRunResult result;
+  std::vector<LateSink> sinks(config.n_procs);
+  std::vector<ProcNode> nodes(config.n_procs);
+  std::vector<std::vector<std::uint8_t>> checkpoints(config.n_procs);
+  std::vector<ProtocolStats> proto_acc(config.n_procs);
+  std::vector<std::uint64_t> issued(config.n_procs, 0);
+
+  const auto checkpoint = [&](ProcessId p) {
+    ProcNode& node = nodes[p];
+    DSM_REQUIRE(node.proto != nullptr);
+    ByteWriter w;
+    node.proto->snapshot(w);
+    node.recovery->snapshot(w);
+    node.arq->snapshot(w);
+    checkpoints[p] = std::move(w).take();
+  };
+
+  const auto build = [&](ProcessId p) {
+    ProcNode& node = nodes[p];
+    node.arq =
+        std::make_unique<ReliableNode>(queue, net, p, sinks[p], config.arq);
+    node.lower = std::make_unique<SimEndpoint>(*node.arq, p);
+    node.recovery =
+        std::make_unique<RecoveryNode>(p, config.n_procs, *node.lower);
+    sinks[p].set(node.recovery.get());
+    node.proto =
+        make_protocol(config.kind, p, config.n_procs, config.n_vars,
+                      *node.recovery, filter, config.protocol_config);
+    node.buffering = dynamic_cast<BufferingProtocol*>(node.proto.get());
+    DSM_REQUIRE(node.buffering != nullptr &&
+                "crash plans need a class-P buffering protocol; a crashed "
+                "token holder would require an election (out of scope)");
+    node.recovery->set_protocol(*node.buffering);
+    node.recovery->set_checkpoint_hook([&checkpoint, p] { checkpoint(p); });
+    node.up = true;
+  };
+
+  for (ProcessId p = 0; p < config.n_procs; ++p) build(p);
+  for (auto& node : nodes) node.proto->start();
+  // Time-zero baseline: a process that crashes before its first operation
+  // still restores to a well-formed (empty) state.
+  for (ProcessId p = 0; p < config.n_procs; ++p) checkpoint(p);
+
+  std::vector<ScriptRunner> runners;
+  runners.reserve(config.n_procs);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    runners.emplace_back(
+        queue, *recorder, [&nodes, p] { return nodes[p].proto.get(); }, p,
+        scripts[p], [&checkpoint, p] { checkpoint(p); }, &issued);
+  }
+  for (auto& r : runners) r.begin();
+
+  // Recovery-completion detector: a restarted process has recovered once its
+  // received watermarks cover every write issued anywhere before its restart
+  // AND its pending buffer drained (received ⇒ applied or logically applied).
+  std::function<void(ProcessId, std::size_t, std::vector<std::uint64_t>)> poll =
+      [&](ProcessId p, std::size_t idx, std::vector<std::uint64_t> target) {
+        ProcNode& node = nodes[p];
+        if (node.up) {
+          const VectorClock seen = node.recovery->seen();
+          bool caught_up = node.proto->quiescent();
+          for (ProcessId u = 0; u < config.n_procs && caught_up; ++u) {
+            if (seen[u] < target[u]) caught_up = false;
+          }
+          if (caught_up) {
+            result.recoveries[idx].recovered = true;
+            result.recoveries[idx].recovered_at = queue.now();
+            return;
+          }
+        }
+        queue.schedule_after(
+            sim_ms(1),
+            [&poll, p, idx, t = std::move(target)] { poll(p, idx, t); });
+      };
+
+  for (const CrashEvent& e : config.crash.events) {
+    queue.schedule_at(e.at, [&, e] {
+      ProcNode& node = nodes[e.p];
+      DSM_REQUIRE(node.up);
+      // The dying incarnation's counters survive in the accumulators (stats
+      // are volatile by design — they are not part of the checkpoint).
+      proto_acc[e.p] += node.proto->stats();
+      result.reliable += node.arq->stats();
+      result.recovery += node.recovery->stats();
+      net.detach(e.p);
+      runners[e.p].suspend();
+      sinks[e.p].set(nullptr);
+      node.proto.reset();
+      node.buffering = nullptr;
+      node.recovery.reset();
+      node.arq.reset();
+      node.up = false;
+    });
+    queue.schedule_at(e.restart_at, [&, e] {
+      build(e.p);
+      ProcNode& node = nodes[e.p];
+      ByteReader r(checkpoints[e.p]);
+      DSM_REQUIRE(node.proto->restore(r));
+      DSM_REQUIRE(node.recovery->restore(r));
+      DSM_REQUIRE(node.arq->restore(r));  // also retransmits everything unacked
+      DSM_REQUIRE(r.exhausted());
+      node.recovery->request_catch_up();
+      checkpoint(e.p);
+      runners[e.p].resume();
+      const std::size_t idx = result.recoveries.size();
+      result.recoveries.push_back(
+          RecoveryRecord{e.p, e.at, e.restart_at, 0, false});
+      poll(e.p, idx, issued);
+    });
+  }
+
+  const auto all_done = [&] {
+    return std::all_of(runners.begin(), runners.end(),
+                       [](const ScriptRunner& r) { return r.done(); });
+  };
+  const auto all_quiescent = [&] {
+    return std::all_of(nodes.begin(), nodes.end(), [](const ProcNode& n) {
+      return n.up && n.proto->quiescent() && n.arq->quiescent();
+    });
+  };
+
+  std::size_t chunks = 0;
+  while (true) {
+    const std::size_t fired = queue.run_until(queue.now() + config.settle_chunk);
+    if (queue.empty()) {
+      result.settled = all_done() && all_quiescent();
+      break;
+    }
+    if (all_done() && all_quiescent()) {
+      result.settled = true;
+      break;
+    }
+    if (fired == 0) queue.step();
+    if (++chunks >= config.max_settle_chunks) {
+      result.settled = false;
+      break;
+    }
+  }
+
+  result.end_time = queue.now();
+  result.net = net.stats();
+  result.faults = net.fault_stats();
+  result.replay_suppressed = filter.suppressed();
+  result.stats.reserve(config.n_procs);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    ProcNode& node = nodes[p];
+    if (node.proto != nullptr) {
+      proto_acc[p] += node.proto->stats();
+      result.reliable += node.arq->stats();
+      result.recovery += node.recovery->stats();
+    }
+    result.stats.push_back(proto_acc[p]);
+  }
+  result.recorder = std::move(recorder);
+  return result;
+}
 
 }  // namespace
 
@@ -145,6 +389,8 @@ SimRunResult run_sim(const SimRunConfig& config,
   DSM_REQUIRE(config.latency != nullptr);
   DSM_REQUIRE(scripts.size() == config.n_procs);
 
+  if (config.crash.active()) return run_sim_crash(config, scripts);
+
   EventQueue queue;
   Network net(queue, *config.latency, config.n_procs);
   if (config.latency_override) {
@@ -163,12 +409,10 @@ SimRunResult run_sim(const SimRunConfig& config,
   endpoints.reserve(config.n_procs);
   if (config.fault.active()) {
     net.set_fault_plan(config.fault);
-    ReliableNode::Config arq_config;
-    arq_config.rto = config.rto;
     arq.reserve(config.n_procs);
     for (ProcessId p = 0; p < config.n_procs; ++p) {
       arq.push_back(
-          std::make_unique<ReliableNode>(queue, net, p, sinks[p], arq_config));
+          std::make_unique<ReliableNode>(queue, net, p, sinks[p], config.arq));
       endpoints.emplace_back(*arq[p], p);
     }
   } else {
@@ -192,7 +436,9 @@ SimRunResult run_sim(const SimRunConfig& config,
   std::vector<ScriptRunner> runners;
   runners.reserve(config.n_procs);
   for (ProcessId p = 0; p < config.n_procs; ++p) {
-    runners.emplace_back(queue, *recorder, *protos[p], p, scripts[p]);
+    runners.emplace_back(
+        queue, *recorder, [&protos, p] { return protos[p].get(); }, p,
+        scripts[p]);
   }
   for (auto& r : runners) r.begin();
 
@@ -233,15 +479,7 @@ SimRunResult run_sim(const SimRunConfig& config,
   result.end_time = queue.now();
   result.net = net.stats();
   result.faults = net.fault_stats();
-  for (const auto& node : arq) {
-    const auto& s = node->stats();
-    result.reliable.data_sent += s.data_sent;
-    result.reliable.retransmissions += s.retransmissions;
-    result.reliable.acks_sent += s.acks_sent;
-    result.reliable.delivered += s.delivered;
-    result.reliable.duplicates_suppressed += s.duplicates_suppressed;
-    result.reliable.abandoned += s.abandoned;
-  }
+  for (const auto& node : arq) result.reliable += node->stats();
   result.stats.reserve(config.n_procs);
   for (const auto& proto : protos) result.stats.push_back(proto->stats());
   result.recorder = std::move(recorder);

@@ -8,12 +8,24 @@
 // function of the config, so runs are exactly reproducible and two protocol
 // kinds can be compared on identical message-arrival patterns (see
 // latency.h on per-pair-indexed draws).
+//
+// Fault modes (docs/FAULTS.md), in increasing order of hostility:
+//   * reliable network (default) — exactly the paper's Section 3.1 channels;
+//   * faulty datagrams (config.fault) — drops/duplicates/partitions, with the
+//     ARQ layer (dsm/sim/reliable.h) interposed to rebuild exactly-once;
+//   * crash/restart (config.crash) — processes lose their volatile state and
+//     in-flight traffic, reload their last synchronous checkpoint on restart,
+//     and anti-entropy catch-up (dsm/protocols/recovery.h) repairs the gap.
+//     Crash mode always stacks Network → ReliableNode → RecoveryNode →
+//     protocol, because a crashed receiver drops traffic even on an
+//     otherwise perfect network.
 
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "dsm/protocols/recovery.h"
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/sim/network.h"
@@ -33,7 +45,12 @@ struct SimRunConfig {
   /// (dsm/sim/reliable.h) between protocols and the lossy network, restoring
   /// the paper's exactly-once channel assumption end to end.
   FaultPlan fault;
-  SimTime rto = sim_ms(2);  ///< retransmission timeout of the ARQ layer
+  /// Crash/restart mode: processes in the plan crash (volatile state and
+  /// in-flight traffic lost) and later restart from their checkpoint.
+  /// Requires a class-𝒫 buffering protocol (token-ws is rejected: a crashed
+  /// token holder would need an election, which is out of scope).
+  CrashPlan crash;
+  ReliableConfig arq;  ///< ARQ tuning (initial/min/max RTO, retries, jitter)
   /// After the scripts finish, keep simulating in chunks of `settle_chunk`
   /// until every protocol is quiescent, at most `max_settle_chunks` times
   /// (the token protocol's circulation keeps the queue non-empty forever, so
@@ -42,12 +59,30 @@ struct SimRunConfig {
   std::size_t max_settle_chunks = 10'000;
 };
 
+/// One crash/restart episode as observed by the harness.  `recovered` means
+/// the process caught up — every write issued anywhere before the restart
+/// was received AND its pending buffer drained — before the run ended; the
+/// gap `recovered_at - restarted_at` is the recovery time benches report.
+struct RecoveryRecord {
+  ProcessId proc = 0;
+  SimTime crashed_at = 0;
+  SimTime restarted_at = 0;
+  SimTime recovered_at = 0;
+  bool recovered = false;
+};
+
 struct SimRunResult {
   std::unique_ptr<RunRecorder> recorder;   ///< history + ordered event log
-  std::vector<ProtocolStats> stats;        ///< per process
+  std::vector<ProtocolStats> stats;        ///< per process (summed across
+                                           ///< incarnations in crash mode)
   NetworkStats net;
   FaultStats faults;                       ///< drops/dups injected (if any)
   ReliableStats reliable;                  ///< ARQ totals (if fault mode)
+  RecoveryStats recovery;                  ///< catch-up totals (crash mode)
+  std::vector<RecoveryRecord> recoveries;  ///< one per crash event
+  /// Observer events suppressed as replays (crash mode: a write redelivered
+  /// through catch-up + retransmission is recorded once).
+  std::uint64_t replay_suppressed = 0;
   SimTime end_time = 0;
   bool settled = false;  ///< all protocols quiescent before the chunk cap
 

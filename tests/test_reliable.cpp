@@ -54,6 +54,75 @@ TEST(FaultPlan, RatesRoughlyHonoured) {
   EXPECT_NEAR(dups, kDraws * 0.25 * 0.75, kDraws * 0.02);
 }
 
+TEST(FaultPlan, RealizedDropRateMatchesPerChannel) {
+  // The point of the splitmix64 rework: the realized rate must match `drop`
+  // on EVERY channel, not just in aggregate (the old xor-chain skewed
+  // individual channels while looking fine summed).
+  FaultPlan plan;
+  plan.drop = 0.2;
+  plan.seed = 41;
+  constexpr int kDraws = 10'000;
+  for (ProcessId from = 0; from < 4; ++from) {
+    for (ProcessId to = 0; to < 4; ++to) {
+      if (from == to) continue;
+      int drops = 0;
+      for (int i = 0; i < kDraws; ++i) {
+        drops += plan.draw(from, to, static_cast<std::uint64_t>(i)).dropped;
+      }
+      EXPECT_NEAR(drops, kDraws * 0.2, kDraws * 0.03)
+          << "channel " << from << "->" << to;
+    }
+  }
+}
+
+TEST(FaultPlan, ChannelsAndConsecutiveDrawsAreDecorrelated) {
+  // With p = 0.5 two independent Bernoulli streams agree ~50% of the time.
+  // Correlated streams (the old chain) agree nearly always.
+  FaultPlan plan;
+  plan.drop = 0.5;
+  plan.seed = 5;
+  constexpr int kDraws = 20'000;
+  int agree_channels = 0;  // (0→1) vs (0→2) at the same index
+  int agree_serial = 0;    // (0→1) at index i vs i+1
+  for (int i = 0; i < kDraws; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    const bool a = plan.draw(0, 1, idx).dropped;
+    const bool b = plan.draw(0, 2, idx).dropped;
+    const bool c = plan.draw(0, 1, idx + 1).dropped;
+    agree_channels += a == b;
+    agree_serial += a == c;
+  }
+  EXPECT_NEAR(agree_channels, kDraws * 0.5, kDraws * 0.02);
+  EXPECT_NEAR(agree_serial, kDraws * 0.5, kDraws * 0.02);
+}
+
+TEST(FaultPlan, SplitSeversIslandBothWaysAndHeals) {
+  FaultPlan plan;
+  plan.split({0}, 4, 100, 200);
+  EXPECT_TRUE(plan.severed(0, 2, 100));
+  EXPECT_TRUE(plan.severed(2, 0, 150));
+  EXPECT_FALSE(plan.severed(1, 2, 150));  // both outside the island
+  EXPECT_FALSE(plan.severed(0, 2, 99));
+  EXPECT_FALSE(plan.severed(0, 2, 200));  // healed (exclusive end)
+}
+
+TEST(CrashPlan, ValidateRejectsOverlapAndZeroDowntime) {
+  CrashPlan ok;
+  ok.events.push_back(CrashEvent{1, 100, 200});
+  ok.events.push_back(CrashEvent{1, 200, 300});  // back-to-back is fine
+  ok.events.push_back(CrashEvent{2, 150, 250});  // other process overlaps fine
+  ok.validate(3);
+
+  CrashPlan zero;
+  zero.events.push_back(CrashEvent{0, 100, 100});
+  EXPECT_DEATH(zero.validate(1), "restart_at");
+
+  CrashPlan overlap;
+  overlap.events.push_back(CrashEvent{1, 100, 300});
+  overlap.events.push_back(CrashEvent{1, 200, 400});
+  EXPECT_DEATH(overlap.validate(2), "overlapping");
+}
+
 // -------------------------------------------------------- ReliableNode -----
 
 class CollectingSink final : public MessageSink {
@@ -118,6 +187,7 @@ TEST(ReliableNode, NoFaultsMeansNoRetransmissions) {
   fx.queue.run();
   EXPECT_EQ(fx.sinks[0].received.size(), 50u);
   EXPECT_EQ(fx.nodes[1]->stats().retransmissions, 0u);
+  EXPECT_EQ(fx.nodes[1]->stats().abandoned, 0u);
   EXPECT_EQ(fx.sinks[0].received.size(), fx.nodes[1]->stats().data_sent);
 }
 
@@ -130,6 +200,7 @@ TEST(ReliableNode, PureDuplicationIsFullySuppressed) {
   fx.queue.run();
   EXPECT_EQ(fx.sinks[1].received.size(), 40u);
   EXPECT_GE(fx.nodes[1]->stats().duplicates_suppressed, 40u);
+  EXPECT_EQ(fx.nodes[0]->stats().abandoned, 0u);
 }
 
 TEST(ReliableNode, BroadcastReachesAllPeersExactlyOnce) {
@@ -154,7 +225,152 @@ TEST(ReliableNode, BroadcastReachesAllPeersExactlyOnce) {
       EXPECT_EQ(sinks[p].received.size(), 30u) << "p" << p;
     }
   }
+  EXPECT_EQ(nodes[2]->stats().abandoned, 0u);
 }
+
+TEST(ReliableNode, AdaptiveRtoConvergesTowardMeasuredRtt) {
+  // Constant 100µs one-way latency → 200µs RTT with zero variance.  The
+  // RFC 6298 estimator must pull the RTO from the (deliberately huge)
+  // initial value down toward SRTT + 4·RTTVAR, clamped at min_rto.
+  EventQueue queue;
+  const ConstantLatency latency(100);
+  Network net(queue, latency, 2);
+  CollectingSink sinks[2];
+  ReliableConfig cfg;
+  cfg.rto = sim_ms(50);
+  cfg.min_rto = sim_us(300);
+  ReliableNode a(queue, net, 0, sinks[0], cfg);
+  ReliableNode b(queue, net, 1, sinks[1], cfg);
+
+  EXPECT_EQ(a.current_rto(1), sim_ms(50));  // pre-sample: the initial RTO
+  for (int i = 0; i < 30; ++i) a.send(1, {1});
+  queue.run();
+  EXPECT_GT(a.stats().rtt_samples, 0u);
+  EXPECT_LT(a.current_rto(1), sim_ms(5));  // adapted down, nowhere near 50ms
+  EXPECT_GE(a.current_rto(1), cfg.min_rto);
+  EXPECT_EQ(a.stats().retransmissions, 0u);
+  EXPECT_EQ(a.stats().abandoned, 0u);
+}
+
+TEST(ReliableNode, PartitionHealsAndArqRepairs) {
+  // Everything sent during the blackout vanishes; the retransmission timer
+  // outlives the partition and repairs the channel with zero abandonment.
+  FaultPlan plan;
+  plan.split({0}, 2, 0, sim_ms(5));
+  ArqFixture fx(plan);
+  for (int i = 0; i < 20; ++i) {
+    fx.nodes[0]->send(1, {static_cast<std::uint8_t>(i)});
+  }
+  fx.queue.run();
+  EXPECT_EQ(fx.sinks[1].received.size(), 20u);
+  EXPECT_GT(fx.net->fault_stats().partition_dropped, 0u);
+  EXPECT_GT(fx.nodes[0]->stats().retransmissions, 0u);
+  EXPECT_EQ(fx.nodes[0]->stats().abandoned, 0u);
+  EXPECT_TRUE(fx.nodes[0]->quiescent());
+}
+
+TEST(ReliableNode, AbandonCallbackFiresWhenRetriesExhausted) {
+  FaultPlan plan;
+  plan.drop = 1.0;  // nothing ever arrives; retries must run out
+  plan.seed = 9;
+  EventQueue queue;
+  const ConstantLatency latency(50);
+  Network net(queue, latency, 2);
+  net.set_fault_plan(plan);
+  CollectingSink sinks[2];
+  ReliableConfig cfg;
+  cfg.rto = sim_us(100);
+  cfg.min_rto = sim_us(50);
+  cfg.max_rto = sim_us(400);
+  cfg.max_retries = 3;
+  std::vector<std::pair<ProcessId, std::uint64_t>> abandoned;
+  cfg.on_abandon = [&abandoned](ProcessId to, std::uint64_t seq) {
+    abandoned.emplace_back(to, seq);
+  };
+  ReliableNode a(queue, net, 0, sinks[0], cfg);
+  ReliableNode b(queue, net, 1, sinks[1], cfg);
+  a.send(1, {42});
+  queue.run();
+
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0].first, 1u);
+  EXPECT_EQ(abandoned[0].second, 1u);
+  EXPECT_EQ(a.stats().abandoned, 1u);
+  EXPECT_EQ(a.stats().retransmissions, 3u);  // exactly max_retries attempts
+  EXPECT_TRUE(sinks[1].received.empty());
+  EXPECT_TRUE(a.quiescent());  // the abandoned payload is off the books
+}
+
+TEST(ReliableNodeDeathTest, AbandonWithoutCallbackIsAHardError) {
+  // Default config: exhausting max_retries aborts — silent loss would
+  // invalidate every liveness claim downstream.
+  EXPECT_DEATH(
+      {
+        FaultPlan plan;
+        plan.drop = 1.0;
+        plan.seed = 9;
+        EventQueue queue;
+        const ConstantLatency latency(50);
+        Network net(queue, latency, 2);
+        net.set_fault_plan(plan);
+        CollectingSink sinks[2];
+        ReliableConfig cfg;
+        cfg.rto = sim_us(100);
+        cfg.min_rto = sim_us(50);
+        cfg.max_rto = sim_us(400);
+        cfg.max_retries = 2;
+        ReliableNode a(queue, net, 0, sinks[0], cfg);
+        ReliableNode b(queue, net, 1, sinks[1], cfg);
+        a.send(1, {42});
+        queue.run();
+      },
+      "ARQ abandoned a payload");
+}
+
+// --------------------------- combined drop + duplicate + reorder stress -----
+
+class ArqStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArqStress, ExactlyOnceBothWaysUnderCombinedFaults) {
+  // High drop + high duplication + wide latency spread (channels are
+  // non-FIFO): the exactly-once contract must hold in both directions and
+  // the channel must go quiescent with nothing abandoned.
+  const std::uint64_t seed = GetParam();
+  FaultPlan plan;
+  plan.drop = 0.5;
+  plan.duplicate = 0.5;
+  plan.seed = seed;
+  ArqFixture fx(plan, /*latency_scale=*/400);
+
+  constexpr int kMessages = 300;
+  for (int i = 0; i < kMessages; ++i) {
+    const auto lo = static_cast<std::uint8_t>(i);
+    const auto hi = static_cast<std::uint8_t>(i >> 8);
+    fx.nodes[0]->send(1, {lo, hi});
+    fx.nodes[1]->send(0, {lo, hi});
+  }
+  fx.queue.run();
+
+  for (int receiver = 0; receiver < 2; ++receiver) {
+    const auto& sink = fx.sinks[receiver];
+    const auto& sender = *fx.nodes[receiver == 0 ? 1 : 0];
+    ASSERT_EQ(sink.received.size(), static_cast<std::size_t>(kMessages))
+        << "receiver " << receiver << " seed " << seed;
+    EXPECT_EQ(sender.stats().data_sent, static_cast<std::uint64_t>(kMessages));
+    std::set<int> values;
+    for (const auto& [from, bytes] : sink.received) {
+      values.insert(bytes[0] | bytes[1] << 8);
+    }
+    // No payload delivered upward twice, none missing.
+    EXPECT_EQ(values.size(), static_cast<std::size_t>(kMessages));
+    EXPECT_EQ(sender.stats().abandoned, 0u);
+    EXPECT_TRUE(sender.quiescent());
+  }
+  EXPECT_GT(fx.net->fault_stats().dropped, 0u);
+  EXPECT_GT(fx.net->fault_stats().duplicated, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArqStress, ::testing::Values(11, 12, 13, 14, 15));
 
 // ------------------------------------- end-to-end protocol over loss -------
 
@@ -186,7 +402,7 @@ TEST_P(LossySweep, ProtocolCorrectOverFaultyNetwork) {
   cfg.fault.drop = p.drop;
   cfg.fault.duplicate = p.duplicate;
   cfg.fault.seed = p.seed ^ 0xFA;
-  cfg.rto = sim_ms(3);
+  cfg.arq.rto = sim_ms(3);
   // The token circulates forever; cap it so the post-workload queue drains
   // (grants keep the ARQ layer non-quiescent otherwise).
   cfg.protocol_config.token_max_rounds = 2000;

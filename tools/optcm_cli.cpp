@@ -7,28 +7,43 @@
 //                  full trace and history.
 //   optcm compare  run EVERY protocol on the identical workload and arrival
 //                  pattern; print the comparison table.
+//   optcm faults   run a fault scenario (drops + partition + crash/restart)
+//                  and report recovery behaviour next to the audit verdicts;
+//                  with no fault flags, runs a built-in demo scenario.
 //   optcm paper    print the paper artifacts (Example 1 history, Table 1,
 //                  Table 2, Figures 1/3/6 traces, Figure 7 graph).
 //   optcm replay   re-audit an exported trace: optcm replay trace.jsonl
 //                  (produce one with: optcm run --export=trace.jsonl).
 //
 // Common workload/network flags (all "--key=value"):
-//   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run only)
+//   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run/faults only)
 //   --procs=N --vars=M --ops=K --write-fraction=F --seed=S
 //   --pattern=uniform|zipf|partitioned|hotspot  --zipf-s=S --hotspot=F
 //   --gap=USEC            mean think time between ops
 //   --latency=constant|uniform|exponential|lognormal
 //   --scale=USEC --spread=X
-//   --drop=P --dup=P      faulty network + ARQ channel layer
+//
+// Fault flags (run/compare/faults; see docs/FAULTS.md):
+//   --drop=P --duplicate=P (alias --dup=P)
+//                         faulty datagram network + ARQ channel layer
+//   --partition=START:DUR cut process 0 off from everyone during
+//                         [START, START+DUR) (microseconds)
+//   --crash=P@START:DUR[,P@START:DUR...]
+//                         crash process P at START, restart after DUR;
+//                         recovery = checkpoint + anti-entropy catch-up
 //   --trace --history --sequences   extra output (run only)
 //
 // Examples:
 //   optcm run --protocol=optp --procs=8 --ops=200 --latency=lognormal
 //   optcm compare --procs=12 --pattern=partitioned --spread=2.0
+//   optcm run --protocol=optp --drop=0.1 --crash=1@5000:8000
+//   optcm faults --procs=6 --crash=1@5000:8000,2@9000:6000 --partition=8000:15000
 //   optcm paper table2
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "dsm/audit/auditor.h"
 #include "dsm/audit/enabling_sets.h"
@@ -52,16 +67,56 @@ struct CommonOptions {
   SimTime scale = sim_us(400);
   double spread = 1.0;
   FaultPlan fault;
+  CrashPlan crash;
 };
 
 int usage(const char* program) {
   std::fprintf(stderr,
-               "usage: %s <run|compare> [--key=value ...]\n"
+               "usage: %s <run|compare|faults> [--key=value ...]\n"
                "       %s paper [history|table1|table2|fig1|fig3|fig6|fig7|all]\n"
                "       %s replay <trace.jsonl>\n"
                "see the header of tools/optcm_cli.cpp for the full flag list\n",
                program, program, program);
   return 2;
+}
+
+/// "--partition=START:DUR" (µs): cut process 0 off from every other process
+/// during [START, START+DUR).
+bool parse_partition(const std::string& text, std::size_t n_procs,
+                     FaultPlan& fault) {
+  unsigned long long start = 0;
+  unsigned long long dur = 0;
+  if (std::sscanf(text.c_str(), "%llu:%llu", &start, &dur) != 2 || dur == 0) {
+    return false;
+  }
+  fault.split({0}, n_procs, static_cast<SimTime>(start),
+              static_cast<SimTime>(start + dur));
+  return true;
+}
+
+/// "--crash=P@START:DUR[,P@START:DUR...]" (µs).
+bool parse_crash(const std::string& text, std::size_t n_procs,
+                 CrashPlan& plan) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    unsigned long long p = 0;
+    unsigned long long start = 0;
+    unsigned long long dur = 0;
+    if (std::sscanf(item.c_str(), "%llu@%llu:%llu", &p, &start, &dur) != 3 ||
+        dur == 0 || p >= n_procs) {
+      return false;
+    }
+    CrashEvent e;
+    e.p = static_cast<ProcessId>(p);
+    e.at = static_cast<SimTime>(start);
+    e.restart_at = static_cast<SimTime>(start + dur);
+    plan.events.push_back(e);
+    pos = comma + 1;
+  }
+  return plan.active();
 }
 
 AccessPattern parse_pattern(const std::string& name) {
@@ -78,7 +133,7 @@ LatencyKind parse_latency(const std::string& name) {
   return LatencyKind::kLogNormal;
 }
 
-CommonOptions parse_common(Flags& flags) {
+std::optional<CommonOptions> parse_common(Flags& flags) {
   CommonOptions o;
   o.spec.n_procs = static_cast<std::size_t>(flags.get_int("procs", 4));
   o.spec.n_vars = static_cast<std::size_t>(flags.get_int("vars", 8));
@@ -93,8 +148,22 @@ CommonOptions parse_common(Flags& flags) {
   o.scale = static_cast<SimTime>(flags.get_int("scale", 400));
   o.spread = flags.get_double("spread", 1.0);
   o.fault.drop = flags.get_double("drop", 0.0);
-  o.fault.duplicate = flags.get_double("dup", 0.0);
+  const double dup_alias = flags.get_double("dup", 0.0);
+  o.fault.duplicate = flags.get_double("duplicate", dup_alias);
   o.fault.seed = o.spec.seed ^ 0xFA;
+  const std::string partition = flags.get("partition", "");
+  if (!partition.empty() &&
+      !parse_partition(partition, o.spec.n_procs, o.fault)) {
+    std::fprintf(stderr, "bad --partition (want START:DUR, microseconds)\n");
+    return std::nullopt;
+  }
+  const std::string crash = flags.get("crash", "");
+  if (!crash.empty() && !parse_crash(crash, o.spec.n_procs, o.crash)) {
+    std::fprintf(stderr,
+                 "bad --crash (want P@START:DUR[,P@START:DUR...], "
+                 "microseconds, P < procs)\n");
+    return std::nullopt;
+  }
   return o;
 }
 
@@ -107,6 +176,7 @@ SimRunResult run_one(ProtocolKind kind, const CommonOptions& o) {
   cfg.n_vars = o.spec.n_vars;
   cfg.latency = latency.get();
   cfg.fault = o.fault;
+  cfg.crash = o.crash;
   cfg.protocol_config.token_max_rounds =
       o.spec.ops_per_proc * o.spec.n_procs * 50 + 1000;
   return run_sim(cfg, generate_workload(o.spec));
@@ -134,13 +204,38 @@ void print_report(ProtocolKind kind, const SimRunResult& result) {
   table.add("safe (applies extend co)", audit.safe() ? "yes" : "NO");
   table.add("live (all writes applied/skipped)", audit.live() ? "yes" : "NO");
   table.add("causally consistent (Defs. 1-2)", check.consistent() ? "yes" : "NO");
-  if (result.faults.dropped + result.faults.duplicated > 0) {
+  if (result.faults.dropped + result.faults.duplicated +
+          result.faults.partition_dropped >
+      0) {
     table.add("messages dropped", result.faults.dropped);
     table.add("messages duplicated", result.faults.duplicated);
+    table.add("partition drops", result.faults.partition_dropped);
     table.add("retransmissions", result.reliable.retransmissions);
     table.add("dup deliveries suppressed", result.reliable.duplicates_suppressed);
+    table.add("ARQ abandoned", result.reliable.abandoned);
+  }
+  if (!result.recoveries.empty()) {
+    table.add("crashes", result.recoveries.size());
+    table.add("crash drops", result.faults.crash_dropped);
+    table.add("catch-up bytes", result.recovery.catch_up_bytes);
+    table.add("writes recovered", result.recovery.writes_recovered);
+    table.add("replays suppressed", result.replay_suppressed);
   }
   std::printf("%s", table.str().c_str());
+  for (const RecoveryRecord& rec : result.recoveries) {
+    std::printf("  p%u crashed @%.1fms, restarted @%.1fms, %s",
+                static_cast<unsigned>(rec.proc),
+                static_cast<double>(rec.crashed_at) / 1000.0,
+                static_cast<double>(rec.restarted_at) / 1000.0,
+                rec.recovered ? "caught up" : "did NOT catch up");
+    if (rec.recovered) {
+      std::printf(" @%.1fms (recovery %.1fms)",
+                  static_cast<double>(rec.recovered_at) / 1000.0,
+                  static_cast<double>(rec.recovered_at - rec.restarted_at) /
+                      1000.0);
+    }
+    std::printf("\n");
+  }
 }
 
 int cmd_run(Flags& flags) {
@@ -149,7 +244,15 @@ int cmd_run(Flags& flags) {
     std::fprintf(stderr, "unknown protocol\n");
     return 2;
   }
-  const CommonOptions o = parse_common(flags);
+  const auto parsed = parse_common(flags);
+  if (!parsed) return 2;
+  const CommonOptions& o = *parsed;
+  if (o.crash.active() && *kind == ProtocolKind::kTokenWs) {
+    std::fprintf(stderr,
+                 "token-ws cannot run under a crash plan: a crashed token "
+                 "holder would require an election (see docs/FAULTS.md)\n");
+    return 2;
+  }
   const bool want_trace = flags.get_bool("trace");
   const bool want_history = flags.get_bool("history");
   const bool want_sequences = flags.get_bool("sequences");
@@ -223,12 +326,19 @@ int cmd_replay(Flags& flags) {
 }
 
 int cmd_compare(Flags& flags) {
-  const CommonOptions o = parse_common(flags);
+  const auto parsed = parse_common(flags);
+  if (!parsed) return 2;
+  const CommonOptions& o = *parsed;
   std::printf("workload: %s\n", o.spec.describe().c_str());
 
   Table table({"protocol", "delayed", "delayed/1k", "necessary", "unnecessary",
                "skipped", "peak buffer", "net bytes", "optimal run"});
   for (const auto kind : all_protocol_kinds()) {
+    if (o.crash.active() && kind == ProtocolKind::kTokenWs) {
+      std::printf("(token-ws skipped: crash recovery needs a class-P "
+                  "buffering protocol)\n");
+      continue;
+    }
     const auto result = run_one(kind, o);
     const auto audit = OptimalityAuditor::audit(*result.recorder);
     std::uint64_t skipped = 0;
@@ -249,6 +359,97 @@ int cmd_compare(Flags& flags) {
   }
   std::printf("%s", table.str().c_str());
   return 0;
+}
+
+// The fault-scenario driver: the workload runs under drops + partition +
+// crash/restart, and the report puts recovery behaviour next to the audit
+// verdicts — the point being that the verdicts do not change.  With no fault
+// flags at all it runs a built-in demo scenario.  Exit status is non-zero if
+// any surviving history fails a check or the ARQ abandoned a message.
+int cmd_faults(Flags& flags) {
+  const std::string proto_flag = flags.get("protocol", "");
+  auto parsed = parse_common(flags);
+  if (!parsed) return 2;
+  CommonOptions o = *parsed;
+  if (!o.fault.active() && !o.crash.active()) {
+    o.fault.drop = 0.05;
+    o.fault.split({0}, o.spec.n_procs, sim_ms(8), sim_ms(23));
+    if (o.spec.n_procs > 1) {
+      o.crash.events.push_back(CrashEvent{1, sim_ms(5), sim_ms(13)});
+    }
+    std::printf(
+        "no fault flags given; demo scenario: drop=0.05, partition {p0} vs "
+        "rest 8-23ms, crash p1 @5ms restart @13ms\n");
+  }
+
+  std::vector<ProtocolKind> kinds;
+  if (!proto_flag.empty()) {
+    const auto kind = parse_protocol(proto_flag);
+    if (!kind) {
+      std::fprintf(stderr, "unknown protocol\n");
+      return 2;
+    }
+    kinds.push_back(*kind);
+  } else {
+    kinds = {ProtocolKind::kOptP, ProtocolKind::kAnbkh};
+  }
+
+  std::printf("workload: %s\n\n", o.spec.describe().c_str());
+  Table table({"protocol", "settled", "consistent", "optimal", "unnecessary",
+               "recover (ms)", "catchup (KB)", "retx", "crash drops",
+               "abandoned"});
+  std::string detail;
+  bool all_ok = true;
+  for (const auto kind : kinds) {
+    if (o.crash.active() && kind == ProtocolKind::kTokenWs) {
+      std::fprintf(stderr,
+                   "token-ws cannot run under a crash plan: a crashed token "
+                   "holder would require an election (see docs/FAULTS.md)\n");
+      return 2;
+    }
+    const auto result = run_one(kind, o);
+    const auto audit = OptimalityAuditor::audit(*result.recorder);
+    const auto check = ConsistencyChecker::check(result.recorder->history());
+
+    double recover_ms = 0.0;
+    std::size_t recovered = 0;
+    for (const RecoveryRecord& rec : result.recoveries) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %s: p%u down %.1f-%.1fms, %s\n", to_string(kind),
+                    static_cast<unsigned>(rec.proc),
+                    static_cast<double>(rec.crashed_at) / 1000.0,
+                    static_cast<double>(rec.restarted_at) / 1000.0,
+                    rec.recovered ? "caught up" : "did NOT catch up");
+      detail += line;
+      if (rec.recovered) {
+        recover_ms += static_cast<double>(rec.recovered_at -
+                                          rec.restarted_at) / 1000.0;
+        ++recovered;
+      }
+    }
+    const bool ok = result.settled && check.consistent() && audit.safe() &&
+                    audit.live() && recovered == result.recoveries.size() &&
+                    result.reliable.abandoned == 0;
+    all_ok = all_ok && ok;
+    table.add(to_string(kind), result.settled ? "yes" : "NO",
+              check.consistent() ? "yes" : "NO",
+              audit.write_delay_optimal() ? "yes" : "NO",
+              audit.total_unnecessary(),
+              recovered == 0
+                  ? 0.0
+                  : recover_ms / static_cast<double>(recovered),
+              static_cast<double>(result.recovery.catch_up_bytes) / 1024.0,
+              result.reliable.retransmissions, result.faults.crash_dropped,
+              result.reliable.abandoned);
+  }
+  std::printf("%s", table.str().c_str());
+  if (!detail.empty()) std::printf("\nrecoveries:\n%s", detail.c_str());
+  std::printf("%s\n",
+              all_ok ? "\nall checks passed: causal consistency, safety, "
+                       "liveness, full recovery, zero ARQ abandonment"
+                     : "\nCHECK FAILURE: see the NO cells above");
+  return all_ok ? 0 : 1;
 }
 
 int cmd_paper(Flags& flags) {
@@ -332,6 +533,8 @@ int main(int argc, char** argv) {
     rc = cmd_run(flags);
   } else if (command == "compare") {
     rc = cmd_compare(flags);
+  } else if (command == "faults") {
+    rc = cmd_faults(flags);
   } else if (command == "paper") {
     rc = cmd_paper(flags);
   } else if (command == "replay") {
