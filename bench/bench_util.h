@@ -1,16 +1,24 @@
 // Shared helpers for the bench binaries: run-and-measure wrappers that
 // execute one (protocol, workload, latency) cell and distill the metrics the
 // experiment tables report.
+//
+// Every cell runs with a RunTelemetry attached, and the network/delay columns
+// are sourced from its metrics registry (docs/OBSERVABILITY.md), so the
+// experiment tables exercise the same instrumentation path users get from
+// `optcm run --metrics-out`.  Set OPTCM_CSV=dir to also dump each cell's full
+// registry next to the table CSVs.
 
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "dsm/audit/auditor.h"
 #include "dsm/history/checker.h"
 #include "dsm/metrics/table.h"
+#include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/generator.h"
 #include "dsm/workload/sim_harness.h"
 
@@ -92,16 +100,21 @@ struct CellResultAccumulator {
   std::size_t count_ = 0;
 };
 
-/// Runs one cell: the given workload under `kind` with `latency`.
+/// Runs one cell: the given workload under `kind` with `latency`.  A fresh
+/// RunTelemetry instruments the run; pass `registry_csv_name` (with OPTCM_CSV
+/// set) to dump its registry as `<name>.metrics.csv`.
 inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
                            const LatencyModel& latency,
-                           std::uint64_t token_rounds = 1'000'000) {
+                           std::uint64_t token_rounds = 1'000'000,
+                           const std::string& registry_csv_name = "") {
+  RunTelemetry telemetry(spec.n_procs);
   SimRunConfig config;
   config.kind = kind;
   config.n_procs = spec.n_procs;
   config.n_vars = spec.n_vars;
   config.latency = &latency;
   config.protocol_config.token_max_rounds = token_rounds;
+  config.telemetry = &telemetry;
 
   const auto result = run_sim(config, generate_workload(spec));
 
@@ -109,8 +122,11 @@ inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
   cell.settled = result.settled;
   cell.end_time = result.end_time;
   cell.writes = result.recorder->history().writes().size();
-  cell.net_messages = result.net.messages_sent;
-  cell.net_bytes = result.net.bytes_sent;
+  // Network and buffering-delay columns come from the metrics registry: the
+  // tables exercise the same counters `optcm run --metrics-out` exports.
+  const MetricsRegistry& reg = telemetry.metrics();
+  cell.net_messages = reg.counter_total(metric::kNetMessages);
+  cell.net_bytes = reg.counter_total(metric::kNetBytes);
   for (const auto& s : result.stats) {
     cell.skipped += s.skipped_writes;
     cell.stale_discards += s.stale_discards;
@@ -122,13 +138,8 @@ inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
   cell.delayed = audit.total_delayed();
   cell.necessary = audit.total_necessary();
   cell.unnecessary = audit.total_unnecessary();
-  if (!audit.incidents.empty()) {
-    double total = 0;
-    for (const auto& inc : audit.incidents) {
-      total += static_cast<double>(inc.apply_time - inc.receipt_time);
-    }
-    cell.mean_delay_us = total / static_cast<double>(audit.incidents.size());
-  }
+  const Summary delay = reg.merged_summary(metric::kApplyDelay);
+  if (delay.count() > 0) cell.mean_delay_us = delay.mean();
 
   // Token runs carry their delays in protocol stats (batch granularity), not
   // in receipt-event audits; surface them so the table is not silently zero.
@@ -139,6 +150,18 @@ inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
 
   cell.consistent =
       ConsistencyChecker::check(result.recorder->history()).consistent();
+
+  if (!registry_csv_name.empty()) {
+    if (const char* dir = std::getenv("OPTCM_CSV")) {
+      const std::string path =
+          std::string(dir) + "/" + registry_csv_name + ".metrics.csv";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string csv = reg.csv();
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+      }
+    }
+  }
   return cell;
 }
 

@@ -84,6 +84,8 @@ int main() {
             cfg.crash = make_crash_plan(crashes, spec.n_procs, sim_ms(5),
                                         sim_ms(12), sim_ms(8));
             cfg.arq.rto = sim_ms(2);
+            RunTelemetry telemetry(spec.n_procs);
+            cfg.telemetry = &telemetry;
 
             const auto result = run_sim(cfg, generate_workload(spec));
             const auto audit = OptimalityAuditor::audit(*result.recorder);
@@ -116,14 +118,19 @@ int main() {
             cell.unnecessary = audit.total_unnecessary();
             cell.end_time = result.end_time;
             acc.add(cell);
-            catch_up_bytes += result.recovery.catch_up_bytes;
-            crash_drops += result.faults.crash_dropped;
+            // Fault columns come from the metrics registry, same counters as
+            // `optcm run --metrics-out` (docs/OBSERVABILITY.md).
+            const MetricsRegistry& reg = telemetry.metrics();
+            catch_up_bytes += reg.counter_total(metric::kRecoveryBytes);
+            crash_drops += reg.counter_total(metric::kNetCrashDropped);
+            const std::uint64_t arq_data = reg.counter_total(metric::kArqData);
             retx_rate_sum +=
-                result.reliable.data_sent == 0
+                arq_data == 0
                     ? 0.0
                     : 1000.0 *
-                          static_cast<double>(result.reliable.retransmissions) /
-                          static_cast<double>(result.reliable.data_sent);
+                          static_cast<double>(reg.counter_total(
+                              metric::kArqRetransmissions)) /
+                          static_cast<double>(arq_data);
           }
           const auto c = acc.mean();
           const double n_seeds = static_cast<double>(seeds.size());

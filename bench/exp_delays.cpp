@@ -41,7 +41,10 @@ int main() {
         spec.seed = seed;
         const auto latency =
             make_latency(LatencyKind::kLogNormal, sim_us(400), 1.2, seed ^ 0xBEE);
-        acc.add(run_cell(kind, spec, *latency));
+        acc.add(run_cell(kind, spec, *latency, 1'000'000,
+                         "delays_n" + std::to_string(n) + "_" +
+                             std::string(to_string(kind)) + "_s" +
+                             std::to_string(seed)));
       }
       const auto c = acc.mean();
       by_n.add(n, to_string(kind), c.writes, c.remote_messages, c.delayed,

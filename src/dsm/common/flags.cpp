@@ -17,9 +17,28 @@ Flags::Flags(int argc, const char* const* argv) {
     if (eq != std::string::npos) {
       values_[body.substr(0, eq)] = body.substr(eq + 1);
     } else {
-      values_[body] = "";  // bare switch
+      values_[body] = "";  // bare switch, or detached "--key value"
+      // Remember where the next token will land among the positionals: a
+      // value accessor may later claim it as this flag's detached value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        pending_detached_[body] = positional_.size();
+      }
     }
   }
+}
+
+std::optional<std::string> Flags::claim_detached(const std::string& name) {
+  const auto it = pending_detached_.find(name);
+  if (it == pending_detached_.end()) return std::nullopt;
+  const std::size_t idx = it->second;
+  pending_detached_.erase(it);
+  if (idx >= positional_.size()) return std::nullopt;
+  std::string value = positional_[idx];
+  positional_.erase(positional_.begin() + static_cast<std::ptrdiff_t>(idx));
+  for (auto& [key, j] : pending_detached_) {
+    if (j > idx) --j;
+  }
+  return value;
 }
 
 std::optional<std::string> Flags::lookup(const std::string& name) {
@@ -30,17 +49,26 @@ std::optional<std::string> Flags::lookup(const std::string& name) {
 }
 
 std::string Flags::get(const std::string& name, const std::string& fallback) {
-  return lookup(name).value_or(fallback);
+  auto v = lookup(name);
+  if (!v) return fallback;
+  if (v->empty()) {
+    if (auto detached = claim_detached(name)) return *detached;
+  }
+  return *v;
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) {
-  const auto v = lookup(name);
+  auto v = lookup(name);
+  if (!v) return fallback;
+  if (v->empty()) v = claim_detached(name);
   if (!v || v->empty()) return fallback;
   return std::strtoll(v->c_str(), nullptr, 10);
 }
 
 double Flags::get_double(const std::string& name, double fallback) {
-  const auto v = lookup(name);
+  auto v = lookup(name);
+  if (!v) return fallback;
+  if (v->empty()) v = claim_detached(name);
   if (!v || v->empty()) return fallback;
   return std::strtod(v->c_str(), nullptr);
 }

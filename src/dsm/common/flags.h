@@ -1,7 +1,10 @@
 // optcm — minimal command-line flag parsing for the CLI tool and ad-hoc
-// drivers.  Supports "--key=value" and boolean "--switch" (value flags MUST
-// use the "=" form — no "--key value", by design: it keeps positionals
-// unambiguous); everything else is positional.  Every accessor marks its
+// drivers.  Supports "--key=value", the detached form "--key value", and
+// boolean "--switch"; everything else is positional.  Detached values are
+// claimed lazily: the token after a bare "--key" stays positional unless a
+// *value* accessor (get/get_int/get_double) asks for that key — get_bool
+// never claims, so boolean switches followed by a positional argument keep
+// working ("optcm replay trace.jsonl --trace").  Every accessor marks its
 // flag consumed, so `unknown()` reports typos.
 
 #pragma once
@@ -39,11 +42,16 @@ class Flags {
 
  private:
   [[nodiscard]] std::optional<std::string> lookup(const std::string& name);
+  /// Claim the positional that immediately followed a bare "--name", if any
+  /// (removes it from the positional list).
+  [[nodiscard]] std::optional<std::string> claim_detached(const std::string& name);
 
   std::string program_;
   std::map<std::string, std::string> values_;
   std::set<std::string> consumed_;
   std::vector<std::string> positional_;
+  /// Bare flag -> index into positional_ of the token that followed it.
+  std::map<std::string, std::size_t> pending_detached_;
 };
 
 }  // namespace dsm

@@ -15,6 +15,13 @@ void Summary::add(double v) {
   sum_sq_ += v * v;
 }
 
+void Summary::merge(const Summary& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  if (!other.values_.empty()) sorted_ = false;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 double Summary::mean() const noexcept {
   return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
 }

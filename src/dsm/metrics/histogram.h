@@ -17,6 +17,10 @@ class Summary {
  public:
   void add(double v);
 
+  /// Fold another summary's samples into this one (telemetry aggregates
+  /// per-node summaries into a run-wide one).
+  void merge(const Summary& other);
+
   [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
   [[nodiscard]] double total() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept;

@@ -55,6 +55,19 @@ bool BufferingProtocol::can_apply(const WriteUpdate& m) const {
   return true;
 }
 
+std::uint64_t BufferingProtocol::enabling_deficit(const WriteUpdate& m) const {
+  const ProcessId u = m.sender;
+  const std::uint64_t run = ws_ ? std::min<std::uint64_t>(m.run, m.write_seq - 1) : 0;
+  std::uint64_t missing = 0;
+  if (applied_[u] + 1 + run < m.write_seq)
+    missing += m.write_seq - 1 - run - applied_[u];
+  for (ProcessId t = 0; t < n_procs_; ++t) {
+    if (t == u) continue;
+    if (m.clock[t] > applied_[t]) missing += m.clock[t] - applied_[t];
+  }
+  return missing;
+}
+
 void BufferingProtocol::on_message(ProcessId from,
                                    std::span<const std::uint8_t> bytes) {
   auto decoded = decode_message(bytes);
@@ -80,6 +93,9 @@ void BufferingProtocol::on_message(ProcessId from,
     ++stats_.delayed_writes;
     pending_.push_back(std::move(*update));
     track_peak();
+    if (instr_ != nullptr)
+      instr_->on_update_buffered(pending_.size(),
+                                 enabling_deficit(pending_.back()));
   }
 }
 
@@ -121,6 +137,7 @@ void BufferingProtocol::drain() {
       if (can_apply(pending_[i])) {
         const WriteUpdate m = std::move(pending_[i]);
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (instr_ != nullptr) instr_->on_buffer_drained(pending_.size());
         // Note: apply_update recurses into drain(); the recursion terminates
         // because every apply strictly increases sum(applied_).  Return
         // afterwards — the nested drain already reached the fixpoint.
@@ -132,6 +149,7 @@ void BufferingProtocol::drain() {
 }
 
 void BufferingProtocol::purge_stale() {
+  const std::size_t before = pending_.size();
   std::erase_if(pending_, [this](const WriteUpdate& m) {
     if (is_stale(m)) {
       ++stats_.stale_discards;
@@ -139,6 +157,8 @@ void BufferingProtocol::purge_stale() {
     }
     return false;
   });
+  if (instr_ != nullptr && pending_.size() != before)
+    instr_->on_buffer_drained(pending_.size());
 }
 
 void BufferingProtocol::track_peak() {

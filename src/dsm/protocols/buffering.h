@@ -64,6 +64,12 @@ class BufferingProtocol : public CausalProtocol {
   /// True iff the message's write was already superseded by a jump.
   [[nodiscard]] bool is_stale(const WriteUpdate& m) const;
 
+  /// Enabling-set cardinality shortfall for `m` at this instant: how many
+  /// apply events the Fig. 5 wait condition still needs before `m` can
+  /// apply (sender-sequence gap beyond the superseded run, plus every
+  /// foreign clock component ahead of Apply).  0 iff can_apply(m).
+  [[nodiscard]] std::uint64_t enabling_deficit(const WriteUpdate& m) const;
+
   /// Perform the apply event: account skips, bump Apply[u], install the
   /// value, call post_apply(), notify the observer, then drain the buffer.
   void apply_update(const WriteUpdate& m, bool delayed);

@@ -75,6 +75,29 @@ class ProtocolObserver {
   virtual void on_skip(ProcessId /*at*/, WriteId /*w*/, WriteId /*by*/) {}
 };
 
+/// Buffer-level instrumentation hooks (telemetry layer).  Unlike
+/// ProtocolObserver — which carries the paper's event vocabulary and feeds
+/// the verifiers — these hooks expose *mechanical* facts about the pending
+/// buffer that only the protocol itself can see at the moment they happen.
+/// Default implementations are no-ops; protocols hold a nullable pointer and
+/// pay one branch per buffering event when no instrumentation is attached.
+class ProtocolInstrumentation {
+ public:
+  virtual ~ProtocolInstrumentation() = default;
+
+  /// A receipt was buffered (write delay, Definition 3).  `depth` is the
+  /// pending-buffer size after insertion; `missing` is the number of enabling
+  /// apply events that have not yet occurred locally (the enabling-set
+  /// cardinality shortfall: Σ_t missing applies the wait condition needs).
+  virtual void on_update_buffered(std::size_t /*depth*/,
+                                  std::uint64_t /*missing*/) {}
+
+  /// A buffered update left the pending buffer (applied after its enabling
+  /// events occurred, or discarded as superseded).  `depth` is the size
+  /// after removal.
+  virtual void on_buffer_drained(std::size_t /*depth*/) {}
+};
+
 /// Per-process operational counters.
 struct ProtocolStats {
   std::uint64_t writes_issued = 0;
@@ -111,8 +134,16 @@ struct ProtocolStats {
 
 /// Base class for every protocol in the library.  Owns the replicated store
 /// (one copy of all m variables, paper Section 3.1) and the stats block.
+///
+/// Thread-safety (applies to every method unless noted): an instance is
+/// confined to one logical thread of control.  The simulator guarantees this
+/// by construction (one event at a time); the threaded runtime serializes
+/// all calls through a per-node mutex.  No method is safe to call
+/// concurrently with another on the same instance.
 class CausalProtocol {
  public:
+  /// Preconditions: `self < n_procs`, `n_procs ≥ 1`, `n_vars ≥ 1`; `endpoint`
+  /// and `observer` outlive the instance.
   CausalProtocol(ProcessId self, std::size_t n_procs, std::size_t n_vars,
                  Endpoint& endpoint, ProtocolObserver& observer);
   virtual ~CausalProtocol() = default;
@@ -123,16 +154,27 @@ class CausalProtocol {
   /// Hook called once by the harness after every process is wired to the
   /// transport and before any operation runs (the token protocol seeds its
   /// token here).  Default: nothing.
+  /// Precondition: called at most once, before any write/read/on_message.
   virtual void start() {}
 
   /// Execute w_self(x)v: propagate and apply locally.
+  /// Precondition: `x < n_vars()`.  Postcondition: the write is applied
+  /// locally (wait-free; paper Section 3.1 liveness L1) and an update has
+  /// been handed to the Endpoint; on_send then on_apply fired on the
+  /// observer.
   virtual void write(VarId x, Value v) = 0;
 
   /// Execute r_self(x): wait-free local read.
+  /// Precondition: `x < n_vars()`.  Postcondition: returns the local copy
+  /// (⊥/kNoWrite if never written) and fires on_return; OptP additionally
+  /// merges LastWriteOn[x] into Write_co (the read-from edge, Fig. 5).
   virtual ReadResult read(VarId x) = 0;
 
   /// A message (as bytes) arrived from `from`.  May trigger zero or more
   /// applies, including of previously buffered messages.
+  /// Precondition: `bytes` is a complete frame produced by a peer instance
+  /// of the same protocol (malformed input aborts via contracts — transport
+  /// integrity is the ARQ layer's job, not the protocol's).
   virtual void on_message(ProcessId from, std::span<const std::uint8_t> bytes) = 0;
 
   /// Number of currently buffered (received but not applied) updates.
@@ -156,11 +198,25 @@ class CausalProtocol {
 
   /// Inverse of snapshot() onto a freshly constructed instance with the same
   /// shape (self, n_procs, n_vars).  Returns false on malformed input.
+  /// Precondition: the instance is fresh (no operations executed).
+  /// Postcondition on true: observable state (store, counters, pending
+  /// buffer) equals the snapshotted instance's at checkpoint time.
   [[nodiscard]] virtual bool restore(ByteReader& r);
 
+  /// Attach buffer-level instrumentation (telemetry), or detach with nullptr.
+  /// The hooks fire from inside on_message; `instr` must outlive the
+  /// instance or be detached first.  Default: detached (zero overhead beyond
+  /// one null check per buffering event).
+  void set_instrumentation(ProtocolInstrumentation* instr) noexcept {
+    instr_ = instr;
+  }
+
+  /// Shape accessors (immutable after construction; safe from any thread).
   [[nodiscard]] ProcessId self() const noexcept { return self_; }
   [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }
   [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
+
+  /// Operational counters so far (same confinement rules as the operations).
   [[nodiscard]] const ProtocolStats& stats() const noexcept { return stats_; }
 
   /// Current local copy of variable x (tagged with its writer).
@@ -175,6 +231,7 @@ class CausalProtocol {
   std::size_t n_vars_;
   Endpoint* endpoint_;
   ProtocolObserver* observer_;
+  ProtocolInstrumentation* instr_ = nullptr;  // nullable; see set_instrumentation
   ProtocolStats stats_;
 
  private:

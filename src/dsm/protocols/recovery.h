@@ -74,37 +74,66 @@ struct RecoveryStats {
   }
 };
 
+/// Write-logging and anti-entropy interposer for one process.
+///
+/// Thread-safety: none of its own — it inherits the protocol's confinement
+/// contract.  The simulator calls it from the event loop; the threaded
+/// cluster calls it under the owning node's mutex.  It must be wired
+/// (set_protocol) before the first deliver().
 class RecoveryNode final : public Endpoint, public MessageSink {
  public:
   /// Invoked after any state mutation that must be durable (synchronous
   /// checkpoint).  Installed by the harness; may be empty in tests.
   using CheckpointHook = std::function<void()>;
 
+  /// \pre `lower` (the real transport endpoint) outlives this node;
+  ///      `self < n_procs`.
+  /// \post the node is inert until set_protocol() wires a protocol.
   RecoveryNode(ProcessId self, std::size_t n_procs, Endpoint& lower);
 
   /// Wire the protocol (constructed after this node, since the protocol's
   /// Endpoint is this node).
+  /// \pre called exactly once, before any deliver()/request_catch_up().
   void set_protocol(BufferingProtocol& proto) { proto_ = &proto; }
   void set_checkpoint_hook(CheckpointHook hook) { checkpoint_ = std::move(hook); }
 
   // -- Endpoint (protocol → world): log own writes, pass through ------------
+
+  /// Logs the outgoing WriteUpdate into its sender lane, then forwards to
+  /// the lower endpoint.  \post the write is servable to restarting peers
+  /// even if every network copy is lost.
   void broadcast(std::vector<std::uint8_t> bytes) override;
+  /// Pass-through for targeted sends (partial replication's meta-only
+  /// copies); full-update sends are logged like broadcasts.
   void send(ProcessId to, std::vector<std::uint8_t> bytes) override;
 
   // -- MessageSink (world → protocol): log foreign writes, handle catch-up --
+
+  /// Routes one decoded message: WriteUpdates are logged then fed to the
+  /// protocol; CatchUpRequest/CatchUpReply run the anti-entropy exchange.
+  /// Triggers the checkpoint hook after every state mutation.
+  /// \pre set_protocol() has been called.
   void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
 
   /// Broadcast a CatchUpRequest carrying the received watermarks — the
   /// restart path (also usable after a long partition heals).
+  /// \pre set_protocol() has been called (replies will feed it).
+  /// \post one request per peer is in flight; replies re-enter via deliver().
   void request_catch_up();
 
   /// seen[u] = length of the contiguous prefix of p_u's writes in the log.
   [[nodiscard]] VectorClock seen() const;
 
   // -- checkpoint of the log -------------------------------------------------
+
+  /// Serializes the per-sender write-update log.  Pure observer.
   void snapshot(ByteWriter& w) const;
+  /// Restores onto a freshly constructed node for the same (self, n_procs)
+  /// topology.  Returns false on malformed input (node must be discarded).
   [[nodiscard]] bool restore(ByteReader& r);
 
+  /// Counters since construction/restore (stats are not checkpointed —
+  /// harnesses sum them across incarnations).
   [[nodiscard]] const RecoveryStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t log_entries() const noexcept;
 

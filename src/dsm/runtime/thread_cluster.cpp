@@ -22,21 +22,30 @@ ThreadCluster::ThreadCluster(const Config& config)
       n_vars_(config.n_vars),
       max_jitter_us_(config.max_jitter_us),
       recoverable_(config.recoverable),
+      telemetry_(config.telemetry),
       jitter_rng_(config.seed),
       epoch_(std::chrono::steady_clock::now()) {
   DSM_REQUIRE(config.n_procs >= 1);
 
-  recorder_ = std::make_unique<RunRecorder>(
-      config.n_procs, config.n_vars, [this] {
-        return static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - epoch_)
-                .count());
-      });
+  const auto ns_since_epoch = [this] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  };
+  recorder_ = std::make_unique<RunRecorder>(config.n_procs, config.n_vars,
+                                            ns_since_epoch);
 
+  // Observer chain, innermost first: recorder ← telemetry tee ← fanout ←
+  // replay filter.  The filter sits outermost so telemetry and the extra
+  // observers see the deduplicated stream in recoverable mode.
   observer_ = recorder_.get();
+  if (telemetry_ != nullptr) {
+    telemetry_->set_clock(ns_since_epoch);
+    observer_ = &telemetry_->observe_through(*recorder_);
+  }
   if (!config.extra_observers.empty()) {
-    std::vector<ProtocolObserver*> targets{recorder_.get()};
+    std::vector<ProtocolObserver*> targets{observer_};
     targets.insert(targets.end(), config.extra_observers.begin(),
                    config.extra_observers.end());
     fanout_ = std::make_unique<FanoutObserver>(std::move(targets));
@@ -90,6 +99,8 @@ void ThreadCluster::build_node_locked(ProcessId p) {
     node.protocol = make_protocol(kind_, p, nodes_.size(), n_vars_,
                                   *node.endpoint, *observer_, protocol_config_);
   }
+  if (telemetry_ != nullptr)
+    node.protocol->set_instrumentation(&telemetry_->instrumentation(p));
 }
 
 void ThreadCluster::checkpoint_locked(ProcessId p) {
@@ -99,6 +110,8 @@ void ThreadCluster::checkpoint_locked(ProcessId p) {
   node.protocol->snapshot(w);
   node.recovery->snapshot(w);
   node.checkpoint = std::move(w).take();
+  if (telemetry_ != nullptr)
+    telemetry_->record_checkpoint(p, node.checkpoint.size());
 }
 
 void ThreadCluster::shutdown() {
@@ -106,6 +119,16 @@ void ThreadCluster::shutdown() {
   for (auto& node : nodes_) node->mailbox->close();
   for (auto& node : nodes_) {
     if (node->delivery.joinable()) node->delivery.join();
+  }
+  if (telemetry_ != nullptr) {
+    // Delivery threads are joined: fold the surviving recovery stats and
+    // detach the clock (it captures `this`).
+    for (ProcessId p = 0; p < nodes_.size(); ++p) {
+      const std::scoped_lock lock(nodes_[p]->mu);
+      if (nodes_[p]->recovery != nullptr)
+        telemetry_->fold_recovery(p, nodes_[p]->recovery->stats());
+    }
+    telemetry_->set_clock({});
   }
 }
 
@@ -157,6 +180,7 @@ void ThreadCluster::write(ProcessId p, VarId x, Value v) {
   const std::scoped_lock lock(node.mu);
   DSM_REQUIRE(node.up && "write() on a killed process");
   recorder_->record_write(p, x, v);
+  if (telemetry_ != nullptr) telemetry_->record_write_op(p, x, v);
   node.protocol->write(x, v);
   if (recoverable_) checkpoint_locked(p);
 }
@@ -190,6 +214,10 @@ void ThreadCluster::kill(ProcessId p) {
   // volatile by design — they are not part of the checkpoint).
   node.stats_acc += node.protocol->stats();
   node.rec_acc += node.recovery->stats();
+  if (telemetry_ != nullptr) {
+    telemetry_->record_crash(p);
+    telemetry_->fold_recovery(p, node.recovery->stats());
+  }
   node.protocol.reset();
   node.buffering = nullptr;
   node.recovery.reset();
@@ -202,6 +230,7 @@ void ThreadCluster::restart(ProcessId p) {
   Node& node = *nodes_[p];
   const std::scoped_lock lock(node.mu);
   DSM_REQUIRE(!node.up && "restart() on a live process");
+  if (telemetry_ != nullptr) telemetry_->record_restart(p);
   build_node_locked(p);
   ByteReader r(node.checkpoint);
   DSM_REQUIRE(node.protocol->restore(r));

@@ -38,6 +38,7 @@
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/mailbox.h"
+#include "dsm/telemetry/telemetry.h"
 
 namespace dsm {
 
@@ -57,6 +58,12 @@ class ThreadCluster {
     /// Additional observers teed alongside the recorder (e.g. a
     /// StabilityTracker); must be thread-safe and outlive the cluster.
     std::vector<ProtocolObserver*> extra_observers;
+    /// Optional instrumentation (dsm/telemetry/telemetry.h): protocol events
+    /// tee into it (timestamped in ns since the cluster epoch), buffer
+    /// depth/deficit flows through protocol hooks, and recovery stats fold in
+    /// at shutdown.  Must outlive the cluster; null (default) costs only
+    /// null-pointer checks.
+    RunTelemetry* telemetry = nullptr;
   };
 
   explicit ThreadCluster(const Config& config);
@@ -148,6 +155,7 @@ class ThreadCluster {
   std::size_t n_vars_;
   std::uint32_t max_jitter_us_;
   bool recoverable_;
+  RunTelemetry* telemetry_;  ///< nullable
   std::unique_ptr<RunRecorder> recorder_;
   std::unique_ptr<ProtocolObserver> fanout_;  ///< set iff extra observers given
   std::unique_ptr<ReplayFilterObserver> filter_;  ///< recoverable mode only

@@ -91,12 +91,25 @@ struct ReliableConfig {
   std::function<void(ProcessId to, std::uint64_t seq)> on_abandon;
 };
 
+/// The reliable-channel endpoint of one process: ARQ sender and receiver in
+/// one object, sitting between a (faulty) Network and an upper MessageSink.
+///
+/// Thread-safety: none — single-threaded by design.  Every method runs on
+/// the simulator's event loop (the EventQueue dispatches one event at a
+/// time); the threaded cluster does not use this class (its mailboxes are
+/// lossless).
 class ReliableNode final : public MessageSink {
  public:
   using Config = ReliableConfig;
 
   /// Registers itself as process `self`'s sink on `network`.  `upper`
   /// receives deduplicated payloads exactly once each.
+  ///
+  /// \pre `queue`, `network` and `upper` outlive this node (timers capture
+  ///      an aliveness token, so destruction before pending timers fire is
+  ///      safe, but the references themselves must stay valid while alive).
+  /// \post this node owns `self`'s slot on the network; constructing a
+  ///       second sink for the same process is an error.
   ReliableNode(EventQueue& queue, Network& network, ProcessId self,
                MessageSink& upper, Config config = {});
   ~ReliableNode();
@@ -105,21 +118,51 @@ class ReliableNode final : public MessageSink {
   ReliableNode& operator=(const ReliableNode&) = delete;
 
   // -- sending (the upper layer's Endpoint calls these) ---------------------
+
+  /// Queues `payload` for exactly-once delivery to `to`.
+  ///
+  /// \pre `to` is a valid process id on the network and `to != self`.
+  /// \post the payload has a fresh per-channel sequence number, a DATA
+  ///       frame is in flight, and a retransmission timer is armed; the
+  ///       payload is retained until the matching ACK arrives.
   void send(ProcessId to, std::vector<std::uint8_t> payload);
+
+  /// send() to every other process (the paper's broadcast primitive,
+  /// footnote 5: fan-out unicast over reliable channels).
   void broadcast(const std::vector<std::uint8_t>& payload);
 
   // -- MessageSink (frames arriving from the network) ------------------------
+
+  /// Handles one raw frame from the network: DATA frames are ACKed and, if
+  /// their sequence number is new, delivered upward; duplicate DATA is
+  /// suppressed (and re-ACKed); ACK frames retire the tx entry and feed the
+  /// RTT estimator (Karn's rule: only never-retransmitted packets sample).
+  ///
+  /// \pre `bytes` is a frame this class produced (malformed frames hard-fail
+  ///      via DSM_REQUIRE — the simulator's network cannot corrupt bytes).
   void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
 
   // -- checkpoint / restore --------------------------------------------------
+
+  /// Serializes tx sequence numbers + unacked payloads, the RTT estimator,
+  /// and the rx dedup state (see the header comment for why each part is
+  /// load-bearing).  Pure observer: the node is unchanged.
   void snapshot(ByteWriter& w) const;
+
   /// Restores a snapshot onto this (freshly constructed) node and
   /// retransmits every unacked payload.  Returns false on malformed input.
+  ///
+  /// \pre *this was default-wired for the same (queue, network, self,
+  ///      upper) topology and has not sent or received anything yet.
+  /// \post on success, every unacked payload is back in flight with a
+  ///       fresh timer; on failure the node must be discarded.
   [[nodiscard]] bool restore(ByteReader& r);
 
+  /// Counters since construction/restore (restore does not reset them).
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
 
   /// Current adaptive RTO toward `to` (initial config.rto before a sample).
+  /// \pre `to` is a valid process id.
   [[nodiscard]] SimTime current_rto(ProcessId to) const;
 
   /// True when every sent payload has been acknowledged.

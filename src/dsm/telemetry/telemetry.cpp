@@ -1,0 +1,229 @@
+#include "dsm/telemetry/telemetry.h"
+
+#include <map>
+#include <utility>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+namespace {
+
+// LEB128 size of one varint — mirrors codec.h's encoding so the piggybacked
+// metadata accounting matches what actually goes on the wire.
+std::uint64_t varint_size(std::uint64_t v) {
+  std::uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Encoded size of the causal metadata a WriteUpdate piggybacks beyond the
+// operation itself: the vector clock plus the writing-semantics run counter.
+std::uint64_t meta_bytes(const WriteUpdate& m) {
+  std::uint64_t n = varint_size(m.clock.size());
+  for (const std::uint64_t c : m.clock.components()) n += varint_size(c);
+  n += varint_size(m.run);
+  return n;
+}
+
+}  // namespace
+
+/// The observer tee: records protocol events, then forwards to downstream.
+class RunTelemetry::Tee final : public ProtocolObserver {
+ public:
+  Tee(RunTelemetry& t, ProtocolObserver& downstream)
+      : t_(t), down_(downstream) {}
+
+  void on_send(ProcessId at, const WriteUpdate& m) override {
+    const std::uint64_t meta = meta_bytes(m);
+    t_.metrics_.counter(at, metric::kUpdatesSent).add();
+    t_.metrics_.counter(at, metric::kMetaBytes).add(meta);
+    t_.trace_.accept({TraceKind::kSend, at, t_.now(),
+                      WriteId{m.sender, m.write_seq}, m.var, m.value,
+                      /*delayed=*/false, meta, m.clock});
+    down_.on_send(at, m);
+  }
+
+  void on_receipt(ProcessId at, const WriteUpdate& m) override {
+    const std::uint64_t now = t_.now();
+    t_.metrics_.counter(at, metric::kUpdatesReceived).add();
+    {
+      std::lock_guard lock(mu_);
+      receipt_at_[{at, WriteId{m.sender, m.write_seq}}] = now;
+    }
+    t_.trace_.accept({TraceKind::kReceive, at, now,
+                      WriteId{m.sender, m.write_seq}, m.var, m.value,
+                      /*delayed=*/false, 0, m.clock});
+    down_.on_receipt(at, m);
+  }
+
+  void on_apply(ProcessId at, WriteId w, bool delayed) override {
+    const std::uint64_t now = t_.now();
+    t_.metrics_.counter(at, metric::kApplies).add();
+    if (delayed) {
+      t_.metrics_.counter(at, metric::kAppliesDelayed).add();
+      std::uint64_t received = now;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = receipt_at_.find({at, w});
+        if (it != receipt_at_.end()) {
+          received = it->second;
+          receipt_at_.erase(it);
+        }
+      }
+      // The write delay of Definition 3, measured on the harness clock:
+      // buffered at receipt, applied once the enabling events occurred.
+      t_.metrics_.summary(at, metric::kApplyDelay)
+          .add(static_cast<double>(now - received));
+    } else {
+      std::lock_guard lock(mu_);
+      receipt_at_.erase({at, w});
+    }
+    t_.trace_.accept({TraceKind::kApply, at, now, w, 0, kBottom, delayed, 0,
+                      VectorClock{}});
+    down_.on_apply(at, w, delayed);
+  }
+
+  void on_return(ProcessId at, VarId x, Value v, WriteId from) override {
+    t_.metrics_.counter(at, metric::kReadsIssued).add();
+    t_.trace_.accept({TraceKind::kRead, at, t_.now(), from, x, v,
+                      /*delayed=*/false, 0, VectorClock{}});
+    down_.on_return(at, x, v, from);
+  }
+
+  void on_skip(ProcessId at, WriteId w, WriteId by) override {
+    t_.metrics_.counter(at, metric::kSkips).add();
+    {
+      // Skipped writes never apply, so their receipt entry would otherwise
+      // linger; apply_delay_us deliberately measures applies only.
+      std::lock_guard lock(mu_);
+      receipt_at_.erase({at, w});
+    }
+    t_.trace_.accept({TraceKind::kSkip, at, t_.now(), w, 0, kBottom,
+                      /*delayed=*/false, by.seq, VectorClock{}});
+    down_.on_skip(at, w, by);
+  }
+
+ private:
+  RunTelemetry& t_;
+  ProtocolObserver& down_;
+  std::mutex mu_;
+  std::map<std::pair<ProcessId, WriteId>, std::uint64_t> receipt_at_;
+};
+
+/// Per-node buffer instrumentation: depth gauge + enabling-deficit summary.
+class RunTelemetry::NodeInstr final : public ProtocolInstrumentation {
+ public:
+  NodeInstr(RunTelemetry& t, ProcessId p)
+      : depth_(t.metrics_.gauge(p, metric::kPendingDepth)),
+        deficit_(t.metrics_.summary(p, metric::kEnablingDeficit)) {}
+
+  void on_update_buffered(std::size_t depth, std::uint64_t missing) override {
+    depth_.set(depth);
+    deficit_.add(static_cast<double>(missing));
+  }
+
+  void on_buffer_drained(std::size_t depth) override { depth_.set(depth); }
+
+ private:
+  Gauge& depth_;
+  Summary& deficit_;
+};
+
+RunTelemetry::RunTelemetry(std::size_t n_procs) : metrics_(n_procs) {
+  instr_.reserve(n_procs);
+  for (std::size_t p = 0; p < n_procs; ++p)
+    instr_.push_back(std::make_unique<NodeInstr>(*this, static_cast<ProcessId>(p)));
+}
+
+RunTelemetry::~RunTelemetry() = default;
+
+void RunTelemetry::set_clock(ClockFn clock) {
+  std::lock_guard lock(clock_mu_);
+  clock_ = std::move(clock);
+}
+
+std::uint64_t RunTelemetry::now() const {
+  std::lock_guard lock(clock_mu_);
+  return clock_ ? clock_() : 0;
+}
+
+ProtocolObserver& RunTelemetry::observe_through(ProtocolObserver& downstream) {
+  tee_ = std::make_unique<Tee>(*this, downstream);
+  return *tee_;
+}
+
+ProtocolInstrumentation& RunTelemetry::instrumentation(ProcessId p) {
+  DSM_REQUIRE(p < instr_.size());
+  return *instr_[p];
+}
+
+void RunTelemetry::record_write_op(ProcessId p, VarId x, Value v) {
+  metrics_.counter(p, metric::kWritesIssued).add();
+  trace_.accept({TraceKind::kWrite, p, now(), WriteId{}, x, v,
+                 /*delayed=*/false, 0, VectorClock{}});
+}
+
+void RunTelemetry::record_crash(ProcessId p) {
+  metrics_.counter(p, metric::kCrashes).add();
+  trace_.accept({TraceKind::kCrash, p, now(), WriteId{}, 0, kBottom,
+                 /*delayed=*/false, 0, VectorClock{}});
+}
+
+void RunTelemetry::record_restart(ProcessId p) {
+  metrics_.counter(p, metric::kRestarts).add();
+  trace_.accept({TraceKind::kRestart, p, now(), WriteId{}, 0, kBottom,
+                 /*delayed=*/false, 0, VectorClock{}});
+}
+
+void RunTelemetry::record_checkpoint(ProcessId p, std::uint64_t bytes) {
+  metrics_.counter(p, metric::kCheckpoints).add();
+  metrics_.summary(p, metric::kCheckpointBytes).add(static_cast<double>(bytes));
+  trace_.accept({TraceKind::kCheckpoint, p, now(), WriteId{}, 0, kBottom,
+                 /*delayed=*/false, bytes, VectorClock{}});
+}
+
+void RunTelemetry::fold_network(const NetworkStats& net,
+                                const FaultStats& faults) {
+  const ProcessId run = MetricsRegistry::kRunScope;
+  metrics_.counter(run, metric::kNetMessages).add(net.messages_sent);
+  metrics_.counter(run, metric::kNetBytes).add(net.bytes_sent);
+  metrics_.counter(run, metric::kNetDropped).add(faults.dropped);
+  metrics_.counter(run, metric::kNetDuplicated).add(faults.duplicated);
+  metrics_.counter(run, metric::kNetPartitionDropped)
+      .add(faults.partition_dropped);
+  metrics_.counter(run, metric::kNetCrashDropped).add(faults.crash_dropped);
+}
+
+void RunTelemetry::fold_reliable(ProcessId p, const ReliableStats& arq) {
+  metrics_.counter(p, metric::kArqData).add(arq.data_sent);
+  metrics_.counter(p, metric::kArqRetransmissions).add(arq.retransmissions);
+  metrics_.counter(p, metric::kArqAcks).add(arq.acks_sent);
+  metrics_.counter(p, metric::kArqDuplicates).add(arq.duplicates_suppressed);
+  metrics_.counter(p, metric::kArqAbandoned).add(arq.abandoned);
+}
+
+void RunTelemetry::sample_rto(ProcessId p, std::uint64_t rto_us) {
+  metrics_.summary(p, metric::kArqRto).add(static_cast<double>(rto_us));
+}
+
+void RunTelemetry::fold_recovery(ProcessId p, const RecoveryStats& rec) {
+  metrics_.counter(p, metric::kRecoveryRequests).add(rec.requests_sent);
+  metrics_.counter(p, metric::kRecoveryWrites).add(rec.writes_recovered);
+  metrics_.counter(p, metric::kRecoveryBytes).add(rec.catch_up_bytes);
+}
+
+std::string RunTelemetry::chrome_trace(double ts_scale) const {
+  const auto events = trace_.events();
+  return export_chrome_trace(events, ts_scale);
+}
+
+std::string RunTelemetry::trace_csv() const {
+  const auto events = trace_.events();
+  return export_trace_csv(events);
+}
+
+}  // namespace dsm

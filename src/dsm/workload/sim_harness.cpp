@@ -6,6 +6,7 @@
 
 #include "dsm/common/contracts.h"
 #include "dsm/sim/event_queue.h"
+#include "dsm/telemetry/telemetry.h"
 
 namespace dsm {
 namespace {
@@ -96,6 +97,11 @@ class ScriptRunner {
 
   void begin() { schedule_step(0, 0); }
 
+  /// Attach run telemetry (write-operation events); may stay null.
+  void set_telemetry(RunTelemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
   [[nodiscard]] bool done() const noexcept { return next_ >= script_->size(); }
 
   void suspend() noexcept { down_ = true; }
@@ -129,6 +135,8 @@ class ScriptRunner {
     switch (step.kind) {
       case StepKind::kWrite: {
         recorder_->record_write(self_, step.var, step.value);
+        if (telemetry_ != nullptr)
+          telemetry_->record_write_op(self_, step.var, step.value);
         proto->write(step.var, step.value);
         if (issued_ != nullptr) ++(*issued_)[self_];
         break;
@@ -160,6 +168,7 @@ class ScriptRunner {
 
   EventQueue* queue_;
   RunRecorder* recorder_;
+  RunTelemetry* telemetry_ = nullptr;
   ProtoFn proto_;
   ProcessId self_;
   const Script* script_;
@@ -200,9 +209,15 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
 
   auto recorder = std::make_unique<RunRecorder>(
       config.n_procs, config.n_vars, [&queue] { return queue.now(); });
+  RunTelemetry* const tel = config.telemetry;
+  if (tel != nullptr) tel->set_clock([&queue] { return queue.now(); });
+  ProtocolObserver* downstream = recorder.get();
+  if (tel != nullptr) downstream = &tel->observe_through(*recorder);
   // A write can legitimately reach a process twice (catch-up reply + ARQ
   // retransmission whose ACK died with the crash); record each event once.
-  ReplayFilterObserver filter(*recorder);
+  // The filter sits outermost so telemetry also sees the deduplicated stream
+  // (replayed applies would otherwise double-count).
+  ReplayFilterObserver filter(*downstream);
 
   SimRunResult result;
   std::vector<LateSink> sinks(config.n_procs);
@@ -219,6 +234,7 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
     node.recovery->snapshot(w);
     node.arq->snapshot(w);
     checkpoints[p] = std::move(w).take();
+    if (tel != nullptr) tel->record_checkpoint(p, checkpoints[p].size());
   };
 
   const auto build = [&](ProcessId p) {
@@ -238,6 +254,8 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
                 "token holder would require an election (out of scope)");
     node.recovery->set_protocol(*node.buffering);
     node.recovery->set_checkpoint_hook([&checkpoint, p] { checkpoint(p); });
+    if (tel != nullptr)
+      node.proto->set_instrumentation(&tel->instrumentation(p));
     node.up = true;
   };
 
@@ -253,6 +271,7 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
     runners.emplace_back(
         queue, *recorder, [&nodes, p] { return nodes[p].proto.get(); }, p,
         scripts[p], [&checkpoint, p] { checkpoint(p); }, &issued);
+    runners.back().set_telemetry(tel);
   }
   for (auto& r : runners) r.begin();
 
@@ -288,6 +307,11 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
       proto_acc[e.p] += node.proto->stats();
       result.reliable += node.arq->stats();
       result.recovery += node.recovery->stats();
+      if (tel != nullptr) {
+        tel->record_crash(e.p);
+        tel->fold_reliable(e.p, node.arq->stats());
+        tel->fold_recovery(e.p, node.recovery->stats());
+      }
       net.detach(e.p);
       runners[e.p].suspend();
       sinks[e.p].set(nullptr);
@@ -298,6 +322,7 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
       node.up = false;
     });
     queue.schedule_at(e.restart_at, [&, e] {
+      if (tel != nullptr) tel->record_restart(e.p);
       build(e.p);
       ProcNode& node = nodes[e.p];
       ByteReader r(checkpoints[e.p]);
@@ -354,8 +379,19 @@ SimRunResult run_sim_crash(const SimRunConfig& config,
       proto_acc[p] += node.proto->stats();
       result.reliable += node.arq->stats();
       result.recovery += node.recovery->stats();
+      if (tel != nullptr) {
+        tel->fold_reliable(p, node.arq->stats());
+        tel->fold_recovery(p, node.recovery->stats());
+        for (ProcessId to = 0; to < config.n_procs; ++to) {
+          if (to != p) tel->sample_rto(p, node.arq->current_rto(to));
+        }
+      }
     }
     result.stats.push_back(proto_acc[p]);
+  }
+  if (tel != nullptr) {
+    tel->fold_network(result.net, result.faults);
+    tel->set_clock({});  // the queue dies with this frame
   }
   result.recorder = std::move(recorder);
   return result;
@@ -400,6 +436,15 @@ SimRunResult run_sim(const SimRunConfig& config,
   auto recorder = std::make_unique<RunRecorder>(
       config.n_procs, config.n_vars, [&queue] { return queue.now(); });
 
+  // Telemetry (optional): protocol events tee through the RunTelemetry
+  // observer into the recorder, stamped with simulated time.
+  RunTelemetry* const tel = config.telemetry;
+  ProtocolObserver* observer = recorder.get();
+  if (tel != nullptr) {
+    tel->set_clock([&queue] { return queue.now(); });
+    observer = &tel->observe_through(*recorder);
+  }
+
   // Wiring order matters in fault mode: the ARQ node registers itself as the
   // network sink and needs the (not-yet-filled) protocol sink as its upper
   // layer; the endpoint then routes protocol sends through the ARQ node.
@@ -426,8 +471,9 @@ SimRunResult run_sim(const SimRunConfig& config,
   protos.reserve(config.n_procs);
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     protos.push_back(make_protocol(config.kind, p, config.n_procs,
-                                   config.n_vars, endpoints[p], *recorder,
+                                   config.n_vars, endpoints[p], *observer,
                                    config.protocol_config));
+    if (tel != nullptr) protos[p]->set_instrumentation(&tel->instrumentation(p));
     sinks[p].set_protocol(*protos[p]);
   }
 
@@ -439,6 +485,7 @@ SimRunResult run_sim(const SimRunConfig& config,
     runners.emplace_back(
         queue, *recorder, [&protos, p] { return protos[p].get(); }, p,
         scripts[p]);
+    runners.back().set_telemetry(tel);
   }
   for (auto& r : runners) r.begin();
 
@@ -482,6 +529,16 @@ SimRunResult run_sim(const SimRunConfig& config,
   for (const auto& node : arq) result.reliable += node->stats();
   result.stats.reserve(config.n_procs);
   for (const auto& proto : protos) result.stats.push_back(proto->stats());
+  if (tel != nullptr) {
+    tel->fold_network(result.net, result.faults);
+    for (ProcessId p = 0; p < arq.size(); ++p) {
+      tel->fold_reliable(p, arq[p]->stats());
+      for (ProcessId to = 0; to < config.n_procs; ++to) {
+        if (to != p) tel->sample_rto(p, arq[p]->current_rto(to));
+      }
+    }
+    tel->set_clock({});  // the queue dies with this frame
+  }
   result.recorder = std::move(recorder);
   return result;
 }

@@ -34,6 +34,8 @@
 
 namespace dsm {
 
+class RunTelemetry;
+
 struct SimRunConfig {
   ProtocolKind kind = ProtocolKind::kOptP;
   std::size_t n_procs = 3;
@@ -57,6 +59,13 @@ struct SimRunConfig {
   /// "queue drained" is not a usable stop condition for it).
   SimTime settle_chunk = sim_ms(50);
   std::size_t max_settle_chunks = 10'000;
+  /// Optional instrumentation (dsm/telemetry/telemetry.h): when set, the run
+  /// feeds the metrics registry and trace buffer — protocol events through an
+  /// observer tee, buffer depth/deficit through protocol hooks, transport
+  /// stats folded at the end.  Must outlive the run_sim call.  When null
+  /// (default) the run is byte-identical to an uninstrumented one and pays
+  /// only null-pointer checks.
+  RunTelemetry* telemetry = nullptr;
 };
 
 /// One crash/restart episode as observed by the harness.  `recovered` means

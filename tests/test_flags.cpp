@@ -74,5 +74,73 @@ TEST(Flags, LastDuplicateWins) {
   EXPECT_EQ(flags.get_int("seed", 0), 2);
 }
 
+// -- detached "--key value" form ---------------------------------------------
+
+TEST(Flags, DetachedValueClaimedByStringAccessor) {
+  auto flags = make({"run", "--protocol", "optp", "--trace-out", "t.json"});
+  EXPECT_EQ(flags.get("protocol", "anbkh"), "optp");
+  EXPECT_EQ(flags.get("trace-out", ""), "t.json");
+  // The claimed tokens are no longer positional.
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "run");
+}
+
+TEST(Flags, DetachedValueClaimedByNumericAccessors) {
+  auto flags = make({"--procs", "8", "--spread", "2.5"});
+  EXPECT_EQ(flags.get_int("procs", 1), 8);
+  EXPECT_DOUBLE_EQ(flags.get_double("spread", 1.0), 2.5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, BoolNeverClaimsFollowingPositional) {
+  // "optcm replay trace.jsonl --history" and switch-before-positional must
+  // both keep the positional: get_bool never consumes a detached value.
+  auto flags = make({"--history", "trace.jsonl"});
+  EXPECT_TRUE(flags.get_bool("history"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "trace.jsonl");
+}
+
+TEST(Flags, UnclaimedDetachedTokenStaysPositional) {
+  auto flags = make({"--verbose", "target"});
+  // Nobody reads --verbose as a value; "target" remains positional.
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "target");
+}
+
+TEST(Flags, EqualsFormIsNeverDetached) {
+  auto flags = make({"--protocol=optp", "extra"});
+  EXPECT_EQ(flags.get("protocol", ""), "optp");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "extra");
+}
+
+TEST(Flags, NextFlagIsNotADetachedValue) {
+  auto flags = make({"--metrics-out", "--trace", "--procs", "--seed=1"});
+  // "--trace" is a flag, never a value for --metrics-out: the string
+  // accessor sees --metrics-out as present-but-empty, and numeric accessors
+  // fall back.
+  EXPECT_EQ(flags.get("metrics-out", "fallback"), "");
+  EXPECT_TRUE(flags.get_bool("trace"));
+  EXPECT_EQ(flags.get_int("procs", 7), 7);
+}
+
+TEST(Flags, ClaimShiftsLaterDetachedIndices) {
+  auto flags = make({"--a", "1", "--b", "2", "--c", "3"});
+  // Claim out of order; each accessor must still find its own token.
+  EXPECT_EQ(flags.get_int("c", 0), 3);
+  EXPECT_EQ(flags.get_int("a", 0), 1);
+  EXPECT_EQ(flags.get_int("b", 0), 2);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(Flags, DetachedClaimHappensOnlyOnce) {
+  auto flags = make({"--seed", "7"});
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+  // Second read falls back to the stored (empty) value -> fallback.
+  EXPECT_EQ(flags.get_int("seed", 42), 42);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
 }  // namespace
 }  // namespace dsm

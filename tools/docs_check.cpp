@@ -1,0 +1,229 @@
+// optcm — docs-check: keep the documentation honest.
+//
+// Runs as a ctest entry (`docs_check`, in the default suite) and verifies,
+// for every markdown file at the repo top level and under docs/:
+//
+//   * every intra-repo markdown link resolves to an existing file
+//     (external http(s)/mailto links and pure #anchors are skipped);
+//   * every `optcm …` command shown in a fenced code block parses: the
+//     command is re-run against the real binary with `--dry-run` appended
+//     (each subcommand validates its flags and exits before doing work);
+//   * every `./build/…` binary a code block invokes exists in the build
+//     tree (benches and examples are referenced but not executed — some
+//     take minutes);
+//   * every `--preset NAME` a code block mentions is defined in
+//     CMakePresets.json.
+//
+// Usage: docs_check <repo_root> <optcm_binary> <build_dir>
+// Exit status: 0 iff every check passed; failures are listed one per line.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+struct Checker {
+  fs::path repo;
+  std::string optcm;
+  fs::path build;
+  std::string presets_json;
+  std::vector<std::string> failures;
+
+  void fail(const fs::path& file, const std::string& what) {
+    failures.push_back(file.string() + ": " + what);
+  }
+
+  // -- links -----------------------------------------------------------------
+
+  void check_links(const fs::path& md, const std::string& text) {
+    static const std::regex link_re(R"(\]\(([^)]+)\))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), link_re);
+         it != std::sregex_iterator(); ++it) {
+      std::string target = (*it)[1].str();
+      if (const auto sp = target.find(' '); sp != std::string::npos) {
+        target = target.substr(0, sp);  // drop a "title" part
+      }
+      if (target.empty() || target[0] == '#') continue;
+      if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      if (const auto hash = target.find('#'); hash != std::string::npos) {
+        target = target.substr(0, hash);  // file.md#section -> file.md
+      }
+      const fs::path resolved = md.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        fail(md, "broken link \"" + target + "\" -> " + resolved.string());
+      }
+    }
+  }
+
+  // -- fenced code-block commands --------------------------------------------
+
+  void check_command(const fs::path& md, const std::string& raw) {
+    const std::string cmd = trim(raw);
+    if (cmd.empty()) return;
+
+    if (cmd.rfind("./build/tools/optcm", 0) == 0 || cmd.rfind("optcm ", 0) == 0) {
+      const auto sp = cmd.find(' ');
+      const std::string args = sp == std::string::npos ? "" : cmd.substr(sp);
+      // A nonzero exit means a bad subcommand/value; "unrecognized flag" on
+      // stderr means a flag typo (the CLI itself only warns, to stay
+      // forward-compatible — docs must be exact).
+      const std::string full = optcm + args + " --dry-run 2>&1";
+      std::string output;
+      FILE* pipe = popen(full.c_str(), "r");
+      if (pipe == nullptr) {
+        fail(md, "cannot spawn CLI for: " + cmd);
+        return;
+      }
+      char chunk[256];
+      while (std::fgets(chunk, sizeof chunk, pipe) != nullptr) output += chunk;
+      const int rc = pclose(pipe);
+      if (rc != 0) {
+        fail(md, "doc command rejected by the CLI: " + cmd);
+      } else if (output.find("unrecognized flag") != std::string::npos) {
+        fail(md, "doc command uses an unrecognized flag: " + cmd);
+      }
+      return;
+    }
+
+    if (cmd.rfind("./build/", 0) == 0) {
+      const std::string binary = cmd.substr(0, cmd.find(' '));
+      const fs::path in_build = build / binary.substr(8);  // after "./build/"
+      if (!fs::exists(in_build)) {
+        fail(md, "doc references missing binary " + binary + " (looked at " +
+                     in_build.string() + ")");
+      }
+      return;
+    }
+
+    // cmake/ctest lines: only the preset names are checkable without a
+    // (very slow) real configure, and a typo there is the likely doc rot.
+    static const std::regex preset_re(R"(--preset[= ]+([A-Za-z0-9_-]+))");
+    for (auto it = std::sregex_iterator(cmd.begin(), cmd.end(), preset_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (presets_json.find("\"name\": \"" + name + "\"") == std::string::npos &&
+          presets_json.find("\"name\":\"" + name + "\"") == std::string::npos) {
+        fail(md, "unknown CMake preset \"" + name + "\" in: " + cmd);
+      }
+    }
+  }
+
+  void check_code_blocks(const fs::path& md, const std::string& text) {
+    bool in_fence = false;
+    std::string pending;  // accumulates backslash-continued lines
+    for (const std::string& line : split_lines(text)) {
+      if (trim(line).rfind("```", 0) == 0) {
+        in_fence = !in_fence;
+        pending.clear();
+        continue;
+      }
+      if (!in_fence) continue;
+
+      std::string body = line;
+      if (const auto hash = body.find(" #"); hash != std::string::npos) {
+        body = body.substr(0, hash);  // trailing comment
+      }
+      body = trim(body);
+      if (body.rfind("$ ", 0) == 0) body = body.substr(2);
+
+      if (!body.empty() && body.back() == '\\') {
+        pending += body.substr(0, body.size() - 1) + " ";
+        continue;
+      }
+      body = pending + body;
+      pending.clear();
+
+      // A line may chain several commands; validate each.
+      std::size_t start = 0;
+      while (start <= body.size()) {
+        const auto amp = body.find("&&", start);
+        const std::string part = amp == std::string::npos
+                                     ? body.substr(start)
+                                     : body.substr(start, amp - start);
+        check_command(md, part);
+        if (amp == std::string::npos) break;
+        start = amp + 2;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s <repo_root> <optcm_binary> <build_dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  Checker c;
+  c.repo = argv[1];
+  c.optcm = argv[2];
+  c.build = argv[3];
+  c.presets_json = read_file(c.repo / "CMakePresets.json");
+  if (c.presets_json.empty()) {
+    std::fprintf(stderr, "docs_check: cannot read CMakePresets.json under %s\n",
+                 argv[1]);
+    return 2;
+  }
+
+  std::vector<fs::path> md_files;
+  for (const auto& entry : fs::directory_iterator(c.repo)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      md_files.push_back(entry.path());
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(c.repo / "docs")) {
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      md_files.push_back(entry.path());
+    }
+  }
+
+  std::size_t checked = 0;
+  for (const fs::path& md : md_files) {
+    const std::string text = read_file(md);
+    c.check_links(md, text);
+    c.check_code_blocks(md, text);
+    ++checked;
+  }
+
+  for (const std::string& f : c.failures) {
+    std::fprintf(stderr, "FAIL %s\n", f.c_str());
+  }
+  std::printf("docs_check: %zu markdown files, %zu failures\n", checked,
+              c.failures.size());
+  return c.failures.empty() ? 0 : 1;
+}

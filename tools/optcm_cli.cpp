@@ -33,10 +33,25 @@
 //                         recovery = checkpoint + anti-entropy catch-up
 //   --trace --history --sequences   extra output (run only)
 //
+// Telemetry flags (run only; docs/OBSERVABILITY.md describes the formats):
+//   --metrics-out=FILE    write the run's metrics registry as CSV
+//   --trace-out=FILE      write the structured trace: Chrome trace_event
+//                         JSON (chrome://tracing / ui.perfetto.dev), or the
+//                         compact CSV when FILE ends in .csv
+//   --script=h1|fig1|fig3 run a paper scenario instead of a generated
+//                         workload (forces the paper's shape and constant
+//                         10µs latency; fig1/fig3 are choreographed)
+//
+// Every subcommand accepts --dry-run: parse and validate flags, then exit 0
+// without running (used by the docs-check tooling).
+//
+// Flags accept both "--key=value" and "--key value".
+//
 // Examples:
 //   optcm run --protocol=optp --procs=8 --ops=200 --latency=lognormal
 //   optcm compare --procs=12 --pattern=partitioned --spread=2.0
 //   optcm run --protocol=optp --drop=0.1 --crash=1@5000:8000
+//   optcm run --protocol optp --script h1 --trace-out t.json --metrics-out m.csv
 //   optcm faults --procs=6 --crash=1@5000:8000,2@9000:6000 --partition=8000:15000
 //   optcm paper table2
 
@@ -53,6 +68,7 @@
 #include "dsm/history/causality_graph.h"
 #include "dsm/history/checker.h"
 #include "dsm/metrics/table.h"
+#include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/generator.h"
 #include "dsm/workload/paper_examples.h"
 #include "dsm/workload/sim_harness.h"
@@ -167,7 +183,10 @@ std::optional<CommonOptions> parse_common(Flags& flags) {
   return o;
 }
 
-SimRunResult run_one(ProtocolKind kind, const CommonOptions& o) {
+SimRunResult run_one(ProtocolKind kind, const CommonOptions& o,
+                     RunTelemetry* telemetry = nullptr,
+                     const std::vector<Script>* scripts = nullptr,
+                     const Network::LatencyOverride* choreo = nullptr) {
   const auto latency =
       make_latency(o.latency_kind, o.scale, o.spread, o.spec.seed ^ 0xC11);
   SimRunConfig cfg;
@@ -179,7 +198,21 @@ SimRunResult run_one(ProtocolKind kind, const CommonOptions& o) {
   cfg.crash = o.crash;
   cfg.protocol_config.token_max_rounds =
       o.spec.ops_per_proc * o.spec.n_procs * 50 + 1000;
-  return run_sim(cfg, generate_workload(o.spec));
+  cfg.telemetry = telemetry;
+  if (choreo != nullptr) cfg.latency_override = *choreo;
+  return run_sim(cfg, scripts != nullptr ? *scripts : generate_workload(o.spec));
+}
+
+/// Write `text` to `path`; reports and returns false on failure.
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 void print_report(ProtocolKind kind, const SimRunResult& result) {
@@ -246,7 +279,7 @@ int cmd_run(Flags& flags) {
   }
   const auto parsed = parse_common(flags);
   if (!parsed) return 2;
-  const CommonOptions& o = *parsed;
+  CommonOptions o = *parsed;  // copy: --script may override the shape
   if (o.crash.active() && *kind == ProtocolKind::kTokenWs) {
     std::fprintf(stderr,
                  "token-ws cannot run under a crash plan: a crashed token "
@@ -257,9 +290,46 @@ int cmd_run(Flags& flags) {
   const bool want_history = flags.get_bool("history");
   const bool want_sequences = flags.get_bool("sequences");
   const std::string export_path = flags.get("export", "");
+  const std::string metrics_out = flags.get("metrics-out", "");
+  const std::string trace_out = flags.get("trace-out", "");
+  const std::string script = flags.get("script", "");
 
-  const auto result = run_one(*kind, o);
-  std::printf("workload: %s\n\n", o.spec.describe().c_str());
+  // Paper scripts replace the generated workload and pin the paper's shape
+  // (Example 1: three processes, two variables, constant 10µs latency).
+  std::vector<Script> scripts;
+  Network::LatencyOverride choreo;
+  if (!script.empty()) {
+    if (script == "h1") {
+      scripts = paper::make_h1_scripts();
+    } else if (script == "fig1" || script == "fig3") {
+      auto c = script == "fig1" ? paper::make_fig1_run2() : paper::make_fig3();
+      scripts = std::move(c.scripts);
+      choreo = std::move(c.latency_override);
+    } else {
+      std::fprintf(stderr, "unknown --script (want h1, fig1 or fig3)\n");
+      return 2;
+    }
+    o.spec.n_procs = paper::kH1Procs;
+    o.spec.n_vars = paper::kH1Vars;
+    o.latency_kind = LatencyKind::kConstant;
+    o.scale = sim_us(10);
+  }
+  if (flags.get_bool("dry-run")) return 0;
+
+  const bool want_telemetry = !metrics_out.empty() || !trace_out.empty();
+  std::optional<RunTelemetry> tel;
+  if (want_telemetry) tel.emplace(o.spec.n_procs);
+
+  const auto result =
+      run_one(*kind, o, want_telemetry ? &*tel : nullptr,
+              scripts.empty() ? nullptr : &scripts,
+              choreo ? &choreo : nullptr);
+  if (script.empty()) {
+    std::printf("workload: %s\n\n", o.spec.describe().c_str());
+  } else {
+    std::printf("workload: paper script '%s' (%zu procs, %zu vars)\n\n",
+                script.c_str(), o.spec.n_procs, o.spec.n_vars);
+  }
   print_report(*kind, result);
   if (want_history) {
     std::printf("\nhistory:\n%s", result.recorder->history().str().c_str());
@@ -271,14 +341,23 @@ int cmd_run(Flags& flags) {
     std::printf("\n%s", render_space_time(*result.recorder).c_str());
   }
   if (!export_path.empty()) {
-    if (std::FILE* f = std::fopen(export_path.c_str(), "w")) {
-      const std::string text = export_trace_jsonl(*result.recorder);
-      std::fwrite(text.data(), 1, text.size(), f);
-      std::fclose(f);
-      std::printf("\ntrace exported to %s\n", export_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+    if (!write_file(export_path, export_trace_jsonl(*result.recorder)))
       return 1;
+    std::printf("\ntrace exported to %s\n", export_path.c_str());
+  }
+  if (tel) {
+    if (!metrics_out.empty()) {
+      if (!write_file(metrics_out, tel->metrics_csv())) return 1;
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      const bool csv = trace_out.size() >= 4 &&
+                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+      if (!write_file(trace_out, csv ? tel->trace_csv() : tel->chrome_trace()))
+        return 1;
+      std::printf("%s trace written to %s%s\n", csv ? "csv" : "chrome",
+                  trace_out.c_str(),
+                  csv ? "" : " (open in chrome://tracing or ui.perfetto.dev)");
     }
   }
   return result.settled ? 0 : 1;
@@ -290,6 +369,7 @@ int cmd_replay(Flags& flags) {
     return 2;
   }
   const std::string& path = flags.positional()[1];
+  if (flags.get_bool("dry-run")) return 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -329,6 +409,7 @@ int cmd_compare(Flags& flags) {
   const auto parsed = parse_common(flags);
   if (!parsed) return 2;
   const CommonOptions& o = *parsed;
+  if (flags.get_bool("dry-run")) return 0;
   std::printf("workload: %s\n", o.spec.describe().c_str());
 
   Table table({"protocol", "delayed", "delayed/1k", "necessary", "unnecessary",
@@ -393,6 +474,7 @@ int cmd_faults(Flags& flags) {
   } else {
     kinds = {ProtocolKind::kOptP, ProtocolKind::kAnbkh};
   }
+  if (flags.get_bool("dry-run")) return 0;
 
   std::printf("workload: %s\n\n", o.spec.describe().c_str());
   Table table({"protocol", "settled", "consistent", "optimal", "unnecessary",
@@ -456,6 +538,14 @@ int cmd_paper(Flags& flags) {
   const std::string which =
       flags.positional().size() > 1 ? flags.positional()[1] : "all";
   const bool all = which == "all";
+  const bool known = all || which == "history" || which == "table1" ||
+                     which == "table2" || which == "fig1" || which == "fig3" ||
+                     which == "fig6" || which == "fig7";
+  if (!known) {
+    std::fprintf(stderr, "unknown paper artifact '%s'\n", which.c_str());
+    return 2;
+  }
+  if (flags.get_bool("dry-run")) return 0;
 
   const ConstantLatency latency(sim_us(10));
   SimRunConfig cfg;

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Regenerate results/repro_outputs.txt and results/exp_outputs.txt from the
+# built benches.  Run from the repo root after a full build:
+#
+#   cmake -B build -S . && cmake --build build -j
+#   tools/regen_results.sh [build_dir]
+#
+# repro_* benches reproduce the paper's exact artifacts (Part A of
+# EXPERIMENTS.md); exp_* benches are the quantitative sweeps (Part B/D).
+# Every bench is seeded and deterministic, so these files only change when
+# the code's behavior does — diffs in them belong in the PR that caused them.
+set -eu
+
+build="${1:-build}"
+if [ ! -d "$build/bench" ]; then
+  echo "error: $build/bench not found; build first (see header)" >&2
+  exit 1
+fi
+
+run_group() {
+  out="$1"
+  shift
+  : > "$out"
+  for name in "$@"; do
+    echo "===== build/bench/$name ====="
+    "$build/bench/$name"
+  done > "$out"
+  echo "wrote $out"
+}
+
+run_group results/repro_outputs.txt \
+  repro_table1 repro_table2 repro_fig1_fig2 repro_fig3_fig6 repro_fig7
+
+run_group results/exp_outputs.txt \
+  exp_delays exp_false_causality exp_buffering exp_metadata exp_ws \
+  exp_loss exp_partial exp_crash
