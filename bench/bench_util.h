@@ -22,6 +22,8 @@
 #include "dsm/workload/generator.h"
 #include "dsm/workload/sim_harness.h"
 
+#include "bench_json.h"
+
 namespace dsm::bench {
 
 struct CellResult {
@@ -165,10 +167,12 @@ inline CellResult run_cell(ProtocolKind kind, const WorkloadSpec& spec,
   return cell;
 }
 
-/// Prints the table and mirrors it to CSV next to the binary if OPTCM_CSV is
-/// set (no filesystem side effects by default).
+/// Prints the table, adds it to the --bench-json document (when the binary's
+/// main enabled one via init_bench_json), and mirrors it to CSV next to the
+/// binary if OPTCM_CSV is set (no filesystem side effects by default).
 inline void emit(const std::string& title, const Table& table) {
   std::printf("\n## %s\n\n%s", title.c_str(), table.str().c_str());
+  if (!bench_json_path().empty()) bench_json_doc().table(title, table);
   if (const char* dir = std::getenv("OPTCM_CSV")) {
     const std::string path = std::string(dir) + "/" + title + ".csv";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {

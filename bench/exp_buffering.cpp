@@ -8,7 +8,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -46,5 +47,5 @@ int main() {
       "\nExpected shape: ANBKH's peak buffer ≥ OptP's at every n (it holds\n"
       "the same necessary messages plus the falsely-ordered ones); the WS\n"
       "variants discard superseded messages instead of buffering them.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_buffering") ? 0 : 1;
 }

@@ -34,7 +34,8 @@ CrashPlan make_crash_plan(std::size_t crashes, std::size_t n_procs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -157,5 +158,5 @@ int main() {
       "everywhere after heal/restart — Theorem 5), and zero ARQ\n"
       "abandonment.  Recovery time tracks downtime + catch-up round trip;\n"
       "retransmission load grows with drop rate and partition length.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_crash") ? 0 : 1;
 }

@@ -17,7 +17,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -85,5 +86,5 @@ int main() {
       "token-ws rows count buffered out-of-order BATCHES against total\n"
       "network messages (its wire unit differs; see DESIGN.md §5).\n",
       seeds.size());
-  return 0;
+  return dsm::bench::finish_bench_json("exp_delays") ? 0 : 1;
 }

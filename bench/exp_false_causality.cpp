@@ -10,7 +10,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -52,5 +53,5 @@ int main() {
       "\nExpected shape: OptP's unnecessary column is identically 0\n"
       "(Theorem 4); ANBKH's grows with the spread; both share the same\n"
       "necessary floor at low variance.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_false_causality") ? 0 : 1;
 }

@@ -10,7 +10,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -82,5 +83,5 @@ int main() {
       "OptP's unnecessary column stays 0 (the ARQ layer restores the paper's\n"
       "channel assumptions, so Theorem 4 applies verbatim); ANBKH's false\n"
       "causality worsens as RTO-induced reordering increases.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_loss") ? 0 : 1;
 }

@@ -8,7 +8,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -49,5 +50,5 @@ int main() {
       "varint vector × (n−1) receivers); optp and anbkh are near-identical\n"
       "(the optimality is free on the wire); token-ws trades per-write\n"
       "vectors for per-round batch+grant traffic.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_metadata") ? 0 : 1;
 }

@@ -9,7 +9,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -82,5 +83,5 @@ int main() {
       "(PartialOptP inherits Theorem 4 — the control plane is untouched).\n"
       "Delays are not comparable across factors: each factor runs its own\n"
       "replica-restricted workload.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_partial") ? 0 : 1;
 }

@@ -9,7 +9,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
   using namespace dsm;
   using namespace dsm::bench;
 
@@ -51,5 +52,5 @@ int main() {
       "(foreign applies break ANBKH's runs but not OptP's); token-ws\n"
       "suppresses the most values (whole-round coalescing) but defers\n"
       "publication to token arrival.\n");
-  return 0;
+  return dsm::bench::finish_bench_json("exp_ws") ? 0 : 1;
 }

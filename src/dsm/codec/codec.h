@@ -21,6 +21,17 @@ namespace dsm {
 /// Append-only byte buffer with varint primitives.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopt `buf` as the backing store: contents are discarded, capacity is
+  /// kept.  Hot encode paths hand their scratch vector in, encode, and
+  /// reclaim it with `std::move(w).take()` — no allocation once the scratch
+  /// has grown to the working-set size.
+  explicit ByteWriter(std::vector<std::uint8_t> buf) noexcept
+      : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v);
   void u32(std::uint32_t v);   ///< LEB128 varint
   void u64(std::uint64_t v);   ///< LEB128 varint

@@ -136,8 +136,7 @@ std::optional<CatchUpReply> CatchUpReply::decode(ByteReader& r) {
   return m;
 }
 
-std::vector<std::uint8_t> encode_message(const Message& m) {
-  ByteWriter w;
+void encode_message(const Message& m, ByteWriter& w) {
   std::visit(
       [&w](const auto& msg) {
         using T = std::decay_t<decltype(msg)>;
@@ -155,6 +154,16 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
         msg.encode(w);
       },
       m);
+}
+
+void encode_message(const WriteUpdate& m, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(MsgType::kWriteUpdate));
+  m.encode(w);
+}
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  ByteWriter w;
+  encode_message(m, w);
   return std::move(w).take();
 }
 

@@ -135,6 +135,15 @@ using Message = std::variant<WriteUpdate, TokenGrant, BatchUpdate,
 /// Frame a message with its type tag.
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& m);
 
+/// Frame a message with its type tag into an existing writer (scratch-buffer
+/// reuse on hot paths; see ByteWriter's adopting constructor).
+void encode_message(const Message& m, ByteWriter& w);
+
+/// Frame a bare WriteUpdate (tag + body) without constructing the Message
+/// variant — the broadcast hot path would otherwise copy the payload blob
+/// into a temporary variant just to encode it.
+void encode_message(const WriteUpdate& m, ByteWriter& w);
+
 /// Decode a framed message; std::nullopt on malformed/truncated/trailing-garbage
 /// input.
 [[nodiscard]] std::optional<Message> decode_message(std::span<const std::uint8_t> bytes);

@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dsm {
 
@@ -46,6 +49,19 @@ struct WriteId {
 
 /// A write id that denotes "reads the initial value ⊥".
 inline constexpr WriteId kNoWrite{};
+
+/// Immutable, refcounted wire payload.  A broadcast hands the SAME buffer to
+/// every receiver (and to ARQ retransmission queues and in-flight simulator
+/// events) instead of copying bytes per destination; sharing is safe because
+/// the contents are const and shared_ptr refcounting is atomic, so payloads
+/// may cross threads (ThreadCluster mailboxes) without synchronization
+/// beyond the handoff itself.
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Seal an encoded buffer into a shareable payload.
+[[nodiscard]] inline Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
 
 /// Human-readable name matching the paper's notation, e.g. "w_1^3" for the
 /// third write of p_1 (paper index; proc is converted to 1-based).

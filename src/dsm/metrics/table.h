@@ -25,6 +25,9 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<std::string>& row_at(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
 
   /// Box-drawn, column-aligned rendering.
   [[nodiscard]] std::string str() const;

@@ -31,7 +31,7 @@ void Anbkh::write(VarId x, Value v) {
   m.run = next_run(x, clock);
 
   observer_->on_send(self_, m);
-  endpoint_->broadcast(encode_message(Message{m}));
+  endpoint_->broadcast(encode_payload(m));
 
   (void)apply_own_write(x, v, seq, clock);
 }

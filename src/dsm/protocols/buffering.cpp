@@ -1,6 +1,7 @@
 #include "dsm/protocols/buffering.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "dsm/common/contracts.h"
 
@@ -12,9 +13,22 @@ BufferingProtocol::BufferingProtocol(ProcessId self, std::size_t n_procs,
                                      bool writing_semantics, bool convergent)
     : CausalProtocol(self, n_procs, n_vars, endpoint, observer),
       applied_(n_procs),
+      by_sender_(n_procs),
+      watch_(n_procs),
       ws_(writing_semantics),
       convergent_(convergent),
       lww_key_(n_vars, {0, 0}) {}
+
+void BufferingProtocol::set_reference_drain(bool on) {
+  DSM_REQUIRE(stats_.messages_received == 0);
+  DSM_REQUIRE(stats_.writes_issued == 0);
+  DSM_REQUIRE(pending_count() == 0);
+  reference_drain_ = on;
+}
+
+std::size_t BufferingProtocol::pending_count() const {
+  return reference_drain_ ? pending_.size() : registry_.size();
+}
 
 bool BufferingProtocol::wins_arbitration(VarId x, const VectorClock& clock,
                                          ProcessId writer) {
@@ -87,19 +101,23 @@ void BufferingProtocol::on_message(ProcessId from,
   }
   if (can_apply(*update)) {
     apply_update(*update, /*delayed=*/false);
-  } else {
-    // Write delay (Definition 3): an enabling event of apply(w) has not yet
-    // occurred at this process, so the message is buffered.
-    ++stats_.delayed_writes;
+    return;
+  }
+  // Write delay (Definition 3): an enabling event of apply(w) has not yet
+  // occurred at this process, so the message is buffered.
+  ++stats_.delayed_writes;
+  if (reference_drain_) {
     pending_.push_back(std::move(*update));
     track_peak();
     if (instr_ != nullptr)
       instr_->on_update_buffered(pending_.size(),
                                  enabling_deficit(pending_.back()));
+  } else {
+    buffer_indexed(std::move(*update));
   }
 }
 
-void BufferingProtocol::apply_update(const WriteUpdate& m, bool delayed) {
+void BufferingProtocol::apply_events(const WriteUpdate& m, bool delayed) {
   const ProcessId u = m.sender;
 
   // Writing semantics: everything in (Apply[u], write_seq) is superseded by
@@ -122,18 +140,160 @@ void BufferingProtocol::apply_update(const WriteUpdate& m, bool delayed) {
   post_apply(m, installed);
   ++stats_.remote_applies;
   observer_->on_apply(self_, WriteId{u, m.write_seq}, delayed);
-
-  drain();
 }
 
-void BufferingProtocol::drain() {
+void BufferingProtocol::apply_update(const WriteUpdate& m, bool delayed) {
+  apply_events(m, delayed);
+  if (reference_drain_) {
+    drain_reference();  // recurses back into apply_update, like the seed
+  } else {
+    drain_worklist(m.sender);
+  }
+}
+
+// -- indexed engine ----------------------------------------------------------
+
+void BufferingProtocol::buffer_indexed(WriteUpdate m) {
+  const std::uint64_t stamp = next_stamp_++;
+  auto& fifo = by_sender_[m.sender];
+  // A second pending copy of the same write is the only way a message can
+  // turn stale later without writing semantics — remember we saw one so
+  // purge passes stop being skippable.
+  if (!duplicate_seen_ && fifo.contains(m.write_seq)) duplicate_seen_ = true;
+  fifo.emplace(m.write_seq, stamp);
+  const auto [it, inserted] = registry_.emplace(stamp, std::move(m));
+  DSM_ENSURE(inserted);
+  track_peak();
+  watch_or_ready(stamp, it->second);
+  if (instr_ != nullptr)
+    instr_->on_update_buffered(registry_.size(),
+                               enabling_deficit(it->second));
+}
+
+void BufferingProtocol::watch_or_ready(std::uint64_t stamp,
+                                       const WriteUpdate& m) {
+  const ProcessId u = m.sender;
+  const std::uint64_t run = ws_ ? std::min<std::uint64_t>(m.run, m.write_seq - 1) : 0;
+  // First failing conjunct of the Fig. 5 wait condition, expressed as "the
+  // apply counter of process t must reach `threshold`".  Registering under
+  // one condition suffices: when it fires the message is re-examined and, if
+  // still blocked, re-registered under the next failing conjunct.
+  if (applied_[u] + 1 + run < m.write_seq) {
+    watch_[u][m.write_seq - 1 - run].push_back(stamp);
+    return;
+  }
+  for (ProcessId t = 0; t < n_procs_; ++t) {
+    if (t == u) continue;
+    if (m.clock[t] > applied_[t]) {
+      watch_[t][m.clock[t]].push_back(stamp);
+      return;
+    }
+  }
+  ready_.push(stamp);
+}
+
+void BufferingProtocol::wake(ProcessId t) {
+  auto& buckets = watch_[t];
+  while (!buckets.empty() && buckets.begin()->first <= applied_[t]) {
+    std::vector<std::uint64_t> stamps = std::move(buckets.begin()->second);
+    buckets.erase(buckets.begin());
+    for (const std::uint64_t stamp : stamps) {
+      const auto it = registry_.find(stamp);
+      if (it == registry_.end()) continue;  // applied or purged meanwhile
+      ++stats_.drain_scans;
+      watch_or_ready(stamp, it->second);
+    }
+  }
+}
+
+void BufferingProtocol::purge_pass(ProcessId dirty) {
+  // Without writing semantics, staleness needs a duplicate delivery; until
+  // one is seen (and outside the post-restore and own-write-collision
+  // windows) the pass is a provable no-op.
+  if (!ws_ && !duplicate_seen_ && !purge_all_ && !self_dirty_) {
+    ++stats_.purges_avoided;
+    return;
+  }
+  const std::size_t before = registry_.size();
+  if (purge_all_) {
+    purge_all_ = false;
+    self_dirty_ = false;
+    for (ProcessId t = 0; t < n_procs_; ++t) purge_sender(t);
+  } else {
+    purge_sender(dirty);
+    if (self_dirty_) {
+      self_dirty_ = false;
+      if (self_ != dirty) purge_sender(self_);
+    }
+  }
+  if (instr_ != nullptr && registry_.size() != before)
+    instr_->on_buffer_drained(registry_.size());
+}
+
+void BufferingProtocol::purge_sender(ProcessId t) {
+  // Stale entries of t are exactly the seq-ordered prefix ≤ applied_[t].
+  auto& fifo = by_sender_[t];
+  while (!fifo.empty() && fifo.begin()->first <= applied_[t]) {
+    ++stats_.drain_scans;
+    registry_.erase(fifo.begin()->second);
+    fifo.erase(fifo.begin());
+    ++stats_.stale_discards;
+  }
+}
+
+std::optional<WriteUpdate> BufferingProtocol::take_ready() {
+  while (!ready_.empty()) {
+    const std::uint64_t stamp = ready_.top();
+    ready_.pop();
+    const auto it = registry_.find(stamp);
+    if (it == registry_.end()) continue;  // applied or purged since push
+    ++stats_.drain_scans;
+    WriteUpdate m = std::move(it->second);
+    registry_.erase(it);
+    auto& fifo = by_sender_[m.sender];
+    for (auto f = fifo.lower_bound(m.write_seq);
+         f != fifo.end() && f->first == m.write_seq; ++f) {
+      if (f->second == stamp) {
+        fifo.erase(f);
+        break;
+      }
+    }
+    if (instr_ != nullptr) instr_->on_buffer_drained(registry_.size());
+    // Ready entries stay applicable: counters only advance, and the one way
+    // applicability regresses — staleness — was purged this iteration.
+    DSM_ENSURE(can_apply(m));
+    return m;
+  }
+  return std::nullopt;
+}
+
+void BufferingProtocol::drain_worklist(ProcessId dirty) {
+  // Iterative form of the seed's apply→drain recursion: after each apply,
+  // purge the just-applied sender's superseded prefix, wake only the
+  // messages whose first missing enabling event was that sender's progress,
+  // and pop the earliest-arrived applicable message.  Work is proportional
+  // to messages actually enabled, and chain depth costs no stack.
+  for (;;) {
+    purge_pass(dirty);
+    wake(dirty);
+    auto next = take_ready();
+    if (!next) return;
+    apply_events(*next, /*delayed=*/true);
+    dirty = next->sender;
+  }
+}
+
+// -- reference engine (the seed's algorithm, kept as differential baseline) --
+
+void BufferingProtocol::drain_reference() {
   // Fixpoint pass over the buffer: each apply can enable further applies
   // (and, with writing semantics, render buffered messages stale).
   bool progress = true;
   while (progress) {
     progress = false;
-    purge_stale();
+    purge_stale_reference();
     for (std::size_t i = 0; i < pending_.size(); ++i) {
+      ++stats_.drain_scans;
       if (can_apply(pending_[i])) {
         const WriteUpdate m = std::move(pending_[i]);
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -148,9 +308,10 @@ void BufferingProtocol::drain() {
   }
 }
 
-void BufferingProtocol::purge_stale() {
+void BufferingProtocol::purge_stale_reference() {
   const std::size_t before = pending_.size();
   std::erase_if(pending_, [this](const WriteUpdate& m) {
+    ++stats_.drain_scans;
     if (is_stale(m)) {
       ++stats_.stale_discards;
       return true;
@@ -163,7 +324,7 @@ void BufferingProtocol::purge_stale() {
 
 void BufferingProtocol::track_peak() {
   stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending,
-                                                pending_.size());
+                                                pending_count());
 }
 
 bool BufferingProtocol::apply_own_write(VarId x, Value v, SeqNo seq,
@@ -177,14 +338,29 @@ bool BufferingProtocol::apply_own_write(VarId x, Value v, SeqNo seq,
     installed = true;
   }
   observer_->on_apply(self_, WriteId{self_, seq}, /*delayed=*/false);
+  if (!reference_drain_) {
+    // The seed does not drain here, but its next drain rescans everything —
+    // the index must not strand messages blocked on clock[self].  Move them
+    // to ready now; the next drain pops them.  Post-restore catch-up can
+    // leave our own pre-crash writes pending, in which case this counter
+    // advance may have made one stale: flag self for the next purge pass.
+    if (!by_sender_[self_].empty()) self_dirty_ = true;
+    wake(self_);
+  }
   return installed;
 }
 
 void BufferingProtocol::snapshot(ByteWriter& w) const {
   CausalProtocol::snapshot(w);
   w.u64_vec(applied_.components());
-  w.u64(pending_.size());
-  for (const WriteUpdate& m : pending_) m.encode(w);
+  w.u64(pending_count());
+  if (reference_drain_) {
+    for (const WriteUpdate& m : pending_) m.encode(w);
+  } else {
+    // registry_ iterates in arrival-stamp order == the seed's insertion
+    // order: the checkpoint byte format is unchanged.
+    for (const auto& [stamp, m] : registry_) m.encode(w);
+  }
   w.u64(lww_key_.size());
   for (const auto& [sum, writer] : lww_key_) {
     w.u64(sum);
@@ -204,11 +380,33 @@ bool BufferingProtocol::restore(ByteReader& r) {
   const auto n_pending = r.u64();
   if (!n_pending || *n_pending > (1ULL << 24)) return false;
   pending_.clear();
+  registry_.clear();
+  ready_ = {};
+  for (auto& fifo : by_sender_) fifo.clear();
+  for (auto& buckets : watch_) buckets.clear();
+  duplicate_seen_ = false;
+  self_dirty_ = false;
   for (std::uint64_t i = 0; i < *n_pending; ++i) {
     auto m = WriteUpdate::decode(r);
     if (!m || m->clock.size() != n_procs_) return false;
-    pending_.push_back(std::move(*m));
+    if (reference_drain_) {
+      pending_.push_back(std::move(*m));
+    } else {
+      const std::uint64_t stamp = next_stamp_++;
+      auto& fifo = by_sender_[m->sender];
+      if (!duplicate_seen_ && fifo.contains(m->write_seq))
+        duplicate_seen_ = true;
+      fifo.emplace(m->write_seq, stamp);
+      const auto [it, inserted] = registry_.emplace(stamp, std::move(*m));
+      if (!inserted) return false;
+      watch_or_ready(stamp, it->second);
+    }
   }
+  // A restored buffer may hold entries already superseded at checkpoint time
+  // whose duplicates are long gone — duplicate_seen_ cannot prove their
+  // absence from the snapshot alone, so the first post-restore purge pass
+  // sweeps every sender.
+  purge_all_ = !reference_drain_;
   const auto n_keys = r.u64();
   if (!n_keys || *n_keys != lww_key_.size()) return false;
   for (auto& key : lww_key_) {

@@ -18,9 +18,25 @@
 //     immediately before" (skipped), which is sound because the run
 //     construction guarantees no write on another variable lies ↦co-between
 //     a skipped write and this one.
+//
+// The buffer is dependency-indexed (docs/PERF.md): every blocked message is
+// registered in a watch index under the FIRST apply counter that still fails
+// its wait condition, so an apply re-examines only messages whose last
+// missing enabling event may just have occurred — O(newly-enabled) work
+// instead of the seed's restart-from-scratch linear rescan.  The drain runs
+// as an iterative worklist (no apply→drain recursion), so arbitrarily deep
+// enable chains cannot overflow the stack.  The seed's linear algorithm is
+// retained verbatim behind set_reference_drain() as the differential-testing
+// baseline; both engines produce byte-identical observer event sequences and
+// ProtocolStats.
 
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
 #include <span>
 #include <vector>
 
@@ -46,13 +62,20 @@ class BufferingProtocol : public CausalProtocol {
 
   void on_message(ProcessId from, std::span<const std::uint8_t> bytes) final;
 
-  [[nodiscard]] std::size_t pending_count() const final { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_count() const final;
 
   /// Apply counters: applied_[j] = number of p_j's writes applied here
   /// (the paper's Apply[1..n]; for j == self it equals writes issued).
   [[nodiscard]] const VectorClock& applied() const noexcept { return applied_; }
 
   [[nodiscard]] bool writing_semantics() const noexcept { return ws_; }
+
+  /// Switch to the seed's O(|pending|²·n) linear drain — the differential
+  /// baseline the indexed engine is tested against (and the "before" side of
+  /// BENCH_core.json).  Precondition: the instance is fresh (no operations
+  /// executed, nothing buffered).
+  void set_reference_drain(bool on);
+  [[nodiscard]] bool reference_drain() const noexcept { return reference_drain_; }
 
   void snapshot(ByteWriter& w) const override;
   [[nodiscard]] bool restore(ByteReader& r) override;
@@ -71,7 +94,8 @@ class BufferingProtocol : public CausalProtocol {
   [[nodiscard]] std::uint64_t enabling_deficit(const WriteUpdate& m) const;
 
   /// Perform the apply event: account skips, bump Apply[u], install the
-  /// value, call post_apply(), notify the observer, then drain the buffer.
+  /// value, call post_apply(), notify the observer, then drain the buffer
+  /// (iterative worklist; the reference engine recurses like the seed).
   void apply_update(const WriteUpdate& m, bool delayed);
 
   /// Protocol-specific apply side effect (OptP: LastWriteOn[h] := m.clock;
@@ -95,8 +119,45 @@ class BufferingProtocol : public CausalProtocol {
   VectorClock applied_;
 
  private:
-  void drain();
-  void purge_stale();
+  // -- indexed engine --------------------------------------------------------
+  //
+  // Invariants (indexed mode):
+  //   * registry_ holds every pending message keyed by a monotone arrival
+  //     stamp — map order IS arrival order, so snapshots and iteration stay
+  //     byte-identical to the seed's insertion-ordered vector;
+  //   * by_sender_[u] mirrors registry_ as (write_seq → stamp), the
+  //     seq-ordered FIFO used for O(stale) purges and duplicate detection;
+  //   * every live stamp is registered in exactly ONE place: a watch_[t]
+  //     bucket (keyed by the apply-counter value of t that would satisfy the
+  //     first failing conjunct of its wait condition) or the ready_ heap.
+  //     Stamps removed from registry_ may linger in watch_/ready_; they are
+  //     lazily dropped on encounter (stamps are never reused).
+  //   * after every public entry point returns, no pending message is stale
+  //     (purge passes remove the just-applied sender's superseded prefix
+  //     before the next apply pops).
+  void buffer_indexed(WriteUpdate m);
+  void drain_worklist(ProcessId first_sender);
+  /// The apply event itself, shared by both engines: skips, counter bump,
+  /// install, post_apply, stats, observer — everything except the drain.
+  void apply_events(const WriteUpdate& m, bool delayed);
+  /// Re-examine every watcher of `t` whose threshold applied_[t] now meets.
+  void wake(ProcessId t);
+  /// Register `stamp` under the first failing conjunct of m's wait
+  /// condition, or push it on the ready heap when none fails.
+  void watch_or_ready(std::uint64_t stamp, const WriteUpdate& m);
+  /// Remove newly superseded messages.  `dirty` is the only sender whose
+  /// counter advanced since the last pass (purge_all_ widens it to everyone
+  /// after a restore).  Skipped entirely — and counted — when it provably
+  /// cannot remove anything.
+  void purge_pass(ProcessId dirty);
+  void purge_sender(ProcessId t);
+  /// Pop ready stamps until one is still pending; extract and return it.
+  [[nodiscard]] std::optional<WriteUpdate> take_ready();
+
+  // -- reference engine (the seed's algorithm, verbatim) ---------------------
+  void drain_reference();
+  void purge_stale_reference();
+
   void track_peak();
 
   /// Arbitration: install iff the incoming write outranks the variable's
@@ -106,7 +167,36 @@ class BufferingProtocol : public CausalProtocol {
                                       ProcessId writer);
   void record_winner(VarId x, const VectorClock& clock, ProcessId writer);
 
-  std::vector<WriteUpdate> pending_;
+  bool reference_drain_ = false;
+  std::vector<WriteUpdate> pending_;  // reference engine only
+
+  // Indexed-engine storage (empty in reference mode).
+  std::map<std::uint64_t, WriteUpdate> registry_;  // arrival stamp → message
+  std::uint64_t next_stamp_ = 0;
+  /// Per sender: write_seq → stamp (multimap: duplicate deliveries of the
+  /// same write may both sit pending until one applies).
+  std::vector<std::multimap<SeqNo, std::uint64_t>> by_sender_;
+  /// Per process t: threshold → stamps to re-examine once applied_[t] ≥
+  /// threshold.
+  std::vector<std::map<std::uint64_t, std::vector<std::uint64_t>>> watch_;
+  /// Stamps whose wait condition held when last examined (arrival order via
+  /// min-heap — matches the seed's first-applicable-in-insertion-order pick).
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      ready_;
+  /// True once any duplicate (sender, write_seq) pair was seen pending —
+  /// without writing semantics, staleness can only arise from duplicates, so
+  /// until then purge passes are provably no-ops.
+  bool duplicate_seen_ = false;
+  /// Force the next purge pass to sweep every sender (set by restore():
+  /// a restored buffer may hold stale entries from any sender, and
+  /// duplicate_seen_ cannot be recomputed exactly from the snapshot alone).
+  bool purge_all_ = false;
+  /// An own-write apply advanced applied_[self] while messages from self sat
+  /// pending (possible only after catch-up re-delivers pre-crash writes) —
+  /// the next purge pass must include self in its dirty set.
+  bool self_dirty_ = false;
+
   bool ws_;
   bool convergent_;
   /// Per variable: (clock-sum, writer) of the installed value's write.

@@ -14,20 +14,21 @@ OptP::OptP(ProcessId self, std::size_t n_procs, std::size_t n_vars,
       last_write_on_(n_vars, VectorClock{n_procs}),
       write_blob_size_(write_blob_size) {}
 
-WriteUpdate OptP::prepare_write(VarId x, Value v) {
+const WriteUpdate& OptP::prepare_write(VarId x, Value v) {
   DSM_REQUIRE(x < n_vars_);
   ++stats_.writes_issued;
 
   // Fig. 4 line 1: track ↦po_i.
   const SeqNo seq = write_co_.tick(self_);
 
-  WriteUpdate m;
+  WriteUpdate& m = outgoing_;
   m.sender = self_;
   m.var = x;
   m.value = v;
   m.write_seq = seq;
-  m.clock = write_co_;
+  m.clock = write_co_;  // copy-assign: reuses the component buffer
   m.run = next_run(x, write_co_);
+  m.meta_only = false;
   m.blob.assign(write_blob_size_, static_cast<std::uint8_t>(v));
 
   observer_->on_send(self_, m);
@@ -45,9 +46,10 @@ void OptP::finish_write(const WriteUpdate& m) {
 }
 
 void OptP::write(VarId x, Value v) {
-  const WriteUpdate m = prepare_write(x, v);
-  // Fig. 4 line 2: send event.
-  endpoint_->broadcast(encode_message(Message{m}));
+  const WriteUpdate& m = prepare_write(x, v);
+  // Fig. 4 line 2: send event — one encode, one shared payload for all
+  // n−1 receivers.
+  endpoint_->broadcast(encode_payload(m));
   finish_write(m);
 }
 

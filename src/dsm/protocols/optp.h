@@ -60,7 +60,9 @@ class OptP : public BufferingProtocol {
  protected:
   /// Fig. 4 lines 1–2 minus the transmission: tick Write_co, build the
   /// update (with payload blob) and announce the send to the observer.
-  [[nodiscard]] WriteUpdate prepare_write(VarId x, Value v);
+  /// Returns a reference to a reused member (clock and blob buffers keep
+  /// their capacity across writes); valid until the next prepare_write.
+  [[nodiscard]] const WriteUpdate& prepare_write(VarId x, Value v);
 
   /// Fig. 4 lines 3–5: local apply and bookkeeping.
   void finish_write(const WriteUpdate& m);
@@ -71,6 +73,7 @@ class OptP : public BufferingProtocol {
   VectorClock write_co_;
   std::vector<VectorClock> last_write_on_;
   std::size_t write_blob_size_;
+  WriteUpdate outgoing_;  ///< prepare_write scratch (buffer reuse)
 };
 
 }  // namespace dsm

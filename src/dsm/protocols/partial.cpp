@@ -20,15 +20,16 @@ PartialOptP::PartialOptP(ProcessId self, std::size_t n_procs,
 void PartialOptP::write(VarId x, Value v) {
   DSM_REQUIRE(replication_->is_replica(x, self_) &&
               "writes are restricted to the variable's replicas");
-  const WriteUpdate full = prepare_write(x, v);
+  const WriteUpdate& full = prepare_write(x, v);
 
   // Metadata-only twin for non-replicas: same clock, no value payload.
   WriteUpdate meta = full;
   meta.meta_only = true;
   meta.blob.clear();
 
-  const auto full_bytes = encode_message(Message{full});
-  const auto meta_bytes = encode_message(Message{meta});
+  // Two shared payloads; each receiver gets a refcount, not a byte copy.
+  const Payload full_bytes = encode_payload(full);
+  const Payload meta_bytes = encode_payload(meta);
   for (ProcessId to = 0; to < n_procs_; ++to) {
     if (to == self_) continue;
     endpoint_->send(to, replication_->is_replica(x, to) ? full_bytes

@@ -28,6 +28,30 @@ void CausalProtocol::store(VarId x, Value value, WriteId writer) {
   copies_[x] = ReadResult{value, writer};
 }
 
+namespace {
+
+// Encode into the adopted scratch, seal an exact-size shared copy, reclaim
+// the scratch.  One allocation per payload regardless of receiver count.
+template <typename Msg>
+Payload seal_payload(const Msg& m, std::vector<std::uint8_t>& scratch) {
+  ByteWriter w{std::move(scratch)};
+  encode_message(m, w);
+  Payload p = make_payload(std::vector<std::uint8_t>(w.buffer().begin(),
+                                                     w.buffer().end()));
+  scratch = std::move(w).take();
+  return p;
+}
+
+}  // namespace
+
+Payload CausalProtocol::encode_payload(const Message& m) {
+  return seal_payload(m, encode_scratch_);
+}
+
+Payload CausalProtocol::encode_payload(const WriteUpdate& m) {
+  return seal_payload(m, encode_scratch_);
+}
+
 void CausalProtocol::snapshot(ByteWriter& w) const {
   w.u64(copies_.size());
   for (const ReadResult& copy : copies_) {

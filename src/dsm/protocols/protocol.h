@@ -38,12 +38,15 @@ class Endpoint {
  public:
   virtual ~Endpoint() = default;
 
-  /// Deliver `bytes` to every process except the caller's own (paper Fig. 4
-  /// line 2: send m to Π − p_i).  Reliable, exactly-once, unordered.
-  virtual void broadcast(std::vector<std::uint8_t> bytes) = 0;
+  /// Deliver `payload` to every process except the caller's own (paper
+  /// Fig. 4 line 2: send m to Π − p_i).  Reliable, exactly-once, unordered.
+  /// The payload is encoded once and shared by refcount across all
+  /// receivers — implementations must not mutate it.
+  virtual void broadcast(Payload payload) = 0;
 
-  /// Deliver `bytes` to one specific peer (used by the token protocol).
-  virtual void send(ProcessId to, std::vector<std::uint8_t> bytes) = 0;
+  /// Deliver `payload` to one specific peer (token handoffs, partial
+  /// replication's per-receiver full/meta split, catch-up replies).
+  virtual void send(ProcessId to, Payload payload) = 0;
 };
 
 /// Result of a read operation: the value and the identity of the write that
@@ -115,6 +118,14 @@ struct ProtocolStats {
   std::uint64_t stale_discards = 0;
   /// High-water mark of the pending (buffered) message set.
   std::uint64_t peak_pending = 0;
+  /// Pending-buffer entries examined by the drain machinery (applicability
+  /// tests, watch-index wakes, purge probes).  The indexed drain's count is
+  /// O(newly-enabled); the reference linear drain's is O(|pending|²·n) on
+  /// adversarial schedules — see docs/PERF.md.
+  std::uint64_t drain_scans = 0;
+  /// Drain purge passes skipped because they provably could not remove
+  /// anything (writing semantics off and no duplicate delivery observed).
+  std::uint64_t purges_avoided = 0;
 
   /// Accumulate counters across process incarnations (crash recovery sums a
   /// process's stats over its lifetimes).  peak_pending is a high-water
@@ -128,6 +139,8 @@ struct ProtocolStats {
     skipped_writes += o.skipped_writes;
     stale_discards += o.stale_discards;
     peak_pending = peak_pending > o.peak_pending ? peak_pending : o.peak_pending;
+    drain_scans += o.drain_scans;
+    purges_avoided += o.purges_avoided;
     return *this;
   }
 };
@@ -226,6 +239,14 @@ class CausalProtocol {
   /// Install `value` into the local copy of `x` (the apply event's effect).
   void store(VarId x, Value value, WriteId writer);
 
+  /// Encode `m` into a refcounted payload shared by every receiver.  The
+  /// intermediate encode buffer is a reused member (no growth churn after
+  /// warm-up); the returned allocation is exactly the encoded size.
+  [[nodiscard]] Payload encode_payload(const Message& m);
+  /// Same, for the broadcast hot path: frames a bare WriteUpdate without
+  /// copying its blob into a Message variant first.
+  [[nodiscard]] Payload encode_payload(const WriteUpdate& m);
+
   ProcessId self_;
   std::size_t n_procs_;
   std::size_t n_vars_;
@@ -236,6 +257,7 @@ class CausalProtocol {
 
  private:
   std::vector<ReadResult> copies_;  // x_1^i … x_m^i, initially ⊥
+  std::vector<std::uint8_t> encode_scratch_;  // reused by encode_payload
 };
 
 }  // namespace dsm

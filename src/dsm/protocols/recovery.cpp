@@ -23,24 +23,24 @@ void RecoveryNode::log_update(const WriteUpdate& m) {
   if (slot.write_seq == 0 || (slot.meta_only && !m.meta_only)) slot = m;
 }
 
-void RecoveryNode::broadcast(std::vector<std::uint8_t> bytes) {
-  auto decoded = decode_message(bytes);
+void RecoveryNode::broadcast(Payload payload) {
+  auto decoded = decode_message(*payload);
   if (decoded) {
     if (const auto* update = std::get_if<WriteUpdate>(&*decoded)) {
       log_update(*update);
     }
   }
-  lower_->broadcast(std::move(bytes));
+  lower_->broadcast(std::move(payload));
 }
 
-void RecoveryNode::send(ProcessId to, std::vector<std::uint8_t> bytes) {
-  auto decoded = decode_message(bytes);
+void RecoveryNode::send(ProcessId to, Payload payload) {
+  auto decoded = decode_message(*payload);
   if (decoded) {
     if (const auto* update = std::get_if<WriteUpdate>(&*decoded)) {
       log_update(*update);
     }
   }
-  lower_->send(to, std::move(bytes));
+  lower_->send(to, std::move(payload));
 }
 
 VectorClock RecoveryNode::seen() const {
@@ -67,7 +67,8 @@ std::size_t RecoveryNode::log_entries() const noexcept {
 
 void RecoveryNode::request_catch_up() {
   ++stats_.requests_sent;
-  lower_->broadcast(encode_message(Message{CatchUpRequest{self_, seen()}}));
+  lower_->broadcast(
+      make_payload(encode_message(Message{CatchUpRequest{self_, seen()}})));
   checkpoint();
 }
 
@@ -101,9 +102,9 @@ void RecoveryNode::handle_request(const CatchUpRequest& req) {
     }
   }
 
-  std::vector<std::uint8_t> bytes = encode_message(Message{reply});
+  Payload bytes = make_payload(encode_message(Message{reply}));
   stats_.writes_served += reply.writes.size();
-  stats_.catch_up_bytes += bytes.size();
+  stats_.catch_up_bytes += bytes->size();
   ++stats_.replies_sent;
   lower_->send(req.requester, std::move(bytes));
 
@@ -120,8 +121,8 @@ void RecoveryNode::handle_request(const CatchUpRequest& req) {
   }
   if (behind) {
     ++stats_.requests_sent;
-    lower_->send(req.requester,
-                 encode_message(Message{CatchUpRequest{self_, mine}}));
+    lower_->send(req.requester, make_payload(encode_message(
+                                    Message{CatchUpRequest{self_, mine}})));
   }
   checkpoint();
 }

@@ -99,13 +99,13 @@ class RecoveryNode final : public Endpoint, public MessageSink {
 
   // -- Endpoint (protocol → world): log own writes, pass through ------------
 
-  /// Logs the outgoing WriteUpdate into its sender lane, then forwards to
-  /// the lower endpoint.  \post the write is servable to restarting peers
-  /// even if every network copy is lost.
-  void broadcast(std::vector<std::uint8_t> bytes) override;
+  /// Logs the outgoing WriteUpdate into its sender lane, then forwards the
+  /// shared payload to the lower endpoint.  \post the write is servable to
+  /// restarting peers even if every network copy is lost.
+  void broadcast(Payload payload) override;
   /// Pass-through for targeted sends (partial replication's meta-only
   /// copies); full-update sends are logged like broadcasts.
-  void send(ProcessId to, std::vector<std::uint8_t> bytes) override;
+  void send(ProcessId to, Payload payload) override;
 
   // -- MessageSink (world → protocol): log foreign writes, handle catch-up --
 

@@ -1,6 +1,7 @@
 #include "dsm/protocols/registry.h"
 
 #include "dsm/protocols/anbkh.h"
+#include "dsm/protocols/buffering.h"
 #include "dsm/protocols/optp.h"
 #include "dsm/protocols/partial.h"
 #include "dsm/protocols/token.h"
@@ -46,12 +47,25 @@ const std::vector<ProtocolKind>& class_p_protocol_kinds() {
   return kinds;
 }
 
-std::unique_ptr<CausalProtocol> make_protocol(ProtocolKind kind, ProcessId self,
-                                              std::size_t n_procs,
-                                              std::size_t n_vars,
-                                              Endpoint& endpoint,
-                                              ProtocolObserver& observer,
-                                              const ProtocolConfig& config) {
+namespace {
+
+std::unique_ptr<CausalProtocol> apply_drain_mode(
+    std::unique_ptr<CausalProtocol> proto, const ProtocolConfig& config) {
+  if (config.reference_drain) {
+    if (auto* buffering = dynamic_cast<BufferingProtocol*>(proto.get())) {
+      buffering->set_reference_drain(true);
+    }
+  }
+  return proto;
+}
+
+std::unique_ptr<CausalProtocol> build_protocol(ProtocolKind kind,
+                                               ProcessId self,
+                                               std::size_t n_procs,
+                                               std::size_t n_vars,
+                                               Endpoint& endpoint,
+                                               ProtocolObserver& observer,
+                                               const ProtocolConfig& config) {
   switch (kind) {
     case ProtocolKind::kOptP:
       return std::make_unique<OptP>(self, n_procs, n_vars, endpoint, observer,
@@ -88,6 +102,19 @@ std::unique_ptr<CausalProtocol> make_protocol(ProtocolKind kind, ProcessId self,
     }
   }
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<CausalProtocol> make_protocol(ProtocolKind kind, ProcessId self,
+                                              std::size_t n_procs,
+                                              std::size_t n_vars,
+                                              Endpoint& endpoint,
+                                              ProtocolObserver& observer,
+                                              const ProtocolConfig& config) {
+  return apply_drain_mode(build_protocol(kind, self, n_procs, n_vars, endpoint,
+                                         observer, config),
+                          config);
 }
 
 }  // namespace dsm

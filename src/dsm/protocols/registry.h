@@ -52,6 +52,11 @@ struct ProtocolConfig {
   /// kOptPPartial: which process replicates which variable.  Defaults to
   /// full replication when unset.
   std::shared_ptr<const ReplicationMap> replication;
+  /// Buffering protocols: run the seed's O(|pending|²·n) linear drain
+  /// instead of the dependency-indexed one — the differential-test baseline
+  /// and the "before" side of BENCH_core.json (docs/PERF.md).  Ignored by
+  /// kTokenWs, which has no pending buffer of this shape.
+  bool reference_drain = false;
 };
 
 [[nodiscard]] std::unique_ptr<CausalProtocol> make_protocol(

@@ -91,7 +91,7 @@ void TokenWs::try_emit() {
   ++tstats_.rounds_held;
   if (b.entries.empty()) ++tstats_.empty_batches;
 
-  endpoint_->broadcast(encode_message(Message{b}));
+  endpoint_->broadcast(encode_payload(Message{b}));
 
   // Our own batch counts as applied (values were installed at write time).
   last_seq_from_[self_] = writes_total_;
@@ -104,7 +104,7 @@ void TokenWs::try_emit() {
     if (next_holder == self_) {
       handle_grant(grant);  // n == 1 degenerate case
     } else {
-      endpoint_->send(next_holder, encode_message(Message{grant}));
+      endpoint_->send(next_holder, encode_payload(Message{grant}));
     }
   }
   drain_batches();

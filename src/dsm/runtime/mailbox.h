@@ -21,7 +21,10 @@ namespace dsm {
 
 struct MailEnvelope {
   ProcessId from = 0;
-  std::vector<std::uint8_t> bytes;
+  /// Refcounted immutable payload: one broadcast shares a single buffer
+  /// across every receiver's mailbox (shared_ptr's atomic refcount makes
+  /// the cross-thread handoff race-free; the bytes themselves are const).
+  Payload bytes;
   /// Artificial extra delay the consumer honours before processing
   /// (microseconds); models link latency jitter in the threaded deployment.
   std::uint32_t delay_us = 0;

@@ -5,14 +5,13 @@
 
 namespace dsm {
 
-void ThreadCluster::ClusterEndpoint::broadcast(std::vector<std::uint8_t> bytes) {
+void ThreadCluster::ClusterEndpoint::broadcast(Payload bytes) {
   for (ProcessId to = 0; to < cluster_->nodes_.size(); ++to) {
     if (to != self_) cluster_->post(self_, to, bytes);
   }
 }
 
-void ThreadCluster::ClusterEndpoint::send(ProcessId to,
-                                          std::vector<std::uint8_t> bytes) {
+void ThreadCluster::ClusterEndpoint::send(ProcessId to, Payload bytes) {
   cluster_->post(self_, to, std::move(bytes));
 }
 
@@ -132,9 +131,9 @@ void ThreadCluster::shutdown() {
   }
 }
 
-void ThreadCluster::post(ProcessId from, ProcessId to,
-                         std::vector<std::uint8_t> bytes) {
+void ThreadCluster::post(ProcessId from, ProcessId to, Payload bytes) {
   DSM_REQUIRE(to < nodes_.size());
+  DSM_REQUIRE(bytes != nullptr);
   MailEnvelope envelope;
   envelope.from = from;
   envelope.bytes = std::move(bytes);
@@ -165,9 +164,9 @@ void ThreadCluster::deliver_loop(ProcessId p) {
         // Crashed host: the message is lost; catch-up repairs it later.
         crash_dropped_.fetch_add(1, std::memory_order_relaxed);
       } else if (node.recovery != nullptr) {
-        node.recovery->deliver(envelope->from, envelope->bytes);
+        node.recovery->deliver(envelope->from, *envelope->bytes);
       } else {
-        node.protocol->on_message(envelope->from, envelope->bytes);
+        node.protocol->on_message(envelope->from, *envelope->bytes);
       }
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);

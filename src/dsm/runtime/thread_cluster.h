@@ -116,12 +116,15 @@ class ThreadCluster {
   struct Node;
 
   /// Endpoint implementation pushing encoded bytes into peer mailboxes.
+  /// A broadcast posts ONE refcounted payload to every mailbox — no
+  /// per-receiver byte copies (the buffer is immutable and the refcount is
+  /// atomic, so the sharing is race-free across delivery threads).
   class ClusterEndpoint final : public Endpoint {
    public:
     ClusterEndpoint(ThreadCluster& cluster, ProcessId self)
         : cluster_(&cluster), self_(self) {}
-    void broadcast(std::vector<std::uint8_t> bytes) override;
-    void send(ProcessId to, std::vector<std::uint8_t> bytes) override;
+    void broadcast(Payload bytes) override;
+    void send(ProcessId to, Payload bytes) override;
 
    private:
     ThreadCluster* cluster_;
@@ -144,7 +147,7 @@ class ThreadCluster {
   };
 
   void deliver_loop(ProcessId p);
-  void post(ProcessId from, ProcessId to, std::vector<std::uint8_t> bytes);
+  void post(ProcessId from, ProcessId to, Payload bytes);
   /// Constructs the protocol stack for p.  Caller holds p's mutex (or is the
   /// constructor, before threads start).
   void build_node_locked(ProcessId p);

@@ -29,7 +29,7 @@ void Network::detach(ProcessId p) {
 }
 
 void Network::deliver_now(ProcessId from, ProcessId to,
-                          const std::vector<std::uint8_t>& payload) {
+                          const Payload& payload) {
   // The sink is resolved at DELIVERY time, not capture time: the receiver
   // may have crashed (detached) or restarted (re-attached a fresh sink)
   // while the message was in flight.
@@ -38,18 +38,18 @@ void Network::deliver_now(ProcessId from, ProcessId to,
     ++fstats_.crash_dropped;
     return;
   }
-  sink->deliver(from, payload);
+  sink->deliver(from, *payload);
 }
 
 std::uint64_t& Network::pair_counter(ProcessId from, ProcessId to) {
   return pair_index_[static_cast<std::size_t>(from) * sinks_.size() + to];
 }
 
-void Network::send(ProcessId from, ProcessId to,
-                   std::vector<std::uint8_t> bytes) {
+void Network::send(ProcessId from, ProcessId to, Payload payload) {
   DSM_REQUIRE(from < sinks_.size());
   DSM_REQUIRE(to < sinks_.size());
   DSM_REQUIRE(from != to);
+  DSM_REQUIRE(payload != nullptr);
   // A null sink is a wiring bug — unless detach() has ever been used, in
   // which case it means the receiver is currently crashed.
   DSM_REQUIRE(sinks_[to] != nullptr || detach_used_);
@@ -58,7 +58,7 @@ void Network::send(ProcessId from, ProcessId to,
 
   SimTime delay;
   std::optional<SimTime> forced;
-  if (override_) forced = override_(from, to, bytes);
+  if (override_) forced = override_(from, to, *payload);
   if (forced) {
     delay = *forced;
   } else {
@@ -66,7 +66,7 @@ void Network::send(ProcessId from, ProcessId to,
   }
 
   stats_.messages_sent += 1;
-  stats_.bytes_sent += bytes.size();
+  stats_.bytes_sent += payload->size();
   stats_.max_latency_seen = std::max(stats_.max_latency_seen, delay);
 
   // Partition windows are evaluated at send time: a message launched before
@@ -84,23 +84,23 @@ void Network::send(ProcessId from, ProcessId to,
   if (draw.duplicated) {
     ++fstats_.duplicated;
     // The duplicate takes an independent latency draw: it can arrive before
-    // or after the original.
+    // or after the original.  Both in-flight copies share one buffer.
     const SimTime dup_delay =
         forced ? *forced : latency_->latency(from, to, index ^ 0x8000000000000000ULL);
-    queue_->schedule_after(dup_delay, [this, from, to, payload = bytes]() {
+    queue_->schedule_after(dup_delay, [this, from, to, payload]() {
       deliver_now(from, to, payload);
     });
   }
 
   queue_->schedule_after(
-      delay, [this, from, to, payload = std::move(bytes)]() {
+      delay, [this, from, to, payload = std::move(payload)]() {
         deliver_now(from, to, payload);
       });
 }
 
-void Network::broadcast(ProcessId from, const std::vector<std::uint8_t>& bytes) {
+void Network::broadcast(ProcessId from, const Payload& payload) {
   for (ProcessId to = 0; to < sinks_.size(); ++to) {
-    if (to != from) send(from, to, bytes);
+    if (to != from) send(from, to, payload);
   }
 }
 

@@ -50,13 +50,15 @@ class Network {
   /// of delivered.  A later attach() models the restart.
   void detach(ProcessId p);
 
-  /// Unicast `bytes` from `from` to `to`; delivery is scheduled on the event
-  /// queue after the modeled latency.
-  void send(ProcessId from, ProcessId to, std::vector<std::uint8_t> bytes);
+  /// Unicast `payload` from `from` to `to`; delivery is scheduled on the
+  /// event queue after the modeled latency.  In-flight copies (including
+  /// fault-injected duplicates) share the payload by refcount.
+  void send(ProcessId from, ProcessId to, Payload payload);
 
   /// Fan-out to every process except `from` (paper footnote 5: the
-  /// propagation mechanism is irrelevant at this abstraction level).
-  void broadcast(ProcessId from, const std::vector<std::uint8_t>& bytes);
+  /// propagation mechanism is irrelevant at this abstraction level).  One
+  /// shared payload; no per-receiver byte copies.
+  void broadcast(ProcessId from, const Payload& payload);
 
   void set_latency_override(LatencyOverride hook) { override_ = std::move(hook); }
 
@@ -81,8 +83,7 @@ class Network {
   bool detach_used_ = false;  // once true, a null sink means "crashed"
 
   [[nodiscard]] std::uint64_t& pair_counter(ProcessId from, ProcessId to);
-  void deliver_now(ProcessId from, ProcessId to,
-                   const std::vector<std::uint8_t>& payload);
+  void deliver_now(ProcessId from, ProcessId to, const Payload& payload);
 };
 
 }  // namespace dsm

@@ -36,19 +36,20 @@ std::vector<std::uint8_t> ReliableNode::encode_frame(
   return std::move(w).take();
 }
 
-void ReliableNode::send(ProcessId to, std::vector<std::uint8_t> payload) {
+void ReliableNode::send(ProcessId to, Payload payload) {
   DSM_REQUIRE(to < tx_.size());
   DSM_REQUIRE(to != self_);
+  DSM_REQUIRE(payload != nullptr);
   PeerTx& peer = tx_[to];
   const std::uint64_t seq = peer.next_seq++;
   peer.unacked.emplace(seq,
                        TxEntry{std::move(payload), queue_->now(), false});
   ++stats_.data_sent;
-  transmit(to, seq, peer.unacked.at(seq).payload);
+  transmit(to, seq, *peer.unacked.at(seq).payload);
   arm_timer(to, seq, 0, peer.rto);
 }
 
-void ReliableNode::broadcast(const std::vector<std::uint8_t>& payload) {
+void ReliableNode::broadcast(const Payload& payload) {
   for (ProcessId to = 0; to < tx_.size(); ++to) {
     if (to != self_) send(to, payload);
   }
@@ -56,7 +57,11 @@ void ReliableNode::broadcast(const std::vector<std::uint8_t>& payload) {
 
 void ReliableNode::transmit(ProcessId to, std::uint64_t seq,
                             const std::vector<std::uint8_t>& payload) {
-  network_->send(self_, to, encode_frame(FrameType::kData, seq, payload));
+  // The DATA frame is re-encoded per peer by necessity (sequence numbers are
+  // per-channel); the application payload itself is never copied — it lives
+  // in the shared TxEntry until acked.
+  network_->send(self_, to,
+                 make_payload(encode_frame(FrameType::kData, seq, payload)));
 }
 
 SimTime ReliableNode::jitter(ProcessId to, std::uint64_t seq,
@@ -94,7 +99,7 @@ void ReliableNode::arm_timer(ProcessId to, std::uint64_t seq,
         }
         ++stats_.retransmissions;
         it->second.retransmitted = true;  // Karn: disqualify from RTT sampling
-        transmit(to, seq, it->second.payload);
+        transmit(to, seq, *it->second.payload);
         // Exponential backoff capped at max_rto.
         const SimTime next = std::min(interval * 2, config_.max_rto);
         arm_timer(to, seq, attempt + 1, next);
@@ -141,7 +146,8 @@ void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) 
     case FrameType::kData: {
       // Always (re-)ACK: the original ACK may have been lost.
       ++stats_.acks_sent;
-      network_->send(self_, from, encode_frame(FrameType::kAck, *seq, {}));
+      network_->send(self_, from,
+                     make_payload(encode_frame(FrameType::kAck, *seq, {})));
 
       PeerRx& peer = rx_[from];
       if (peer.saw(*seq)) {
@@ -180,8 +186,8 @@ void ReliableNode::snapshot(ByteWriter& w) const {
     w.u64(peer.unacked.size());
     for (const auto& [seq, entry] : peer.unacked) {
       w.u64(seq);
-      w.u64(entry.payload.size());
-      w.bytes(entry.payload);
+      w.u64(entry.payload->size());
+      w.bytes(*entry.payload);
     }
     w.u8(peer.have_rtt ? 1 : 0);
     w.u64(std::bit_cast<std::uint64_t>(peer.srtt));
@@ -214,8 +220,9 @@ bool ReliableNode::restore(ByteReader& r) {
       // Restored payloads count as retransmitted: their original send time
       // is gone, so Karn's rule disqualifies them from RTT sampling.
       peer.unacked.emplace(
-          *seq, TxEntry{std::vector<std::uint8_t>(raw->begin(), raw->end()),
-                        queue_->now(), true});
+          *seq,
+          TxEntry{make_payload({raw->begin(), raw->end()}), queue_->now(),
+                  true});
     }
     const auto have = r.u8();
     const auto srtt = r.u64();
@@ -240,7 +247,7 @@ bool ReliableNode::restore(ByteReader& r) {
   for (ProcessId to = 0; to < tx_.size(); ++to) {
     for (const auto& [seq, entry] : tx_[to].unacked) {
       ++stats_.retransmissions;
-      transmit(to, seq, entry.payload);
+      transmit(to, seq, *entry.payload);
       arm_timer(to, seq, 0, tx_[to].rto);
     }
   }

@@ -124,12 +124,14 @@ class ReliableNode final : public MessageSink {
   /// \pre `to` is a valid process id on the network and `to != self`.
   /// \post the payload has a fresh per-channel sequence number, a DATA
   ///       frame is in flight, and a retransmission timer is armed; the
-  ///       payload is retained until the matching ACK arrives.
-  void send(ProcessId to, std::vector<std::uint8_t> payload);
+  ///       payload is retained (by refcount, not copy) until the matching
+  ///       ACK arrives.
+  void send(ProcessId to, Payload payload);
 
   /// send() to every other process (the paper's broadcast primitive,
-  /// footnote 5: fan-out unicast over reliable channels).
-  void broadcast(const std::vector<std::uint8_t>& payload);
+  /// footnote 5: fan-out unicast over reliable channels).  Every per-peer
+  /// retransmission queue shares the one payload buffer.
+  void broadcast(const Payload& payload);
 
   // -- MessageSink (frames arriving from the network) ------------------------
 
@@ -172,7 +174,7 @@ class ReliableNode final : public MessageSink {
   enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
 
   struct TxEntry {
-    std::vector<std::uint8_t> payload;
+    Payload payload;            ///< shared with broadcast siblings
     SimTime first_sent = 0;     ///< for the RTT sample
     bool retransmitted = false; ///< Karn: retransmitted packets never sample
   };

@@ -19,14 +19,14 @@ class SimEndpoint final : public Endpoint {
   SimEndpoint(ReliableNode& node, ProcessId self)
       : reliable_(&node), self_(self) {}
 
-  void broadcast(std::vector<std::uint8_t> bytes) override {
+  void broadcast(Payload bytes) override {
     if (reliable_ != nullptr) {
       reliable_->broadcast(bytes);
     } else {
       net_->broadcast(self_, bytes);
     }
   }
-  void send(ProcessId to, std::vector<std::uint8_t> bytes) override {
+  void send(ProcessId to, Payload bytes) override {
     if (reliable_ != nullptr) {
       reliable_->send(to, std::move(bytes));
     } else {

@@ -33,12 +33,8 @@ struct NullObs final : ProtocolObserver {};
 /// can checkpoint a protocol with a NON-empty pending buffer.
 class ParkingEndpoint final : public Endpoint {
  public:
-  void broadcast(std::vector<std::uint8_t> bytes) override {
-    parked.push_back(std::move(bytes));
-  }
-  void send(ProcessId, std::vector<std::uint8_t> bytes) override {
-    parked.push_back(std::move(bytes));
-  }
+  void broadcast(Payload bytes) override { parked.push_back(*bytes); }
+  void send(ProcessId, Payload bytes) override { parked.push_back(*bytes); }
   std::vector<std::vector<std::uint8_t>> parked;
 };
 
@@ -129,7 +125,7 @@ TEST(RecoveryNodeSnapshot, RoundtripsTheWriteLog) {
   m.write_seq = 1;
   m.var = 0;
   m.value = 5;
-  node.broadcast(encode_message(Message{m}));
+  node.broadcast(make_payload(encode_message(Message{m})));
   ASSERT_EQ(node.log_entries(), 1u);
 
   ByteWriter w;

@@ -158,8 +158,8 @@ TEST(ReliableNode, ExactlyOnceUnderHeavyLossAndDuplication) {
 
   constexpr int kMessages = 200;
   for (int i = 0; i < kMessages; ++i) {
-    fx.nodes[0]->send(1, {static_cast<std::uint8_t>(i),
-                          static_cast<std::uint8_t>(i >> 8)});
+    fx.nodes[0]->send(1, make_payload({static_cast<std::uint8_t>(i),
+                                       static_cast<std::uint8_t>(i >> 8)}));
   }
   fx.queue.run();
 
@@ -183,7 +183,7 @@ TEST(ReliableNode, ExactlyOnceUnderHeavyLossAndDuplication) {
 
 TEST(ReliableNode, NoFaultsMeansNoRetransmissions) {
   ArqFixture fx(FaultPlan{});
-  for (int i = 0; i < 50; ++i) fx.nodes[1]->send(0, {7});
+  for (int i = 0; i < 50; ++i) fx.nodes[1]->send(0, make_payload({7}));
   fx.queue.run();
   EXPECT_EQ(fx.sinks[0].received.size(), 50u);
   EXPECT_EQ(fx.nodes[1]->stats().retransmissions, 0u);
@@ -196,7 +196,7 @@ TEST(ReliableNode, PureDuplicationIsFullySuppressed) {
   plan.duplicate = 1.0;  // every message delivered twice
   plan.seed = 3;
   ArqFixture fx(plan);
-  for (int i = 0; i < 40; ++i) fx.nodes[0]->send(1, {static_cast<std::uint8_t>(i)});
+  for (int i = 0; i < 40; ++i) fx.nodes[0]->send(1, make_payload({static_cast<std::uint8_t>(i)}));
   fx.queue.run();
   EXPECT_EQ(fx.sinks[1].received.size(), 40u);
   EXPECT_GE(fx.nodes[1]->stats().duplicates_suppressed, 40u);
@@ -216,7 +216,7 @@ TEST(ReliableNode, BroadcastReachesAllPeersExactlyOnce) {
   for (ProcessId p = 0; p < 4; ++p) {
     nodes.push_back(std::make_unique<ReliableNode>(queue, net, p, sinks[p]));
   }
-  for (int i = 0; i < 30; ++i) nodes[2]->broadcast({static_cast<std::uint8_t>(i)});
+  for (int i = 0; i < 30; ++i) nodes[2]->broadcast(make_payload({static_cast<std::uint8_t>(i)}));
   queue.run();
   for (ProcessId p = 0; p < 4; ++p) {
     if (p == 2) {
@@ -243,7 +243,7 @@ TEST(ReliableNode, AdaptiveRtoConvergesTowardMeasuredRtt) {
   ReliableNode b(queue, net, 1, sinks[1], cfg);
 
   EXPECT_EQ(a.current_rto(1), sim_ms(50));  // pre-sample: the initial RTO
-  for (int i = 0; i < 30; ++i) a.send(1, {1});
+  for (int i = 0; i < 30; ++i) a.send(1, make_payload({1}));
   queue.run();
   EXPECT_GT(a.stats().rtt_samples, 0u);
   EXPECT_LT(a.current_rto(1), sim_ms(5));  // adapted down, nowhere near 50ms
@@ -259,7 +259,7 @@ TEST(ReliableNode, PartitionHealsAndArqRepairs) {
   plan.split({0}, 2, 0, sim_ms(5));
   ArqFixture fx(plan);
   for (int i = 0; i < 20; ++i) {
-    fx.nodes[0]->send(1, {static_cast<std::uint8_t>(i)});
+    fx.nodes[0]->send(1, make_payload({static_cast<std::uint8_t>(i)}));
   }
   fx.queue.run();
   EXPECT_EQ(fx.sinks[1].received.size(), 20u);
@@ -289,7 +289,7 @@ TEST(ReliableNode, AbandonCallbackFiresWhenRetriesExhausted) {
   };
   ReliableNode a(queue, net, 0, sinks[0], cfg);
   ReliableNode b(queue, net, 1, sinks[1], cfg);
-  a.send(1, {42});
+  a.send(1, make_payload({42}));
   queue.run();
 
   ASSERT_EQ(abandoned.size(), 1u);
@@ -321,7 +321,7 @@ TEST(ReliableNodeDeathTest, AbandonWithoutCallbackIsAHardError) {
         cfg.max_retries = 2;
         ReliableNode a(queue, net, 0, sinks[0], cfg);
         ReliableNode b(queue, net, 1, sinks[1], cfg);
-        a.send(1, {42});
+        a.send(1, make_payload({42}));
         queue.run();
       },
       "ARQ abandoned a payload");
@@ -346,8 +346,8 @@ TEST_P(ArqStress, ExactlyOnceBothWaysUnderCombinedFaults) {
   for (int i = 0; i < kMessages; ++i) {
     const auto lo = static_cast<std::uint8_t>(i);
     const auto hi = static_cast<std::uint8_t>(i >> 8);
-    fx.nodes[0]->send(1, {lo, hi});
-    fx.nodes[1]->send(0, {lo, hi});
+    fx.nodes[0]->send(1, make_payload({lo, hi}));
+    fx.nodes[1]->send(0, make_payload({lo, hi}));
   }
   fx.queue.run();
 

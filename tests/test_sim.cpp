@@ -154,7 +154,7 @@ TEST(Network, DeliversExactlyOnceAfterLatency) {
   net.attach(0, c0);
   net.attach(1, c1);
 
-  net.send(0, 1, {1, 2, 3});
+  net.send(0, 1, make_payload({1, 2, 3}));
   q.run();
   ASSERT_EQ(c1.deliveries.size(), 1u);
   EXPECT_EQ(c1.deliveries[0].from, 0u);
@@ -171,7 +171,7 @@ TEST(Network, BroadcastSkipsSender) {
   net.attach(0, c0);
   net.attach(1, c1);
   net.attach(2, c2);
-  net.broadcast(1, {9});
+  net.broadcast(1, make_payload({9}));
   q.run();
   EXPECT_EQ(c0.deliveries.size(), 1u);
   EXPECT_TRUE(c1.deliveries.empty());
@@ -195,8 +195,8 @@ TEST(Network, ChannelsMayReorder) {
                    std::span<const std::uint8_t>) -> std::optional<SimTime> {
         return msg_index++ == 0 ? 100 : 10;
       });
-  net.send(0, 1, {1});
-  net.send(0, 1, {2});
+  net.send(0, 1, make_payload({1}));
+  net.send(0, 1, make_payload({2}));
   q.run();
   ASSERT_EQ(c1.deliveries.size(), 2u);
   EXPECT_EQ(c1.deliveries[0].bytes[0], 2);  // second message arrives first
@@ -216,8 +216,8 @@ TEST(Network, OverrideFallsBackToModelWhenDisengaged) {
           -> std::optional<SimTime> {
         return bytes[0] == 7 ? std::optional<SimTime>{1} : std::nullopt;
       });
-  net.send(0, 1, {7});
-  net.send(0, 1, {8});
+  net.send(0, 1, make_payload({7}));
+  net.send(0, 1, make_payload({8}));
   q.run();
   ASSERT_EQ(c1.deliveries.size(), 2u);
   EXPECT_EQ(c1.deliveries[0].at, 1u);
@@ -231,7 +231,7 @@ TEST(Network, MaxLatencyStatTracked) {
   Collector c0(q), c1(q);
   net.attach(0, c0);
   net.attach(1, c1);
-  for (int i = 0; i < 50; ++i) net.send(0, 1, {0});
+  for (int i = 0; i < 50; ++i) net.send(0, 1, make_payload({0}));
   q.run();
   EXPECT_GE(net.stats().max_latency_seen, 10u);
   EXPECT_LE(net.stats().max_latency_seen, 500u);

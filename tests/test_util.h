@@ -107,13 +107,13 @@ class DirectCluster {
    public:
     CapturingEndpoint(DirectCluster& owner, ProcessId self, std::size_t n)
         : owner_(&owner), self_(self), n_(n) {}
-    void broadcast(std::vector<std::uint8_t> bytes) override {
+    void broadcast(Payload bytes) override {
       for (ProcessId to = 0; to < n_; ++to) {
-        if (to != self_) owner_->flights_.push_back({self_, to, bytes});
+        if (to != self_) owner_->flights_.push_back({self_, to, *bytes});
       }
     }
-    void send(ProcessId to, std::vector<std::uint8_t> bytes) override {
-      owner_->flights_.push_back({self_, to, std::move(bytes)});
+    void send(ProcessId to, Payload bytes) override {
+      owner_->flights_.push_back({self_, to, *bytes});
     }
 
    private:

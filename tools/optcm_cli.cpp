@@ -55,6 +55,7 @@
 //   optcm faults --procs=6 --crash=1@5000:8000,2@9000:6000 --partition=8000:15000
 //   optcm paper table2
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -203,6 +204,54 @@ SimRunResult run_one(ProtocolKind kind, const CommonOptions& o,
   return run_sim(cfg, scripts != nullptr ? *scripts : generate_workload(o.spec));
 }
 
+/// `--bench-json` payload: the hot-path numbers of one run in the same
+/// machine-readable shape the bench binaries emit (docs/PERF.md).
+std::string bench_json_summary(ProtocolKind kind, const SimRunResult& result,
+                               double wall_ms) {
+  std::uint64_t applies = 0;
+  std::uint64_t drain_scans = 0;
+  std::uint64_t purges_avoided = 0;
+  for (const ProtocolStats& s : result.stats) {
+    applies += s.remote_applies;
+    drain_scans += s.drain_scans;
+    purges_avoided += s.purges_avoided;
+  }
+  const double scans_per_apply =
+      applies == 0 ? 0.0
+                   : static_cast<double>(drain_scans) /
+                         static_cast<double>(applies);
+  const double applies_per_sec =
+      wall_ms <= 0 ? 0.0 : 1000.0 * static_cast<double>(applies) / wall_ms;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"schema\": \"optcm-run-v1\",\n"
+                "  \"protocol\": \"%s\",\n"
+                "  \"writes\": %llu,\n"
+                "  \"operations\": %llu,\n"
+                "  \"simulated_us\": %llu,\n"
+                "  \"wall_ms\": %.3f,\n"
+                "  \"remote_applies\": %llu,\n"
+                "  \"applies_per_sec\": %.1f,\n"
+                "  \"drain_scans\": %llu,\n"
+                "  \"drain_scans_per_apply\": %.3f,\n"
+                "  \"purges_avoided\": %llu,\n"
+                "  \"net_messages\": %llu,\n"
+                "  \"net_bytes\": %llu\n"
+                "}\n",
+                to_string(kind),
+                static_cast<unsigned long long>(
+                    result.recorder->history().writes().size()),
+                static_cast<unsigned long long>(result.recorder->history().size()),
+                static_cast<unsigned long long>(result.end_time), wall_ms,
+                static_cast<unsigned long long>(applies), applies_per_sec,
+                static_cast<unsigned long long>(drain_scans), scans_per_apply,
+                static_cast<unsigned long long>(purges_avoided),
+                static_cast<unsigned long long>(result.net.messages_sent),
+                static_cast<unsigned long long>(result.net.bytes_sent));
+  return buf;
+}
+
 /// Write `text` to `path`; reports and returns false on failure.
 bool write_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -292,6 +341,7 @@ int cmd_run(Flags& flags) {
   const std::string export_path = flags.get("export", "");
   const std::string metrics_out = flags.get("metrics-out", "");
   const std::string trace_out = flags.get("trace-out", "");
+  const std::string bench_json = flags.get("bench-json", "");
   const std::string script = flags.get("script", "");
 
   // Paper scripts replace the generated workload and pin the paper's shape
@@ -320,10 +370,14 @@ int cmd_run(Flags& flags) {
   std::optional<RunTelemetry> tel;
   if (want_telemetry) tel.emplace(o.spec.n_procs);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto result =
       run_one(*kind, o, want_telemetry ? &*tel : nullptr,
               scripts.empty() ? nullptr : &scripts,
               choreo ? &choreo : nullptr);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
   if (script.empty()) {
     std::printf("workload: %s\n\n", o.spec.describe().c_str());
   } else {
@@ -359,6 +413,11 @@ int cmd_run(Flags& flags) {
                   trace_out.c_str(),
                   csv ? "" : " (open in chrome://tracing or ui.perfetto.dev)");
     }
+  }
+  if (!bench_json.empty()) {
+    if (!write_file(bench_json, bench_json_summary(*kind, result, wall_ms)))
+      return 1;
+    std::printf("bench json written to %s\n", bench_json.c_str());
   }
   return result.settled ? 0 : 1;
 }

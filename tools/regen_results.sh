@@ -34,3 +34,10 @@ run_group results/repro_outputs.txt \
 run_group results/exp_outputs.txt \
   exp_delays exp_false_causality exp_buffering exp_metadata exp_ws \
   exp_loss exp_partial exp_crash
+
+# The hot-path baseline (docs/PERF.md): measured drain/broadcast numbers in
+# machine-readable form.  Wall-clock figures vary with the host; the structural
+# columns (drain_scans, purges_avoided, bytes copied) are deterministic.
+"$build/bench/micro_core" --benchmark_min_time=0.01 \
+  --bench-json results/BENCH_core.json > /dev/null
+echo "wrote results/BENCH_core.json"
