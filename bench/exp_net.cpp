@@ -1,0 +1,166 @@
+// exp_net — socket-tier microbenchmarks: frame round-trip latency and
+// one-way throughput of two TcpTransports on one NetLoop over loopback.
+//
+// Single-threaded on purpose: both endpoints share the loop, so a ping-pong
+// round trip measures the full framed path (encode → writev → poll → read →
+// reassemble → deliver) twice with zero scheduler noise, and the numbers are
+// comparable run over run.  This is the latency floor under the
+// multi-process cluster (which adds fork/IPC scheduling on top).
+//
+// Measured: p50/p99 round-trip time per payload size, and drained one-way
+// messages per second.  `--bench-json results/BENCH_net.json` is the
+// checked-in baseline workflow (tools/regen_results.sh).
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dsm/net/socket.h"
+#include "dsm/net/tcp_transport.h"
+
+namespace dsm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Echoes every frame straight back to its sender.
+struct EchoSink final : MessageSink {
+  TcpTransport* transport = nullptr;
+  ProcessId self = 0;
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override {
+    transport->send(self, from,
+                    make_payload({bytes.begin(), bytes.end()}));
+  }
+};
+
+struct CountingSink final : MessageSink {
+  std::size_t received = 0;
+  void deliver(ProcessId, std::span<const std::uint8_t>) override {
+    ++received;
+  }
+};
+
+/// Two transports, one loop, pre-bound kernel-assigned ports.
+struct Pair {
+  NetLoop loop;
+  std::unique_ptr<TcpTransport> a;  ///< process 0 (acceptor)
+  std::unique_ptr<TcpTransport> b;  ///< process 1 (dialer)
+
+  bool connect(MessageSink& sink_a, MessageSink& sink_b) {
+    std::vector<std::string> peers(2);
+    int fds[2];
+    for (std::size_t p = 0; p < 2; ++p) {
+      fds[p] = net::listen_tcp(net::Addr{"127.0.0.1", 0});
+      if (fds[p] < 0) return false;
+      peers[p] = "127.0.0.1:" + std::to_string(net::local_port(fds[p]));
+    }
+    for (std::size_t p = 0; p < 2; ++p) {
+      TcpTransportConfig config;
+      config.self = static_cast<ProcessId>(p);
+      config.peers = peers;
+      config.listen_fd = fds[p];
+      auto t = std::make_unique<TcpTransport>(loop, std::move(config));
+      (p == 0 ? a : b) = std::move(t);
+    }
+    a->attach(0, sink_a);
+    b->attach(1, sink_b);
+    a->start();
+    b->start();
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (!(a->fully_connected() && b->fully_connected())) {
+      if (Clock::now() > deadline) return false;
+      loop.poll_once(sim_ms(1));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+}  // namespace dsm::bench
+
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
+  using namespace dsm;
+  using namespace dsm::bench;
+
+  // ---- ping-pong round-trip latency per payload size -----------------------
+  Table rtt({"payload (B)", "rounds", "rtt p50 (us)", "rtt p99 (us)",
+             "rtt mean (us)", "round trips/s"});
+  for (const std::size_t payload_size : {16u, 256u, 4096u}) {
+    CountingSink pongs;
+    EchoSink echo;
+    Pair pair;
+    if (!pair.connect(pongs, echo)) {
+      std::fprintf(stderr, "loopback pair failed to connect\n");
+      return 1;
+    }
+    echo.transport = pair.b.get();
+    echo.self = 1;
+
+    const auto ping = make_payload(
+        std::vector<std::uint8_t>(payload_size, 0xAB));
+    constexpr std::size_t kWarmup = 200;
+    constexpr std::size_t kRounds = 2000;
+    std::vector<double> samples;
+    samples.reserve(kRounds);
+    const auto bench_start = Clock::now();
+    for (std::size_t i = 0; i < kWarmup + kRounds; ++i) {
+      const std::size_t want = pongs.received + 1;
+      const auto t0 = Clock::now();
+      pair.a->send(0, 1, ping);
+      while (pongs.received < want) pair.loop.poll_once(sim_ms(1));
+      if (i >= kWarmup) samples.push_back(us_between(t0, Clock::now()));
+    }
+    const double total_s =
+        us_between(bench_start, Clock::now()) / 1e6;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0;
+    for (const double s : samples) sum += s;
+    rtt.add(payload_size, kRounds, samples[samples.size() / 2],
+            samples[samples.size() * 99 / 100],
+            sum / static_cast<double>(samples.size()),
+            static_cast<double>(kWarmup + kRounds) / total_s);
+  }
+  emit("loopback frame round-trip (2 transports, 1 loop)", rtt);
+
+  // ---- one-way drained throughput ------------------------------------------
+  Table tput({"payload (B)", "messages", "wall (ms)", "msgs/s", "MB/s"});
+  for (const std::size_t payload_size : {16u, 256u, 4096u}) {
+    CountingSink rx;
+    CountingSink rx_unused;
+    Pair pair;
+    if (!pair.connect(rx_unused, rx)) {
+      std::fprintf(stderr, "loopback pair failed to connect\n");
+      return 1;
+    }
+    const auto msg = make_payload(
+        std::vector<std::uint8_t>(payload_size, 0xCD));
+    constexpr std::size_t kMessages = 20'000;
+    const auto t0 = Clock::now();
+    // Send in bursts so the out-queue drains through writev fan-out instead
+    // of unbounded buffering.
+    std::size_t sent = 0;
+    while (rx.received < kMessages) {
+      while (sent < kMessages && sent - rx.received < 512) {
+        pair.a->send(0, 1, msg);
+        ++sent;
+      }
+      pair.loop.poll_once(sim_ms(1));
+    }
+    const double wall_ms = us_between(t0, Clock::now()) / 1e3;
+    const double msgs_per_s =
+        static_cast<double>(kMessages) / (wall_ms / 1e3);
+    tput.add(payload_size, kMessages, wall_ms, msgs_per_s,
+             msgs_per_s * static_cast<double>(payload_size) /
+                 (1024.0 * 1024.0));
+  }
+  emit("loopback one-way throughput (drained)", tput);
+
+  return finish_bench_json("exp_net") ? 0 : 1;
+}

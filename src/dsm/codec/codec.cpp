@@ -114,7 +114,10 @@ std::optional<std::string> ByteReader::str() {
 
 std::optional<std::vector<std::uint64_t>> ByteReader::u64_vec() {
   const auto len = u64();
-  if (!len || *len > kMaxContainer) {
+  // Every element occupies at least one byte, so a length exceeding the
+  // remaining input is malformed on its face — reject it BEFORE reserving,
+  // or a 5-byte adversarial buffer could drive a 128 MB allocation.
+  if (!len || *len > kMaxContainer || *len > remaining()) {
     fail();
     return std::nullopt;
   }

@@ -77,7 +77,12 @@ std::optional<BatchUpdate> BatchUpdate::decode(ByteReader& r) {
   const auto sender = r.u32();
   const auto round = r.u64();
   const auto count = r.u64();
-  if (!sender || !round || !count || *count > (1ULL << 24)) return std::nullopt;
+  // Each entry is at least 4 encoded bytes; a count beyond the remaining
+  // input is malformed and must not drive the reserve below.
+  if (!sender || !round || !count || *count > (1ULL << 24) ||
+      *count > r.remaining()) {
+    return std::nullopt;
+  }
   m.sender = *sender;
   m.round = *round;
   m.entries.reserve(static_cast<std::size_t>(*count));
@@ -124,7 +129,12 @@ std::optional<CatchUpReply> CatchUpReply::decode(ByteReader& r) {
   const auto replier = r.u32();
   auto have = r.u64_vec();
   const auto count = r.u64();
-  if (!replier || !have || !count || *count > (1ULL << 24)) return std::nullopt;
+  // A WriteUpdate encodes to well over one byte; cap by the remaining input
+  // so a forged count cannot drive the reserve below.
+  if (!replier || !have || !count || *count > (1ULL << 24) ||
+      *count > r.remaining()) {
+    return std::nullopt;
+  }
   m.replier = *replier;
   m.have = VectorClock{std::move(*have)};
   m.writes.reserve(static_cast<std::size_t>(*count));

@@ -1,0 +1,44 @@
+// optcm — the transport-facing seam shared by every deployment tier.
+//
+// A DatagramTransport moves opaque byte payloads between process ids with no
+// delivery guarantee of its own: the simulated Network (dsm/sim/network.h)
+// implements it with modeled latency and optional fault injection, and the
+// real TcpTransport (dsm/net/tcp_transport.h) implements it over sockets —
+// where a send to a disconnected peer is simply dropped, exactly like a
+// fault-plan drop.  The ARQ layer (dsm/sim/reliable.h) is written against
+// this interface only, so the same exactly-once repair machinery runs
+// unchanged over both substrates.
+//
+// Delivery is the MessageSink half (dsm/common/sink.h): the transport calls
+// `attach()`ed sinks from its own dispatch context — the simulator's event
+// loop or the net event loop — honoring the one-logical-thread confinement
+// contract the protocol stack requires.
+
+#pragma once
+
+#include <cstddef>
+
+#include "dsm/common/sink.h"
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+class DatagramTransport {
+ public:
+  virtual ~DatagramTransport() = default;
+
+  /// Register the delivery sink for process `p`.  The sink must outlive the
+  /// transport or be replaced before destruction; implementations dispatch
+  /// into it from their single delivery context.
+  virtual void attach(ProcessId p, MessageSink& sink) = 0;
+
+  /// Best-effort unicast of `payload` from `from` to `to`.  Implementations
+  /// may drop (faults, disconnected peer) or reorder; callers needing
+  /// exactly-once layer a ReliableNode on top.
+  virtual void send(ProcessId from, ProcessId to, Payload payload) = 0;
+
+  /// Number of process slots on this transport.
+  [[nodiscard]] virtual std::size_t n_procs() const = 0;
+};
+
+}  // namespace dsm

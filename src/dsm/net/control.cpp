@@ -1,0 +1,193 @@
+#include "dsm/net/control.h"
+
+#include "dsm/codec/codec.h"
+
+namespace dsm {
+
+namespace {
+
+/// A control script travels inline; anything bigger than this is a driver bug
+/// (the real workloads are tens of steps), so treat it as malformed input.
+constexpr std::uint64_t kMaxScriptSteps = 1u << 16;
+
+void encode_stats(ByteWriter& w, const NodeNetStats& s) {
+  w.u64(s.reliable.data_sent);
+  w.u64(s.reliable.retransmissions);
+  w.u64(s.reliable.acks_sent);
+  w.u64(s.reliable.delivered);
+  w.u64(s.reliable.duplicates_suppressed);
+  w.u64(s.reliable.abandoned);
+  w.u64(s.reliable.rtt_samples);
+  w.u64(s.reliable.malformed_dropped);
+  w.u64(s.tcp.frames_out);
+  w.u64(s.tcp.bytes_out);
+  w.u64(s.tcp.frames_in);
+  w.u64(s.tcp.bytes_in);
+  w.u64(s.tcp.dials);
+  w.u64(s.tcp.dial_failures);
+  w.u64(s.tcp.accepted);
+  w.u64(s.tcp.reconnects);
+  w.u64(s.tcp.sends_dropped);
+  w.u64(s.tcp.frame_errors);
+  w.u64(s.tcp.conns_killed);
+  w.u64(s.dropped_while_down);
+}
+
+/// Decode failures surface through r.ok(), checked once by the caller.
+NodeNetStats decode_stats(ByteReader& r) {
+  NodeNetStats s;
+  s.reliable.data_sent = r.u64().value_or(0);
+  s.reliable.retransmissions = r.u64().value_or(0);
+  s.reliable.acks_sent = r.u64().value_or(0);
+  s.reliable.delivered = r.u64().value_or(0);
+  s.reliable.duplicates_suppressed = r.u64().value_or(0);
+  s.reliable.abandoned = r.u64().value_or(0);
+  s.reliable.rtt_samples = r.u64().value_or(0);
+  s.reliable.malformed_dropped = r.u64().value_or(0);
+  s.tcp.frames_out = r.u64().value_or(0);
+  s.tcp.bytes_out = r.u64().value_or(0);
+  s.tcp.frames_in = r.u64().value_or(0);
+  s.tcp.bytes_in = r.u64().value_or(0);
+  s.tcp.dials = r.u64().value_or(0);
+  s.tcp.dial_failures = r.u64().value_or(0);
+  s.tcp.accepted = r.u64().value_or(0);
+  s.tcp.reconnects = r.u64().value_or(0);
+  s.tcp.sends_dropped = r.u64().value_or(0);
+  s.tcp.frame_errors = r.u64().value_or(0);
+  s.tcp.conns_killed = r.u64().value_or(0);
+  s.dropped_while_down = r.u64().value_or(0);
+  return s;
+}
+
+bool known_op(std::uint8_t raw) {
+  switch (static_cast<ControlOp>(raw)) {
+    case ControlOp::kPing:
+    case ControlOp::kRun:
+    case ControlOp::kQueryDone:
+    case ControlOp::kFetchLog:
+    case ControlOp::kFetchStats:
+    case ControlOp::kKillConn:
+    case ControlOp::kKillHost:
+    case ControlOp::kRestartHost:
+    case ControlOp::kShutdown:
+    case ControlOp::kAck:
+    case ControlOp::kPong:
+    case ControlOp::kDoneReply:
+    case ControlOp::kLogReply:
+    case ControlOp::kStatsReply:
+    case ControlOp::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_control(const ControlMessage& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.op));
+  switch (m.op) {
+    case ControlOp::kRun:
+      w.u64(m.time_scale);
+      w.u64(m.script.size());
+      for (const ScriptStep& step : m.script) {
+        w.u64(step.delay);
+        w.u8(static_cast<std::uint8_t>(step.kind));
+        w.u32(step.var);
+        w.i64(step.value);
+        w.u64(step.poll_every);
+        w.u64(step.timeout);
+      }
+      break;
+    case ControlOp::kKillConn:
+      w.u32(m.peer);
+      break;
+    case ControlOp::kPong:
+    case ControlOp::kDoneReply:
+      w.u8(m.flag ? 1 : 0);
+      break;
+    case ControlOp::kLogReply:
+    case ControlOp::kError:
+      w.str(m.text);
+      break;
+    case ControlOp::kStatsReply:
+      encode_stats(w, m.stats);
+      break;
+    case ControlOp::kPing:
+    case ControlOp::kQueryDone:
+    case ControlOp::kFetchLog:
+    case ControlOp::kFetchStats:
+    case ControlOp::kKillHost:
+    case ControlOp::kRestartHost:
+    case ControlOp::kShutdown:
+    case ControlOp::kAck:
+      break;  // op byte only
+  }
+  return std::move(w).take();
+}
+
+std::optional<ControlMessage> decode_control(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto raw_op = r.u8();
+  if (!raw_op || !known_op(*raw_op)) return std::nullopt;
+  ControlMessage m;
+  m.op = static_cast<ControlOp>(*raw_op);
+  switch (m.op) {
+    case ControlOp::kRun: {
+      m.time_scale = r.u64().value_or(1);
+      const std::uint64_t n = r.u64().value_or(0);
+      if (!r.ok() || n > kMaxScriptSteps) return std::nullopt;
+      m.script.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ScriptStep step;
+        step.delay = r.u64().value_or(0);
+        const auto kind = r.u8();
+        if (!kind || *kind > static_cast<std::uint8_t>(StepKind::kReadUntil)) {
+          return std::nullopt;
+        }
+        step.kind = static_cast<StepKind>(*kind);
+        step.var = r.u32().value_or(0);
+        step.value = r.i64().value_or(0);
+        step.poll_every = r.u64().value_or(0);
+        step.timeout = r.u64().value_or(0);
+        if (!r.ok()) return std::nullopt;
+        m.script.push_back(step);
+      }
+      break;
+    }
+    case ControlOp::kKillConn:
+      m.peer = r.u32().value_or(0);
+      break;
+    case ControlOp::kPong:
+    case ControlOp::kDoneReply: {
+      const auto flag = r.u8();
+      if (!flag || *flag > 1) return std::nullopt;
+      m.flag = *flag == 1;
+      break;
+    }
+    case ControlOp::kLogReply:
+    case ControlOp::kError: {
+      auto text = r.str();
+      if (!text) return std::nullopt;
+      m.text = std::move(*text);
+      break;
+    }
+    case ControlOp::kStatsReply:
+      m.stats = decode_stats(r);
+      break;
+    case ControlOp::kPing:
+    case ControlOp::kQueryDone:
+    case ControlOp::kFetchLog:
+    case ControlOp::kFetchStats:
+    case ControlOp::kKillHost:
+    case ControlOp::kRestartHost:
+    case ControlOp::kShutdown:
+    case ControlOp::kAck:
+      break;
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+}  // namespace dsm

@@ -1,0 +1,90 @@
+// optcm — the cluster control protocol (driver ⇄ node RPC).
+//
+// The ProcessCluster driver steers every node over a dedicated control
+// connection (a Hello with the control role on the node's ordinary listen
+// port).  Each request/reply is one Control frame whose body is a
+// ByteWriter-encoded ControlMessage; the node answers every request with
+// exactly one reply, in order, so the driver can run simple blocking
+// request/reply rounds.
+//
+// Ops:
+//   kPing        → kPong{ready}: ready once the peer mesh is fully connected
+//   kRun         → kAck: install this node's Script (sent inline, so tests
+//                  can drive arbitrary workloads) with a time-scale
+//                  multiplier and start it once the mesh is ready
+//   kQueryDone   → kDoneReply{done}: script finished AND protocol quiescent
+//                  AND ARQ fully acknowledged AND transport flushed
+//   kFetchLog    → kLogReply{text}: the node's recorded run as trace JSONL
+//                  (dsm/audit/trace_io.h) — history ops of this process plus
+//                  every observer event that occurred here
+//   kFetchStats  → kStatsReply{stats}: ARQ + transport counters
+//   kKillConn    → kAck: drop the live TCP connection to `peer` (fault hook)
+//   kKillHost    → kAck: crash the protocol stack (recoverable mode)
+//   kRestartHost → kAck: restore from checkpoint + catch-up
+//   kShutdown    → kAck, then the node's loop exits
+//
+// Decoding is defensive like every codec in the tree: malformed bytes yield
+// std::nullopt (the node replies kError / the driver fails the call), never
+// UB or an abort — a control port is an open network surface.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsm/net/tcp_transport.h"
+#include "dsm/sim/reliable.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+enum class ControlOp : std::uint8_t {
+  kPing = 1,
+  kRun = 2,
+  kQueryDone = 3,
+  kFetchLog = 4,
+  kFetchStats = 5,
+  kKillConn = 6,
+  kKillHost = 7,
+  kRestartHost = 8,
+  kShutdown = 9,
+  // Replies.
+  kAck = 100,
+  kPong = 101,
+  kDoneReply = 102,
+  kLogReply = 103,
+  kStatsReply = 104,
+  kError = 105,
+};
+
+/// One node's transport-layer counters as reported over kFetchStats.
+struct NodeNetStats {
+  ReliableStats reliable;
+  TcpStats tcp;
+  std::uint64_t dropped_while_down = 0;  ///< ProtocolHost drops while crashed
+};
+
+/// Union-style control message; fields beyond `op` are meaningful per op
+/// (see the table above).  Kept flat — the control plane is a handful of
+/// messages, not a protocol family.
+struct ControlMessage {
+  ControlOp op = ControlOp::kPing;
+  bool flag = false;               ///< kPong: ready; kDoneReply: done
+  std::uint64_t time_scale = 1;    ///< kRun
+  Script script;                   ///< kRun
+  ProcessId peer = 0;              ///< kKillConn
+  std::string text;                ///< kLogReply; kError: diagnostic
+  NodeNetStats stats;              ///< kStatsReply
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_control(const ControlMessage& m);
+
+/// std::nullopt on malformed input (unknown op, truncated fields, trailing
+/// bytes, oversized script).
+[[nodiscard]] std::optional<ControlMessage> decode_control(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+// optcm — merging per-node run logs into one analyzable global run.
+//
+// A ProcessCluster run produces N independent traces — each node records its
+// OWN operations and the observer events that occurred THERE, with local
+// wall-clock timestamps that are not comparable across machines.  The
+// checker and auditor, however, consume a single GlobalHistory plus one
+// totally-ordered event log.  merge_runs() builds that pair using only
+// causal structure, never clocks:
+//
+// Per-process order is preserved verbatim (each node's ops and events are
+// already in its program/observation order).  Across processes the merger
+// round-robins, emitting a process's next item only once its dependencies
+// are present in the merged prefix:
+//   * a read waits for the write it reads from (its ↦ro writer),
+//   * a receipt/apply/skip of write w waits for send(w),
+//   * a skip of w by w' additionally waits for send(w'),
+// which is exactly the "effects follow causes" order any real interleaving
+// satisfies.  The result is *a* linearization consistent with causality —
+// sufficient for the checker (which recomputes ↦co from program order + ↦ro)
+// and the auditor (which evaluates per-process delay decisions).
+//
+// Returns std::nullopt when the logs are mutually inconsistent (a read from
+// a write nobody sent, mismatched proc/var counts, a dependency cycle) —
+// that is a correctness failure worth failing a test over, not an input to
+// repair.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsm/audit/trace_io.h"
+
+namespace dsm {
+
+struct MergedRun {
+  GlobalHistory history;
+  std::vector<RunEvent> events;
+
+  MergedRun(std::size_t n_procs, std::size_t n_vars)
+      : history(n_procs, n_vars) {}
+};
+
+/// `runs[p]` must be node p's own trace (ops of process p only; events
+/// observed at p only), all with identical procs/vars metadata.
+[[nodiscard]] std::optional<MergedRun> merge_runs(
+    std::span<const ImportedRun> runs);
+
+}  // namespace dsm

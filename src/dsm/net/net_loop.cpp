@@ -1,0 +1,87 @@
+#include "dsm/net/net_loop.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace dsm {
+
+SimTime NetLoop::wall_now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void NetLoop::watch(int fd, IoCallback cb) {
+  fds_[fd] = Watch{false, std::move(cb)};
+}
+
+void NetLoop::set_want_write(int fd, bool want) {
+  const auto it = fds_.find(fd);
+  if (it != fds_.end()) it->second.want_write = want;
+}
+
+void NetLoop::unwatch(int fd) { fds_.erase(fd); }
+
+void NetLoop::service_queue() {
+  const SimTime t = wall_now();
+  queue_.run_until(t);
+  queue_.advance_to(t);
+}
+
+void NetLoop::poll_once(SimTime max_wait) {
+  // Fire anything already due before sleeping: a callback from the previous
+  // dispatch round may have scheduled immediate work.
+  service_queue();
+
+  SimTime wait = max_wait;
+  if (const auto next = queue_.next_at()) {
+    const SimTime now = wall_now();
+    wait = *next > now ? std::min(wait, *next - now) : 0;
+  }
+  // poll() is millisecond-granular; round up so a 100µs timer sleeps 1ms
+  // instead of busy-spinning at timeout 0.
+  const int timeout_ms =
+      wait == 0 ? 0
+                : static_cast<int>(std::min<SimTime>((wait + 999) / 1000,
+                                                     /*cap 1s*/ 1000));
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, w] : fds_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (w.want_write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+
+  const int n =
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  if (n > 0) {
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) continue;
+      // Callbacks may watch/unwatch fds (accept, close, reconnect); re-look
+      // the fd up so a registration removed mid-dispatch is skipped.
+      const auto it = fds_.find(p.fd);
+      if (it == fds_.end()) continue;
+      Ready r;
+      r.readable = (p.revents & POLLIN) != 0;
+      r.writable = (p.revents & POLLOUT) != 0;
+      r.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      // Copy the callback: the watch entry may be replaced underneath us.
+      IoCallback cb = it->second.cb;
+      cb(r);
+    }
+  }
+  service_queue();
+}
+
+void NetLoop::run(const std::function<bool()>& stop) {
+  while (!stop()) {
+    poll_once(sim_ms(50));
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,89 @@
+// optcm — the net event loop: poll(2) + the deterministic EventQueue, driven
+// by wall-clock time.
+//
+// The whole protocol stack (CausalProtocol, ReliableNode with its adaptive
+// RTO timers, ScriptRunner) is written against EventQueue and SimTime.  The
+// simulator advances that queue logically; this loop advances it with real
+// time instead:
+//
+//   each wakeup:  t := µs since loop epoch
+//                 queue.run_until(t)       — fire every timer now due
+//                 queue.advance_to(t)      — reconcile now() with the wall
+//   poll timeout: next_at() − now(), capped (so late-registered work and
+//                 signals are noticed), floored at 1ms (poll granularity).
+//
+// So an RTO armed for "now + 5ms" fires within a poll-granularity of 5 real
+// milliseconds, and the identical ReliableNode/ScriptRunner code runs over
+// sockets unmodified — the single-delivery-context confinement contract
+// holds because everything (socket callbacks and timers) dispatches from
+// this one loop on one thread.
+//
+// Thread-safety: none.  One NetLoop per thread of control; tests may park
+// several transports on one loop (single-threaded multi-node harnesses).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "dsm/sim/event_queue.h"
+
+namespace dsm {
+
+class NetLoop {
+ public:
+  /// revents-style flags passed to callbacks (POLLIN/POLLOUT/POLLERR/POLLHUP
+  /// collapsed to the two actionable facts).
+  struct Ready {
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< POLLERR | POLLHUP | POLLNVAL
+  };
+  using IoCallback = std::function<void(Ready)>;
+
+  NetLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+  NetLoop(const NetLoop&) = delete;
+  NetLoop& operator=(const NetLoop&) = delete;
+
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// Microseconds since loop construction — the loop's SimTime axis.
+  [[nodiscard]] SimTime wall_now() const;
+
+  /// Register `fd` (always polled for readability).  Replaces any existing
+  /// registration for the same fd.
+  void watch(int fd, IoCallback cb);
+
+  /// Additionally poll `fd` for writability (pending out-queue bytes).
+  void set_want_write(int fd, bool want);
+
+  /// Deregister; safe to call from inside a callback (including the fd's
+  /// own) and on unknown fds.
+  void unwatch(int fd);
+
+  /// One poll + dispatch + timer pass.  Blocks at most `max_wait` (µs),
+  /// less when a timer is due sooner.
+  void poll_once(SimTime max_wait);
+
+  /// Run poll_once until `stop()` returns true (checked once per wakeup).
+  void run(const std::function<bool()>& stop);
+
+  [[nodiscard]] std::size_t watched() const noexcept { return fds_.size(); }
+
+ private:
+  struct Watch {
+    bool want_write = false;
+    IoCallback cb;
+  };
+
+  void service_queue();
+
+  std::chrono::steady_clock::time_point epoch_;
+  EventQueue queue_;
+  std::map<int, Watch> fds_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,339 @@
+#include "dsm/net/process_cluster.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <thread>
+#include <utility>
+
+namespace dsm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+// -- ControlClient ------------------------------------------------------------
+
+ControlClient::~ControlClient() { close(); }
+
+ControlClient::ControlClient(ControlClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rx_(std::move(other.rx_)) {}
+
+ControlClient& ControlClient::operator=(ControlClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+  }
+  return *this;
+}
+
+void ControlClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ControlClient::connect(const net::Addr& addr, int timeout_ms) {
+  (void)std::signal(SIGPIPE, SIG_IGN);  // a dead node must not kill the driver
+  close();
+  fd_ = net::dial_tcp_blocking(addr, timeout_ms);
+  if (fd_ < 0) return false;
+  const auto hello = encode_hello_frame(HelloRole::kControl, /*sender=*/0,
+                                        /*n_procs=*/0);
+  if (!write_all(fd_, hello.data(), hello.size())) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<ControlMessage> ControlClient::call(const ControlMessage& req,
+                                                  int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  const auto frame = encode_frame(FrameKind::kControl, encode_control(req));
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    close();
+    return std::nullopt;
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (auto f = rx_.next()) {
+      if (f->kind != static_cast<std::uint8_t>(FrameKind::kControl)) {
+        close();
+        return std::nullopt;
+      }
+      auto msg = decode_control(f->body);
+      if (!msg) close();
+      return msg;
+    }
+    if (rx_.poisoned()) {
+      close();
+      return std::nullopt;
+    }
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    const int n = ::poll(&p, 1, ms_left(deadline));
+    if (n <= 0) {  // timeout or poll error
+      close();
+      return std::nullopt;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t got = ::read(fd_, buf, sizeof buf);
+    if (got <= 0) {
+      close();
+      return std::nullopt;
+    }
+    (void)rx_.feed({buf, static_cast<std::size_t>(got)});
+  }
+}
+
+// -- ProcessCluster -----------------------------------------------------------
+
+ProcessCluster::ProcessCluster(ProcessClusterConfig config)
+    : config_(std::move(config)) {}
+
+ProcessCluster::~ProcessCluster() {
+  if (spawned_) (void)shutdown(/*timeout_ms=*/5000);
+  teardown();
+}
+
+bool ProcessCluster::spawn() {
+  const std::size_t n = config_.shape.n_procs;
+  std::vector<std::string> peers(n);
+  listen_fds_.assign(n, -1);
+  ports_.assign(n, 0);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    listen_fds_[p] = net::listen_tcp(net::Addr{"127.0.0.1", 0});
+    if (listen_fds_[p] < 0) {
+      teardown();
+      return false;
+    }
+    ports_[p] = net::local_port(listen_fds_[p]);
+    peers[p] = "127.0.0.1:" + std::to_string(ports_[p]);
+  }
+
+  pids_.assign(n, -1);
+  for (std::size_t p = 0; p < n; ++p) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      teardown();
+      return false;
+    }
+    if (pid == 0) {
+      // Child: keep only our own listener; build and serve the node.
+      for (std::size_t q = 0; q < n; ++q) {
+        if (q != p && listen_fds_[q] >= 0) ::close(listen_fds_[q]);
+      }
+      ProcessNodeConfig node_config;
+      node_config.shape = config_.shape;
+      node_config.shape.self = static_cast<ProcessId>(p);
+      node_config.peers = peers;
+      node_config.listen_fd = listen_fds_[p];
+      node_config.arq = config_.arq;
+      {
+        ProcessNode node(std::move(node_config));
+        node.run();
+      }
+      ::_exit(0);  // no atexit / leak sweep of the inherited address space
+    }
+    pids_[p] = pid;
+  }
+  // Parent: the children own the listeners now.
+  for (int& fd : listen_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  controls_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!controls_[p].connect(net::Addr{"127.0.0.1", ports_[p]},
+                              config_.control_timeout_ms)) {
+      teardown();
+      return false;
+    }
+  }
+  spawned_ = true;
+  return true;
+}
+
+bool ProcessCluster::wait_ready(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (auto& client : controls_) {
+      ControlMessage ping;
+      ping.op = ControlOp::kPing;
+      const auto rep = client.call(ping, config_.control_timeout_ms);
+      if (!rep || rep->op != ControlOp::kPong) return false;
+      all = all && rep->flag;
+    }
+    if (all) return true;
+    if (ms_left(deadline) == 0) return false;
+    sleep_ms(2);
+  }
+}
+
+bool ProcessCluster::run(const std::vector<Script>& scripts,
+                         std::uint64_t time_scale) {
+  if (scripts.size() != controls_.size()) return false;
+  for (std::size_t p = 0; p < controls_.size(); ++p) {
+    ControlMessage req;
+    req.op = ControlOp::kRun;
+    req.script = scripts[p];
+    req.time_scale = time_scale;
+    const auto rep = controls_[p].call(req, config_.control_timeout_ms);
+    if (!rep || rep->op != ControlOp::kAck) return false;
+  }
+  return true;
+}
+
+bool ProcessCluster::wait_done(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (auto& client : controls_) {
+      ControlMessage query;
+      query.op = ControlOp::kQueryDone;
+      const auto rep = client.call(query, config_.control_timeout_ms);
+      if (!rep || rep->op != ControlOp::kDoneReply) return false;
+      all = all && rep->flag;
+    }
+    if (all) return true;
+    if (ms_left(deadline) == 0) return false;
+    sleep_ms(5);
+  }
+}
+
+bool ProcessCluster::kill_connection(ProcessId node, ProcessId peer) {
+  if (node >= controls_.size()) return false;
+  ControlMessage req;
+  req.op = ControlOp::kKillConn;
+  req.peer = peer;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  return rep && rep->op == ControlOp::kAck;
+}
+
+bool ProcessCluster::kill_host(ProcessId node) {
+  if (node >= controls_.size()) return false;
+  ControlMessage req;
+  req.op = ControlOp::kKillHost;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  return rep && rep->op == ControlOp::kAck;
+}
+
+bool ProcessCluster::restart_host(ProcessId node) {
+  if (node >= controls_.size()) return false;
+  ControlMessage req;
+  req.op = ControlOp::kRestartHost;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  return rep && rep->op == ControlOp::kAck;
+}
+
+std::optional<ImportedRun> ProcessCluster::fetch_log(ProcessId node) {
+  if (node >= controls_.size()) return std::nullopt;
+  ControlMessage req;
+  req.op = ControlOp::kFetchLog;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  if (!rep || rep->op != ControlOp::kLogReply) return std::nullopt;
+  return import_trace_jsonl(rep->text);
+}
+
+std::optional<NodeNetStats> ProcessCluster::fetch_stats(ProcessId node) {
+  if (node >= controls_.size()) return std::nullopt;
+  ControlMessage req;
+  req.op = ControlOp::kFetchStats;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  if (!rep || rep->op != ControlOp::kStatsReply) return std::nullopt;
+  return rep->stats;
+}
+
+bool ProcessCluster::shutdown(int timeout_ms) {
+  bool ok = true;
+  for (auto& client : controls_) {
+    if (!client.connected()) continue;
+    ControlMessage req;
+    req.op = ControlOp::kShutdown;
+    const auto rep = client.call(req, config_.control_timeout_ms);
+    ok = ok && rep && rep->op == ControlOp::kAck;
+    client.close();
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (pid_t& pid : pids_) {
+    while (pid > 0) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        pid = -1;
+        break;
+      }
+      if (r < 0) {  // already reaped / never existed
+        pid = -1;
+        break;
+      }
+      if (ms_left(deadline) == 0) {
+        (void)::kill(pid, SIGKILL);
+        (void)::waitpid(pid, &status, 0);
+        pid = -1;
+        ok = false;
+        break;
+      }
+      sleep_ms(5);
+    }
+  }
+  spawned_ = false;
+  return ok;
+}
+
+void ProcessCluster::teardown() {
+  for (auto& client : controls_) client.close();
+  for (int& fd : listen_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (pid_t& pid : pids_) {
+    if (pid > 0) {
+      (void)::kill(pid, SIGKILL);
+      int status = 0;
+      (void)::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+  spawned_ = false;
+}
+
+}  // namespace dsm

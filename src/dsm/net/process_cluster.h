@@ -1,0 +1,123 @@
+// optcm — ProcessCluster: a forked loopback cluster plus its driver.
+//
+// The harness behind `optcm drive` and the net tests: it binds one listener
+// per process on 127.0.0.1 with kernel-assigned ports (race-free — the ports
+// are known before any child exists), forks one child per process, and each
+// child runs a ProcessNode that adopts its inherited listener.  The parent
+// never touches the data plane; it steers the run entirely over per-node
+// control connections (dsm/net/control.h) with plain blocking I/O:
+//
+//   spawn() → wait_ready() → run(scripts) → wait_done() → fetch logs/stats
+//   → shutdown() (kShutdown + waitpid, SIGKILL after a grace period)
+//
+// Because the listeners exist before fork, a control connect never races node
+// startup, and kRun is only sent once every node reports a fully connected
+// peer mesh — so connection establishment cannot perturb the scripted
+// workload's timing.
+//
+// Fork hygiene: the parent is single-threaded while spawning; children
+// _exit() (no atexit handlers, no sanitizer leak sweep of the briefly shared
+// address space) and close every inherited fd they don't own.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/audit/trace_io.h"
+#include "dsm/net/control.h"
+#include "dsm/net/process_node.h"
+
+namespace dsm {
+
+/// Blocking request/reply client for one node's control channel.
+class ControlClient {
+ public:
+  ControlClient() = default;
+  ~ControlClient();
+
+  ControlClient(ControlClient&& other) noexcept;
+  ControlClient& operator=(ControlClient&& other) noexcept;
+  ControlClient(const ControlClient&) = delete;
+  ControlClient& operator=(const ControlClient&) = delete;
+
+  /// Connect to a node's listen port and present a control Hello.
+  [[nodiscard]] bool connect(const net::Addr& addr, int timeout_ms);
+
+  /// One request/reply round.  std::nullopt on I/O failure, malformed reply,
+  /// or timeout; the connection is dead afterwards in the failure cases.
+  [[nodiscard]] std::optional<ControlMessage> call(const ControlMessage& req,
+                                                   int timeout_ms);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameAssembler rx_;
+};
+
+struct ProcessClusterConfig {
+  /// Template for every node's stack; `self` is overwritten per process.
+  ProtocolHost::Shape shape;
+  ReliableConfig arq = net_reliable_defaults();
+  int control_timeout_ms = 10'000;  ///< per control round-trip
+};
+
+class ProcessCluster {
+ public:
+  explicit ProcessCluster(ProcessClusterConfig config);
+  ~ProcessCluster();  ///< best-effort shutdown(), then SIGKILL leftovers
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Bind listeners, fork the children, open the control channels.  False on
+  /// any setup failure (cluster is torn down again).
+  [[nodiscard]] bool spawn();
+
+  /// Block until every node reports a fully connected peer mesh.
+  [[nodiscard]] bool wait_ready(int timeout_ms = 10'000);
+
+  /// Install scripts[p] on node p (scripts.size() must equal n_procs) and
+  /// start them; every step delay is multiplied by `time_scale`.
+  [[nodiscard]] bool run(const std::vector<Script>& scripts,
+                         std::uint64_t time_scale);
+
+  /// Poll until every node is done (script finished, protocol + ARQ
+  /// quiescent, transport flushed) — all simultaneously.
+  [[nodiscard]] bool wait_done(int timeout_ms = 60'000);
+
+  // -- fault injection -------------------------------------------------------
+  [[nodiscard]] bool kill_connection(ProcessId node, ProcessId peer);
+  [[nodiscard]] bool kill_host(ProcessId node);
+  [[nodiscard]] bool restart_host(ProcessId node);
+
+  // -- results ---------------------------------------------------------------
+  [[nodiscard]] std::optional<ImportedRun> fetch_log(ProcessId node);
+  [[nodiscard]] std::optional<NodeNetStats> fetch_stats(ProcessId node);
+
+  /// Orderly shutdown: kShutdown to every node, then reap with a grace
+  /// period (SIGKILL stragglers).  True when every child exited cleanly.
+  bool shutdown(int timeout_ms = 10'000);
+
+  [[nodiscard]] std::size_t n_procs() const noexcept {
+    return config_.shape.n_procs;
+  }
+
+ private:
+  void teardown();  ///< close fds, SIGKILL + reap any live children
+
+  ProcessClusterConfig config_;
+  std::vector<int> listen_fds_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<pid_t> pids_;
+  std::vector<ControlClient> controls_;
+  bool spawned_ = false;
+};
+
+}  // namespace dsm

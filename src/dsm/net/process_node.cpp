@@ -1,0 +1,263 @@
+#include "dsm/net/process_node.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "dsm/audit/trace_io.h"
+
+namespace dsm {
+
+namespace {
+constexpr std::size_t kControlReadChunk = 64 * 1024;
+}  // namespace
+
+ReliableConfig net_reliable_defaults() {
+  ReliableConfig config;
+  // Loopback TCP never loses bytes within one connection incarnation, so
+  // retransmission only repairs sends dropped across a disconnect.  Keep the
+  // RTO far above loopback RTT (spurious retransmits are pure overhead) but
+  // below the redial backoff ceiling so a reconnect is repaired in one or two
+  // timer fires.
+  config.rto = sim_ms(20);
+  config.min_rto = sim_ms(5);
+  config.max_rto = sim_ms(250);
+  return config;
+}
+
+ProcessNode::ProcessNode(ProcessNodeConfig config)
+    : config_(std::move(config)),
+      telemetry_(config_.shape.n_procs),
+      recorder_(config_.shape.n_procs, config_.shape.n_vars,
+                [this] { return loop_.queue().now(); }),
+      transport_(loop_,
+                 TcpTransportConfig{
+                     .self = config_.shape.self,
+                     .peers = config_.peers,
+                     .listen_fd = config_.listen_fd,
+                     .metrics = &telemetry_.metrics(),
+                     .trace = &telemetry_.trace(),
+                 }),
+      reliable_(loop_.queue(), transport_, config_.shape.self, *this,
+                config_.arq),
+      endpoint_(reliable_) {
+  telemetry_.set_clock([this] { return loop_.queue().now(); });
+  host_ = std::make_unique<ProtocolHost>(config_.shape, endpoint_,
+                                         telemetry_.observe_through(recorder_),
+                                         &telemetry_);
+}
+
+ProcessNode::~ProcessNode() {
+  for (auto& [fd, conn] : controls_) {
+    loop_.unwatch(fd);
+    ::close(fd);
+  }
+}
+
+void ProcessNode::run() {
+  transport_.set_control_handler(
+      [this](int fd, std::vector<std::uint8_t> residual) {
+        adopt_control(fd, std::move(residual));
+      });
+  transport_.start();
+  host_->start();
+  loop_.run([this] { return shutdown_ && control_flushed(); });
+}
+
+void ProcessNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) {
+  host_->deliver(from, bytes);
+}
+
+void ProcessNode::adopt_control(int fd, std::vector<std::uint8_t> residual) {
+  ControlConn conn;
+  conn.fd = fd;
+  if (!residual.empty()) conn.rx.feed(residual);
+  auto [it, inserted] = controls_.emplace(fd, std::move(conn));
+  (void)inserted;
+  loop_.watch(fd, [this, fd](NetLoop::Ready ready) {
+    on_control_ready(fd, ready);
+  });
+  process_control_frames(it->second);
+}
+
+void ProcessNode::on_control_ready(int fd, NetLoop::Ready ready) {
+  const auto it = controls_.find(fd);
+  if (it == controls_.end()) return;
+  ControlConn& conn = it->second;
+  if (ready.readable || ready.hangup) {
+    for (;;) {
+      std::uint8_t buf[kControlReadChunk];
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        conn.rx.feed(std::span<const std::uint8_t>(
+            buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      drop_control(fd);  // EOF or hard error: the driver went away
+      return;
+    }
+    process_control_frames(conn);
+    if (controls_.find(fd) == controls_.end()) return;
+  }
+  if (ready.writable) flush_control(conn);
+}
+
+void ProcessNode::process_control_frames(ControlConn& conn) {
+  const int fd = conn.fd;
+  while (auto frame = conn.rx.next()) {
+    if (frame->kind != static_cast<std::uint8_t>(FrameKind::kControl)) {
+      drop_control(fd);  // peer/hello frames have no business here
+      return;
+    }
+    const auto msg = decode_control(frame->body);
+    if (!msg) {
+      ControlMessage err;
+      err.op = ControlOp::kError;
+      err.text = "malformed control message";
+      reply(conn, err);
+      continue;
+    }
+    reply(conn, handle_control(*msg));
+    if (controls_.find(fd) == controls_.end()) return;
+  }
+  if (conn.rx.poisoned()) drop_control(fd);
+}
+
+ControlMessage ProcessNode::handle_control(const ControlMessage& req) {
+  ControlMessage rep;
+  switch (req.op) {
+    case ControlOp::kPing:
+      rep.op = ControlOp::kPong;
+      rep.flag = transport_.fully_connected();
+      break;
+    case ControlOp::kRun:
+      if (runner_ != nullptr) {
+        rep.op = ControlOp::kError;
+        rep.text = "a run is already installed";
+      } else {
+        start_run(req);
+        rep.op = ControlOp::kAck;
+      }
+      break;
+    case ControlOp::kQueryDone:
+      rep.op = ControlOp::kDoneReply;
+      rep.flag = run_done();
+      break;
+    case ControlOp::kFetchLog:
+      rep.op = ControlOp::kLogReply;
+      rep.text = export_trace_jsonl(recorder_);
+      break;
+    case ControlOp::kFetchStats:
+      rep.op = ControlOp::kStatsReply;
+      rep.stats.reliable = reliable_.stats();
+      rep.stats.tcp = transport_.stats();
+      rep.stats.dropped_while_down = host_->dropped_while_down();
+      break;
+    case ControlOp::kKillConn:
+      if (req.peer >= transport_.n_procs() || req.peer == config_.shape.self) {
+        rep.op = ControlOp::kError;
+        rep.text = "bad peer id";
+      } else {
+        transport_.kill_connection(req.peer);
+        rep.op = ControlOp::kAck;
+      }
+      break;
+    case ControlOp::kKillHost:
+      if (!host_->up()) {
+        rep.op = ControlOp::kError;
+        rep.text = "host already down";
+      } else {
+        host_->kill();
+        if (runner_ != nullptr) runner_->suspend();
+        rep.op = ControlOp::kAck;
+      }
+      break;
+    case ControlOp::kRestartHost:
+      if (host_->up()) {
+        rep.op = ControlOp::kError;
+        rep.text = "host is up";
+      } else {
+        host_->restart();
+        if (runner_ != nullptr) runner_->resume();
+        rep.op = ControlOp::kAck;
+      }
+      break;
+    case ControlOp::kShutdown:
+      shutdown_ = true;
+      rep.op = ControlOp::kAck;
+      break;
+    default:
+      rep.op = ControlOp::kError;
+      rep.text = "not a request op";
+      break;
+  }
+  return rep;
+}
+
+void ProcessNode::start_run(const ControlMessage& req) {
+  script_ = req.script;
+  ScriptRunner::AfterOp after_op;
+  if (config_.shape.recoverable) {
+    after_op = [this] { host_->checkpoint(); };
+  }
+  runner_ = std::make_unique<ScriptRunner>(
+      loop_.queue(), recorder_,
+      [this]() -> CausalProtocol* {
+        return host_->up() ? &host_->protocol() : nullptr;
+      },
+      config_.shape.self, script_, std::move(after_op));
+  runner_->set_telemetry(&telemetry_);
+  runner_->set_time_scale(req.time_scale);
+  runner_->begin();
+}
+
+bool ProcessNode::run_done() const {
+  return runner_ != nullptr && runner_->done() && host_->up() &&
+         host_->protocol().quiescent() && reliable_.quiescent() &&
+         transport_.flushed();
+}
+
+void ProcessNode::reply(ControlConn& conn, const ControlMessage& msg) {
+  const auto frame = encode_frame(FrameKind::kControl, encode_control(msg));
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  flush_control(conn);
+}
+
+void ProcessNode::flush_control(ControlConn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
+                              conn.out.size() - conn.out_off);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.set_want_write(conn.fd, true);
+      return;
+    }
+    drop_control(conn.fd);
+    return;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  loop_.set_want_write(conn.fd, false);
+}
+
+void ProcessNode::drop_control(int fd) {
+  const auto it = controls_.find(fd);
+  if (it == controls_.end()) return;
+  loop_.unwatch(fd);
+  ::close(fd);
+  controls_.erase(it);
+}
+
+bool ProcessNode::control_flushed() const {
+  for (const auto& [fd, conn] : controls_) {
+    if (!conn.out.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dsm

@@ -1,0 +1,128 @@
+// optcm — ProcessNode: one protocol process as one OS process.
+//
+// The node assembles the exact per-process stack the other deployment tiers
+// use — ScriptRunner → CausalProtocol (inside a ProtocolHost, optionally
+// recoverable) → ReliableNode → transport — but with a TcpTransport on a
+// poll-driven NetLoop at the bottom instead of the simulator's virtual
+// network or ThreadCluster's in-memory mailboxes.  Because every layer above
+// the transport seam is byte-for-byte the same code, the observer-event log a
+// node records is directly comparable (sequence_str) with a simulator run of
+// the same workload.
+//
+// A node is steered remotely: the cluster driver opens a control connection
+// through the node's ordinary listen port (Hello role = control) and speaks
+// the request/reply protocol in dsm/net/control.h — install a script, poll
+// for completion, fetch the recorded trace and stats, inject faults, shut
+// down.  run() blocks until a kShutdown has been received and acknowledged.
+//
+// Everything runs on the single NetLoop thread: socket dispatch, ARQ timers,
+// script steps, and control handling interleave through one EventQueue, so
+// the protocol needs no locking — the same confinement contract as the
+// simulator.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/net/control.h"
+#include "dsm/net/tcp_transport.h"
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/runtime/protocol_host.h"
+#include "dsm/sim/reliable.h"
+#include "dsm/telemetry/telemetry.h"
+#include "dsm/workload/script_runner.h"
+
+namespace dsm {
+
+/// ARQ defaults tuned for loopback TCP: the transport itself is lossless per
+/// connection incarnation, so the RTO only matters across reconnects — keep
+/// it well above loopback RTT to avoid spurious retransmits but short enough
+/// that a 10ms redial window is repaired promptly.
+[[nodiscard]] ReliableConfig net_reliable_defaults();
+
+struct ProcessNodeConfig {
+  ProtocolHost::Shape shape;  ///< protocol kind/topology; shape.self is us
+  /// "host:port" per process; see TcpTransportConfig.
+  std::vector<std::string> peers;
+  int listen_fd = -1;  ///< adopted listener (fork harness), or -1 to bind
+  ReliableConfig arq = net_reliable_defaults();
+};
+
+class ProcessNode final : public MessageSink {
+ public:
+  explicit ProcessNode(ProcessNodeConfig config);
+  ~ProcessNode() override;
+
+  ProcessNode(const ProcessNode&) = delete;
+  ProcessNode& operator=(const ProcessNode&) = delete;
+
+  /// Start the transport + protocol and serve until a control kShutdown has
+  /// been acknowledged (its reply flushed).
+  void run();
+
+  // -- MessageSink: ARQ-deduplicated payloads land here ----------------------
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
+
+  // -- introspection (in-process tests) --------------------------------------
+  [[nodiscard]] NetLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] TcpTransport& transport() noexcept { return transport_; }
+  [[nodiscard]] ReliableNode& reliable() noexcept { return reliable_; }
+  [[nodiscard]] ProtocolHost& host() noexcept { return *host_; }
+  [[nodiscard]] const RunRecorder& recorder() const noexcept {
+    return recorder_;
+  }
+  [[nodiscard]] RunTelemetry& telemetry() noexcept { return telemetry_; }
+
+ private:
+  /// The protocol's transport-facing Endpoint, implemented over the ARQ.
+  class ArqEndpoint final : public Endpoint {
+   public:
+    explicit ArqEndpoint(ReliableNode& arq) : arq_(&arq) {}
+    void broadcast(Payload payload) override { arq_->broadcast(payload); }
+    void send(ProcessId to, Payload payload) override {
+      arq_->send(to, std::move(payload));
+    }
+
+   private:
+    ReliableNode* arq_;
+  };
+
+  /// One adopted control connection (frame-assembled in, buffered out).
+  struct ControlConn {
+    int fd = -1;
+    FrameAssembler rx;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+  };
+
+  void adopt_control(int fd, std::vector<std::uint8_t> residual);
+  void on_control_ready(int fd, NetLoop::Ready ready);
+  void process_control_frames(ControlConn& conn);
+  [[nodiscard]] ControlMessage handle_control(const ControlMessage& req);
+  void start_run(const ControlMessage& req);
+  [[nodiscard]] bool run_done() const;
+  void reply(ControlConn& conn, const ControlMessage& msg);
+  void flush_control(ControlConn& conn);
+  void drop_control(int fd);
+  [[nodiscard]] bool control_flushed() const;
+
+  ProcessNodeConfig config_;
+  NetLoop loop_;
+  RunTelemetry telemetry_;
+  RunRecorder recorder_;
+  TcpTransport transport_;
+  ReliableNode reliable_;
+  ArqEndpoint endpoint_;
+  std::unique_ptr<ProtocolHost> host_;
+  Script script_;  ///< installed by kRun; runner_ points into it
+  std::unique_ptr<ScriptRunner> runner_;
+  std::map<int, ControlConn> controls_;
+  bool shutdown_ = false;
+};
+
+}  // namespace dsm

@@ -1,0 +1,126 @@
+#include "dsm/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace dsm::net {
+
+namespace {
+
+/// host string -> in_addr; accepts dotted quads and "localhost".
+bool parse_host(const std::string& host, in_addr& out) {
+  if (host == "localhost") {
+    out.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &out) == 1;
+}
+
+bool make_sockaddr(const Addr& addr, sockaddr_in& sa) {
+  sa = {};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  return parse_host(addr.host, sa.sin_addr);
+}
+
+}  // namespace
+
+std::optional<Addr> parse_addr(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  Addr addr;
+  if (colon > 0) addr.host = std::string(text.substr(0, colon));
+  const std::string port_str(text.substr(colon + 1));
+  if (port_str.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end != port_str.c_str() + port_str.size() || port > 65535) {
+    return std::nullopt;
+  }
+  addr.port = static_cast<std::uint16_t>(port);
+  in_addr dummy;
+  if (!parse_host(addr.host, dummy)) return std::nullopt;
+  return addr;
+}
+
+int listen_tcp(const Addr& addr) {
+  sockaddr_in sa;
+  if (!make_sockaddr(addr, sa)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) return 0;
+  return ntohs(sa.sin_port);
+}
+
+int dial_tcp(const Addr& addr) {
+  sockaddr_in sa;
+  if (!make_sockaddr(addr, sa)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int dial_tcp_blocking(const Addr& addr, int timeout_ms) {
+  const int fd = dial_tcp(addr);
+  if (fd < 0) return -1;
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLOUT;
+  const int n = ::poll(&p, 1, timeout_ms);
+  if (n != 1 || take_socket_error(fd) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  // Back to blocking mode: the driver wants simple sequential I/O.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  return fd;
+}
+
+int take_socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace dsm::net

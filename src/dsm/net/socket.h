@@ -1,0 +1,53 @@
+// optcm — thin POSIX TCP socket helpers shared by the transport, the cluster
+// harness, and the CLI.
+//
+// Deliberately IPv4-only and resolver-free: the multi-process runtime is a
+// loopback/LAN deployment tier (numeric addresses, plus "localhost" as a
+// spelling of 127.0.0.1), so the helpers can stay dependency-free and
+// non-blocking-safe without pulling in getaddrinfo's thread/cancellation
+// caveats.  Every function reports failure by return value; errno is left
+// intact for the caller's diagnostics.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dsm::net {
+
+/// "host:port" split into pieces; host defaults to 127.0.0.1 when the text
+/// is just ":port".  std::nullopt on malformed input (missing/invalid port,
+/// unparseable IPv4 host).
+struct Addr {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+[[nodiscard]] std::optional<Addr> parse_addr(std::string_view text);
+
+/// Non-blocking listener bound to host:port (port 0 = kernel-assigned),
+/// SO_REUSEADDR set, backlog SOMAXCONN.  Returns the fd, or -1.
+[[nodiscard]] int listen_tcp(const Addr& addr);
+
+/// The port a bound socket actually got (resolves port-0 binds).  0 on error.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Start a non-blocking connect.  Returns the fd (connection then completes
+/// asynchronously — poll for writability and check take_socket_error), or -1
+/// on immediate failure.
+[[nodiscard]] int dial_tcp(const Addr& addr);
+
+/// Blocking connect with an overall deadline (driver side).  Returns the
+/// connected fd (blocking mode, TCP_NODELAY set), or -1.
+[[nodiscard]] int dial_tcp_blocking(const Addr& addr, int timeout_ms);
+
+/// SO_ERROR fetch-and-clear: 0 when the async connect succeeded.
+[[nodiscard]] int take_socket_error(int fd);
+
+/// Best-effort fcntl/setsockopt tweaks (no-ops on failure: a socket without
+/// TCP_NODELAY is slower, not wrong).
+void set_nonblocking(int fd);
+void set_nodelay(int fd);
+
+}  // namespace dsm::net

@@ -128,12 +128,17 @@ std::optional<RunEvent> RunRecorder::find(EvKind kind, ProcessId at,
   return std::nullopt;
 }
 
-std::string RunRecorder::sequence_str(ProcessId p) const {
-  const auto evs = events_at(p);
+std::string sequence_str(std::span<const RunEvent> events, ProcessId p) {
   std::vector<std::string> parts;
-  parts.reserve(evs.size());
-  for (const auto& e : evs) parts.push_back(event_to_string(e));
+  for (const auto& e : events) {
+    if (e.at == p) parts.push_back(event_to_string(e));
+  }
   return join(parts, " <_" + std::to_string(p + 1) + " ");
+}
+
+std::string RunRecorder::sequence_str(ProcessId p) const {
+  const std::scoped_lock lock(mu_);
+  return dsm::sequence_str(events_, p);
 }
 
 }  // namespace dsm

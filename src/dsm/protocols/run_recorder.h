@@ -19,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,14 @@ struct RunEvent {
 
 /// "apply_3(w1^2)" — paper-style event label.
 [[nodiscard]] std::string event_to_string(const RunEvent& e);
+
+/// Paper-style one-line sequence of the events at process p, in the order
+/// given: "receipt_3(w2^1) <_3 apply_3(w2^1) <_3 …".  Timestamps and global
+/// order numbers do not appear, so two runs of the same workload — simulated
+/// or over real sockets, live or imported from a trace — compare
+/// byte-for-byte exactly when their per-process observer behaviour matches.
+[[nodiscard]] std::string sequence_str(std::span<const RunEvent> events,
+                                       ProcessId p);
 
 class RunRecorder final : public ProtocolObserver {
  public:

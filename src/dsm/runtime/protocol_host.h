@@ -1,0 +1,125 @@
+// optcm — the per-process protocol stack behind one transport-facing seam.
+//
+// Both real runtimes — the threaded ThreadCluster (in-memory mailboxes) and
+// the multi-process ProcessNode (TCP sockets) — host exactly the same thing
+// per process: a CausalProtocol built by the registry, optionally wrapped in
+// a RecoveryNode with synchronous checkpoints, fed decoded transport bytes
+// and reporting to an observer chain.  ProtocolHost is that stack, extracted
+// so the hosting logic (build order, checkpoint contents, kill/restart stat
+// accumulation, telemetry wiring) exists once.
+//
+// The delivery contract is MessageSink::deliver — the same interface the
+// mailbox drain loop, the ARQ layer, and the socket dispatch all speak.  A
+// message delivered while the host is down (killed, awaiting restart) is
+// dropped and counted, like traffic to a crashed OS process.
+//
+// Thread-safety: none of its own — the host inherits the protocol's
+// confinement contract.  ThreadCluster calls it under the owning node's
+// mutex; ProcessNode calls it from its single event loop.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsm/common/sink.h"
+#include "dsm/protocols/recovery.h"
+#include "dsm/protocols/registry.h"
+
+namespace dsm {
+
+class RunTelemetry;
+
+class ProtocolHost final : public MessageSink {
+ public:
+  /// What to build: protocol kind and topology, plus whether the stack is
+  /// recoverable (RecoveryNode + synchronous checkpoints; requires a
+  /// class-𝒫 buffering protocol).
+  struct Shape {
+    ProtocolKind kind = ProtocolKind::kOptP;
+    ProcessId self = 0;
+    std::size_t n_procs = 3;
+    std::size_t n_vars = 8;
+    ProtocolConfig protocol_config;
+    bool recoverable = false;
+  };
+
+  /// `lower` is the transport-facing Endpoint (mailbox poster, ARQ node, …)
+  /// and `observer` the head of the observer chain; both must outlive the
+  /// host.  `telemetry` may be null.
+  ProtocolHost(const Shape& shape, Endpoint& lower, ProtocolObserver& observer,
+               RunTelemetry* telemetry = nullptr);
+
+  ProtocolHost(const ProtocolHost&) = delete;
+  ProtocolHost& operator=(const ProtocolHost&) = delete;
+
+  /// Runs the protocol's start() (may send — the transport must already be
+  /// accepting) and, in recoverable mode, takes the time-zero checkpoint.
+  void start();
+
+  // -- MessageSink: the transport-facing delivery contract -------------------
+
+  /// Routes one decoded message into the stack: through the RecoveryNode in
+  /// recoverable mode, straight to the protocol otherwise.  While the host
+  /// is down the message is dropped and counted (a crashed host loses
+  /// traffic; catch-up repairs it after restart).
+  void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
+
+  // -- crash / restart (recoverable mode only) -------------------------------
+
+  /// Serialize protocol + recovery state into the in-memory checkpoint slot
+  /// (the synchronous write-ahead discipline: call after every state-mutating
+  /// operation).
+  void checkpoint();
+
+  /// Destroy the live stack; its counters survive in the accumulators.
+  void kill();
+
+  /// Rebuild from the last checkpoint and broadcast a catch-up request.
+  void restart();
+
+  [[nodiscard]] bool up() const noexcept { return up_; }
+
+  /// The live protocol instance.  \pre up().
+  [[nodiscard]] CausalProtocol& protocol() const;
+
+  /// Live recovery node, or null (non-recoverable mode or killed).
+  [[nodiscard]] RecoveryNode* recovery() const noexcept {
+    return recovery_.get();
+  }
+
+  /// Counters summed across incarnations (accumulators + live instance).
+  [[nodiscard]] ProtocolStats stats() const;
+  [[nodiscard]] RecoveryStats recovery_stats() const;
+
+  /// Messages dropped because they arrived while the host was down.
+  [[nodiscard]] std::uint64_t dropped_while_down() const noexcept {
+    return dropped_while_down_;
+  }
+
+  /// The latest checkpoint blob (exposed for persistence layers).
+  [[nodiscard]] const std::vector<std::uint8_t>& checkpoint_bytes()
+      const noexcept {
+    return checkpoint_;
+  }
+
+ private:
+  void build();
+
+  Shape shape_;
+  Endpoint* lower_;
+  ProtocolObserver* observer_;
+  RunTelemetry* telemetry_;
+  std::unique_ptr<RecoveryNode> recovery_;  ///< recoverable mode only
+  std::unique_ptr<CausalProtocol> protocol_;
+  BufferingProtocol* buffering_ = nullptr;  ///< recoverable mode only
+  bool up_ = true;
+  std::vector<std::uint8_t> checkpoint_;
+  ProtocolStats stats_acc_;  ///< counters of dead incarnations
+  RecoveryStats rec_acc_;
+  std::uint64_t dropped_while_down_ = 0;
+};
+
+}  // namespace dsm

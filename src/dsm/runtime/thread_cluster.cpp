@@ -64,7 +64,13 @@ ThreadCluster::ThreadCluster(const Config& config)
     node->mailbox = std::make_unique<Mailbox>();
     nodes_.push_back(std::move(node));
   }
-  for (ProcessId p = 0; p < config.n_procs; ++p) build_node_locked(p);
+  for (ProcessId p = 0; p < config.n_procs; ++p) {
+    const ProtocolHost::Shape shape{kind_,  p,
+                                    config.n_procs, n_vars_,
+                                    protocol_config_, recoverable_};
+    nodes_[p]->host = std::make_unique<ProtocolHost>(
+        shape, *nodes_[p]->endpoint, *observer_, telemetry_);
+  }
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     nodes_[p]->delivery = std::thread([this, p] { deliver_loop(p); });
   }
@@ -72,46 +78,11 @@ ThreadCluster::ThreadCluster(const Config& config)
   // accepting messages.
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     const std::scoped_lock lock(nodes_[p]->mu);
-    nodes_[p]->protocol->start();
-    // Time-zero baseline: a process killed before its first operation still
-    // restores to a well-formed (empty) state.
-    if (recoverable_) checkpoint_locked(p);
+    nodes_[p]->host->start();
   }
 }
 
 ThreadCluster::~ThreadCluster() { shutdown(); }
-
-void ThreadCluster::build_node_locked(ProcessId p) {
-  Node& node = *nodes_[p];
-  if (recoverable_) {
-    node.recovery =
-        std::make_unique<RecoveryNode>(p, nodes_.size(), *node.endpoint);
-    node.protocol = make_protocol(kind_, p, nodes_.size(), n_vars_,
-                                  *node.recovery, *observer_, protocol_config_);
-    node.buffering = dynamic_cast<BufferingProtocol*>(node.protocol.get());
-    DSM_REQUIRE(node.buffering != nullptr &&
-                "recoverable clusters need a class-P buffering protocol; a "
-                "crashed token holder would require an election");
-    node.recovery->set_protocol(*node.buffering);
-    node.recovery->set_checkpoint_hook([this, p] { checkpoint_locked(p); });
-  } else {
-    node.protocol = make_protocol(kind_, p, nodes_.size(), n_vars_,
-                                  *node.endpoint, *observer_, protocol_config_);
-  }
-  if (telemetry_ != nullptr)
-    node.protocol->set_instrumentation(&telemetry_->instrumentation(p));
-}
-
-void ThreadCluster::checkpoint_locked(ProcessId p) {
-  Node& node = *nodes_[p];
-  DSM_REQUIRE(node.protocol != nullptr);
-  ByteWriter w;
-  node.protocol->snapshot(w);
-  node.recovery->snapshot(w);
-  node.checkpoint = std::move(w).take();
-  if (telemetry_ != nullptr)
-    telemetry_->record_checkpoint(p, node.checkpoint.size());
-}
 
 void ThreadCluster::shutdown() {
   if (stopped_.exchange(true)) return;
@@ -124,8 +95,8 @@ void ThreadCluster::shutdown() {
     // detach the clock (it captures `this`).
     for (ProcessId p = 0; p < nodes_.size(); ++p) {
       const std::scoped_lock lock(nodes_[p]->mu);
-      if (nodes_[p]->recovery != nullptr)
-        telemetry_->fold_recovery(p, nodes_[p]->recovery->stats());
+      if (nodes_[p]->host->recovery() != nullptr)
+        telemetry_->fold_recovery(p, nodes_[p]->host->recovery()->stats());
     }
     telemetry_->set_clock({});
   }
@@ -160,14 +131,7 @@ void ThreadCluster::deliver_loop(ProcessId p) {
     }
     {
       const std::scoped_lock lock(node.mu);
-      if (!node.up) {
-        // Crashed host: the message is lost; catch-up repairs it later.
-        crash_dropped_.fetch_add(1, std::memory_order_relaxed);
-      } else if (node.recovery != nullptr) {
-        node.recovery->deliver(envelope->from, *envelope->bytes);
-      } else {
-        node.protocol->on_message(envelope->from, *envelope->bytes);
-      }
+      node.host->deliver(envelope->from, *envelope->bytes);
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -177,95 +141,78 @@ void ThreadCluster::write(ProcessId p, VarId x, Value v) {
   DSM_REQUIRE(p < nodes_.size());
   Node& node = *nodes_[p];
   const std::scoped_lock lock(node.mu);
-  DSM_REQUIRE(node.up && "write() on a killed process");
+  DSM_REQUIRE(node.host->up() && "write() on a killed process");
   recorder_->record_write(p, x, v);
   if (telemetry_ != nullptr) telemetry_->record_write_op(p, x, v);
-  node.protocol->write(x, v);
-  if (recoverable_) checkpoint_locked(p);
+  node.host->protocol().write(x, v);
+  if (recoverable_) node.host->checkpoint();
 }
 
 ReadResult ThreadCluster::read(ProcessId p, VarId x) {
   DSM_REQUIRE(p < nodes_.size());
   Node& node = *nodes_[p];
   const std::scoped_lock lock(node.mu);
-  DSM_REQUIRE(node.up && "read() on a killed process");
-  const ReadResult r = node.protocol->read(x);
+  DSM_REQUIRE(node.host->up() && "read() on a killed process");
+  const ReadResult r = node.host->protocol().read(x);
   recorder_->record_read(p, x, r);
   // OptP merges Write_co on reads, so reads mutate durable state too.
-  if (recoverable_) checkpoint_locked(p);
+  if (recoverable_) node.host->checkpoint();
   return r;
 }
 
 ReadResult ThreadCluster::peek(ProcessId p, VarId x) const {
   DSM_REQUIRE(p < nodes_.size());
   const std::scoped_lock lock(nodes_[p]->mu);
-  if (!nodes_[p]->up) return {};
-  return nodes_[p]->protocol->peek(x);
+  if (!nodes_[p]->host->up()) return {};
+  return nodes_[p]->host->protocol().peek(x);
 }
 
 void ThreadCluster::kill(ProcessId p) {
   DSM_REQUIRE(recoverable_);
   DSM_REQUIRE(p < nodes_.size());
-  Node& node = *nodes_[p];
-  const std::scoped_lock lock(node.mu);
-  DSM_REQUIRE(node.up && "kill() on an already-killed process");
-  // The dying incarnation's counters survive in the accumulators (stats are
-  // volatile by design — they are not part of the checkpoint).
-  node.stats_acc += node.protocol->stats();
-  node.rec_acc += node.recovery->stats();
-  if (telemetry_ != nullptr) {
-    telemetry_->record_crash(p);
-    telemetry_->fold_recovery(p, node.recovery->stats());
-  }
-  node.protocol.reset();
-  node.buffering = nullptr;
-  node.recovery.reset();
-  node.up = false;
+  const std::scoped_lock lock(nodes_[p]->mu);
+  nodes_[p]->host->kill();
 }
 
 void ThreadCluster::restart(ProcessId p) {
   DSM_REQUIRE(recoverable_);
   DSM_REQUIRE(p < nodes_.size());
-  Node& node = *nodes_[p];
-  const std::scoped_lock lock(node.mu);
-  DSM_REQUIRE(!node.up && "restart() on a live process");
-  if (telemetry_ != nullptr) telemetry_->record_restart(p);
-  build_node_locked(p);
-  ByteReader r(node.checkpoint);
-  DSM_REQUIRE(node.protocol->restore(r));
-  DSM_REQUIRE(node.recovery->restore(r));
-  DSM_REQUIRE(r.exhausted());
-  node.up = true;
-  node.recovery->request_catch_up();
-  checkpoint_locked(p);
+  const std::scoped_lock lock(nodes_[p]->mu);
+  nodes_[p]->host->restart();
 }
 
 bool ThreadCluster::alive(ProcessId p) const {
   DSM_REQUIRE(p < nodes_.size());
   const std::scoped_lock lock(nodes_[p]->mu);
-  return nodes_[p]->up;
+  return nodes_[p]->host->up();
 }
 
 ProtocolStats ThreadCluster::stats(ProcessId p) const {
   DSM_REQUIRE(p < nodes_.size());
   const std::scoped_lock lock(nodes_[p]->mu);
-  ProtocolStats s = nodes_[p]->stats_acc;
-  if (nodes_[p]->protocol != nullptr) s += nodes_[p]->protocol->stats();
-  return s;
+  return nodes_[p]->host->stats();
 }
 
 RecoveryStats ThreadCluster::recovery_stats() const {
   RecoveryStats total;
   for (const auto& node : nodes_) {
     const std::scoped_lock lock(node->mu);
-    total += node->rec_acc;
-    if (node->recovery != nullptr) total += node->recovery->stats();
+    total += node->host->recovery_stats();
   }
   return total;
 }
 
 std::uint64_t ThreadCluster::replay_suppressed() const {
   return filter_ != nullptr ? filter_->suppressed() : 0;
+}
+
+std::uint64_t ThreadCluster::crash_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    const std::scoped_lock lock(node->mu);
+    total += node->host->dropped_while_down();
+  }
+  return total;
 }
 
 bool ThreadCluster::await_quiescence(std::chrono::milliseconds timeout) {
@@ -275,7 +222,7 @@ bool ThreadCluster::await_quiescence(std::chrono::milliseconds timeout) {
       bool quiescent = true;
       for (const auto& node : nodes_) {
         const std::scoped_lock lock(node->mu);
-        if (!node->up || !node->protocol->quiescent()) {
+        if (!node->host->up() || !node->host->protocol().quiescent()) {
           quiescent = false;
           break;
         }

@@ -22,6 +22,12 @@
 // layer here — mailboxes are lossless — so the catch-up exchange is the ONLY
 // repair path for messages dropped while down; it suffices because every
 // peer logs every write it has seen and serves it on request.
+//
+// The per-process stack itself — protocol construction, recovery wiring,
+// checkpoints, kill/restart accounting — is ProtocolHost
+// (dsm/runtime/protocol_host.h), shared with the multi-process ProcessNode
+// runtime; this class adds only what is thread-specific: mailboxes, delivery
+// threads, and the per-node mutex.
 
 #pragma once
 
@@ -38,6 +44,7 @@
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/mailbox.h"
+#include "dsm/runtime/protocol_host.h"
 #include "dsm/telemetry/telemetry.h"
 
 namespace dsm {
@@ -106,9 +113,8 @@ class ThreadCluster {
   [[nodiscard]] RecoveryStats recovery_stats() const;
   /// Observer events suppressed as replays (recoverable mode).
   [[nodiscard]] std::uint64_t replay_suppressed() const;
-  [[nodiscard]] std::uint64_t crash_dropped() const noexcept {
-    return crash_dropped_.load(std::memory_order_relaxed);
-  }
+  /// Messages dropped because they arrived at a killed process.
+  [[nodiscard]] std::uint64_t crash_dropped() const;
   [[nodiscard]] std::size_t n_procs() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
 
@@ -133,25 +139,15 @@ class ThreadCluster {
 
   struct Node {
     std::unique_ptr<ClusterEndpoint> endpoint;
-    std::unique_ptr<RecoveryNode> recovery;  ///< recoverable mode only
-    std::unique_ptr<CausalProtocol> protocol;
-    BufferingProtocol* buffering = nullptr;  ///< recoverable mode only
+    /// The protocol stack (shared with ProcessNode); guarded by mu.
+    std::unique_ptr<ProtocolHost> host;
     std::unique_ptr<Mailbox> mailbox;
     std::thread delivery;
     mutable std::mutex mu;  ///< serializes all protocol access
-    // All fields below are guarded by mu.
-    bool up = true;
-    std::vector<std::uint8_t> checkpoint;
-    ProtocolStats stats_acc;    ///< counters of dead incarnations
-    RecoveryStats rec_acc;
   };
 
   void deliver_loop(ProcessId p);
   void post(ProcessId from, ProcessId to, Payload bytes);
-  /// Constructs the protocol stack for p.  Caller holds p's mutex (or is the
-  /// constructor, before threads start).
-  void build_node_locked(ProcessId p);
-  void checkpoint_locked(ProcessId p);
 
   ProtocolKind kind_;
   ProtocolConfig protocol_config_;
@@ -165,7 +161,6 @@ class ThreadCluster {
   ProtocolObserver* observer_ = nullptr;  ///< the chain head protocols report to
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<std::uint64_t> in_flight_{0};
-  std::atomic<std::uint64_t> crash_dropped_{0};
   std::atomic<bool> stopped_{false};
   std::mutex jitter_mu_;
   Rng jitter_rng_;

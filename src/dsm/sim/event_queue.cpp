@@ -38,4 +38,14 @@ std::size_t EventQueue::run_until(SimTime horizon) {
   return fired;
 }
 
+std::optional<SimTime> EventQueue::next_at() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().at;
+}
+
+void EventQueue::advance_to(SimTime t) {
+  if (!heap_.empty() && heap_.top().at < t) t = heap_.top().at;
+  if (t > now_) now_ = t;
+}
+
 }  // namespace dsm

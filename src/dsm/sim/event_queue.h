@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -40,6 +41,16 @@ class EventQueue {
 
   /// Fire events with timestamp <= horizon.  Returns events fired.
   std::size_t run_until(SimTime horizon);
+
+  /// Timestamp of the earliest pending event, if any — the net event loop
+  /// derives its poll timeout from this.
+  [[nodiscard]] std::optional<SimTime> next_at() const;
+
+  /// Advance now() to `t` without firing anything — how a wall-clock-driven
+  /// loop reconciles simulated time with real time between poll wakeups.
+  /// Call run_until(t) first; events already due before `t` keep their
+  /// earlier timestamps, so now() never moves past a pending event.
+  void advance_to(SimTime t);
 
  private:
   struct Entry {

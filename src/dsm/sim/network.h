@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dsm/common/sink.h"
+#include "dsm/common/transport.h"
 #include "dsm/common/types.h"
 #include "dsm/sim/event_queue.h"
 #include "dsm/sim/fault.h"
@@ -32,7 +33,7 @@ struct NetworkStats {
   SimTime max_latency_seen = 0;
 };
 
-class Network {
+class Network final : public DatagramTransport {
  public:
   /// Inspect a message about to be sent and, if engaged, dictate its latency
   /// (used to reproduce the paper's choreographed runs).
@@ -43,7 +44,7 @@ class Network {
 
   /// Register the sink for process p.  Must be called for all processes
   /// before any send; sinks must outlive the network (or be detach()ed).
-  void attach(ProcessId p, MessageSink& sink);
+  void attach(ProcessId p, MessageSink& sink) override;
 
   /// Remove process p's sink — the crash path.  Messages already in flight
   /// to p (and any sent while detached) are counted as crash drops instead
@@ -53,7 +54,7 @@ class Network {
   /// Unicast `payload` from `from` to `to`; delivery is scheduled on the
   /// event queue after the modeled latency.  In-flight copies (including
   /// fault-injected duplicates) share the payload by refcount.
-  void send(ProcessId from, ProcessId to, Payload payload);
+  void send(ProcessId from, ProcessId to, Payload payload) override;
 
   /// Fan-out to every process except `from` (paper footnote 5: the
   /// propagation mechanism is irrelevant at this abstraction level).  One
@@ -69,7 +70,7 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fstats_; }
-  [[nodiscard]] std::size_t n_procs() const noexcept { return sinks_.size(); }
+  [[nodiscard]] std::size_t n_procs() const override { return sinks_.size(); }
 
  private:
   EventQueue* queue_;

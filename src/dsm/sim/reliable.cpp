@@ -9,20 +9,20 @@
 
 namespace dsm {
 
-ReliableNode::ReliableNode(EventQueue& queue, Network& network, ProcessId self,
-                           MessageSink& upper, Config config)
+ReliableNode::ReliableNode(EventQueue& queue, DatagramTransport& transport,
+                           ProcessId self, MessageSink& upper, Config config)
     : queue_(&queue),
-      network_(&network),
+      network_(&transport),
       self_(self),
       upper_(&upper),
       config_(config),
-      tx_(network.n_procs()),
-      rx_(network.n_procs()) {
+      tx_(transport.n_procs()),
+      rx_(transport.n_procs()) {
   DSM_REQUIRE(config_.min_rto > 0);
   DSM_REQUIRE(config_.min_rto <= config_.max_rto);
   DSM_REQUIRE(config_.rto > 0);
   for (PeerTx& peer : tx_) peer.rto = config_.rto;
-  network.attach(self, *this);
+  transport.attach(self, *this);
 }
 
 ReliableNode::~ReliableNode() { *alive_ = false; }
@@ -140,7 +140,14 @@ void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) 
   ByteReader r{bytes};
   const auto type = r.u8();
   const auto seq = r.u64();
-  DSM_REQUIRE(type.has_value() && seq.has_value());
+  if (!type || !seq || *type > static_cast<std::uint8_t>(FrameType::kAck)) {
+    // A frame this class did not produce.  The simulator's network cannot
+    // corrupt bytes, but a real socket peer can say anything; dropping (and
+    // counting) is the only safe response — aborting would hand a remote
+    // byte stream a kill switch.
+    ++stats_.malformed_dropped;
+    return;
+  }
 
   switch (static_cast<FrameType>(*type)) {
     case FrameType::kData: {
@@ -164,7 +171,6 @@ void ReliableNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) 
       return;
     }
   }
-  DSM_REQUIRE(false && "unknown frame type");
 }
 
 SimTime ReliableNode::current_rto(ProcessId to) const {

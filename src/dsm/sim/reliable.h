@@ -53,7 +53,8 @@
 #include <vector>
 
 #include "dsm/codec/codec.h"
-#include "dsm/sim/network.h"
+#include "dsm/common/transport.h"
+#include "dsm/sim/event_queue.h"
 
 namespace dsm {
 
@@ -65,6 +66,7 @@ struct ReliableStats {
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t abandoned = 0;        ///< gave up after max_retries (bug alarm)
   std::uint64_t rtt_samples = 0;      ///< ACKs that updated the RTT estimator
+  std::uint64_t malformed_dropped = 0;  ///< frames this class never produced
 
   ReliableStats& operator+=(const ReliableStats& o) noexcept {
     data_sent += o.data_sent;
@@ -74,6 +76,7 @@ struct ReliableStats {
     duplicates_suppressed += o.duplicates_suppressed;
     abandoned += o.abandoned;
     rtt_samples += o.rtt_samples;
+    malformed_dropped += o.malformed_dropped;
     return *this;
   }
 };
@@ -92,25 +95,29 @@ struct ReliableConfig {
 };
 
 /// The reliable-channel endpoint of one process: ARQ sender and receiver in
-/// one object, sitting between a (faulty) Network and an upper MessageSink.
+/// one object, sitting between a lossy DatagramTransport and an upper
+/// MessageSink.  The transport is the simulated Network in the simulator and
+/// the TcpTransport in the multi-process runtime (where a send racing a
+/// disconnect is dropped and this layer's retransmission repairs it over the
+/// re-dialed connection).
 ///
 /// Thread-safety: none — single-threaded by design.  Every method runs on
-/// the simulator's event loop (the EventQueue dispatches one event at a
-/// time); the threaded cluster does not use this class (its mailboxes are
-/// lossless).
+/// one dispatch context: the simulator's event loop, or the net event loop
+/// (whose EventQueue is driven by wall-clock time); the threaded cluster
+/// does not use this class (its mailboxes are lossless).
 class ReliableNode final : public MessageSink {
  public:
   using Config = ReliableConfig;
 
-  /// Registers itself as process `self`'s sink on `network`.  `upper`
+  /// Registers itself as process `self`'s sink on `transport`.  `upper`
   /// receives deduplicated payloads exactly once each.
   ///
-  /// \pre `queue`, `network` and `upper` outlive this node (timers capture
+  /// \pre `queue`, `transport` and `upper` outlive this node (timers capture
   ///      an aliveness token, so destruction before pending timers fire is
   ///      safe, but the references themselves must stay valid while alive).
-  /// \post this node owns `self`'s slot on the network; constructing a
+  /// \post this node owns `self`'s slot on the transport; constructing a
   ///       second sink for the same process is an error.
-  ReliableNode(EventQueue& queue, Network& network, ProcessId self,
+  ReliableNode(EventQueue& queue, DatagramTransport& transport, ProcessId self,
                MessageSink& upper, Config config = {});
   ~ReliableNode();
 
@@ -139,9 +146,9 @@ class ReliableNode final : public MessageSink {
   /// their sequence number is new, delivered upward; duplicate DATA is
   /// suppressed (and re-ACKed); ACK frames retire the tx entry and feed the
   /// RTT estimator (Karn's rule: only never-retransmitted packets sample).
-  ///
-  /// \pre `bytes` is a frame this class produced (malformed frames hard-fail
-  ///      via DSM_REQUIRE — the simulator's network cannot corrupt bytes).
+  /// A frame this class never produced (bad type byte, truncated varint) is
+  /// dropped and counted in stats().malformed_dropped — over real sockets a
+  /// peer can say anything, so garbage must not be able to abort the node.
   void deliver(ProcessId from, std::span<const std::uint8_t> bytes) override;
 
   // -- checkpoint / restore --------------------------------------------------
@@ -216,7 +223,7 @@ class ReliableNode final : public MessageSink {
                                                 std::span<const std::uint8_t> payload);
 
   EventQueue* queue_;
-  Network* network_;
+  DatagramTransport* network_;
   ProcessId self_;
   MessageSink* upper_;
   Config config_;

@@ -115,6 +115,17 @@ inline constexpr char kNetDropped[] = "net_dropped_total";
 inline constexpr char kNetDuplicated[] = "net_duplicated_total";
 inline constexpr char kNetPartitionDropped[] = "net_partition_dropped_total";
 inline constexpr char kNetCrashDropped[] = "net_crash_dropped_total";
+// TCP transport layer (dsm/net; per node — each OS process owns a registry).
+inline constexpr char kTcpFramesIn[] = "tcp_frames_in_total";
+inline constexpr char kTcpFramesOut[] = "tcp_frames_out_total";
+inline constexpr char kTcpBytesIn[] = "tcp_bytes_in_total";
+inline constexpr char kTcpBytesOut[] = "tcp_bytes_out_total";
+inline constexpr char kTcpDials[] = "tcp_dials_total";
+inline constexpr char kTcpDialFailures[] = "tcp_dial_failures_total";
+inline constexpr char kTcpReconnects[] = "tcp_reconnects_total";
+inline constexpr char kTcpAccepted[] = "tcp_accepted_total";
+inline constexpr char kTcpSendsDropped[] = "tcp_sends_dropped_total";
+inline constexpr char kTcpFrameErrors[] = "tcp_frame_errors_total";
 }  // namespace metric
 
 /// Named metrics for one run, owned per scope and aggregated on demand.

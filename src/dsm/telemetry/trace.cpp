@@ -19,6 +19,8 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::kCrash: return "crash";
     case TraceKind::kRestart: return "restart";
     case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kConnect: return "connect";
+    case TraceKind::kDisconnect: return "disconnect";
   }
   return "?";
 }

@@ -42,6 +42,8 @@ enum class TraceKind : std::uint8_t {
   kCrash,       ///< the process crashed (volatile state lost)
   kRestart,     ///< the process restarted from its checkpoint
   kCheckpoint,  ///< the process took a checkpoint
+  kConnect,     ///< net: a peer connection became established (var = peer id)
+  kDisconnect,  ///< net: a peer connection was lost/closed (var = peer id)
 };
 
 [[nodiscard]] std::string_view to_string(TraceKind k);

@@ -1,0 +1,84 @@
+#include "dsm/workload/script_runner.h"
+
+#include <utility>
+
+#include "dsm/common/contracts.h"
+#include "dsm/telemetry/telemetry.h"
+
+namespace dsm {
+
+ScriptRunner::ScriptRunner(EventQueue& queue, RunRecorder& recorder,
+                           ProtoFn proto, ProcessId self, const Script& script,
+                           AfterOp after_op, std::vector<std::uint64_t>* issued)
+    : queue_(&queue),
+      recorder_(&recorder),
+      proto_(std::move(proto)),
+      self_(self),
+      script_(&script),
+      after_op_(std::move(after_op)),
+      issued_(issued) {}
+
+void ScriptRunner::begin() { schedule_step(0, 0); }
+
+void ScriptRunner::resume() {
+  down_ = false;
+  if (stashed_) {
+    stashed_ = false;
+    const std::size_t idx = stash_idx_;
+    queue_->schedule_after(0, [this, idx] { execute(idx); });
+  }
+}
+
+void ScriptRunner::schedule_step(std::size_t idx, SimTime extra_delay) {
+  if (idx >= script_->size()) return;
+  const ScriptStep& step = (*script_)[idx];
+  queue_->schedule_after(step.delay * time_scale_ + extra_delay,
+                         [this, idx] { execute(idx); });
+}
+
+void ScriptRunner::execute(std::size_t idx) {
+  if (down_) {
+    // The process is crashed; park the step until the restart.
+    stashed_ = true;
+    stash_idx_ = idx;
+    return;
+  }
+  CausalProtocol* proto = proto_();
+  DSM_REQUIRE(proto != nullptr);
+  const ScriptStep& step = (*script_)[idx];
+  switch (step.kind) {
+    case StepKind::kWrite: {
+      recorder_->record_write(self_, step.var, step.value);
+      if (telemetry_ != nullptr)
+        telemetry_->record_write_op(self_, step.var, step.value);
+      proto->write(step.var, step.value);
+      if (issued_ != nullptr) ++(*issued_)[self_];
+      break;
+    }
+    case StepKind::kRead: {
+      const ReadResult r = proto->read(step.var);
+      recorder_->record_read(self_, step.var, r);
+      break;
+    }
+    case StepKind::kReadUntil: {
+      // Poll without reading; fire the one real read when the awaited
+      // value is visible (or the timeout elapsed).
+      if (proto->peek(step.var).value != step.value &&
+          waited_ < step.timeout * time_scale_) {
+        waited_ += step.poll_every * time_scale_;
+        queue_->schedule_after(step.poll_every * time_scale_,
+                               [this, idx] { execute(idx); });
+        return;
+      }
+      waited_ = 0;
+      const ReadResult r = proto->read(step.var);
+      recorder_->record_read(self_, step.var, r);
+      break;
+    }
+  }
+  if (after_op_) after_op_();
+  next_ = idx + 1;
+  schedule_step(next_, 0);
+}
+
+}  // namespace dsm

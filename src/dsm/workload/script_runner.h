@@ -1,0 +1,81 @@
+// optcm — per-process script execution as chained queue events.
+//
+// A ScriptRunner walks one process's Script step by step on an EventQueue,
+// recording operations into the RunRecorder exactly when they are issued.
+// It is deployment-agnostic: the simulator drives it on virtual time, and
+// the multi-process ProcessNode drives it on a wall-clock-synchronized
+// queue — the same stepping, polling, and recording logic in both, which is
+// what makes observer-event logs comparable across deployments.
+//
+// Crash-mode extras (used by the simulator's crash path): the protocol is
+// fetched through an accessor (the instance is rebuilt on restart), a step
+// firing while the process is down is stashed and replayed on resume(),
+// `after_op` (the checkpoint hook) runs after every completed operation, and
+// `issued` counts this process's writes (the recovery-completion target).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/sim/event_queue.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+class RunTelemetry;
+
+class ScriptRunner {
+ public:
+  using ProtoFn = std::function<CausalProtocol*()>;
+  using AfterOp = std::function<void()>;
+
+  /// \pre `queue`, `recorder`, and `script` outlive the runner; `proto()`
+  ///      returns the live protocol whenever an event fires while up.
+  ScriptRunner(EventQueue& queue, RunRecorder& recorder, ProtoFn proto,
+               ProcessId self, const Script& script, AfterOp after_op = {},
+               std::vector<std::uint64_t>* issued = nullptr);
+
+  /// Schedule the first step (delay relative to queue.now()).
+  void begin();
+
+  /// Attach run telemetry (write-operation events); may stay null.
+  void set_telemetry(RunTelemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
+  /// Multiply every step delay and poll interval by `scale` (the net runtime
+  /// stretches microsecond-granularity sim scripts onto wall-clock time).
+  /// Call before begin().
+  void set_time_scale(std::uint64_t scale) noexcept { time_scale_ = scale; }
+
+  [[nodiscard]] bool done() const noexcept { return next_ >= script_->size(); }
+
+  /// Crash-mode hooks: park steps while down, replay the parked one on
+  /// resume.
+  void suspend() noexcept { down_ = true; }
+  void resume();
+
+ private:
+  void schedule_step(std::size_t idx, SimTime extra_delay);
+  void execute(std::size_t idx);
+
+  EventQueue* queue_;
+  RunRecorder* recorder_;
+  RunTelemetry* telemetry_ = nullptr;
+  ProtoFn proto_;
+  ProcessId self_;
+  const Script* script_;
+  AfterOp after_op_;
+  std::vector<std::uint64_t>* issued_;
+  std::uint64_t time_scale_ = 1;
+  std::size_t next_ = 0;
+  SimTime waited_ = 0;
+  bool down_ = false;
+  bool stashed_ = false;
+  std::size_t stash_idx_ = 0;
+};
+
+}  // namespace dsm

@@ -7,6 +7,7 @@
 #include "dsm/common/contracts.h"
 #include "dsm/sim/event_queue.h"
 #include "dsm/telemetry/telemetry.h"
+#include "dsm/workload/script_runner.h"
 
 namespace dsm {
 namespace {
@@ -70,115 +71,6 @@ class LateSink final : public MessageSink {
 
  private:
   MessageSink* sink_ = nullptr;
-};
-
-/// Per-process script executor: runs steps as a chain of queue events.
-///
-/// Crash mode extras: the protocol is fetched through an accessor (the
-/// instance is rebuilt on restart), a step firing while the process is down
-/// is stashed and replayed on resume(), `after_op` (the checkpoint hook)
-/// runs after every completed operation, and `issued` counts this process's
-/// writes (the recovery-completion target).
-class ScriptRunner {
- public:
-  using ProtoFn = std::function<CausalProtocol*()>;
-  using AfterOp = std::function<void()>;
-
-  ScriptRunner(EventQueue& queue, RunRecorder& recorder, ProtoFn proto,
-               ProcessId self, const Script& script, AfterOp after_op = {},
-               std::vector<std::uint64_t>* issued = nullptr)
-      : queue_(&queue),
-        recorder_(&recorder),
-        proto_(std::move(proto)),
-        self_(self),
-        script_(&script),
-        after_op_(std::move(after_op)),
-        issued_(issued) {}
-
-  void begin() { schedule_step(0, 0); }
-
-  /// Attach run telemetry (write-operation events); may stay null.
-  void set_telemetry(RunTelemetry* telemetry) noexcept {
-    telemetry_ = telemetry;
-  }
-
-  [[nodiscard]] bool done() const noexcept { return next_ >= script_->size(); }
-
-  void suspend() noexcept { down_ = true; }
-  void resume() {
-    down_ = false;
-    if (stashed_) {
-      stashed_ = false;
-      const std::size_t idx = stash_idx_;
-      queue_->schedule_after(0, [this, idx] { execute(idx); });
-    }
-  }
-
- private:
-  void schedule_step(std::size_t idx, SimTime extra_delay) {
-    if (idx >= script_->size()) return;
-    const ScriptStep& step = (*script_)[idx];
-    queue_->schedule_after(step.delay + extra_delay,
-                           [this, idx] { execute(idx); });
-  }
-
-  void execute(std::size_t idx) {
-    if (down_) {
-      // The process is crashed; park the step until the restart.
-      stashed_ = true;
-      stash_idx_ = idx;
-      return;
-    }
-    CausalProtocol* proto = proto_();
-    DSM_REQUIRE(proto != nullptr);
-    const ScriptStep& step = (*script_)[idx];
-    switch (step.kind) {
-      case StepKind::kWrite: {
-        recorder_->record_write(self_, step.var, step.value);
-        if (telemetry_ != nullptr)
-          telemetry_->record_write_op(self_, step.var, step.value);
-        proto->write(step.var, step.value);
-        if (issued_ != nullptr) ++(*issued_)[self_];
-        break;
-      }
-      case StepKind::kRead: {
-        const ReadResult r = proto->read(step.var);
-        recorder_->record_read(self_, step.var, r);
-        break;
-      }
-      case StepKind::kReadUntil: {
-        // Poll without reading; fire the one real read when the awaited
-        // value is visible (or the timeout elapsed).
-        if (proto->peek(step.var).value != step.value &&
-            waited_ < step.timeout) {
-          waited_ += step.poll_every;
-          queue_->schedule_after(step.poll_every, [this, idx] { execute(idx); });
-          return;
-        }
-        waited_ = 0;
-        const ReadResult r = proto->read(step.var);
-        recorder_->record_read(self_, step.var, r);
-        break;
-      }
-    }
-    if (after_op_) after_op_();
-    next_ = idx + 1;
-    schedule_step(next_, 0);
-  }
-
-  EventQueue* queue_;
-  RunRecorder* recorder_;
-  RunTelemetry* telemetry_ = nullptr;
-  ProtoFn proto_;
-  ProcessId self_;
-  const Script* script_;
-  AfterOp after_op_;
-  std::vector<std::uint64_t>* issued_;
-  std::size_t next_ = 0;
-  SimTime waited_ = 0;
-  bool down_ = false;
-  bool stashed_ = false;
-  std::size_t stash_idx_ = 0;
 };
 
 /// One rebuildable process: everything here dies on crash and is

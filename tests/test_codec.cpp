@@ -217,6 +217,91 @@ TEST_P(MessageFuzz, RandomByteBlobsNeverCrashDecoder) {
   }
 }
 
+// Corruption fuzz: start from VALID encodings of every message shape and
+// mutate them — bit flips, truncations, junk extensions, and splices of two
+// encodings.  Unlike pure random blobs, mutated-valid inputs exercise the
+// deep decode paths (correct tags, plausible varints, container lengths just
+// past their guards).  Contract: never crash, and anything the decoder does
+// accept must re-encode into bytes the decoder accepts again (no
+// internally-inconsistent messages escape).
+std::vector<std::vector<std::uint8_t>> sample_encodings() {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.push_back(encode_message(Message{sample_write_update()}));
+  out.push_back(encode_message(Message{TokenGrant{12345, 4}}));
+  BatchUpdate batch;
+  batch.sender = 1;
+  batch.round = 9;
+  batch.entries = {{0, 10, 3, 2}, {5, -7, 4, 0}, {1, 1, 1, 1}};
+  out.push_back(encode_message(Message{batch}));
+  CatchUpRequest req;
+  req.requester = 2;
+  req.have = VectorClock{{3, 0, 7}};
+  out.push_back(encode_message(Message{req}));
+  CatchUpReply rep;
+  rep.replier = 0;
+  rep.have = VectorClock{{9, 9, 9}};
+  rep.writes = {sample_write_update(), sample_write_update()};
+  out.push_back(encode_message(Message{rep}));
+  return out;
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& pool,
+                                 Rng& rng) {
+  auto bytes = pool[rng.below(pool.size())];
+  switch (rng.below(4)) {
+    case 0:  // flip 1–8 random bits
+      for (std::uint64_t i = 0, n = rng.below(8) + 1; i < n; ++i) {
+        const auto pos = rng.below(bytes.size());
+        bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // truncate to a strict prefix
+      bytes.resize(rng.below(bytes.size()));
+      break;
+    case 2: {  // extend with junk bytes
+      const auto extra = rng.below(16) + 1;
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+      break;
+    }
+    default: {  // splice: head of one encoding, tail of another
+      const auto& other = pool[rng.below(pool.size())];
+      const auto keep = rng.below(bytes.size());
+      const auto from = rng.below(other.size());
+      bytes.resize(keep);
+      bytes.insert(bytes.end(),
+                   other.begin() + static_cast<std::ptrdiff_t>(from),
+                   other.end());
+      break;
+    }
+  }
+  return bytes;
+}
+
+TEST_P(MessageFuzz, CorruptedValidEncodingsNeverCrashOrLie) {
+  Rng rng(GetParam() ^ 0xC0881017);
+  const auto pool = sample_encodings();
+  for (int iter = 0; iter < 4'000; ++iter) {
+    const auto bytes = mutate(pool, rng);
+    const auto decoded = decode_message(bytes);
+    if (!decoded) continue;
+    // Whatever survived corruption must itself be a well-formed message.
+    const auto reencoded = encode_message(*decoded);
+    EXPECT_TRUE(decode_message(reencoded).has_value()) << "iter=" << iter;
+  }
+}
+
+TEST(Message, TruncationAnywhereRejectedAllShapes) {
+  for (const auto& bytes : sample_encodings()) {
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::vector<std::uint8_t> prefix(
+          bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(decode_message(prefix).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MessageFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace

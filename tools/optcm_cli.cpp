@@ -14,6 +14,31 @@
 //                  Table 2, Figures 1/3/6 traces, Figure 7 graph).
 //   optcm replay   re-audit an exported trace: optcm replay trace.jsonl
 //                  (produce one with: optcm run --export=trace.jsonl).
+//   optcm serve    host ONE protocol process over real TCP: bind a listener,
+//                  join the peer mesh, and wait for a cluster driver on the
+//                  control channel (docs/NETWORK.md).
+//   optcm drive    fork a loopback multi-process cluster, run a paper script
+//                  over real sockets, merge the per-node logs, and run the
+//                  checker + auditor on the merged history.
+//
+// serve flags:
+//   --id=P --peers=<host:port,...>   this process's id and the full address
+//                                    list, one entry per process in id order
+//   --listen=<host:port>             override peers[id] as the bind address
+//   --protocol=... --vars=M --recoverable   stack shape (default optp)
+//
+// drive flags:
+//   --script=h1|fig1|fig3  paper workload (3 procs, 2 vars)
+//   --spawn=N              number of processes to fork (must be 3)
+//   --protocol=... --recoverable       per-node stack shape
+//   --time-scale=K         multiply script delays (default 1000: µs -> ms,
+//                          so loopback latency cannot reorder the workload)
+//   --kill-conn=P:Q@MS     after MS milliseconds of run time, drop the live
+//                          TCP connection P->Q (ARQ + redial must repair it)
+//   --compare-sim          also run the identical script in the simulator and
+//                          require byte-identical per-process observer-event
+//                          sequences (h1 only; fig1/fig3 choreograph latency,
+//                          which real sockets cannot reproduce)
 //
 // Common workload/network flags (all "--key=value"):
 //   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run/faults only)
@@ -59,6 +84,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dsm/audit/auditor.h"
@@ -69,6 +95,8 @@
 #include "dsm/history/causality_graph.h"
 #include "dsm/history/checker.h"
 #include "dsm/metrics/table.h"
+#include "dsm/net/merge.h"
+#include "dsm/net/process_cluster.h"
 #include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/generator.h"
 #include "dsm/workload/paper_examples.h"
@@ -92,8 +120,10 @@ int usage(const char* program) {
                "usage: %s <run|compare|faults> [--key=value ...]\n"
                "       %s paper [history|table1|table2|fig1|fig3|fig6|fig7|all]\n"
                "       %s replay <trace.jsonl>\n"
+               "       %s serve --id=P --peers=<host:port,...>\n"
+               "       %s drive --script=h1 [--spawn=3 --compare-sim]\n"
                "see the header of tools/optcm_cli.cpp for the full flag list\n",
-               program, program, program);
+               program, program, program, program, program);
   return 2;
 }
 
@@ -670,6 +700,241 @@ int cmd_paper(Flags& flags) {
   return 0;
 }
 
+/// "a,b,c" -> {"a","b","c"} (no escaping; addresses cannot contain commas).
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_serve(Flags& flags) {
+  const auto kind = parse_protocol(flags.get("protocol", "optp"));
+  if (!kind) {
+    std::fprintf(stderr, "unknown protocol\n");
+    return 2;
+  }
+  const long long id = flags.get_int("id", 0);
+  const std::string peers_flag = flags.get("peers", "");
+  const std::string listen = flags.get("listen", "");
+  if (peers_flag.empty()) {
+    std::fprintf(stderr, "serve needs --peers=<host:port,...>\n");
+    return 2;
+  }
+  std::vector<std::string> peers = split_commas(peers_flag);
+  if (id < 0 || static_cast<std::size_t>(id) >= peers.size()) {
+    std::fprintf(stderr, "--id must index into --peers\n");
+    return 2;
+  }
+  if (!listen.empty()) peers[static_cast<std::size_t>(id)] = listen;
+  for (const std::string& addr : peers) {
+    if (!net::parse_addr(addr)) {
+      std::fprintf(stderr, "bad peer address '%s'\n", addr.c_str());
+      return 2;
+    }
+  }
+
+  ProcessNodeConfig config;
+  config.shape.kind = *kind;
+  config.shape.self = static_cast<ProcessId>(id);
+  config.shape.n_procs = peers.size();
+  config.shape.n_vars = static_cast<std::size_t>(flags.get_int("vars", 8));
+  config.shape.recoverable = flags.get_bool("recoverable");
+  const std::string own_addr = peers[static_cast<std::size_t>(id)];
+  config.peers = std::move(peers);
+  if (flags.get_bool("dry-run")) return 0;
+
+  ProcessNode node(std::move(config));
+  std::printf("serving process %lld on %s (%zu-process mesh, %s); waiting "
+              "for a driver...\n",
+              id, own_addr.c_str(), node.transport().n_procs(),
+              to_string(*kind));
+  node.run();
+  return 0;
+}
+
+int cmd_drive(Flags& flags) {
+  const auto kind = parse_protocol(flags.get("protocol", "optp"));
+  if (!kind) {
+    std::fprintf(stderr, "unknown protocol\n");
+    return 2;
+  }
+  const std::string script = flags.get("script", "h1");
+  const long long spawn = flags.get_int("spawn", 3);
+  const auto time_scale =
+      static_cast<std::uint64_t>(flags.get_int("time-scale", 1000));
+  const bool compare_sim = flags.get_bool("compare-sim");
+  const std::string kill_conn = flags.get("kill-conn", "");
+
+  std::vector<Script> scripts;
+  if (script == "h1") {
+    scripts = paper::make_h1_scripts();
+  } else if (script == "fig1" || script == "fig3") {
+    auto c = script == "fig1" ? paper::make_fig1_run2() : paper::make_fig3();
+    scripts = std::move(c.scripts);
+  } else {
+    std::fprintf(stderr, "unknown --script (want h1, fig1 or fig3)\n");
+    return 2;
+  }
+  if (static_cast<std::size_t>(spawn) != scripts.size()) {
+    std::fprintf(stderr, "--spawn must be %zu for --script=%s\n",
+                 scripts.size(), script.c_str());
+    return 2;
+  }
+  if (compare_sim && script != "h1") {
+    std::fprintf(stderr,
+                 "--compare-sim only works with --script=h1 (fig1/fig3 "
+                 "choreograph per-message latency, which real sockets cannot "
+                 "reproduce)\n");
+    return 2;
+  }
+  unsigned long long kc_from = 0;
+  unsigned long long kc_to = 0;
+  unsigned long long kc_at_ms = 0;
+  const bool want_kill = !kill_conn.empty();
+  if (want_kill &&
+      (std::sscanf(kill_conn.c_str(), "%llu:%llu@%llu", &kc_from, &kc_to,
+                   &kc_at_ms) != 3 ||
+       kc_from >= scripts.size() || kc_to >= scripts.size() ||
+       kc_from == kc_to)) {
+    std::fprintf(stderr, "bad --kill-conn (want P:Q@MS)\n");
+    return 2;
+  }
+  if (time_scale == 0) {
+    std::fprintf(stderr, "--time-scale must be >= 1\n");
+    return 2;
+  }
+  if (flags.get_bool("dry-run")) return 0;
+
+  ProcessClusterConfig cluster_config;
+  cluster_config.shape.kind = *kind;
+  cluster_config.shape.n_procs = scripts.size();
+  cluster_config.shape.n_vars = paper::kH1Vars;
+  cluster_config.shape.recoverable = flags.get_bool("recoverable");
+
+  ProcessCluster cluster(cluster_config);
+  if (!cluster.spawn()) {
+    std::fprintf(stderr, "cluster spawn failed\n");
+    return 1;
+  }
+  if (!cluster.wait_ready()) {
+    std::fprintf(stderr, "cluster never became fully connected\n");
+    return 1;
+  }
+  std::printf("cluster up: %zu processes, full TCP mesh on 127.0.0.1\n",
+              cluster.n_procs());
+  if (!cluster.run(scripts, time_scale)) {
+    std::fprintf(stderr, "failed to start the scripted run\n");
+    return 1;
+  }
+  if (want_kill) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kc_at_ms));
+    if (!cluster.kill_connection(static_cast<ProcessId>(kc_from),
+                                 static_cast<ProcessId>(kc_to))) {
+      std::fprintf(stderr, "kill-conn request failed\n");
+      return 1;
+    }
+    std::printf("dropped connection p%llu -> p%llu at +%llums\n", kc_from,
+                kc_to, kc_at_ms);
+  }
+  if (!cluster.wait_done()) {
+    std::fprintf(stderr, "run did not complete\n");
+    return 1;
+  }
+
+  std::vector<ImportedRun> runs;
+  for (ProcessId p = 0; p < cluster.n_procs(); ++p) {
+    auto log = cluster.fetch_log(p);
+    if (!log) {
+      std::fprintf(stderr, "failed to fetch node %u's log\n",
+                   static_cast<unsigned>(p));
+      return 1;
+    }
+    runs.push_back(std::move(*log));
+  }
+  NodeNetStats total;
+  for (ProcessId p = 0; p < cluster.n_procs(); ++p) {
+    const auto stats = cluster.fetch_stats(p);
+    if (stats) {
+      total.reliable += stats->reliable;
+      total.tcp.frames_out += stats->tcp.frames_out;
+      total.tcp.bytes_out += stats->tcp.bytes_out;
+      total.tcp.reconnects += stats->tcp.reconnects;
+      total.tcp.sends_dropped += stats->tcp.sends_dropped;
+    }
+  }
+  const bool clean_exit = cluster.shutdown();
+
+  const auto merged = merge_runs(runs);
+  if (!merged) {
+    std::fprintf(stderr, "per-node logs do not merge into a causal order\n");
+    return 1;
+  }
+  const auto audit = OptimalityAuditor::audit(merged->history, merged->events);
+  const auto check = ConsistencyChecker::check(merged->history);
+
+  Table table({"metric", "value"});
+  table.add("script", script);
+  table.add("time scale", time_scale);
+  table.add("operations (merged)", merged->history.size());
+  table.add("events (merged)", merged->events.size());
+  table.add("TCP frames sent", total.tcp.frames_out);
+  table.add("TCP bytes sent", total.tcp.bytes_out);
+  table.add("TCP reconnects", total.tcp.reconnects);
+  table.add("sends dropped (link down)", total.tcp.sends_dropped);
+  table.add("ARQ retransmissions", total.reliable.retransmissions);
+  table.add("ARQ abandoned", total.reliable.abandoned);
+  table.add("delayed (Def. 3)", audit.total_delayed());
+  table.add("unnecessary delays", audit.total_unnecessary());
+  table.add("write-delay optimal run (Def. 5)",
+            audit.write_delay_optimal() ? "yes" : "NO");
+  table.add("safe", audit.safe() ? "yes" : "NO");
+  table.add("live", audit.live() ? "yes" : "NO");
+  table.add("causally consistent (Defs. 1-2)",
+            check.consistent() ? "yes" : "NO");
+  table.add("clean shutdown", clean_exit ? "yes" : "NO");
+  std::printf("%s", table.str().c_str());
+
+  bool ok = check.consistent() && audit.safe() && audit.live() &&
+            total.reliable.abandoned == 0 && clean_exit;
+
+  if (compare_sim) {
+    const ConstantLatency latency(sim_us(10));
+    SimRunConfig sim_config;
+    sim_config.kind = *kind;
+    sim_config.n_procs = scripts.size();
+    sim_config.n_vars = paper::kH1Vars;
+    sim_config.latency = &latency;
+    const auto sim = run_sim(sim_config, scripts);
+    bool equal = true;
+    for (ProcessId p = 0; p < cluster.n_procs(); ++p) {
+      const std::string net_seq = sequence_str(runs[p].events, p);
+      const std::string sim_seq = sim.recorder->sequence_str(p);
+      if (net_seq != sim_seq) {
+        equal = false;
+        std::printf("\np%u DIVERGES from the simulator:\n  net: %s\n  sim: %s\n",
+                    static_cast<unsigned>(p), net_seq.c_str(), sim_seq.c_str());
+      }
+    }
+    std::printf("\nobserver-event equivalence vs simulator: %s\n",
+                equal ? "byte-identical on every process"
+                      : "MISMATCH (see above)");
+    ok = ok && equal;
+  }
+  if (want_kill) {
+    std::printf("reconnects=%llu retransmissions=%llu (the dropped link was "
+                "re-dialed and repaired by the ARQ)\n",
+                static_cast<unsigned long long>(total.tcp.reconnects),
+                static_cast<unsigned long long>(total.reliable.retransmissions));
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -688,6 +953,10 @@ int main(int argc, char** argv) {
     rc = cmd_paper(flags);
   } else if (command == "replay") {
     rc = cmd_replay(flags);
+  } else if (command == "serve") {
+    rc = cmd_serve(flags);
+  } else if (command == "drive") {
+    rc = cmd_drive(flags);
   } else {
     return usage(argv[0]);
   }

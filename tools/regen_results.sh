@@ -41,3 +41,18 @@ run_group results/exp_outputs.txt \
 "$build/bench/micro_core" --benchmark_min_time=0.01 \
   --bench-json results/BENCH_core.json > /dev/null
 echo "wrote results/BENCH_core.json"
+
+# The socket-tier baseline (docs/NETWORK.md): loopback frame RTT and one-way
+# throughput.  Wall-clock numbers; expect host-to-host variance.
+"$build/bench/exp_net" --bench-json results/BENCH_net.json > /dev/null
+echo "wrote results/BENCH_net.json"
+
+# Loopback equivalence acceptance: a forked 3-process cluster must produce an
+# observer-event log byte-identical to the simulator's on the H1 script.
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
+    > /dev/null; then
+  echo "loopback equivalence check: PASS (drive --script=h1 --compare-sim)"
+else
+  echo "loopback equivalence check: FAIL" >&2
+  exit 1
+fi
