@@ -1,0 +1,155 @@
+// exp_storage — durability-layer microbenchmarks: WAL append throughput under
+// each fsync policy, recovery (replay) throughput over a cold log, and the
+// atomic snapshot write/read cost.
+//
+// The fsync policy is the knob the durability seam exposes (docs/DURABILITY.md):
+// `none` rides the page cache (survives kill -9, not power loss), `interval`
+// amortizes one fsync over a batch, `every` pays one per record.  The append
+// table quantifies exactly that trade; the replay table bounds restart time.
+// `--bench-json results/BENCH_storage.json` is the checked-in baseline
+// workflow (tools/regen_results.sh).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dsm/storage/snapshot_file.h"
+#include "dsm/storage/wal.h"
+
+namespace dsm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::vector<std::uint8_t> payload_bytes(std::size_t len) {
+  std::vector<std::uint8_t> p(len);
+  for (std::size_t i = 0; i < len; ++i)
+    p[i] = static_cast<std::uint8_t>((i * 131u + 7u) & 0xFFu);
+  return p;
+}
+
+}  // namespace
+}  // namespace dsm::bench
+
+int main(int argc, char** argv) {
+  if (!dsm::bench::init_bench_json(argc, argv)) return 2;
+  using namespace dsm;
+  using namespace dsm::bench;
+
+  std::string dir = "/tmp/optcm-bench-storage-XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  // ---- append throughput per fsync policy ----------------------------------
+  // 256 B is a realistic mutation batch (one op + a few events).  `every`
+  // runs fewer records because each append pays a real fsync.
+  constexpr std::size_t kPayload = 256;
+  const auto payload = payload_bytes(kPayload);
+  struct PolicyCell {
+    FsyncPolicy policy;
+    std::size_t records;
+  };
+  const PolicyCell cells[] = {{FsyncPolicy::kNone, 20'000},
+                              {FsyncPolicy::kInterval, 20'000},
+                              {FsyncPolicy::kEvery, 500}};
+  Table append_table({"fsync", "records", "payload (B)", "wall (ms)",
+                      "appends/s", "MB/s", "fsyncs"});
+  for (const PolicyCell& cell : cells) {
+    const std::string path =
+        dir + "/append-" + to_string(cell.policy) + ".log";
+    auto wal = Wal::open(path, WalOptions{.fsync = cell.policy}, {});
+    if (!wal.has_value()) {
+      std::fprintf(stderr, "Wal::open(%s) failed\n", path.c_str());
+      return 1;
+    }
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < cell.records; ++i) wal->append(payload);
+    wal->sync();  // checkpoint barrier: every policy ends fully durable
+    const double wall_ms = ms_between(t0, Clock::now());
+    const double per_s =
+        static_cast<double>(cell.records) / (wall_ms / 1e3);
+    append_table.add(to_string(cell.policy), cell.records, kPayload, wall_ms,
+                     per_s,
+                     per_s * static_cast<double>(wal->stats().bytes) /
+                         static_cast<double>(cell.records) /
+                         (1024.0 * 1024.0),
+                     wal->stats().fsyncs);
+  }
+  emit("WAL append throughput (256 B records, final sync included)",
+       append_table);
+
+  // ---- recovery replay throughput ------------------------------------------
+  // Reopen each cold log; Wal::open scans, CRC-checks and replays every
+  // record — this is the restart-latency term a respawned node pays.
+  Table replay_table(
+      {"source fsync", "records", "wall (ms)", "records/s", "MB/s"});
+  for (const PolicyCell& cell : cells) {
+    const std::string path =
+        dir + "/append-" + to_string(cell.policy) + ".log";
+    std::size_t replayed = 0;
+    std::uint64_t bytes = 0;
+    WalOpenStats stats;
+    const auto t0 = Clock::now();
+    auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone},
+                         [&](std::span<const std::uint8_t> p) {
+                           ++replayed;
+                           bytes += p.size();
+                         },
+                         &stats);
+    const double wall_ms = ms_between(t0, Clock::now());
+    if (!wal.has_value() || replayed != cell.records) {
+      std::fprintf(stderr, "replay of %s lost records (%zu/%zu)\n",
+                   path.c_str(), replayed, cell.records);
+      return 1;
+    }
+    replay_table.add(to_string(cell.policy), replayed, wall_ms,
+                     static_cast<double>(replayed) / (wall_ms / 1e3),
+                     static_cast<double>(stats.bytes_recovered) /
+                         (wall_ms / 1e3) / (1024.0 * 1024.0));
+  }
+  emit("WAL recovery replay throughput (cold reopen)", replay_table);
+
+  // ---- snapshot spill / restore cost ---------------------------------------
+  Table snap_table({"payload (KiB)", "writes", "write mean (ms)",
+                    "read (ms)"});
+  for (const std::size_t kib : {std::size_t{64}, std::size_t{1024}}) {
+    const auto blob = payload_bytes(kib * 1024);
+    const std::string path = dir + "/snapshot.bin";
+    constexpr std::size_t kWrites = 50;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kWrites; ++i) {
+      if (!SnapshotFile::write(path, blob)) {
+        std::fprintf(stderr, "snapshot write failed\n");
+        return 1;
+      }
+    }
+    const double write_ms = ms_between(t0, Clock::now());
+    const auto t1 = Clock::now();
+    const auto back = SnapshotFile::read(path);
+    const double read_ms = ms_between(t1, Clock::now());
+    if (!back.has_value() || back->size() != blob.size()) {
+      std::fprintf(stderr, "snapshot read failed\n");
+      return 1;
+    }
+    snap_table.add(kib, kWrites,
+                   write_ms / static_cast<double>(kWrites), read_ms);
+  }
+  emit("snapshot spill/restore (tmp + fsync + rename)", snap_table);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return finish_bench_json("exp_storage") ? 0 : 1;
+}

@@ -70,6 +70,7 @@ bool known_op(std::uint8_t raw) {
     case ControlOp::kKillHost:
     case ControlOp::kRestartHost:
     case ControlOp::kShutdown:
+    case ControlOp::kQueryQuiescent:
     case ControlOp::kAck:
     case ControlOp::kPong:
     case ControlOp::kDoneReply:
@@ -120,6 +121,7 @@ std::vector<std::uint8_t> encode_control(const ControlMessage& m) {
     case ControlOp::kKillHost:
     case ControlOp::kRestartHost:
     case ControlOp::kShutdown:
+    case ControlOp::kQueryQuiescent:
     case ControlOp::kAck:
       break;  // op byte only
   }
@@ -183,6 +185,7 @@ std::optional<ControlMessage> decode_control(
     case ControlOp::kKillHost:
     case ControlOp::kRestartHost:
     case ControlOp::kShutdown:
+    case ControlOp::kQueryQuiescent:
     case ControlOp::kAck:
       break;
   }

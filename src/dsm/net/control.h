@@ -22,6 +22,10 @@
 //   kKillHost    → kAck: crash the protocol stack (recoverable mode)
 //   kRestartHost → kAck: restore from checkpoint + catch-up
 //   kShutdown    → kAck, then the node's loop exits
+//   kQueryQuiescent → kDoneReply{quiescent}: protocol quiescent AND ARQ fully
+//                  acknowledged AND transport flushed, IGNORING the script
+//                  (used as an all-nodes barrier before resuming a respawned
+//                  node's script while other scripts are still mid-run)
 //
 // Decoding is defensive like every codec in the tree: malformed bytes yield
 // std::nullopt (the node replies kError / the driver fails the call), never
@@ -51,6 +55,7 @@ enum class ControlOp : std::uint8_t {
   kKillHost = 7,
   kRestartHost = 8,
   kShutdown = 9,
+  kQueryQuiescent = 10,
   // Replies.
   kAck = 100,
   kPong = 101,

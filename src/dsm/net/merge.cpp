@@ -1,6 +1,8 @@
 #include "dsm/net/merge.h"
 
+#include <map>
 #include <set>
+#include <tuple>
 
 namespace dsm {
 
@@ -123,6 +125,72 @@ class Merger {
 std::optional<MergedRun> merge_runs(std::span<const ImportedRun> runs) {
   if (runs.empty()) return std::nullopt;
   return Merger(runs).run();
+}
+
+std::optional<ImportedRun> stitch_incarnations(
+    std::span<const ImportedRun> incarnations) {
+  if (incarnations.empty()) return std::nullopt;
+  const std::size_t n_procs = incarnations[0].history.n_procs();
+  const std::size_t n_vars = incarnations[0].history.n_vars();
+  for (const ImportedRun& r : incarnations) {
+    if (r.history.n_procs() != n_procs || r.history.n_vars() != n_vars)
+      return std::nullopt;
+  }
+
+  ImportedRun out{GlobalHistory(n_procs, n_vars), {}};
+
+  // Operations: validate the common prefix per process, keep the longest.
+  for (ProcessId p = 0; p < n_procs; ++p) {
+    const ImportedRun* longest = &incarnations[0];
+    for (const ImportedRun& r : incarnations) {
+      if (r.history.local(p).size() > longest->history.local(p).size())
+        longest = &r;
+    }
+    const auto base = longest->history.local(p);
+    for (const ImportedRun& r : incarnations) {
+      const auto ops = r.history.local(p);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Operation& a = r.history.op(ops[i]);
+        const Operation& b = longest->history.op(base[i]);
+        if (a.kind != b.kind || a.var != b.var || a.value != b.value ||
+            a.write_id != b.write_id) {
+          return std::nullopt;
+        }
+      }
+    }
+    for (const OpRef ref : base) {
+      const Operation& op = longest->history.op(ref);
+      if (op.is_write()) {
+        // add_write assigns sequence numbers deterministically; a mismatch
+        // means the log's own write ids were not in program order.
+        if (out.history.add_write(p, op.var, op.value) != op.write_id)
+          return std::nullopt;
+      } else {
+        (void)out.history.add_read(p, op.var, op.value, op.write_id);
+      }
+    }
+  }
+
+  // Events: first-seen-order union with per-key occurrence counting.
+  using EvKey = std::tuple<std::uint8_t, ProcessId, WriteId, WriteId, bool>;
+  const auto key_of = [](const RunEvent& e) {
+    return EvKey{static_cast<std::uint8_t>(e.kind), e.at, e.write, e.other,
+                 e.delayed};
+  };
+  std::map<EvKey, std::size_t> emitted;  // occurrences already in `out`
+  for (const ImportedRun& r : incarnations) {
+    std::map<EvKey, std::size_t> local;
+    for (const RunEvent& e : r.events) {
+      const std::size_t seen = ++local[key_of(e)];
+      std::size_t& have = emitted[key_of(e)];
+      if (seen <= have) continue;  // this incarnation replayed it from WAL
+      have = seen;
+      RunEvent copy = e;
+      copy.order = out.events.size();
+      out.events.push_back(std::move(copy));
+    }
+  }
+  return out;
 }
 
 }  // namespace dsm

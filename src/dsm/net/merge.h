@@ -47,4 +47,20 @@ struct MergedRun {
 [[nodiscard]] std::optional<MergedRun> merge_runs(
     std::span<const ImportedRun> runs);
 
+/// Stitch one node's per-incarnation logs (archived across kill -9 / respawn
+/// cycles, oldest first) into the single log an uninterrupted run would have
+/// produced — suitable as that node's entry in merge_runs().
+///
+/// Each incarnation boots by replaying the predecessor's WAL, so per process
+/// the op lists must agree on their common prefix; the longest list carries
+/// every operation (an uncommitted tail op re-executes deterministically in
+/// the next incarnation, so divergence means genuinely inconsistent logs →
+/// std::nullopt).  Events are unioned in first-seen order with per-key
+/// occurrence counting — keyed on (kind, at, write, other, delayed), not
+/// time, because a WAL replay preserves an event verbatim while a re-executed
+/// tail op re-records it with a fresh timestamp; the counter keeps repeated
+/// identical observations (two returns of the same read-from) distinct.
+[[nodiscard]] std::optional<ImportedRun> stitch_incarnations(
+    std::span<const ImportedRun> incarnations);
+
 }  // namespace dsm

@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "dsm/storage/state_dir.h"
+
 namespace dsm {
 
 namespace {
@@ -130,9 +132,39 @@ ProcessCluster::~ProcessCluster() {
   teardown();
 }
 
+pid_t ProcessCluster::spawn_child(std::size_t p) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure: pid < 0)
+
+  // Child: keep only our own listener; drop every other inherited fd — the
+  // sibling listeners on the first spawn, and the parent's control
+  // connections on the respawn path (they belong to the driver).
+  for (std::size_t q = 0; q < listen_fds_.size(); ++q) {
+    if (q != p && listen_fds_[q] >= 0) ::close(listen_fds_[q]);
+  }
+  for (ControlClient& client : controls_) client.close();
+
+  ProcessNodeConfig node_config;
+  node_config.shape = config_.shape;
+  node_config.shape.self = static_cast<ProcessId>(p);
+  node_config.peers = peers_;
+  node_config.listen_fd = listen_fds_[p];
+  node_config.arq = config_.arq;
+  if (!config_.state_dir.empty()) {
+    node_config.state_dir =
+        StateDir::node_subdir(config_.state_dir, static_cast<ProcessId>(p));
+    node_config.fsync = config_.fsync;
+  }
+  {
+    ProcessNode node(std::move(node_config));
+    node.run();
+  }
+  ::_exit(0);  // no atexit / leak sweep of the inherited address space
+}
+
 bool ProcessCluster::spawn() {
   const std::size_t n = config_.shape.n_procs;
-  std::vector<std::string> peers(n);
+  peers_.assign(n, {});
   listen_fds_.assign(n, -1);
   ports_.assign(n, 0);
 
@@ -143,32 +175,15 @@ bool ProcessCluster::spawn() {
       return false;
     }
     ports_[p] = net::local_port(listen_fds_[p]);
-    peers[p] = "127.0.0.1:" + std::to_string(ports_[p]);
+    peers_[p] = "127.0.0.1:" + std::to_string(ports_[p]);
   }
 
   pids_.assign(n, -1);
   for (std::size_t p = 0; p < n; ++p) {
-    const pid_t pid = ::fork();
+    const pid_t pid = spawn_child(p);
     if (pid < 0) {
       teardown();
       return false;
-    }
-    if (pid == 0) {
-      // Child: keep only our own listener; build and serve the node.
-      for (std::size_t q = 0; q < n; ++q) {
-        if (q != p && listen_fds_[q] >= 0) ::close(listen_fds_[q]);
-      }
-      ProcessNodeConfig node_config;
-      node_config.shape = config_.shape;
-      node_config.shape.self = static_cast<ProcessId>(p);
-      node_config.peers = peers;
-      node_config.listen_fd = listen_fds_[p];
-      node_config.arq = config_.arq;
-      {
-        ProcessNode node(std::move(node_config));
-        node.run();
-      }
-      ::_exit(0);  // no atexit / leak sweep of the inherited address space
     }
     pids_[p] = pid;
   }
@@ -211,14 +226,21 @@ bool ProcessCluster::run(const std::vector<Script>& scripts,
                          std::uint64_t time_scale) {
   if (scripts.size() != controls_.size()) return false;
   for (std::size_t p = 0; p < controls_.size(); ++p) {
-    ControlMessage req;
-    req.op = ControlOp::kRun;
-    req.script = scripts[p];
-    req.time_scale = time_scale;
-    const auto rep = controls_[p].call(req, config_.control_timeout_ms);
-    if (!rep || rep->op != ControlOp::kAck) return false;
+    if (!run_node(static_cast<ProcessId>(p), scripts[p], time_scale))
+      return false;
   }
   return true;
+}
+
+bool ProcessCluster::run_node(ProcessId node, const Script& script,
+                              std::uint64_t time_scale) {
+  if (node >= controls_.size()) return false;
+  ControlMessage req;
+  req.op = ControlOp::kRun;
+  req.script = script;
+  req.time_scale = time_scale;
+  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  return rep && rep->op == ControlOp::kAck;
 }
 
 bool ProcessCluster::wait_done(int timeout_ms) {
@@ -228,6 +250,23 @@ bool ProcessCluster::wait_done(int timeout_ms) {
     for (auto& client : controls_) {
       ControlMessage query;
       query.op = ControlOp::kQueryDone;
+      const auto rep = client.call(query, config_.control_timeout_ms);
+      if (!rep || rep->op != ControlOp::kDoneReply) return false;
+      all = all && rep->flag;
+    }
+    if (all) return true;
+    if (ms_left(deadline) == 0) return false;
+    sleep_ms(5);
+  }
+}
+
+bool ProcessCluster::wait_quiescent(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (auto& client : controls_) {
+      ControlMessage query;
+      query.op = ControlOp::kQueryQuiescent;
       const auto rep = client.call(query, config_.control_timeout_ms);
       if (!rep || rep->op != ControlOp::kDoneReply) return false;
       all = all && rep->flag;
@@ -261,6 +300,33 @@ bool ProcessCluster::restart_host(ProcessId node) {
   req.op = ControlOp::kRestartHost;
   const auto rep = controls_[node].call(req, config_.control_timeout_ms);
   return rep && rep->op == ControlOp::kAck;
+}
+
+bool ProcessCluster::kill_process(ProcessId node) {
+  if (node >= pids_.size() || pids_[node] <= 0) return false;
+  if (::kill(pids_[node], SIGKILL) != 0) return false;
+  int status = 0;
+  while (::waitpid(pids_[node], &status, 0) < 0 && errno == EINTR) {
+  }
+  pids_[node] = -1;
+  controls_[node].close();  // the peer end died with the process
+  return true;
+}
+
+bool ProcessCluster::respawn_process(ProcessId node) {
+  if (node >= pids_.size() || pids_[node] > 0) return false;
+  // Rebind the original port (listen_tcp sets SO_REUSEADDR, so lingering
+  // sockets from the killed incarnation don't block the bind); the peers'
+  // transports are already redialing it.
+  listen_fds_[node] = net::listen_tcp(net::Addr{"127.0.0.1", ports_[node]});
+  if (listen_fds_[node] < 0) return false;
+  const pid_t pid = spawn_child(node);
+  ::close(listen_fds_[node]);
+  listen_fds_[node] = -1;
+  if (pid < 0) return false;
+  pids_[node] = pid;
+  return controls_[node].connect(net::Addr{"127.0.0.1", ports_[node]},
+                                 config_.control_timeout_ms);
 }
 
 std::optional<ImportedRun> ProcessCluster::fetch_log(ProcessId node) {

@@ -31,6 +31,7 @@
 #include "dsm/audit/trace_io.h"
 #include "dsm/net/control.h"
 #include "dsm/net/process_node.h"
+#include "dsm/storage/wal.h"
 
 namespace dsm {
 
@@ -66,6 +67,11 @@ struct ProcessClusterConfig {
   ProtocolHost::Shape shape;
   ReliableConfig arq = net_reliable_defaults();
   int control_timeout_ms = 10'000;  ///< per control round-trip
+  /// Durable state root: node p persists under `<state_dir>/node-p`.  Empty =
+  /// in-memory nodes; non-empty requires shape.recoverable and enables
+  /// kill_process()/respawn_process() to survive a real SIGKILL.
+  std::string state_dir;
+  FsyncPolicy fsync = FsyncPolicy::kEvery;
 };
 
 class ProcessCluster {
@@ -97,6 +103,28 @@ class ProcessCluster {
   [[nodiscard]] bool kill_host(ProcessId node);
   [[nodiscard]] bool restart_host(ProcessId node);
 
+  // -- process death (the real thing, not the in-process fault model) --------
+
+  /// SIGKILL node's OS process and reap it; its control channel is closed.
+  /// The node gets no chance to flush anything — exactly the crash the
+  /// durable state dir (docs/DURABILITY.md) is designed to survive.
+  [[nodiscard]] bool kill_process(ProcessId node);
+
+  /// Fork a fresh child for a kill_process()ed node on its original port and
+  /// state dir; the new incarnation restores snapshot + WAL, rejoins the mesh
+  /// via anti-entropy, and is ready for run_node() once wait_ready() passes.
+  [[nodiscard]] bool respawn_process(ProcessId node);
+
+  /// Install + start a script on one node only (the respawn resume path;
+  /// the node itself skips the already-replayed prefix).
+  [[nodiscard]] bool run_node(ProcessId node, const Script& script,
+                              std::uint64_t time_scale);
+
+  /// Poll until every node's protocol + ARQ + transport are simultaneously
+  /// quiescent, *ignoring* script completion — the barrier between "peers
+  /// have caught the respawned node up" and "resume its script".
+  [[nodiscard]] bool wait_quiescent(int timeout_ms = 60'000);
+
   // -- results ---------------------------------------------------------------
   [[nodiscard]] std::optional<ImportedRun> fetch_log(ProcessId node);
   [[nodiscard]] std::optional<NodeNetStats> fetch_stats(ProcessId node);
@@ -112,7 +140,14 @@ class ProcessCluster {
  private:
   void teardown();  ///< close fds, SIGKILL + reap any live children
 
+  /// Fork the child for process p (its listener must sit in listen_fds_[p]).
+  /// The child closes every other inherited fd — sibling listeners and, on
+  /// the respawn path, the parent's control connections — builds its
+  /// ProcessNode (durable when config_.state_dir is set) and never returns.
+  [[nodiscard]] pid_t spawn_child(std::size_t p);
+
   ProcessClusterConfig config_;
+  std::vector<std::string> peers_;  ///< "127.0.0.1:port" per process
   std::vector<int> listen_fds_;
   std::vector<std::uint16_t> ports_;
   std::vector<pid_t> pids_;

@@ -6,11 +6,21 @@
 #include <utility>
 
 #include "dsm/audit/trace_io.h"
+#include "dsm/codec/codec.h"
+#include "dsm/common/contracts.h"
+#include "dsm/storage/snapshot_file.h"
 
 namespace dsm {
 
 namespace {
 constexpr std::size_t kControlReadChunk = 64 * 1024;
+
+/// Epoch gap added to every ARQ tx sequence counter on a durable boot.  The
+/// restored ARQ snapshot can predate the crash by one mutation; a reconciled
+/// re-broadcast must never reuse a sequence number the previous incarnation
+/// already spent at a peer (the peer's dedup would suppress a different
+/// payload under the same seq — silent loss).
+constexpr std::uint64_t kArqEpochSkip = 1'000'000;
 }  // namespace
 
 ReliableConfig net_reliable_defaults() {
@@ -43,8 +53,14 @@ ProcessNode::ProcessNode(ProcessNodeConfig config)
                 config_.arq),
       endpoint_(reliable_) {
   telemetry_.set_clock([this] { return loop_.queue().now(); });
-  host_ = std::make_unique<ProtocolHost>(config_.shape, endpoint_,
-                                         telemetry_.observe_through(recorder_),
+  DSM_REQUIRE(!durable() || config_.shape.recoverable);
+  ProtocolObserver& tee = telemetry_.observe_through(recorder_);
+  ProtocolObserver* head = &tee;
+  if (config_.shape.recoverable) {
+    filter_ = std::make_unique<ReplayFilterObserver>(tee);
+    head = filter_.get();
+  }
+  host_ = std::make_unique<ProtocolHost>(config_.shape, endpoint_, *head,
                                          &telemetry_);
 }
 
@@ -61,8 +77,153 @@ void ProcessNode::run() {
         adopt_control(fd, std::move(residual));
       });
   transport_.start();
-  host_->start();
+  if (durable()) {
+    boot_durable();
+  } else {
+    host_->start();
+  }
   loop_.run([this] { return shutdown_ && control_flushed(); });
+}
+
+void ProcessNode::boot_durable() {
+  state_ = StateDir::open(config_.state_dir);
+  DSM_REQUIRE(state_.has_value() && "state dir must be creatable");
+
+  // 1. The latest spilled snapshot, if any: [u64 op count][u64 len][host
+  //    checkpoint][u64 len][ARQ snapshot].  A torn/corrupt/absent file means
+  //    "no snapshot" — the WAL alone still reconstructs the run log, and the
+  //    muted reconcile below rebuilds protocol state from the start.
+  std::uint64_t snap_ops = 0;
+  std::vector<std::uint8_t> host_blob;
+  std::vector<std::uint8_t> arq_blob;
+  bool have_snap = false;
+  if (const auto snap = SnapshotFile::read(state_->snapshot_path())) {
+    ByteReader r(*snap);
+    const auto ops = r.u64();
+    const auto hlen = r.u64();
+    std::optional<std::span<const std::uint8_t>> hb;
+    std::optional<std::span<const std::uint8_t>> ab;
+    if (hlen) hb = r.take(static_cast<std::size_t>(*hlen));
+    std::optional<std::uint64_t> alen;
+    if (hb) alen = r.u64();
+    if (alen) ab = r.take(static_cast<std::size_t>(*alen));
+    if (ops && hb && ab && r.exhausted()) {
+      snap_ops = *ops;
+      host_blob.assign(hb->begin(), hb->end());
+      arq_blob.assign(ab->begin(), ab->end());
+      have_snap = true;
+    }
+  }
+
+  // 2. ARQ state, then the epoch gap (see kArqEpochSkip).  Restore happens
+  //    before any send: the catch-up request below already rides fresh seqs.
+  if (have_snap) {
+    ByteReader ar(arq_blob);
+    DSM_REQUIRE(reliable_.restore(ar));
+  }
+  reliable_.skip_tx_sequences(kArqEpochSkip);
+
+  // 3. Replay the WAL through the recorder (history + events verbatim) and
+  //    preseed the dedup filter so live redeliveries of spilled events are
+  //    suppressed.  A CRC-valid record that fails to decode is our own bug.
+  WalOpenStats open_stats;
+  WalReplayStats replay_stats;
+  wal_ = Wal::open(
+      state_->wal_path(), WalOptions{.fsync = config_.fsync},
+      [this, &replay_stats](std::span<const std::uint8_t> record) {
+        DSM_REQUIRE(
+            replay_wal_record(record, recorder_, filter_.get(), &replay_stats));
+      },
+      &open_stats);
+  DSM_REQUIRE(wal_.has_value() && "WAL must be openable");
+  incarnation_ = replay_stats.last_incarnation + 1;
+  replayed_local_ops_ = local_op_count();
+  DSM_REQUIRE(snap_ops <= replayed_local_ops_ &&
+              "WAL must cover the snapshot (spill commits the WAL first)");
+  telemetry_.metrics()
+      .counter(config_.shape.self, metric::kWalReplayed)
+      .add(open_stats.records_recovered);
+  TraceEvent ev;
+  ev.kind = TraceKind::kWalReplay;
+  ev.at = config_.shape.self;
+  ev.time = telemetry_.now();
+  ev.bytes = open_stats.records_recovered;
+  telemetry_.trace().accept(ev);
+
+  // 4. From here on, everything the recorder accepts is spilled.
+  wal_sink_ = std::make_unique<WalEventSink>(*wal_);
+  wal_sink_->note_incarnation(incarnation_);
+  recorder_.set_sink(wal_sink_.get());
+
+  // 5. Protocol stack: restore + catch-up when a snapshot exists, fresh
+  //    start otherwise.  The spill hook is NOT installed yet — the snapshot
+  //    must not be rewritten until the reconcile pass below has brought the
+  //    protocol state up to the WAL's op count.
+  if (have_snap) {
+    host_->start_restored(host_blob);
+  } else {
+    host_->start();
+  }
+
+  // 6. Muted reconcile: re-execute the local ops the WAL has beyond the
+  //    snapshot (the kill-9 window is at most one mutation with the default
+  //    policy).  Writes regenerate their WriteIds deterministically and
+  //    re-broadcast on epoch-gapped ARQ seqs (peers' filters absorb the
+  //    echo); reads redo their Write_co merge.  The filter is muted so none
+  //    of this is re-recorded.
+  const auto locals = recorder_.history().local(config_.shape.self);
+  if (snap_ops < locals.size()) {
+    filter_->set_muted(true);
+    for (std::size_t i = static_cast<std::size_t>(snap_ops); i < locals.size();
+         ++i) {
+      const Operation& op = recorder_.history().op(locals[i]);
+      if (op.is_write()) {
+        host_->protocol().write(op.var, op.value);
+      } else {
+        (void)host_->protocol().read(op.var);
+      }
+    }
+    filter_->set_muted(false);
+  }
+
+  // 7. Now the state is coherent: spill on every checkpoint from here on,
+  //    starting with one covering the reconciled state (and committing the
+  //    incarnation record batched in step 4).
+  host_->set_spill_hook([this] { spill(); });
+  host_->checkpoint();
+}
+
+void ProcessNode::spill() {
+  // WAL before snapshot: the on-disk invariant is "the WAL covers at least
+  // every op the snapshot claims" — the reverse order could lose the batch
+  // the snapshot's op count already counts.
+  wal_sink_->commit();
+  ByteWriter w;
+  w.u64(local_op_count());
+  const std::vector<std::uint8_t>& host_blob = host_->checkpoint_bytes();
+  w.u64(host_blob.size());
+  w.bytes(host_blob);
+  ByteWriter aw;
+  reliable_.snapshot(aw);
+  const std::vector<std::uint8_t> arq_blob = std::move(aw).take();
+  w.u64(arq_blob.size());
+  w.bytes(arq_blob);
+  MetricsRegistry& m = telemetry_.metrics();
+  if (SnapshotFile::write(state_->snapshot_path(), w.buffer())) {
+    m.counter(config_.shape.self, metric::kSnapshotWrites).add(1);
+  }
+  const WalStats& ws = wal_->stats();
+  m.counter(config_.shape.self, metric::kWalAppends)
+      .add(ws.appends - wal_reported_.appends);
+  m.counter(config_.shape.self, metric::kWalBytes)
+      .add(ws.bytes - wal_reported_.bytes);
+  m.counter(config_.shape.self, metric::kWalFsyncs)
+      .add(ws.fsyncs - wal_reported_.fsyncs);
+  wal_reported_ = ws;
+}
+
+std::uint64_t ProcessNode::local_op_count() const {
+  return recorder_.history().local(config_.shape.self).size();
 }
 
 void ProcessNode::deliver(ProcessId from, std::span<const std::uint8_t> bytes) {
@@ -184,6 +345,10 @@ ControlMessage ProcessNode::handle_control(const ControlMessage& req) {
         rep.op = ControlOp::kAck;
       }
       break;
+    case ControlOp::kQueryQuiescent:
+      rep.op = ControlOp::kDoneReply;
+      rep.flag = stack_quiescent();
+      break;
     case ControlOp::kShutdown:
       shutdown_ = true;
       rep.op = ControlOp::kAck;
@@ -200,7 +365,7 @@ void ProcessNode::start_run(const ControlMessage& req) {
   script_ = req.script;
   ScriptRunner::AfterOp after_op;
   if (config_.shape.recoverable) {
-    after_op = [this] { host_->checkpoint(); };
+    after_op = [this] { host_->note_mutation(); };
   }
   runner_ = std::make_unique<ScriptRunner>(
       loop_.queue(), recorder_,
@@ -210,13 +375,23 @@ void ProcessNode::start_run(const ControlMessage& req) {
       config_.shape.self, script_, std::move(after_op));
   runner_->set_telemetry(&telemetry_);
   runner_->set_time_scale(req.time_scale);
+  // Durable restart: the first replayed_local_ops_ steps already executed in
+  // a previous incarnation (an op is in the WAL iff its step completed — the
+  // batch commits at the post-op checkpoint), so the script resumes after
+  // them.  0 on a fresh state dir, so a first boot starts at step 0.
+  if (durable()) {
+    runner_->set_start_index(static_cast<std::size_t>(replayed_local_ops_));
+  }
   runner_->begin();
 }
 
 bool ProcessNode::run_done() const {
-  return runner_ != nullptr && runner_->done() && host_->up() &&
-         host_->protocol().quiescent() && reliable_.quiescent() &&
-         transport_.flushed();
+  return runner_ != nullptr && runner_->done() && stack_quiescent();
+}
+
+bool ProcessNode::stack_quiescent() const {
+  return host_->up() && host_->protocol().quiescent() &&
+         reliable_.quiescent() && transport_.flushed();
 }
 
 void ProcessNode::reply(ControlConn& conn, const ControlMessage& msg) {

@@ -34,6 +34,9 @@
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/protocol_host.h"
 #include "dsm/sim/reliable.h"
+#include "dsm/storage/state_dir.h"
+#include "dsm/storage/wal.h"
+#include "dsm/storage/wal_sink.h"
 #include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/script_runner.h"
 
@@ -51,6 +54,13 @@ struct ProcessNodeConfig {
   std::vector<std::string> peers;
   int listen_fd = -1;  ///< adopted listener (fork harness), or -1 to bind
   ReliableConfig arq = net_reliable_defaults();
+  /// Durable state directory (docs/DURABILITY.md).  Empty = in-memory only.
+  /// Non-empty requires shape.recoverable: on boot the node restores the
+  /// latest snapshot, replays the WAL tail, and rejoins via anti-entropy; a
+  /// kill -9 of the OS process loses at most the one in-flight mutation that
+  /// had not yet committed to the WAL (and that only if fsync allows it).
+  std::string state_dir;
+  FsyncPolicy fsync = FsyncPolicy::kEvery;
 };
 
 class ProcessNode final : public MessageSink {
@@ -77,6 +87,11 @@ class ProcessNode final : public MessageSink {
     return recorder_;
   }
   [[nodiscard]] RunTelemetry& telemetry() noexcept { return telemetry_; }
+  /// Boot counter from the durable state dir (1 on a fresh dir, +1 per boot);
+  /// 0 when the node runs without durability.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
 
  private:
   /// The protocol's transport-facing Endpoint, implemented over the ARQ.
@@ -106,10 +121,24 @@ class ProcessNode final : public MessageSink {
   [[nodiscard]] ControlMessage handle_control(const ControlMessage& req);
   void start_run(const ControlMessage& req);
   [[nodiscard]] bool run_done() const;
+  [[nodiscard]] bool stack_quiescent() const;
   void reply(ControlConn& conn, const ControlMessage& msg);
   void flush_control(ControlConn& conn);
   void drop_control(int fd);
   [[nodiscard]] bool control_flushed() const;
+
+  // -- durability (config_.state_dir non-empty) ------------------------------
+  [[nodiscard]] bool durable() const noexcept {
+    return !config_.state_dir.empty();
+  }
+  /// Open the StateDir, restore snapshot + WAL, start the host (restored or
+  /// fresh), reconcile the ≤1-mutation gap between WAL and snapshot, and
+  /// install the spill hook.  Runs before the loop; see docs/DURABILITY.md.
+  void boot_durable();
+  /// Spill hook: commit the pending WAL batch, then atomically write the
+  /// snapshot file (op count + host checkpoint + ARQ state).
+  void spill();
+  [[nodiscard]] std::uint64_t local_op_count() const;
 
   ProcessNodeConfig config_;
   NetLoop loop_;
@@ -118,11 +147,23 @@ class ProcessNode final : public MessageSink {
   TcpTransport transport_;
   ReliableNode reliable_;
   ArqEndpoint endpoint_;
+  /// Recoverable mode: event dedup between the tee and the protocol — crash
+  /// recovery legitimately redelivers updates (catch-up + ARQ retransmission)
+  /// and a respawned peer may re-broadcast a reconciled write; the filter
+  /// keeps the recorded trace free of the echo on every node.
+  std::unique_ptr<ReplayFilterObserver> filter_;
   std::unique_ptr<ProtocolHost> host_;
   Script script_;  ///< installed by kRun; runner_ points into it
   std::unique_ptr<ScriptRunner> runner_;
   std::map<int, ControlConn> controls_;
   bool shutdown_ = false;
+  // -- durable state (boot_durable) ------------------------------------------
+  std::optional<StateDir> state_;
+  std::optional<Wal> wal_;
+  std::unique_ptr<WalEventSink> wal_sink_;
+  std::uint64_t replayed_local_ops_ = 0;  ///< script resume index
+  std::uint64_t incarnation_ = 0;
+  WalStats wal_reported_;  ///< counters already folded into telemetry
 };
 
 }  // namespace dsm

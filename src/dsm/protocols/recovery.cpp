@@ -201,29 +201,50 @@ bool ReplayFilterObserver::first(std::uint8_t kind, ProcessId at, WriteId w) {
   return inserted;
 }
 
+bool ReplayFilterObserver::muted() {
+  const std::scoped_lock lock(mu_);
+  if (muted_) ++suppressed_;
+  return muted_;
+}
+
+void ReplayFilterObserver::preseed(std::uint8_t kind, ProcessId at, WriteId w) {
+  const std::scoped_lock lock(mu_);
+  seen_.insert(Key{kind, at, w.proc, w.seq});
+}
+
+void ReplayFilterObserver::set_muted(bool muted) {
+  const std::scoped_lock lock(mu_);
+  muted_ = muted;
+}
+
 std::uint64_t ReplayFilterObserver::suppressed() const {
   const std::scoped_lock lock(mu_);
   return suppressed_;
 }
 
 void ReplayFilterObserver::on_send(ProcessId at, const WriteUpdate& m) {
+  if (muted()) return;
   if (first(0, at, WriteId{m.sender, m.write_seq})) target_->on_send(at, m);
 }
 
 void ReplayFilterObserver::on_receipt(ProcessId at, const WriteUpdate& m) {
+  if (muted()) return;
   if (first(1, at, WriteId{m.sender, m.write_seq})) target_->on_receipt(at, m);
 }
 
 void ReplayFilterObserver::on_apply(ProcessId at, WriteId w, bool delayed) {
+  if (muted()) return;
   if (first(2, at, w)) target_->on_apply(at, w, delayed);
 }
 
 void ReplayFilterObserver::on_return(ProcessId at, VarId x, Value v,
                                      WriteId from) {
+  if (muted()) return;
   target_->on_return(at, x, v, from);
 }
 
 void ReplayFilterObserver::on_skip(ProcessId at, WriteId w, WriteId by) {
+  if (muted()) return;
   // Keyed on the skipped write only: a second skip of w (by a different
   // superseding write after redelivery) is still the same logical event.
   if (first(3, at, w)) target_->on_skip(at, w, by);

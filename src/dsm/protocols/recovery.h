@@ -177,16 +177,30 @@ class ReplayFilterObserver final : public ProtocolObserver {
   void on_return(ProcessId at, VarId x, Value v, WriteId from) override;
   void on_skip(ProcessId at, WriteId w, WriteId by) override;
 
+  /// Pre-populate the seen-set without forwarding anything: the durable-boot
+  /// path replays spilled events into the recorder directly, then preseeds
+  /// the filter so a live redelivery of the same (kind, at, write) — e.g. an
+  /// ARQ retransmission whose ACK died with the process — is suppressed.
+  /// Kinds match the internal keying: 0 send, 1 receipt, 2 apply, 3 skip.
+  void preseed(std::uint8_t kind, ProcessId at, WriteId w);
+
+  /// While muted, EVERY event (returns included) is dropped and counted as
+  /// suppressed — used while re-executing already-spilled script operations
+  /// to rebuild in-memory protocol state without re-recording them.
+  void set_muted(bool muted);
+
   [[nodiscard]] std::uint64_t suppressed() const;
 
  private:
   using Key = std::tuple<std::uint8_t, ProcessId, ProcessId, SeqNo>;
   [[nodiscard]] bool first(std::uint8_t kind, ProcessId at, WriteId w);
+  [[nodiscard]] bool muted();
 
   ProtocolObserver* target_;
   mutable std::mutex mu_;
   std::set<Key> seen_;
   std::uint64_t suppressed_ = 0;
+  bool muted_ = false;
 };
 
 }  // namespace dsm

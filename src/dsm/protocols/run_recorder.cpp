@@ -43,16 +43,41 @@ void RunRecorder::push(RunEvent e) {
   e.order = next_order_++;
   e.time = clock_ ? clock_() : 0;
   events_.push_back(e);
+  if (sink_ != nullptr) sink_->accept_event(events_.back());
 }
 
 WriteId RunRecorder::record_write(ProcessId p, VarId x, Value v) {
   const std::scoped_lock lock(mu_);
-  return history_.add_write(p, x, v);
+  const WriteId id = history_.add_write(p, x, v);
+  if (sink_ != nullptr) sink_->accept_write(p, x, v, id);
+  return id;
 }
 
 void RunRecorder::record_read(ProcessId p, VarId x, const ReadResult& r) {
   const std::scoped_lock lock(mu_);
   history_.add_read(p, x, r.value, r.writer);
+  if (sink_ != nullptr) sink_->accept_read(p, x, r.value, r.writer);
+}
+
+void RunRecorder::set_sink(EventSink* sink) {
+  const std::scoped_lock lock(mu_);
+  sink_ = sink;
+}
+
+void RunRecorder::restore_write(ProcessId p, VarId x, Value v) {
+  const std::scoped_lock lock(mu_);
+  (void)history_.add_write(p, x, v);
+}
+
+void RunRecorder::restore_read(ProcessId p, VarId x, Value v, WriteId from) {
+  const std::scoped_lock lock(mu_);
+  history_.add_read(p, x, v, from);
+}
+
+void RunRecorder::restore_event(const RunEvent& e) {
+  const std::scoped_lock lock(mu_);
+  events_.push_back(e);
+  if (e.order >= next_order_) next_order_ = e.order + 1;
 }
 
 void RunRecorder::on_send(ProcessId at, const WriteUpdate& m) {

@@ -58,6 +58,21 @@ struct RunEvent {
 [[nodiscard]] std::string sequence_str(std::span<const RunEvent> events,
                                        ProcessId p);
 
+/// Receiver side of the recorder's durability seam.  A RunRecorder tees every
+/// history record and observer event it accepts into an optional EventSink —
+/// the WAL-spilling sink in src/dsm/storage implements this to persist the
+/// run log, while the recorder itself stays the in-memory source of truth.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// History record: process p wrote v to x; `id` is the assigned WriteId.
+  virtual void accept_write(ProcessId p, VarId x, Value v, WriteId id) = 0;
+  /// History record: process p read v from x, served by `from`.
+  virtual void accept_read(ProcessId p, VarId x, Value v, WriteId from) = 0;
+  /// Observer event, with `order`/`time` already assigned.
+  virtual void accept_event(const RunEvent& e) = 0;
+};
+
 class RunRecorder final : public ProtocolObserver {
  public:
   using ClockFn = std::function<std::uint64_t()>;
@@ -71,6 +86,22 @@ class RunRecorder final : public ProtocolObserver {
   WriteId record_write(ProcessId p, VarId x, Value v);
   /// Record a completed read.
   void record_read(ProcessId p, VarId x, const ReadResult& r);
+
+  // -- durability seam -------------------------------------------------------
+  /// Tee every subsequent record/event into `sink` (nullptr detaches).  The
+  /// sink is invoked under the recorder's lock, so implementations must not
+  /// call back into the recorder.
+  void set_sink(EventSink* sink);
+
+  /// Replay entry points: re-ingest a previously recorded run verbatim.
+  /// History records regenerate the same WriteIds (add_write assigns seqs
+  /// deterministically); events keep their recorded order/time, and
+  /// `next_order_` advances past them so live recording resumes after the
+  /// replayed prefix.  Nothing is forwarded to the sink — the spilled log
+  /// already contains these.
+  void restore_write(ProcessId p, VarId x, Value v);
+  void restore_read(ProcessId p, VarId x, Value v, WriteId from);
+  void restore_event(const RunEvent& e);
 
   // -- ProtocolObserver ----------------------------------------------------
   void on_send(ProcessId at, const WriteUpdate& m) override;
@@ -104,6 +135,7 @@ class RunRecorder final : public ProtocolObserver {
   std::vector<RunEvent> events_;
   ClockFn clock_;
   std::uint64_t next_order_ = 0;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace dsm

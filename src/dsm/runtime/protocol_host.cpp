@@ -28,7 +28,7 @@ void ProtocolHost::build() {
                 "recoverable hosts need a class-P buffering protocol; a "
                 "crashed token holder would require an election");
     recovery_->set_protocol(*buffering_);
-    recovery_->set_checkpoint_hook([this] { checkpoint(); });
+    recovery_->set_checkpoint_hook([this] { note_mutation(); });
   } else {
     protocol_ =
         make_protocol(shape_.kind, shape_.self, shape_.n_procs, shape_.n_vars,
@@ -47,6 +47,17 @@ void ProtocolHost::start() {
   if (shape_.recoverable) checkpoint();
 }
 
+void ProtocolHost::start_restored(std::span<const std::uint8_t> blob) {
+  DSM_REQUIRE(shape_.recoverable);
+  DSM_REQUIRE(up_);
+  ByteReader r(blob);
+  DSM_REQUIRE(protocol_->restore(r));
+  DSM_REQUIRE(recovery_->restore(r));
+  DSM_REQUIRE(r.exhausted());
+  recovery_->request_catch_up();
+  checkpoint();
+}
+
 void ProtocolHost::deliver(ProcessId from, std::span<const std::uint8_t> bytes) {
   if (!up_) {
     // Crashed host: the message is lost; catch-up repairs it later.
@@ -60,6 +71,14 @@ void ProtocolHost::deliver(ProcessId from, std::span<const std::uint8_t> bytes) 
   }
 }
 
+void ProtocolHost::note_mutation() {
+  DSM_REQUIRE(shape_.recoverable);
+  if (++mutations_since_checkpoint_ < shape_.durability.checkpoint_every) {
+    return;
+  }
+  checkpoint();
+}
+
 void ProtocolHost::checkpoint() {
   DSM_REQUIRE(shape_.recoverable);
   DSM_REQUIRE(protocol_ != nullptr);
@@ -67,8 +86,13 @@ void ProtocolHost::checkpoint() {
   protocol_->snapshot(w);
   recovery_->snapshot(w);
   checkpoint_ = std::move(w).take();
+  mutations_since_checkpoint_ = 0;
   if (telemetry_ != nullptr)
     telemetry_->record_checkpoint(shape_.self, checkpoint_.size());
+  if (spill_ && ++checkpoints_since_spill_ >= shape_.durability.snapshot_every) {
+    checkpoints_since_spill_ = 0;
+    spill_();
+  }
 }
 
 void ProtocolHost::kill() {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,6 +32,17 @@
 namespace dsm {
 
 class RunTelemetry;
+
+/// When the host checkpoints and spills.  The synchronous write-ahead
+/// discipline of the crash-recovery layer corresponds to the defaults
+/// (checkpoint on every mutation, spill on every checkpoint); larger
+/// intervals trade recovery granularity for speed.  Owned by ProtocolHost so
+/// the thread and process tiers share one scheduling code path instead of
+/// ad-hoc checkpoint calls at every mutation site.
+struct DurabilityPolicy {
+  std::uint64_t checkpoint_every = 1;  ///< mutations per in-memory checkpoint
+  std::uint64_t snapshot_every = 1;    ///< checkpoints per spill-hook firing
+};
 
 class ProtocolHost final : public MessageSink {
  public:
@@ -44,6 +56,7 @@ class ProtocolHost final : public MessageSink {
     std::size_t n_vars = 8;
     ProtocolConfig protocol_config;
     bool recoverable = false;
+    DurabilityPolicy durability;  ///< recoverable mode only
   };
 
   /// `lower` is the transport-facing Endpoint (mailbox poster, ARQ node, …)
@@ -59,6 +72,13 @@ class ProtocolHost final : public MessageSink {
   /// accepting) and, in recoverable mode, takes the time-zero checkpoint.
   void start();
 
+  /// Durable-boot alternative to start(): restore protocol + recovery state
+  /// from a previously spilled checkpoint blob onto the freshly built stack,
+  /// broadcast a catch-up request, and take the time-zero checkpoint.  The
+  /// protocol's start() is NOT run (the restored state already includes its
+  /// effects).  \pre recoverable, up(), and no operation has run yet.
+  void start_restored(std::span<const std::uint8_t> blob);
+
   // -- MessageSink: the transport-facing delivery contract -------------------
 
   /// Routes one decoded message into the stack: through the RecoveryNode in
@@ -69,10 +89,23 @@ class ProtocolHost final : public MessageSink {
 
   // -- crash / restart (recoverable mode only) -------------------------------
 
+  /// One protocol-visible state mutation happened (delivery, catch-up
+  /// handling, script operation).  The host applies its DurabilityPolicy:
+  /// checkpoint every `checkpoint_every`-th call, fire the spill hook every
+  /// `snapshot_every`-th checkpoint.  All mutation sites call this — the
+  /// policy decides, not the call site.
+  void note_mutation();
+
   /// Serialize protocol + recovery state into the in-memory checkpoint slot
-  /// (the synchronous write-ahead discipline: call after every state-mutating
-  /// operation).
+  /// immediately (bypasses the policy counter; still fires the spill hook).
   void checkpoint();
+
+  /// Installed by a persistence layer: invoked after a checkpoint that the
+  /// policy selected for spilling, with checkpoint_bytes() fresh.  The hook
+  /// must commit its write-ahead log BEFORE writing the snapshot so the
+  /// on-disk invariant "WAL covers at least the snapshot" holds.
+  using SpillHook = std::function<void()>;
+  void set_spill_hook(SpillHook hook) { spill_ = std::move(hook); }
 
   /// Destroy the live stack; its counters survive in the accumulators.
   void kill();
@@ -117,6 +150,9 @@ class ProtocolHost final : public MessageSink {
   BufferingProtocol* buffering_ = nullptr;  ///< recoverable mode only
   bool up_ = true;
   std::vector<std::uint8_t> checkpoint_;
+  SpillHook spill_;
+  std::uint64_t mutations_since_checkpoint_ = 0;
+  std::uint64_t checkpoints_since_spill_ = 0;
   ProtocolStats stats_acc_;  ///< counters of dead incarnations
   RecoveryStats rec_acc_;
   std::uint64_t dropped_while_down_ = 0;

@@ -67,7 +67,8 @@ ThreadCluster::ThreadCluster(const Config& config)
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     const ProtocolHost::Shape shape{kind_,  p,
                                     config.n_procs, n_vars_,
-                                    protocol_config_, recoverable_};
+                                    protocol_config_, recoverable_,
+                                    DurabilityPolicy{}};
     nodes_[p]->host = std::make_unique<ProtocolHost>(
         shape, *nodes_[p]->endpoint, *observer_, telemetry_);
   }
@@ -145,7 +146,7 @@ void ThreadCluster::write(ProcessId p, VarId x, Value v) {
   recorder_->record_write(p, x, v);
   if (telemetry_ != nullptr) telemetry_->record_write_op(p, x, v);
   node.host->protocol().write(x, v);
-  if (recoverable_) node.host->checkpoint();
+  if (recoverable_) node.host->note_mutation();
 }
 
 ReadResult ThreadCluster::read(ProcessId p, VarId x) {
@@ -156,7 +157,7 @@ ReadResult ThreadCluster::read(ProcessId p, VarId x) {
   const ReadResult r = node.host->protocol().read(x);
   recorder_->record_read(p, x, r);
   // OptP merges Write_co on reads, so reads mutate durable state too.
-  if (recoverable_) node.host->checkpoint();
+  if (recoverable_) node.host->note_mutation();
   return r;
 }
 

@@ -185,6 +185,10 @@ bool ReliableNode::quiescent() const noexcept {
   return true;
 }
 
+void ReliableNode::skip_tx_sequences(std::uint64_t skip) noexcept {
+  for (PeerTx& peer : tx_) peer.next_seq += skip;
+}
+
 void ReliableNode::snapshot(ByteWriter& w) const {
   w.u64(tx_.size());
   for (const PeerTx& peer : tx_) {

@@ -167,6 +167,14 @@ class ReliableNode final : public MessageSink {
   ///       fresh timer; on failure the node must be discarded.
   [[nodiscard]] bool restore(ByteReader& r);
 
+  /// Advance every per-peer tx sequence counter by `skip` — an epoch gap.
+  /// The durable-boot path restores an ARQ snapshot that may predate the
+  /// crash by up to one mutation, then re-executes the lost mutation; without
+  /// the gap the re-broadcast would reuse a sequence number a peer already
+  /// consumed for the ORIGINAL transmission, and the peer's dedup would
+  /// silently suppress a different payload under the same seq.
+  void skip_tx_sequences(std::uint64_t skip) noexcept;
+
   /// Counters since construction/restore (restore does not reset them).
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
 

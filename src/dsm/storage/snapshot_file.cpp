@@ -1,0 +1,108 @@
+#include "dsm/storage/snapshot_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "dsm/storage/wal.h"
+
+namespace dsm {
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) noexcept {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// fsync the directory containing `path` so a just-completed rename is
+/// durable.  Best effort: some filesystems reject O_RDONLY dir fsync.
+void sync_parent_dir(const std::string& path) noexcept {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool SnapshotFile::write(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  std::array<std::uint8_t, 8> header;
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+  const std::uint32_t crc = crc32(bytes);
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  header[4] = static_cast<std::uint8_t>(crc);
+  header[5] = static_cast<std::uint8_t>(crc >> 8);
+  header[6] = static_cast<std::uint8_t>(crc >> 16);
+  header[7] = static_cast<std::uint8_t>(crc >> 24);
+  const bool ok = write_all(fd, header.data(), header.size()) &&
+                  (bytes.empty() ||
+                   write_all(fd, bytes.data(), bytes.size())) &&
+                  ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> SnapshotFile::read(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> contents;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    contents.insert(contents.end(), buf.data(), buf.data() + n);
+  }
+  ::close(fd);
+  if (contents.size() < 8) return std::nullopt;
+  const std::uint32_t len = load_le32(contents.data());
+  const std::uint32_t crc = load_le32(contents.data() + 4);
+  if (len != contents.size() - 8) return std::nullopt;
+  std::vector<std::uint8_t> payload(contents.begin() + 8, contents.end());
+  if (crc32(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+}  // namespace dsm

@@ -1,0 +1,35 @@
+// optcm — atomic checkpoint snapshot files.
+//
+// A snapshot write must be all-or-nothing: a process killed mid-write must
+// find either the previous snapshot or the new one on restart, never a torn
+// hybrid.  The standard POSIX recipe: write `path.tmp`, fsync it, rename()
+// over `path` (atomic within a filesystem), fsync the directory so the
+// rename itself survives power loss.  Contents are CRC-framed with the same
+// [u32 length][u32 crc32][payload] record layout as the WAL, so read()
+// rejects torn/corrupt files instead of restoring garbage.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class SnapshotFile {
+ public:
+  /// Atomically replaces `path` with `bytes`.  False on any I/O failure (the
+  /// previous snapshot, if any, is left intact).
+  [[nodiscard]] static bool write(const std::string& path,
+                                  std::span<const std::uint8_t> bytes);
+
+  /// Reads and validates a snapshot.  nullopt if the file is absent,
+  /// unreadable, torn, or fails its CRC — callers fall back to "no snapshot"
+  /// and replay the WAL from the start.
+  [[nodiscard]] static std::optional<std::vector<std::uint8_t>> read(
+      const std::string& path);
+};
+
+}  // namespace dsm

@@ -1,0 +1,41 @@
+#include "dsm/storage/state_dir.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+
+namespace dsm {
+namespace {
+
+/// mkdir -p: create every component, tolerating ones that already exist.
+bool make_dirs(const std::string& path) noexcept {
+  std::string partial;
+  partial.reserve(path.size());
+  std::size_t i = 0;
+  while (i < path.size()) {
+    std::size_t next = path.find('/', i);
+    if (next == std::string::npos) next = path.size();
+    partial.append(path, i, next - i);
+    if (!partial.empty() && partial != "/" &&
+        ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+    if (next < path.size()) partial.push_back('/');
+    i = next + 1;
+  }
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+std::optional<StateDir> StateDir::open(const std::string& root) {
+  if (root.empty() || !make_dirs(root)) return std::nullopt;
+  return StateDir(root);
+}
+
+std::string StateDir::node_subdir(const std::string& state_root, ProcessId p) {
+  return state_root + "/node-" + std::to_string(p);
+}
+
+}  // namespace dsm

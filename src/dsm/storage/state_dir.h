@@ -1,0 +1,44 @@
+// optcm — per-node durable state directory layout.
+//
+// One node's entire durable footprint lives under a single directory:
+//
+//     <root>/
+//       wal.log       append-only event/mutation log (Wal)
+//       snapshot.bin  latest checkpoint spill (SnapshotFile)
+//
+// The fork-based cluster gives node p the subdirectory `<state>/node-<p>`
+// (node_subdir); a respawned process pointed at the same StateDir finds its
+// pre-crash snapshot + WAL tail and rejoins from them.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dsm/common/types.h"
+
+namespace dsm {
+
+class StateDir {
+ public:
+  /// Opens (creating recursively if needed) the directory at `root`.
+  /// nullopt if the path exists as a non-directory or cannot be created.
+  [[nodiscard]] static std::optional<StateDir> open(const std::string& root);
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+  [[nodiscard]] std::string wal_path() const { return root_ + "/wal.log"; }
+  [[nodiscard]] std::string snapshot_path() const {
+    return root_ + "/snapshot.bin";
+  }
+
+  /// Cluster layout: the per-node subdirectory under a shared state root.
+  [[nodiscard]] static std::string node_subdir(const std::string& state_root,
+                                               ProcessId p);
+
+ private:
+  explicit StateDir(std::string root) noexcept : root_(std::move(root)) {}
+
+  std::string root_;
+};
+
+}  // namespace dsm

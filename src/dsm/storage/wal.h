@@ -1,0 +1,112 @@
+// optcm — append-only write-ahead log for per-node durable state.
+//
+// The WAL is the durability seam's source of truth: every committed mutation
+// batch (one protocol-visible state change plus the observer events it
+// produced) is appended as ONE record, so a torn tail drops whole batches and
+// never a partial mutation.  The format is deliberately dumber than the
+// varint message codec — fixed-width little-endian framing so open() can scan
+// and truncate without speculative varint decoding:
+//
+//     record := [u32 length (LE)] [u32 crc32 (LE)] [payload: length bytes]
+//
+// open() replays the longest valid prefix (every record whose length is
+// plausible and whose CRC matches), then truncates the file at the first bad
+// offset so the next append extends a clean log.  Corruption past the valid
+// prefix is counted (best effort) and reported via WalOpenStats — the
+// corruption fuzz in tests/test_storage.cpp asserts on those counts.
+//
+// fsync policy trades write latency for the crash window:
+//   * none          — never fsync (page cache only; OS crash may lose tail)
+//   * interval      — fsync every `fsync_interval` appends
+//   * every-record  — fsync after each append (strongest, slowest)
+// A kill -9 of the *process* never loses un-fsynced data (the page cache
+// survives the process); fsync matters for power loss / kernel panic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsm {
+
+enum class FsyncPolicy : std::uint8_t { kNone, kInterval, kEvery };
+
+/// Parses "none" / "interval" / "every"; nullopt on anything else.
+[[nodiscard]] std::optional<FsyncPolicy> parse_fsync_policy(
+    std::string_view s) noexcept;
+[[nodiscard]] const char* to_string(FsyncPolicy p) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum used
+/// by WAL records and snapshot files.  Exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+struct WalOptions {
+  FsyncPolicy fsync = FsyncPolicy::kEvery;
+  std::uint64_t fsync_interval = 64;  ///< appends per fsync under kInterval
+};
+
+/// Cumulative append-side counters (telemetry sources).
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes = 0;  ///< payload + framing bytes written
+  std::uint64_t fsyncs = 0;
+};
+
+/// What open() found: the recovered prefix and the corrupt/torn remainder.
+struct WalOpenStats {
+  std::uint64_t records_recovered = 0;
+  std::uint64_t bytes_recovered = 0;   ///< file offset of the first bad byte
+  std::uint64_t dropped_records = 0;   ///< best-effort count past the prefix
+  std::uint64_t dropped_bytes = 0;     ///< bytes truncated from the tail
+};
+
+/// Records larger than this are treated as corruption during recovery scans
+/// (matches the 1<<24 defensive cap used by the protocol snapshot decoders).
+inline constexpr std::uint32_t kWalMaxRecordBytes = 1u << 24;
+
+class Wal {
+ public:
+  using ReplayFn = std::function<void(std::span<const std::uint8_t>)>;
+
+  /// Opens (creating if absent) the log at `path`, replays every valid
+  /// record's payload through `replay` in append order, truncates any
+  /// corrupt/torn tail, and returns the writable log positioned at the end.
+  /// nullopt only on I/O failure (unreadable path); corruption is never an
+  /// error.  `open_stats` (optional) receives the recovery accounting.
+  [[nodiscard]] static std::optional<Wal> open(const std::string& path,
+                                               WalOptions options,
+                                               const ReplayFn& replay,
+                                               WalOpenStats* open_stats = nullptr);
+
+  Wal(Wal&& other) noexcept;
+  Wal& operator=(Wal&& other) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends one record and applies the fsync policy.  Aborts (DSM_REQUIRE)
+  /// on payloads over kWalMaxRecordBytes; crashes the process on write
+  /// failure — a WAL that silently drops records is worse than no WAL.
+  void append(std::span<const std::uint8_t> payload);
+
+  /// Forces an fsync regardless of policy (checkpoint barrier).
+  void sync();
+
+  [[nodiscard]] const WalStats& stats() const noexcept { return stats_; }
+
+ private:
+  Wal(int fd, WalOptions options) noexcept : fd_(fd), options_(options) {}
+
+  int fd_ = -1;
+  WalOptions options_;
+  WalStats stats_;
+  std::uint64_t appends_since_sync_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,149 @@
+#include "dsm/storage/wal_sink.h"
+
+namespace dsm {
+namespace {
+
+enum : std::uint8_t { kOp = 1, kEvent = 2, kIncarnation = 3 };
+
+/// Filter key for an event kind, or -1 for kinds that are never filtered.
+int filter_kind(EvKind k) noexcept {
+  switch (k) {
+    case EvKind::kSend: return 0;
+    case EvKind::kReceipt: return 1;
+    case EvKind::kApply: return 2;
+    case EvKind::kSkip: return 3;
+    case EvKind::kReturn: return -1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+void WalEventSink::accept_write(ProcessId p, VarId x, Value v, WriteId id) {
+  batch_.u8(kOp);
+  batch_.u8(1);
+  batch_.u32(p);
+  batch_.u32(x);
+  batch_.i64(v);
+  batch_.u32(id.proc);
+  batch_.u64(id.seq);
+}
+
+void WalEventSink::accept_read(ProcessId p, VarId x, Value v, WriteId from) {
+  batch_.u8(kOp);
+  batch_.u8(0);
+  batch_.u32(p);
+  batch_.u32(x);
+  batch_.i64(v);
+  batch_.u32(from.proc);
+  batch_.u64(from.seq);
+}
+
+void WalEventSink::accept_event(const RunEvent& e) {
+  batch_.u8(kEvent);
+  batch_.u64(e.order);
+  batch_.u64(e.time);
+  batch_.u32(e.at);
+  batch_.u8(static_cast<std::uint8_t>(e.kind));
+  batch_.u32(e.write.proc);
+  batch_.u64(e.write.seq);
+  batch_.u32(e.other.proc);
+  batch_.u64(e.other.seq);
+  batch_.u32(e.var);
+  batch_.i64(e.value);
+  batch_.u8(e.delayed ? 1 : 0);
+  batch_.u64_vec(e.clock.components());
+}
+
+void WalEventSink::note_incarnation(std::uint64_t boot) {
+  batch_.u8(kIncarnation);
+  batch_.u64(boot);
+}
+
+void WalEventSink::commit() {
+  if (batch_.size() == 0) return;
+  wal_->append(batch_.buffer());
+  batch_ = ByteWriter(std::move(batch_).take());  // keep capacity, clear
+}
+
+bool replay_wal_record(std::span<const std::uint8_t> record,
+                       RunRecorder& recorder, ReplayFilterObserver* filter,
+                       WalReplayStats* stats) {
+  ByteReader r(record);
+  WalReplayStats local;
+  while (r.ok() && r.remaining() > 0) {
+    const auto tag = r.u8();
+    if (!tag) return false;
+    switch (*tag) {
+      case kOp: {
+        const auto is_write = r.u8();
+        const auto p = r.u32();
+        const auto x = r.u32();
+        const auto v = r.i64();
+        const auto wproc = r.u32();
+        const auto wseq = r.u64();
+        if (!is_write || !p || !x || !v || !wproc || !wseq) return false;
+        if (*is_write != 0) {
+          recorder.restore_write(*p, *x, *v);
+        } else {
+          recorder.restore_read(*p, *x, *v, WriteId{*wproc, *wseq});
+        }
+        ++local.ops;
+        break;
+      }
+      case kEvent: {
+        RunEvent e;
+        const auto order = r.u64();
+        const auto time = r.u64();
+        const auto at = r.u32();
+        const auto kind = r.u8();
+        const auto wproc = r.u32();
+        const auto wseq = r.u64();
+        const auto oproc = r.u32();
+        const auto oseq = r.u64();
+        const auto var = r.u32();
+        const auto value = r.i64();
+        const auto delayed = r.u8();
+        auto clock = r.u64_vec();
+        if (!order || !time || !at || !kind || !wproc || !wseq || !oproc ||
+            !oseq || !var || !value || !delayed || !clock) {
+          return false;
+        }
+        if (*kind > static_cast<std::uint8_t>(EvKind::kSkip)) return false;
+        e.order = *order;
+        e.time = *time;
+        e.at = *at;
+        e.kind = static_cast<EvKind>(*kind);
+        e.write = WriteId{*wproc, *wseq};
+        e.other = WriteId{*oproc, *oseq};
+        e.var = *var;
+        e.value = *value;
+        e.delayed = *delayed != 0;
+        e.clock = VectorClock(std::move(*clock));
+        recorder.restore_event(e);
+        if (filter != nullptr) {
+          const int fk = filter_kind(e.kind);
+          if (fk >= 0) {
+            filter->preseed(static_cast<std::uint8_t>(fk), e.at, e.write);
+          }
+        }
+        ++local.events;
+        break;
+      }
+      case kIncarnation: {
+        const auto boot = r.u64();
+        if (!boot) return false;
+        ++local.incarnations;
+        local.last_incarnation = *boot;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  if (!r.ok()) return false;
+  if (stats != nullptr) *stats += local;
+  return true;
+}
+
+}  // namespace dsm

@@ -1,0 +1,87 @@
+// optcm — the WAL-spilling EventSink and its replay decoder.
+//
+// WalEventSink sits behind RunRecorder's durability seam: every history
+// record and observer event the recorder accepts is encoded (existing
+// ByteWriter codec style) into a pending batch, and commit() appends the
+// whole batch as ONE WAL record.  The caller commits at its checkpoint
+// points — after each protocol-visible mutation — so a record is the atomic
+// unit "one mutation plus the events it produced", and a torn WAL tail can
+// only ever lose whole mutations.
+//
+// Batch payload := sequence of sub-records, each tagged with a kind byte:
+//   kOp          u8(1)  u8(is_write) u32(p) u32(var) i64(value)
+//                u32(writer.proc) u64(writer.seq)
+//   kEvent       u8(2)  u64(order) u64(time) u32(at) u8(kind)
+//                u32(write.proc) u64(write.seq) u32(other.proc)
+//                u64(other.seq) u32(var) i64(value) u8(delayed)
+//                u64_vec(clock)
+//   kIncarnation u8(3)  u64(boot)   — appended once per process boot, after
+//                replay; stitch/merge tooling uses it to see restarts.
+//
+// replay_wal_record() is the inverse: feed one recovered record back into a
+// RunRecorder (restore_* entry points) and optionally preseed a
+// ReplayFilterObserver so live redeliveries of already-spilled events are
+// suppressed after restart.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsm/codec/codec.h"
+#include "dsm/protocols/recovery.h"
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/storage/wal.h"
+
+namespace dsm {
+
+class WalEventSink final : public EventSink {
+ public:
+  /// \pre `wal` outlives the sink.
+  explicit WalEventSink(Wal& wal) : wal_(&wal) {}
+
+  // -- EventSink (called under the recorder's lock) --------------------------
+  void accept_write(ProcessId p, VarId x, Value v, WriteId id) override;
+  void accept_read(ProcessId p, VarId x, Value v, WriteId from) override;
+  void accept_event(const RunEvent& e) override;
+
+  /// Record a process boot (incarnation counter) in the pending batch.
+  void note_incarnation(std::uint64_t boot);
+
+  /// Append the pending batch as one WAL record (no-op when empty).
+  void commit();
+
+  [[nodiscard]] bool pending() const noexcept { return batch_.size() != 0; }
+
+ private:
+  Wal* wal_;
+  ByteWriter batch_;
+};
+
+/// Per-record replay accounting (summed across records by the boot path).
+struct WalReplayStats {
+  std::uint64_t ops = 0;
+  std::uint64_t events = 0;
+  std::uint64_t incarnations = 0;
+  std::uint64_t last_incarnation = 0;
+
+  WalReplayStats& operator+=(const WalReplayStats& o) noexcept {
+    ops += o.ops;
+    events += o.events;
+    incarnations += o.incarnations;
+    if (o.incarnations != 0) last_incarnation = o.last_incarnation;
+    return *this;
+  }
+};
+
+/// Decodes one WAL record written by WalEventSink and re-ingests it:
+/// history ops via restore_write/restore_read, events via restore_event
+/// (plus a filter preseed for send/receipt/apply/skip kinds).  Returns false
+/// on a malformed record — the caller treats the log as corrupt from there.
+[[nodiscard]] bool replay_wal_record(std::span<const std::uint8_t> record,
+                                     RunRecorder& recorder,
+                                     ReplayFilterObserver* filter,
+                                     WalReplayStats* stats);
+
+}  // namespace dsm

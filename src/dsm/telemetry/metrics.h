@@ -126,6 +126,12 @@ inline constexpr char kTcpReconnects[] = "tcp_reconnects_total";
 inline constexpr char kTcpAccepted[] = "tcp_accepted_total";
 inline constexpr char kTcpSendsDropped[] = "tcp_sends_dropped_total";
 inline constexpr char kTcpFrameErrors[] = "tcp_frame_errors_total";
+// Durable storage layer (dsm/storage; per node).
+inline constexpr char kWalAppends[] = "wal_appends_total";
+inline constexpr char kWalBytes[] = "wal_bytes_total";
+inline constexpr char kWalFsyncs[] = "wal_fsyncs_total";
+inline constexpr char kWalReplayed[] = "wal_replayed_records_total";
+inline constexpr char kSnapshotWrites[] = "snapshot_writes_total";
 }  // namespace metric
 
 /// Named metrics for one run, owned per scope and aggregated on demand.

@@ -21,6 +21,7 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::kCheckpoint: return "checkpoint";
     case TraceKind::kConnect: return "connect";
     case TraceKind::kDisconnect: return "disconnect";
+    case TraceKind::kWalReplay: return "wal_replay";
   }
   return "?";
 }

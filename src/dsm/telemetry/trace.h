@@ -44,6 +44,7 @@ enum class TraceKind : std::uint8_t {
   kCheckpoint,  ///< the process took a checkpoint
   kConnect,     ///< net: a peer connection became established (var = peer id)
   kDisconnect,  ///< net: a peer connection was lost/closed (var = peer id)
+  kWalReplay,   ///< storage: durable boot replayed the WAL (bytes = records)
 };
 
 [[nodiscard]] std::string_view to_string(TraceKind k);

@@ -18,7 +18,18 @@ ScriptRunner::ScriptRunner(EventQueue& queue, RunRecorder& recorder,
       after_op_(std::move(after_op)),
       issued_(issued) {}
 
-void ScriptRunner::begin() { schedule_step(0, 0); }
+void ScriptRunner::begin() {
+  if (next_ > 0 && next_ < script_->size()) {
+    // Resuming mid-script after a process restart (set_start_index): the
+    // step's think-time delay — relative to the previous op — elapsed long
+    // ago, while the process was down.  Fire the overdue step immediately;
+    // later steps keep their scripted delays.
+    const std::size_t idx = next_;
+    queue_->schedule_after(0, [this, idx] { execute(idx); });
+    return;
+  }
+  schedule_step(next_, 0);
+}
 
 void ScriptRunner::resume() {
   down_ = false;

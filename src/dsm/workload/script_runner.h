@@ -41,6 +41,11 @@ class ScriptRunner {
   /// Schedule the first step (delay relative to queue.now()).
   void begin();
 
+  /// Start at step `k` instead of 0 (durable restart: the first k steps were
+  /// already executed by a previous incarnation and replayed from its WAL).
+  /// Call before begin().
+  void set_start_index(std::size_t k) noexcept { next_ = k; }
+
   /// Attach run telemetry (write-operation events); may stay null.
   void set_telemetry(RunTelemetry* telemetry) noexcept {
     telemetry_ = telemetry;

@@ -142,5 +142,19 @@ TEST(Flags, DetachedClaimHappensOnlyOnce) {
   EXPECT_TRUE(flags.positional().empty());
 }
 
+// The durability flags ride the same parser: `--kill-host=0@30` stays one
+// opaque token (the CLI splits N@MS itself), `--fsync` a policy name,
+// `--respawn`/`--recoverable` bare switches.  Value validation lives in the
+// CLI and is covered by the cli_reject_* ctest entries.
+TEST(Flags, DurabilityFlagShapes) {
+  auto flags = make({"--state-dir=/tmp/x", "--fsync=interval",
+                     "--kill-host=0@30", "--respawn"});
+  EXPECT_EQ(flags.get("state-dir", ""), "/tmp/x");
+  EXPECT_EQ(flags.get("fsync", "every"), "interval");
+  EXPECT_EQ(flags.get("kill-host", ""), "0@30");
+  EXPECT_TRUE(flags.get_bool("respawn"));
+  EXPECT_FALSE(flags.get_bool("recoverable"));
+}
+
 }  // namespace
 }  // namespace dsm

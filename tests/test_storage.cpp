@@ -1,0 +1,451 @@
+// optcm — storage subsystem tests: WAL framing and crash recovery (torn
+// tails truncated at every byte offset, a bit-flip corruption fuzz over the
+// tail record), fsync accounting per policy, atomic snapshot files, the
+// per-node state-dir layout, and the WalEventSink spill → replay roundtrip
+// back into a RunRecorder.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsm/protocols/recovery.h"
+#include "dsm/protocols/run_recorder.h"
+#include "dsm/storage/snapshot_file.h"
+#include "dsm/storage/state_dir.h"
+#include "dsm/storage/wal.h"
+#include "dsm/storage/wal_sink.h"
+
+namespace dsm {
+namespace {
+
+/// mkdtemp-backed scratch directory, removed recursively on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string templ = "/tmp/optcm-storage-XXXXXX";
+    const char* made = ::mkdtemp(templ.data());
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path_ = made;
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::uint8_t> payload_of(std::uint8_t tag, std::size_t len) {
+  std::vector<std::uint8_t> p(len);
+  for (std::size_t i = 0; i < len; ++i)
+    p[i] = static_cast<std::uint8_t>((tag + i * 7u) & 0xFFu);
+  return p;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spew(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+/// Opens `path`, collecting every replayed payload; asserts open succeeds.
+std::vector<std::vector<std::uint8_t>> replayed_payloads(
+    const std::string& path, WalOpenStats* stats = nullptr) {
+  std::vector<std::vector<std::uint8_t>> got;
+  auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone},
+                       [&got](std::span<const std::uint8_t> p) {
+                         got.emplace_back(p.begin(), p.end());
+                       },
+                       stats);
+  EXPECT_TRUE(wal.has_value()) << path;
+  return got;
+}
+
+TEST(FsyncPolicy, ParsesAndPrints) {
+  EXPECT_EQ(parse_fsync_policy("none"), FsyncPolicy::kNone);
+  EXPECT_EQ(parse_fsync_policy("interval"), FsyncPolicy::kInterval);
+  EXPECT_EQ(parse_fsync_policy("every"), FsyncPolicy::kEvery);
+  EXPECT_EQ(parse_fsync_policy(""), std::nullopt);
+  EXPECT_EQ(parse_fsync_policy("EVERY"), std::nullopt);
+  EXPECT_EQ(parse_fsync_policy("always"), std::nullopt);
+  for (const FsyncPolicy p :
+       {FsyncPolicy::kNone, FsyncPolicy::kInterval, FsyncPolicy::kEvery}) {
+    EXPECT_EQ(parse_fsync_policy(to_string(p)), p);
+  }
+}
+
+TEST(Crc32, MatchesKnownVectorsAndSeesBitFlips) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789".
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+  for (std::size_t i = 0; i < check.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = check;
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+      EXPECT_NE(crc32(mutated), crc32(check));
+    }
+  }
+}
+
+TEST(StateDirTest, CreatesRecursivelyAndNamesFiles) {
+  TempDir tmp;
+  const std::string root = tmp.file("a/b/c");
+  const auto dir = StateDir::open(root);
+  ASSERT_TRUE(dir.has_value());
+  EXPECT_EQ(dir->root(), root);
+  EXPECT_EQ(dir->wal_path(), root + "/wal.log");
+  EXPECT_EQ(dir->snapshot_path(), root + "/snapshot.bin");
+  struct stat st{};
+  ASSERT_EQ(::stat(root.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISDIR(st.st_mode));
+  // Re-opening an existing directory is fine (the respawn path).
+  EXPECT_TRUE(StateDir::open(root).has_value());
+  EXPECT_EQ(StateDir::node_subdir("/x/state", 3), "/x/state/node-3");
+}
+
+TEST(StateDirTest, RejectsPathOccupiedByAFile) {
+  TempDir tmp;
+  const std::string path = tmp.file("occupied");
+  spew(path, std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(StateDir::open(path).has_value());
+  // A file in the middle of the would-be hierarchy also fails.
+  EXPECT_FALSE(StateDir::open(path + "/below").has_value());
+}
+
+TEST(WalTest, AppendThenReplayInOrder) {
+  TempDir tmp;
+  const std::string path = tmp.file("wal.log");
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      payload_of(1, 0), payload_of(2, 1), payload_of(3, 33),
+      payload_of(4, 200)};
+  std::uint64_t framed = 0;
+  {
+    auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kEvery},
+                         [](std::span<const std::uint8_t>) { FAIL(); });
+    ASSERT_TRUE(wal.has_value());
+    for (const auto& p : payloads) {
+      wal->append(p);
+      framed += 8 + p.size();
+    }
+    EXPECT_EQ(wal->stats().appends, payloads.size());
+    EXPECT_EQ(wal->stats().bytes, framed);
+  }
+  WalOpenStats stats;
+  EXPECT_EQ(replayed_payloads(path, &stats), payloads);
+  EXPECT_EQ(stats.records_recovered, payloads.size());
+  EXPECT_EQ(stats.bytes_recovered, framed);
+  EXPECT_EQ(stats.dropped_records, 0u);
+  EXPECT_EQ(stats.dropped_bytes, 0u);
+  EXPECT_EQ(file_size(path), framed);
+}
+
+TEST(WalTest, FsyncAccountingFollowsPolicy) {
+  TempDir tmp;
+  const auto record = payload_of(9, 16);
+
+  auto every = Wal::open(tmp.file("every.log"),
+                         WalOptions{.fsync = FsyncPolicy::kEvery}, {});
+  ASSERT_TRUE(every.has_value());
+  for (int i = 0; i < 3; ++i) every->append(record);
+  EXPECT_EQ(every->stats().fsyncs, 3u);
+
+  auto none = Wal::open(tmp.file("none.log"),
+                        WalOptions{.fsync = FsyncPolicy::kNone}, {});
+  ASSERT_TRUE(none.has_value());
+  for (int i = 0; i < 3; ++i) none->append(record);
+  EXPECT_EQ(none->stats().fsyncs, 0u);
+  none->sync();  // checkpoint barrier forces one
+  EXPECT_EQ(none->stats().fsyncs, 1u);
+  none->sync();  // nothing pending: no-op
+  EXPECT_EQ(none->stats().fsyncs, 1u);
+
+  auto interval = Wal::open(
+      tmp.file("interval.log"),
+      WalOptions{.fsync = FsyncPolicy::kInterval, .fsync_interval = 2}, {});
+  ASSERT_TRUE(interval.has_value());
+  for (int i = 0; i < 5; ++i) interval->append(record);
+  EXPECT_EQ(interval->stats().fsyncs, 2u);  // after appends 2 and 4
+  interval->sync();                         // flushes the odd record out
+  EXPECT_EQ(interval->stats().fsyncs, 3u);
+}
+
+TEST(WalTest, TornTailTruncatedAtEveryOffset) {
+  TempDir tmp;
+  const std::string path = tmp.file("wal.log");
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      payload_of(1, 5), payload_of(2, 9), payload_of(3, 14)};
+  std::vector<std::uint64_t> boundary = {0};  // offsets where a record ends
+  {
+    auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone}, {});
+    ASSERT_TRUE(wal.has_value());
+    for (const auto& p : payloads) {
+      wal->append(p);
+      boundary.push_back(boundary.back() + 8 + p.size());
+    }
+  }
+  const std::vector<std::uint8_t> full = slurp(path);
+  ASSERT_EQ(full.size(), boundary.back());
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    const std::string torn = tmp.file("torn-" + std::to_string(cut));
+    spew(torn, std::span(full.data(), cut));
+    // Whole records fully inside the prefix survive; the torn one vanishes.
+    std::size_t whole = 0;
+    while (whole + 1 < boundary.size() && boundary[whole + 1] <= cut) ++whole;
+    std::vector<std::vector<std::uint8_t>> got;
+    WalOpenStats stats;
+    std::optional<Wal> wal = Wal::open(
+        torn, WalOptions{.fsync = FsyncPolicy::kNone},
+        [&got](std::span<const std::uint8_t> p) {
+          got.emplace_back(p.begin(), p.end());
+        },
+        &stats);
+    ASSERT_TRUE(wal.has_value());
+    ASSERT_EQ(got.size(), whole);
+    for (std::size_t i = 0; i < whole; ++i) EXPECT_EQ(got[i], payloads[i]);
+    EXPECT_EQ(stats.records_recovered, whole);
+    EXPECT_EQ(stats.bytes_recovered, boundary[whole]);
+    EXPECT_EQ(stats.dropped_bytes, cut - boundary[whole]);
+    EXPECT_EQ(file_size(torn), boundary[whole]);  // tail truncated away
+    // The recovered log extends cleanly.
+    wal->append(payloads[0]);
+    wal.reset();
+    EXPECT_EQ(replayed_payloads(torn).size(), whole + 1);
+  }
+}
+
+TEST(WalTest, BitFlipFuzzRecoversLongestValidPrefix) {
+  TempDir tmp;
+  const std::string path = tmp.file("wal.log");
+  const std::vector<std::vector<std::uint8_t>> payloads = {
+      payload_of(1, 24), payload_of(2, 7), payload_of(3, 40),
+      payload_of(4, 19)};
+  {
+    auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone}, {});
+    ASSERT_TRUE(wal.has_value());
+    for (const auto& p : payloads) wal->append(p);
+  }
+  const std::vector<std::uint8_t> full = slurp(path);
+  const std::size_t tail_start = full.size() - (8 + payloads.back().size());
+
+  // Flip one bit of every byte of the tail record (header and payload alike):
+  // open() must never crash, must recover exactly the first three records,
+  // and must report the mangled tail as dropped.
+  for (std::size_t i = tail_start; i < full.size(); ++i) {
+    SCOPED_TRACE("flip at offset " + std::to_string(i));
+    std::vector<std::uint8_t> mutated = full;
+    mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << (i % 8)));
+    const std::string fuzzed = tmp.file("fuzz-tail");
+    spew(fuzzed, mutated);
+    WalOpenStats stats;
+    const auto got = replayed_payloads(fuzzed, &stats);
+    ASSERT_EQ(got.size(), payloads.size() - 1);
+    for (std::size_t k = 0; k + 1 < payloads.size(); ++k)
+      EXPECT_EQ(got[k], payloads[k]);
+    EXPECT_EQ(stats.records_recovered, payloads.size() - 1);
+    EXPECT_EQ(stats.bytes_recovered, tail_start);
+    EXPECT_GE(stats.dropped_records, 1u);
+    EXPECT_EQ(stats.dropped_bytes, full.size() - tail_start);
+  }
+
+  // A flip in an earlier record cuts the valid prefix there — every record
+  // from the flipped one on is dropped, none is half-applied.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
+    SCOPED_TRACE("flip record 0 at offset " + std::to_string(i));
+    std::vector<std::uint8_t> mutated = full;
+    mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ 1u);
+    const std::string fuzzed = tmp.file("fuzz-head");
+    spew(fuzzed, mutated);
+    WalOpenStats stats;
+    EXPECT_TRUE(replayed_payloads(fuzzed, &stats).empty());
+    EXPECT_EQ(stats.records_recovered, 0u);
+    EXPECT_EQ(stats.dropped_bytes, full.size());
+  }
+}
+
+TEST(SnapshotFileTest, RoundtripOverwriteAndNoTmpResidue) {
+  TempDir tmp;
+  const std::string path = tmp.file("snapshot.bin");
+  EXPECT_EQ(SnapshotFile::read(path), std::nullopt);  // absent
+
+  const auto first = payload_of(5, 100);
+  ASSERT_TRUE(SnapshotFile::write(path, first));
+  EXPECT_EQ(SnapshotFile::read(path), first);
+
+  const auto second = payload_of(6, 37);  // replace: readers see old xor new
+  ASSERT_TRUE(SnapshotFile::write(path, second));
+  EXPECT_EQ(SnapshotFile::read(path), second);
+
+  const auto empty = std::vector<std::uint8_t>{};
+  ASSERT_TRUE(SnapshotFile::write(path, empty));
+  EXPECT_EQ(SnapshotFile::read(path), empty);
+
+  struct stat st{};
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0);  // tmp renamed away
+}
+
+TEST(SnapshotFileTest, RejectsTornAndCorruptFiles) {
+  TempDir tmp;
+  const std::string path = tmp.file("snapshot.bin");
+  const auto bytes = payload_of(7, 64);
+  ASSERT_TRUE(SnapshotFile::write(path, bytes));
+  const std::vector<std::uint8_t> full = slurp(path);
+  ASSERT_EQ(full.size(), 8 + bytes.size());
+
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    SCOPED_TRACE("corrupt byte " + std::to_string(i));
+    std::vector<std::uint8_t> mutated = full;
+    mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << (i % 8)));
+    spew(path, mutated);
+    EXPECT_EQ(SnapshotFile::read(path), std::nullopt);
+  }
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{7},
+                                std::size_t{8}, full.size() - 1}) {
+    SCOPED_TRACE("truncate to " + std::to_string(cut));
+    spew(path, std::span(full.data(), cut));
+    EXPECT_EQ(SnapshotFile::read(path), std::nullopt);
+  }
+  spew(path, full);  // pristine bytes still read back fine
+  EXPECT_EQ(SnapshotFile::read(path), bytes);
+}
+
+TEST(WalSinkTest, RecorderTeesLiveRecordsButNotRestores) {
+  TempDir tmp;
+  auto wal = Wal::open(tmp.file("wal.log"),
+                       WalOptions{.fsync = FsyncPolicy::kNone}, {});
+  ASSERT_TRUE(wal.has_value());
+  WalEventSink sink(*wal);
+  RunRecorder rec(2, 1);
+  rec.set_sink(&sink);
+
+  rec.restore_write(0, 0, 7);  // replayed history never re-spills
+  EXPECT_FALSE(sink.pending());
+  (void)rec.record_write(1, 0, 9);  // live history does
+  EXPECT_TRUE(sink.pending());
+
+  sink.commit();
+  EXPECT_FALSE(sink.pending());
+  EXPECT_EQ(wal->stats().appends, 1u);
+  sink.commit();  // empty batch: no record
+  EXPECT_EQ(wal->stats().appends, 1u);
+}
+
+TEST(WalSinkTest, SpillReplayRoundtripThroughRecorder) {
+  TempDir tmp;
+  const std::string path = tmp.file("wal.log");
+  const WriteId w{0, 1};
+  RunEvent spilled;
+  spilled.order = 0;
+  spilled.time = 42;
+  spilled.at = 1;
+  spilled.kind = EvKind::kApply;
+  spilled.write = w;
+  spilled.delayed = true;
+  spilled.clock = VectorClock({1, 0});
+  {
+    auto wal =
+        Wal::open(path, WalOptions{.fsync = FsyncPolicy::kEvery}, {});
+    ASSERT_TRUE(wal.has_value());
+    WalEventSink sink(*wal);
+    sink.note_incarnation(3);
+    sink.accept_write(0, 0, 7, w);
+    sink.accept_event(spilled);
+    sink.accept_read(1, 0, 7, w);
+    sink.commit();
+  }
+
+  RunRecorder rec(2, 1);
+  ReplayFilterObserver filter(rec);
+  WalReplayStats total;
+  auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone},
+                       [&](std::span<const std::uint8_t> record) {
+                         WalReplayStats s;
+                         EXPECT_TRUE(
+                             replay_wal_record(record, rec, &filter, &s));
+                         total += s;
+                       });
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(total.ops, 2u);
+  EXPECT_EQ(total.events, 1u);
+  EXPECT_EQ(total.incarnations, 1u);
+  EXPECT_EQ(total.last_incarnation, 3u);
+
+  // History restored verbatim, with the same deterministic WriteId.
+  ASSERT_EQ(rec.history().local(0).size(), 1u);
+  ASSERT_EQ(rec.history().local(1).size(), 1u);
+  const Operation& wr = rec.history().op(rec.history().local(0)[0]);
+  EXPECT_TRUE(wr.is_write());
+  EXPECT_EQ(wr.write_id, w);
+  EXPECT_EQ(wr.value, 7);
+  const Operation& rd = rec.history().op(rec.history().local(1)[0]);
+  EXPECT_TRUE(rd.is_read());
+  EXPECT_EQ(rd.write_id, w);
+
+  // The event came back field-for-field, timestamp included.
+  ASSERT_EQ(rec.events().size(), 1u);
+  const RunEvent& got = rec.events()[0];
+  EXPECT_EQ(got.order, spilled.order);
+  EXPECT_EQ(got.time, spilled.time);
+  EXPECT_EQ(got.at, spilled.at);
+  EXPECT_EQ(got.kind, spilled.kind);
+  EXPECT_EQ(got.write, spilled.write);
+  EXPECT_EQ(got.delayed, spilled.delayed);
+  EXPECT_TRUE(std::ranges::equal(got.clock.components(),
+                                 spilled.clock.components()));
+
+  // The filter was preseeded: a live redelivery of the replayed apply (an
+  // ARQ retransmission whose ACK died with the process) is suppressed.
+  filter.on_apply(1, w, true);
+  EXPECT_EQ(filter.suppressed(), 1u);
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(WalSinkTest, MalformedRecordIsRejected) {
+  RunRecorder rec(2, 1);
+  const std::vector<std::uint8_t> garbage = {0x77, 0x01, 0x02};
+  EXPECT_FALSE(replay_wal_record(garbage, rec, nullptr, nullptr));
+  // A truncated-but-valid-kind record is malformed too.
+  const std::vector<std::uint8_t> truncated = {0x01, 0x01};
+  EXPECT_FALSE(replay_wal_record(truncated, rec, nullptr, nullptr));
+  EXPECT_TRUE(rec.events().empty());
+}
+
+}  // namespace
+}  // namespace dsm

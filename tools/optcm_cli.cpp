@@ -26,6 +26,12 @@
 //                                    list, one entry per process in id order
 //   --listen=<host:port>             override peers[id] as the bind address
 //   --protocol=... --vars=M --recoverable   stack shape (default optp)
+//   --state-dir=DIR        durable WAL + snapshots under DIR; the node
+//                          restores and rejoins on boot (docs/DURABILITY.md).
+//                          Requires --recoverable (every peer in a mesh must
+//                          agree on the recoverable shape)
+//   --fsync=none|interval|every      WAL durability policy (requires
+//                          --state-dir; default every)
 //
 // drive flags:
 //   --script=h1|fig1|fig3  paper workload (3 procs, 2 vars)
@@ -35,6 +41,16 @@
 //                          so loopback latency cannot reorder the workload)
 //   --kill-conn=P:Q@MS     after MS milliseconds of run time, drop the live
 //                          TCP connection P->Q (ARQ + redial must repair it)
+//   --state-dir=DIR        durable per-node state under DIR/node-p (implies
+//                          --recoverable on every node)
+//   --fsync=none|interval|every      WAL durability policy (default every;
+//                          needs durable state)
+//   --kill-host=N[@MS]     SIGKILL node N's OS process after MS ms of run
+//                          time (default 30); must be paired with --respawn
+//   --respawn              fork a fresh process for the killed node on its
+//                          original port and state dir: it replays its WAL,
+//                          rejoins by anti-entropy, and resumes its script
+//                          (--state-dir defaults to a fresh temp dir)
 //   --compare-sim          also run the identical script in the simulator and
 //                          require byte-identical per-process observer-event
 //                          sequences (h1 only; fig1/fig3 choreograph latency,
@@ -82,6 +98,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
@@ -97,6 +114,7 @@
 #include "dsm/metrics/table.h"
 #include "dsm/net/merge.h"
 #include "dsm/net/process_cluster.h"
+#include "dsm/storage/wal.h"
 #include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/generator.h"
 #include "dsm/workload/paper_examples.h"
@@ -120,8 +138,10 @@ int usage(const char* program) {
                "usage: %s <run|compare|faults> [--key=value ...]\n"
                "       %s paper [history|table1|table2|fig1|fig3|fig6|fig7|all]\n"
                "       %s replay <trace.jsonl>\n"
-               "       %s serve --id=P --peers=<host:port,...>\n"
-               "       %s drive --script=h1 [--spawn=3 --compare-sim]\n"
+               "       %s serve --id=P --peers=<host:port,...> "
+               "[--state-dir=DIR --fsync=every]\n"
+               "       %s drive --script=h1 [--spawn=3 --compare-sim "
+               "--kill-host=N@MS --respawn]\n"
                "see the header of tools/optcm_cli.cpp for the full flag list\n",
                program, program, program, program, program);
   return 2;
@@ -745,15 +765,38 @@ int cmd_serve(Flags& flags) {
   config.shape.n_procs = peers.size();
   config.shape.n_vars = static_cast<std::size_t>(flags.get_int("vars", 8));
   config.shape.recoverable = flags.get_bool("recoverable");
+  config.state_dir = flags.get("state-dir", "");
+  const std::string fsync_flag = flags.get("fsync", "");
+  if (!fsync_flag.empty()) {
+    const auto policy = parse_fsync_policy(fsync_flag);
+    if (!policy) {
+      std::fprintf(stderr, "bad --fsync '%s' (want none, interval or every)\n",
+                   fsync_flag.c_str());
+      return 2;
+    }
+    if (config.state_dir.empty()) {
+      std::fprintf(stderr, "--fsync requires --state-dir\n");
+      return 2;
+    }
+    config.fsync = *policy;
+  }
+  if (!config.state_dir.empty() && !config.shape.recoverable) {
+    std::fprintf(stderr,
+                 "--state-dir requires --recoverable (every peer in the mesh "
+                 "must agree on the recoverable shape)\n");
+    return 2;
+  }
   const std::string own_addr = peers[static_cast<std::size_t>(id)];
+  const std::string state_dir = config.state_dir;
   config.peers = std::move(peers);
   if (flags.get_bool("dry-run")) return 0;
 
   ProcessNode node(std::move(config));
-  std::printf("serving process %lld on %s (%zu-process mesh, %s); waiting "
+  std::printf("serving process %lld on %s (%zu-process mesh, %s%s%s); waiting "
               "for a driver...\n",
               id, own_addr.c_str(), node.transport().n_procs(),
-              to_string(*kind));
+              to_string(*kind), state_dir.empty() ? "" : ", durable in ",
+              state_dir.c_str());
   node.run();
   return 0;
 }
@@ -770,6 +813,10 @@ int cmd_drive(Flags& flags) {
       static_cast<std::uint64_t>(flags.get_int("time-scale", 1000));
   const bool compare_sim = flags.get_bool("compare-sim");
   const std::string kill_conn = flags.get("kill-conn", "");
+  const std::string kill_host = flags.get("kill-host", "");
+  const bool want_respawn = flags.get_bool("respawn");
+  std::string state_dir = flags.get("state-dir", "");
+  const std::string fsync_flag = flags.get("fsync", "");
 
   std::vector<Script> scripts;
   if (script == "h1") {
@@ -809,13 +856,74 @@ int cmd_drive(Flags& flags) {
     std::fprintf(stderr, "--time-scale must be >= 1\n");
     return 2;
   }
+  FsyncPolicy fsync = FsyncPolicy::kEvery;
+  if (!fsync_flag.empty()) {
+    const auto policy = parse_fsync_policy(fsync_flag);
+    if (!policy) {
+      std::fprintf(stderr, "bad --fsync '%s' (want none, interval or every)\n",
+                   fsync_flag.c_str());
+      return 2;
+    }
+    if (state_dir.empty() && !want_respawn) {
+      std::fprintf(stderr,
+                   "--fsync requires durable state (--state-dir or "
+                   "--respawn's temp dir)\n");
+      return 2;
+    }
+    fsync = *policy;
+  }
+  unsigned long long kh_node = 0;
+  unsigned long long kh_at_ms = 30;
+  const bool want_kill_host = !kill_host.empty();
+  if (want_kill_host) {
+    const std::size_t at = kill_host.find('@');
+    const std::string node_part = kill_host.substr(0, at);
+    char* end = nullptr;
+    kh_node = std::strtoull(node_part.c_str(), &end, 10);
+    bool parsed = !node_part.empty() && *end == '\0';
+    if (parsed && at != std::string::npos) {
+      const std::string ms_part = kill_host.substr(at + 1);
+      kh_at_ms = std::strtoull(ms_part.c_str(), &end, 10);
+      parsed = !ms_part.empty() && *end == '\0';
+    }
+    if (!parsed || kh_node >= scripts.size()) {
+      std::fprintf(stderr, "bad --kill-host '%s' (want N or N@MS, N < spawn)\n",
+                   kill_host.c_str());
+      return 2;
+    }
+  }
+  if (want_kill_host != want_respawn) {
+    std::fprintf(stderr,
+                 "--kill-host and --respawn go together: SIGKILL one node "
+                 "mid-run, then respawn it from its durable state dir\n");
+    return 2;
+  }
   if (flags.get_bool("dry-run")) return 0;
+  if (want_respawn && state_dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string templ =
+        std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+        "/optcm-state-XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "cannot create a temporary state dir\n");
+      return 1;
+    }
+    state_dir = buf.data();
+    std::printf("state dir: %s\n", state_dir.c_str());
+  }
 
   ProcessClusterConfig cluster_config;
   cluster_config.shape.kind = *kind;
   cluster_config.shape.n_procs = scripts.size();
   cluster_config.shape.n_vars = paper::kH1Vars;
-  cluster_config.shape.recoverable = flags.get_bool("recoverable");
+  // Durable state needs the recoverable stack (replay filter + anti-entropy);
+  // the drive harness owns every node, so it is safe to imply the shape.
+  cluster_config.shape.recoverable =
+      flags.get_bool("recoverable") || !state_dir.empty();
+  cluster_config.state_dir = state_dir;
+  cluster_config.fsync = fsync;
 
   ProcessCluster cluster(cluster_config);
   if (!cluster.spawn()) {
@@ -841,6 +949,43 @@ int cmd_drive(Flags& flags) {
     }
     std::printf("dropped connection p%llu -> p%llu at +%llums\n", kc_from,
                 kc_to, kc_at_ms);
+  }
+  std::optional<ImportedRun> pre_kill_log;
+  if (want_kill_host) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kh_at_ms));
+    const auto victim = static_cast<ProcessId>(kh_node);
+    // Archive incarnation 1's view first: stitched against the respawned
+    // node's final log below, this exercises the multi-incarnation path.
+    pre_kill_log = cluster.fetch_log(victim);
+    if (!pre_kill_log) {
+      std::fprintf(stderr, "failed to fetch p%llu's pre-kill log\n", kh_node);
+      return 1;
+    }
+    if (!cluster.kill_process(victim)) {
+      std::fprintf(stderr, "kill-host failed\n");
+      return 1;
+    }
+    std::printf("kill -9 p%llu at +%llums\n", kh_node, kh_at_ms);
+    if (!cluster.respawn_process(victim)) {
+      std::fprintf(stderr, "respawn failed\n");
+      return 1;
+    }
+    if (!cluster.wait_ready()) {
+      std::fprintf(stderr, "respawned cluster never re-formed the mesh\n");
+      return 1;
+    }
+    if (!cluster.wait_quiescent()) {
+      std::fprintf(stderr, "cluster never quiesced after the respawn\n");
+      return 1;
+    }
+    if (!cluster.run_node(victim, scripts[kh_node], time_scale)) {
+      std::fprintf(stderr, "failed to resume p%llu's script\n", kh_node);
+      return 1;
+    }
+    std::printf(
+        "p%llu respawned from %s/node-%llu (snapshot + WAL replay + "
+        "anti-entropy) and resumed its script\n",
+        kh_node, state_dir.c_str(), kh_node);
   }
   if (!cluster.wait_done()) {
     std::fprintf(stderr, "run did not complete\n");
@@ -870,6 +1015,20 @@ int cmd_drive(Flags& flags) {
   }
   const bool clean_exit = cluster.shutdown();
 
+  if (pre_kill_log) {
+    ImportedRun incs[2] = {std::move(*pre_kill_log),
+                           std::move(runs[kh_node])};
+    auto stitched = stitch_incarnations(incs);
+    if (!stitched) {
+      std::fprintf(stderr,
+                   "p%llu's incarnation logs do not stitch (inconsistent "
+                   "op prefixes)\n",
+                   kh_node);
+      return 1;
+    }
+    runs[kh_node] = std::move(*stitched);
+  }
+
   const auto merged = merge_runs(runs);
   if (!merged) {
     std::fprintf(stderr, "per-node logs do not merge into a causal order\n");
@@ -898,6 +1057,9 @@ int cmd_drive(Flags& flags) {
   table.add("causally consistent (Defs. 1-2)",
             check.consistent() ? "yes" : "NO");
   table.add("clean shutdown", clean_exit ? "yes" : "NO");
+  if (want_kill_host) {
+    table.add("kill -9 + respawn + stitch", "p" + std::to_string(kh_node));
+  }
   std::printf("%s", table.str().c_str());
 
   bool ok = check.consistent() && audit.safe() && audit.live() &&

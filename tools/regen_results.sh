@@ -47,6 +47,12 @@ echo "wrote results/BENCH_core.json"
 "$build/bench/exp_net" --bench-json results/BENCH_net.json > /dev/null
 echo "wrote results/BENCH_net.json"
 
+# The durability baseline (docs/DURABILITY.md): WAL append/replay throughput
+# per fsync policy and snapshot spill cost.  Wall-clock numbers; expect
+# host-to-host variance.
+"$build/bench/exp_storage" --bench-json results/BENCH_storage.json > /dev/null
+echo "wrote results/BENCH_storage.json"
+
 # Loopback equivalence acceptance: a forked 3-process cluster must produce an
 # observer-event log byte-identical to the simulator's on the H1 script.
 if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
@@ -54,5 +60,16 @@ if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
   echo "loopback equivalence check: PASS (drive --script=h1 --compare-sim)"
 else
   echo "loopback equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Durability equivalence acceptance: SIGKILL node 0 mid-run, respawn it from
+# its state dir, stitch its incarnations — the merged log must still match
+# the simulator byte for byte.
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --time-scale=3000 \
+    --kill-host=0@30 --respawn --compare-sim > /dev/null; then
+  echo "kill -9 respawn equivalence check: PASS (drive --kill-host=0@30 --respawn)"
+else
+  echo "kill -9 respawn equivalence check: FAIL" >&2
   exit 1
 fi
