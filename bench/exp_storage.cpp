@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto t0 = Clock::now();
-    for (std::size_t i = 0; i < cell.records; ++i) wal->append(payload);
-    wal->sync();  // checkpoint barrier: every policy ends fully durable
+    for (std::size_t i = 0; i < cell.records; ++i) (void)wal->append(payload);
+    (void)wal->sync();  // checkpoint barrier: every policy ends fully durable
     const double wall_ms = ms_between(t0, Clock::now());
     const double per_s =
         static_cast<double>(cell.records) / (wall_ms / 1e3);

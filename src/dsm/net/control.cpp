@@ -31,6 +31,19 @@ void encode_stats(ByteWriter& w, const NodeNetStats& s) {
   w.u64(s.tcp.frame_errors);
   w.u64(s.tcp.conns_killed);
   w.u64(s.dropped_while_down);
+  w.u64(s.faults.forwarded);
+  w.u64(s.faults.dropped);
+  w.u64(s.faults.duplicated);
+  w.u64(s.faults.corrupted);
+  w.u64(s.faults.reordered);
+  w.u64(s.faults.delayed);
+  w.u64(s.faults.throttled);
+  w.u64(s.faults.blocked);
+  w.u64(s.wal_write_errors);
+  w.u64(s.wal_write_retries);
+  w.u64(s.wal_fsync_errors);
+  w.u64(s.wal_dirty);
+  w.u64(s.snapshot_failures);
 }
 
 /// Decode failures surface through r.ok(), checked once by the caller.
@@ -56,6 +69,19 @@ NodeNetStats decode_stats(ByteReader& r) {
   s.tcp.frame_errors = r.u64().value_or(0);
   s.tcp.conns_killed = r.u64().value_or(0);
   s.dropped_while_down = r.u64().value_or(0);
+  s.faults.forwarded = r.u64().value_or(0);
+  s.faults.dropped = r.u64().value_or(0);
+  s.faults.duplicated = r.u64().value_or(0);
+  s.faults.corrupted = r.u64().value_or(0);
+  s.faults.reordered = r.u64().value_or(0);
+  s.faults.delayed = r.u64().value_or(0);
+  s.faults.throttled = r.u64().value_or(0);
+  s.faults.blocked = r.u64().value_or(0);
+  s.wal_write_errors = r.u64().value_or(0);
+  s.wal_write_retries = r.u64().value_or(0);
+  s.wal_fsync_errors = r.u64().value_or(0);
+  s.wal_dirty = r.u64().value_or(0);
+  s.snapshot_failures = r.u64().value_or(0);
   return s;
 }
 
@@ -71,6 +97,7 @@ bool known_op(std::uint8_t raw) {
     case ControlOp::kRestartHost:
     case ControlOp::kShutdown:
     case ControlOp::kQueryQuiescent:
+    case ControlOp::kSetFaults:
     case ControlOp::kAck:
     case ControlOp::kPong:
     case ControlOp::kDoneReply:
@@ -102,6 +129,9 @@ std::vector<std::uint8_t> encode_control(const ControlMessage& m) {
       break;
     case ControlOp::kKillConn:
       w.u32(m.peer);
+      break;
+    case ControlOp::kSetFaults:
+      w.bytes(m.faults.encode());
       break;
     case ControlOp::kPong:
     case ControlOp::kDoneReply:
@@ -161,6 +191,12 @@ std::optional<ControlMessage> decode_control(
     case ControlOp::kKillConn:
       m.peer = r.u32().value_or(0);
       break;
+    case ControlOp::kSetFaults: {
+      auto plan = NetFaultPlan::decode(r.rest());
+      if (!plan) return std::nullopt;
+      m.faults = std::move(*plan);
+      break;
+    }
     case ControlOp::kPong:
     case ControlOp::kDoneReply: {
       const auto flag = r.u8();

@@ -26,6 +26,8 @@
 //                  acknowledged AND transport flushed, IGNORING the script
 //                  (used as an all-nodes barrier before resuming a respawned
 //                  node's script while other scripts are still mid-run)
+//   kSetFaults   → kAck: install/replace this node's NetFaultPlan (nemesis
+//                  partition start/heal, fault mix changes) at runtime
 //
 // Decoding is defensive like every codec in the tree: malformed bytes yield
 // std::nullopt (the node replies kError / the driver fails the call), never
@@ -39,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/net/faulty_transport.h"
 #include "dsm/net/tcp_transport.h"
 #include "dsm/sim/reliable.h"
 #include "dsm/workload/script.h"
@@ -56,6 +59,7 @@ enum class ControlOp : std::uint8_t {
   kRestartHost = 8,
   kShutdown = 9,
   kQueryQuiescent = 10,
+  kSetFaults = 11,
   // Replies.
   kAck = 100,
   kPong = 101,
@@ -70,6 +74,13 @@ struct NodeNetStats {
   ReliableStats reliable;
   TcpStats tcp;
   std::uint64_t dropped_while_down = 0;  ///< ProtocolHost drops while crashed
+  FaultStatsNet faults;                  ///< FaultyTransport injections
+  // Storage degradation counters (see wal.h WalStats and the spill path).
+  std::uint64_t wal_write_errors = 0;
+  std::uint64_t wal_write_retries = 0;
+  std::uint64_t wal_fsync_errors = 0;
+  std::uint64_t wal_dirty = 0;          ///< 1 while the WAL is sticky-dirty
+  std::uint64_t snapshot_failures = 0;
 };
 
 /// Union-style control message; fields beyond `op` are meaningful per op
@@ -83,6 +94,7 @@ struct ControlMessage {
   ProcessId peer = 0;              ///< kKillConn
   std::string text;                ///< kLogReply; kError: diagnostic
   NodeNetStats stats;              ///< kStatsReply
+  NetFaultPlan faults;             ///< kSetFaults
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_control(const ControlMessage& m);

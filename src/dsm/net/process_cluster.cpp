@@ -25,37 +25,41 @@ using Clock = std::chrono::steady_clock;
   return left.count() > 0 ? static_cast<int>(left.count()) : 0;
 }
 
-bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::write(fd, data + off, size - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
 
+std::string_view to_string(ControlError e) {
+  switch (e) {
+    case ControlError::kNone:
+      return "none";
+    case ControlError::kTimeout:
+      return "ControlTimeout";
+    case ControlError::kClosed:
+      return "ControlClosed";
+    case ControlError::kMalformed:
+      return "ControlMalformed";
+  }
+  return "?";
+}
+
 // -- ControlClient ------------------------------------------------------------
 
 ControlClient::~ControlClient() { close(); }
 
 ControlClient::ControlClient(ControlClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), rx_(std::move(other.rx_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      rx_(std::move(other.rx_)),
+      error_(other.error_) {}
 
 ControlClient& ControlClient::operator=(ControlClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     rx_ = std::move(other.rx_);
+    error_ = other.error_;
   }
   return *this;
 }
@@ -67,14 +71,51 @@ void ControlClient::close() {
   }
 }
 
+bool ControlClient::write_deadline(const std::uint8_t* data, std::size_t size,
+                                   Deadline deadline) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd_, data + off, size - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{};
+      p.fd = fd_;
+      p.events = POLLOUT;
+      const int r = ::poll(&p, 1, ms_left(deadline));
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) {
+        error_ = ControlError::kTimeout;
+        return false;
+      }
+      continue;
+    }
+    error_ = ControlError::kClosed;
+    return false;
+  }
+  return true;
+}
+
 bool ControlClient::connect(const net::Addr& addr, int timeout_ms) {
   (void)std::signal(SIGPIPE, SIG_IGN);  // a dead node must not kill the driver
   close();
+  rx_ = FrameAssembler();  // a fresh connection must not inherit old framing
+  error_ = ControlError::kNone;
   fd_ = net::dial_tcp_blocking(addr, timeout_ms);
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    error_ = ControlError::kClosed;
+    return false;
+  }
+  // Non-blocking from here on: every read AND write below is poll-bounded,
+  // so a wedged node can cost at most one deadline, never a hung driver.
+  net::set_nonblocking(fd_);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const auto hello = encode_hello_frame(HelloRole::kControl, /*sender=*/0,
                                         /*n_procs=*/0);
-  if (!write_all(fd_, hello.data(), hello.size())) {
+  if (!write_deadline(hello.data(), hello.size(), deadline)) {
     close();
     return false;
   }
@@ -83,24 +124,33 @@ bool ControlClient::connect(const net::Addr& addr, int timeout_ms) {
 
 std::optional<ControlMessage> ControlClient::call(const ControlMessage& req,
                                                   int timeout_ms) {
-  if (fd_ < 0) return std::nullopt;
+  if (fd_ < 0) {
+    error_ = ControlError::kClosed;
+    return std::nullopt;
+  }
+  error_ = ControlError::kNone;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const auto frame = encode_frame(FrameKind::kControl, encode_control(req));
-  if (!write_all(fd_, frame.data(), frame.size())) {
+  if (!write_deadline(frame.data(), frame.size(), deadline)) {
     close();
     return std::nullopt;
   }
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     if (auto f = rx_.next()) {
       if (f->kind != static_cast<std::uint8_t>(FrameKind::kControl)) {
+        error_ = ControlError::kMalformed;
         close();
         return std::nullopt;
       }
       auto msg = decode_control(f->body);
-      if (!msg) close();
+      if (!msg) {
+        error_ = ControlError::kMalformed;
+        close();
+      }
       return msg;
     }
     if (rx_.poisoned()) {
+      error_ = ControlError::kMalformed;
       close();
       return std::nullopt;
     }
@@ -108,13 +158,20 @@ std::optional<ControlMessage> ControlClient::call(const ControlMessage& req,
     p.fd = fd_;
     p.events = POLLIN;
     const int n = ::poll(&p, 1, ms_left(deadline));
-    if (n <= 0) {  // timeout or poll error
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      error_ = n == 0 ? ControlError::kTimeout : ControlError::kClosed;
       close();
       return std::nullopt;
     }
     std::uint8_t buf[64 * 1024];
     const ssize_t got = ::read(fd_, buf, sizeof buf);
+    if (got < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     if (got <= 0) {
+      error_ = ControlError::kClosed;
       close();
       return std::nullopt;
     }
@@ -126,6 +183,26 @@ std::optional<ControlMessage> ControlClient::call(const ControlMessage& req,
 
 ProcessCluster::ProcessCluster(ProcessClusterConfig config)
     : config_(std::move(config)) {}
+
+std::optional<ControlMessage> ProcessCluster::call_node(
+    ProcessId node, const ControlMessage& req, bool idempotent) {
+  const int attempts = idempotent ? 1 + config_.control_retries : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ControlClient& client = controls_[node];
+    if (!client.connected()) {
+      // The previous round burned the connection (timeout/EOF); a node that
+      // is still alive accepts a fresh control Hello on its listen port.
+      if (!client.connect(net::Addr{"127.0.0.1", ports_[node]},
+                          config_.control_timeout_ms)) {
+        last_error_ = client.last_error();
+        continue;
+      }
+    }
+    if (auto rep = client.call(req, config_.control_timeout_ms)) return rep;
+    last_error_ = client.last_error();
+  }
+  return std::nullopt;
+}
 
 ProcessCluster::~ProcessCluster() {
   if (spawned_) (void)shutdown(/*timeout_ms=*/5000);
@@ -154,6 +231,12 @@ pid_t ProcessCluster::spawn_child(std::size_t p) {
     node_config.state_dir =
         StateDir::node_subdir(config_.state_dir, static_cast<ProcessId>(p));
     node_config.fsync = config_.fsync;
+  }
+  node_config.net_faults = config_.net_faults;
+  for (const auto& [target, fp] : config_.storage_fail) {
+    if (target == static_cast<ProcessId>(p)) {
+      node_config.storage_fail.push_back(fp);
+    }
   }
   {
     ProcessNode node(std::move(node_config));
@@ -209,10 +292,11 @@ bool ProcessCluster::wait_ready(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     bool all = true;
-    for (auto& client : controls_) {
+    for (std::size_t p = 0; p < controls_.size(); ++p) {
       ControlMessage ping;
       ping.op = ControlOp::kPing;
-      const auto rep = client.call(ping, config_.control_timeout_ms);
+      const auto rep =
+          call_node(static_cast<ProcessId>(p), ping, /*idempotent=*/true);
       if (!rep || rep->op != ControlOp::kPong) return false;
       all = all && rep->flag;
     }
@@ -239,7 +323,8 @@ bool ProcessCluster::run_node(ProcessId node, const Script& script,
   req.op = ControlOp::kRun;
   req.script = script;
   req.time_scale = time_scale;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  // Not idempotent: a second kRun after a lost ack would be rejected.
+  const auto rep = call_node(node, req, /*idempotent=*/false);
   return rep && rep->op == ControlOp::kAck;
 }
 
@@ -247,10 +332,11 @@ bool ProcessCluster::wait_done(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     bool all = true;
-    for (auto& client : controls_) {
+    for (std::size_t p = 0; p < controls_.size(); ++p) {
       ControlMessage query;
       query.op = ControlOp::kQueryDone;
-      const auto rep = client.call(query, config_.control_timeout_ms);
+      const auto rep =
+          call_node(static_cast<ProcessId>(p), query, /*idempotent=*/true);
       if (!rep || rep->op != ControlOp::kDoneReply) return false;
       all = all && rep->flag;
     }
@@ -264,10 +350,11 @@ bool ProcessCluster::wait_quiescent(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
     bool all = true;
-    for (auto& client : controls_) {
+    for (std::size_t p = 0; p < controls_.size(); ++p) {
       ControlMessage query;
       query.op = ControlOp::kQueryQuiescent;
-      const auto rep = client.call(query, config_.control_timeout_ms);
+      const auto rep =
+          call_node(static_cast<ProcessId>(p), query, /*idempotent=*/true);
       if (!rep || rep->op != ControlOp::kDoneReply) return false;
       all = all && rep->flag;
     }
@@ -282,7 +369,8 @@ bool ProcessCluster::kill_connection(ProcessId node, ProcessId peer) {
   ControlMessage req;
   req.op = ControlOp::kKillConn;
   req.peer = peer;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  // Idempotent: killing an already-down connection is an acknowledged no-op.
+  const auto rep = call_node(node, req, /*idempotent=*/true);
   return rep && rep->op == ControlOp::kAck;
 }
 
@@ -290,7 +378,7 @@ bool ProcessCluster::kill_host(ProcessId node) {
   if (node >= controls_.size()) return false;
   ControlMessage req;
   req.op = ControlOp::kKillHost;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  const auto rep = call_node(node, req, /*idempotent=*/false);
   return rep && rep->op == ControlOp::kAck;
 }
 
@@ -298,7 +386,17 @@ bool ProcessCluster::restart_host(ProcessId node) {
   if (node >= controls_.size()) return false;
   ControlMessage req;
   req.op = ControlOp::kRestartHost;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  const auto rep = call_node(node, req, /*idempotent=*/false);
+  return rep && rep->op == ControlOp::kAck;
+}
+
+bool ProcessCluster::set_faults(ProcessId node, const NetFaultPlan& plan) {
+  if (node >= controls_.size()) return false;
+  ControlMessage req;
+  req.op = ControlOp::kSetFaults;
+  req.faults = plan;
+  // Idempotent: installing the same plan twice is the same plan.
+  const auto rep = call_node(node, req, /*idempotent=*/true);
   return rep && rep->op == ControlOp::kAck;
 }
 
@@ -333,7 +431,7 @@ std::optional<ImportedRun> ProcessCluster::fetch_log(ProcessId node) {
   if (node >= controls_.size()) return std::nullopt;
   ControlMessage req;
   req.op = ControlOp::kFetchLog;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  const auto rep = call_node(node, req, /*idempotent=*/true);
   if (!rep || rep->op != ControlOp::kLogReply) return std::nullopt;
   return import_trace_jsonl(rep->text);
 }
@@ -342,7 +440,7 @@ std::optional<NodeNetStats> ProcessCluster::fetch_stats(ProcessId node) {
   if (node >= controls_.size()) return std::nullopt;
   ControlMessage req;
   req.op = ControlOp::kFetchStats;
-  const auto rep = controls_[node].call(req, config_.control_timeout_ms);
+  const auto rep = call_node(node, req, /*idempotent=*/true);
   if (!rep || rep->op != ControlOp::kStatsReply) return std::nullopt;
   return rep->stats;
 }

@@ -23,9 +23,12 @@
 
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dsm/audit/trace_io.h"
@@ -35,7 +38,22 @@
 
 namespace dsm {
 
-/// Blocking request/reply client for one node's control channel.
+/// Why the last control round failed (docs/FAULTS.md: the control plane is a
+/// fault surface like any other — a hung or killed node must surface as a
+/// typed timeout at the driver, never as an indefinite block).
+enum class ControlError : std::uint8_t {
+  kNone = 0,
+  kTimeout,    ///< the node did not answer within the deadline
+  kClosed,     ///< connect failed, EOF, or a hard socket error
+  kMalformed,  ///< the node's reply did not decode
+};
+
+[[nodiscard]] std::string_view to_string(ControlError e);
+
+/// Request/reply client for one node's control channel.  The socket is
+/// non-blocking; every round — including the write side — is bounded by the
+/// caller's deadline, so a node that stops reading (SIGSTOP, kernel stall)
+/// times out instead of wedging the driver.
 class ControlClient {
  public:
   ControlClient() = default;
@@ -50,16 +68,23 @@ class ControlClient {
   [[nodiscard]] bool connect(const net::Addr& addr, int timeout_ms);
 
   /// One request/reply round.  std::nullopt on I/O failure, malformed reply,
-  /// or timeout; the connection is dead afterwards in the failure cases.
+  /// or timeout (see last_error()); the connection is dead afterwards in the
+  /// failure cases.
   [[nodiscard]] std::optional<ControlMessage> call(const ControlMessage& req,
                                                    int timeout_ms);
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] ControlError last_error() const noexcept { return error_; }
   void close();
 
  private:
+  using Deadline = std::chrono::steady_clock::time_point;
+  [[nodiscard]] bool write_deadline(const std::uint8_t* data, std::size_t size,
+                                    Deadline deadline);
+
   int fd_ = -1;
   FrameAssembler rx_;
+  ControlError error_ = ControlError::kNone;
 };
 
 struct ProcessClusterConfig {
@@ -67,11 +92,21 @@ struct ProcessClusterConfig {
   ProtocolHost::Shape shape;
   ReliableConfig arq = net_reliable_defaults();
   int control_timeout_ms = 10'000;  ///< per control round-trip
+  /// Extra attempts (after the first) for IDEMPOTENT control rounds that time
+  /// out or find the connection dead — each retry reconnects first.  Rounds
+  /// with side effects (kRun, kKillHost, kRestartHost, kShutdown) never
+  /// retry: a lost reply leaves "did it apply?" ambiguous.
+  int control_retries = 2;
   /// Durable state root: node p persists under `<state_dir>/node-p`.  Empty =
   /// in-memory nodes; non-empty requires shape.recoverable and enables
   /// kill_process()/respawn_process() to survive a real SIGKILL.
   std::string state_dir;
   FsyncPolicy fsync = FsyncPolicy::kEvery;
+  /// Link-fault plan every node boots with (respawned incarnations included);
+  /// replaceable per node at runtime via set_faults().
+  NetFaultPlan net_faults;
+  /// Storage failpoints armed per node at boot (docs/FAULTS.md).
+  std::vector<std::pair<ProcessId, StorageFailpoint>> storage_fail;
 };
 
 class ProcessCluster {
@@ -102,6 +137,8 @@ class ProcessCluster {
   [[nodiscard]] bool kill_connection(ProcessId node, ProcessId peer);
   [[nodiscard]] bool kill_host(ProcessId node);
   [[nodiscard]] bool restart_host(ProcessId node);
+  /// Install/replace node's link-fault plan (nemesis partition start/heal).
+  [[nodiscard]] bool set_faults(ProcessId node, const NetFaultPlan& plan);
 
   // -- process death (the real thing, not the in-process fault model) --------
 
@@ -137,8 +174,17 @@ class ProcessCluster {
     return config_.shape.n_procs;
   }
 
+  /// Why the most recent failed control round failed (kTimeout surfaces as
+  /// "ControlTimeout" in `optcm drive` diagnostics).
+  [[nodiscard]] ControlError last_error() const noexcept { return last_error_; }
+
  private:
   void teardown();  ///< close fds, SIGKILL + reap any live children
+
+  /// One control round against `node`, reconnecting + retrying (idempotent
+  /// rounds only) per config_.control_retries.
+  [[nodiscard]] std::optional<ControlMessage> call_node(
+      ProcessId node, const ControlMessage& req, bool idempotent);
 
   /// Fork the child for process p (its listener must sit in listen_fds_[p]).
   /// The child closes every other inherited fd — sibling listeners and, on
@@ -153,6 +199,7 @@ class ProcessCluster {
   std::vector<pid_t> pids_;
   std::vector<ControlClient> controls_;
   bool spawned_ = false;
+  ControlError last_error_ = ControlError::kNone;
 };
 
 }  // namespace dsm

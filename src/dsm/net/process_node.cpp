@@ -49,11 +49,15 @@ ProcessNode::ProcessNode(ProcessNodeConfig config)
                      .metrics = &telemetry_.metrics(),
                      .trace = &telemetry_.trace(),
                  }),
-      reliable_(loop_.queue(), transport_, config_.shape.self, *this,
+      faulty_(loop_, transport_, config_.shape.self, &telemetry_.metrics(),
+              &telemetry_.trace()),
+      reliable_(loop_.queue(), faulty_, config_.shape.self, *this,
                 config_.arq),
       endpoint_(reliable_) {
   telemetry_.set_clock([this] { return loop_.queue().now(); });
   DSM_REQUIRE(!durable() || config_.shape.recoverable);
+  faulty_.set_plan(config_.net_faults);
+  for (const StorageFailpoint& fp : config_.storage_fail) io_hooks_.add(fp);
   ProtocolObserver& tee = telemetry_.observe_through(recorder_);
   ProtocolObserver* head = &tee;
   if (config_.shape.recoverable) {
@@ -129,7 +133,7 @@ void ProcessNode::boot_durable() {
   WalOpenStats open_stats;
   WalReplayStats replay_stats;
   wal_ = Wal::open(
-      state_->wal_path(), WalOptions{.fsync = config_.fsync},
+      state_->wal_path(), WalOptions{.fsync = config_.fsync, .io = &io_hooks_},
       [this, &replay_stats](std::span<const std::uint8_t> record) {
         DSM_REQUIRE(
             replay_wal_record(record, recorder_, filter_.get(), &replay_stats));
@@ -138,8 +142,13 @@ void ProcessNode::boot_durable() {
   DSM_REQUIRE(wal_.has_value() && "WAL must be openable");
   incarnation_ = replay_stats.last_incarnation + 1;
   replayed_local_ops_ = local_op_count();
-  DSM_REQUIRE(snap_ops <= replayed_local_ops_ &&
-              "WAL must cover the snapshot (spill commits the WAL first)");
+  // The spill path keeps the invariant "the WAL covers every op the snapshot
+  // claims" (it commits the WAL first and skips the snapshot when that commit
+  // fails), but a degraded-storage crash can still race past it — e.g. a
+  // power loss after an fsync-failure spill.  Trust the WAL: it is the
+  // replayable record.  Clamping reconciles the surplus ops below through the
+  // muted path, exactly like the ordinary kill-9 window.
+  if (snap_ops > replayed_local_ops_) snap_ops = replayed_local_ops_;
   telemetry_.metrics()
       .counter(config_.shape.self, metric::kWalReplayed)
       .add(open_stats.records_recovered);
@@ -197,20 +206,44 @@ void ProcessNode::spill() {
   // WAL before snapshot: the on-disk invariant is "the WAL covers at least
   // every op the snapshot claims" — the reverse order could lose the batch
   // the snapshot's op count already counts.
-  wal_sink_->commit();
-  ByteWriter w;
-  w.u64(local_op_count());
-  const std::vector<std::uint8_t>& host_blob = host_->checkpoint_bytes();
-  w.u64(host_blob.size());
-  w.bytes(host_blob);
-  ByteWriter aw;
-  reliable_.snapshot(aw);
-  const std::vector<std::uint8_t> arq_blob = std::move(aw).take();
-  w.u64(arq_blob.size());
-  w.bytes(arq_blob);
+  const WalIoError werr = wal_sink_->commit();
   MetricsRegistry& m = telemetry_.metrics();
-  if (SnapshotFile::write(state_->snapshot_path(), w.buffer())) {
-    m.counter(config_.shape.self, metric::kSnapshotWrites).add(1);
+  if (werr != WalIoError::kNone) {
+    TraceEvent ev;
+    ev.kind = TraceKind::kIoFault;
+    ev.at = config_.shape.self;
+    ev.time = telemetry_.now();
+    ev.bytes = static_cast<std::uint64_t>(werr);
+    telemetry_.trace().accept(ev);
+  }
+  if (werr == WalIoError::kWrite || werr == WalIoError::kNoSpace) {
+    // The batch was NOT appended (it stays pending; the next commit retries).
+    // Writing a snapshot now would advance its op count past the WAL's
+    // coverage — a crash before the retry lands would lose recorded events
+    // that the restored protocol state already includes.  Skip this round;
+    // the protocol keeps running on the in-memory state.
+    ++snapshot_failures_;
+    m.counter(config_.shape.self, metric::kSnapshotFailures).add(1);
+  } else {
+    // kNone — or kFsync: the records ARE in the log (page cache), the WAL is
+    // sticky-dirty until a later fsync succeeds, and the snapshot we force
+    // out here is exactly the degradation cover docs/DURABILITY.md asks for.
+    ByteWriter w;
+    w.u64(local_op_count());
+    const std::vector<std::uint8_t>& host_blob = host_->checkpoint_bytes();
+    w.u64(host_blob.size());
+    w.bytes(host_blob);
+    ByteWriter aw;
+    reliable_.snapshot(aw);
+    const std::vector<std::uint8_t> arq_blob = std::move(aw).take();
+    w.u64(arq_blob.size());
+    w.bytes(arq_blob);
+    if (SnapshotFile::write(state_->snapshot_path(), w.buffer(), &io_hooks_)) {
+      m.counter(config_.shape.self, metric::kSnapshotWrites).add(1);
+    } else {
+      ++snapshot_failures_;
+      m.counter(config_.shape.self, metric::kSnapshotFailures).add(1);
+    }
   }
   const WalStats& ws = wal_->stats();
   m.counter(config_.shape.self, metric::kWalAppends)
@@ -219,6 +252,13 @@ void ProcessNode::spill() {
       .add(ws.bytes - wal_reported_.bytes);
   m.counter(config_.shape.self, metric::kWalFsyncs)
       .add(ws.fsyncs - wal_reported_.fsyncs);
+  m.counter(config_.shape.self, metric::kWalWriteErrors)
+      .add(ws.write_errors - wal_reported_.write_errors);
+  m.counter(config_.shape.self, metric::kWalWriteRetries)
+      .add(ws.write_retries - wal_reported_.write_retries);
+  m.counter(config_.shape.self, metric::kWalFsyncErrors)
+      .add(ws.fsync_errors - wal_reported_.fsync_errors);
+  m.gauge(config_.shape.self, metric::kWalDirty).set(wal_->dirty() ? 1 : 0);
   wal_reported_ = ws;
 }
 
@@ -315,6 +355,15 @@ ControlMessage ProcessNode::handle_control(const ControlMessage& req) {
       rep.stats.reliable = reliable_.stats();
       rep.stats.tcp = transport_.stats();
       rep.stats.dropped_while_down = host_->dropped_while_down();
+      rep.stats.faults = faulty_.stats();
+      if (wal_.has_value()) {
+        const WalStats& ws = wal_->stats();
+        rep.stats.wal_write_errors = ws.write_errors;
+        rep.stats.wal_write_retries = ws.write_retries;
+        rep.stats.wal_fsync_errors = ws.fsync_errors;
+        rep.stats.wal_dirty = wal_->dirty() ? 1 : 0;
+      }
+      rep.stats.snapshot_failures = snapshot_failures_;
       break;
     case ControlOp::kKillConn:
       if (req.peer >= transport_.n_procs() || req.peer == config_.shape.self) {
@@ -348,6 +397,10 @@ ControlMessage ProcessNode::handle_control(const ControlMessage& req) {
     case ControlOp::kQueryQuiescent:
       rep.op = ControlOp::kDoneReply;
       rep.flag = stack_quiescent();
+      break;
+    case ControlOp::kSetFaults:
+      faulty_.set_plan(req.faults);
+      rep.op = ControlOp::kAck;
       break;
     case ControlOp::kShutdown:
       shutdown_ = true;
@@ -390,8 +443,20 @@ bool ProcessNode::run_done() const {
 }
 
 bool ProcessNode::stack_quiescent() const {
+  // Channels the node's own fault plan currently BLOCKS are excluded from
+  // the ARQ drain check: their backlog is undeliverable until the nemesis
+  // heals the partition, and the driver's quiescence barrier must not
+  // deadlock against the injected fault itself (the heal event is often
+  // queued BEHIND that barrier — e.g. the crash handler in run_nemesis).
+  const std::size_t n = config_.shape.n_procs;
+  std::vector<bool> blocked(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    blocked[p] =
+        faulty_.plan().link(config_.shape.self, static_cast<ProcessId>(p))
+            .blocked;
+  }
   return host_->up() && host_->protocol().quiescent() &&
-         reliable_.quiescent() && transport_.flushed();
+         reliable_.quiescent_except(blocked) && transport_.flushed();
 }
 
 void ProcessNode::reply(ControlConn& conn, const ControlMessage& msg) {

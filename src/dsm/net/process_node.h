@@ -61,6 +61,12 @@ struct ProcessNodeConfig {
   /// had not yet committed to the WAL (and that only if fsync allows it).
   std::string state_dir;
   FsyncPolicy fsync = FsyncPolicy::kEvery;
+  /// Initial link-fault plan (docs/FAULTS.md); also settable at runtime via
+  /// the control plane (kSetFaults).  Inactive by default.
+  NetFaultPlan net_faults;
+  /// Storage failpoints armed at boot: injected write/fsync failures in the
+  /// WAL and snapshot paths (docs/FAULTS.md).
+  std::vector<StorageFailpoint> storage_fail;
 };
 
 class ProcessNode final : public MessageSink {
@@ -81,6 +87,7 @@ class ProcessNode final : public MessageSink {
   // -- introspection (in-process tests) --------------------------------------
   [[nodiscard]] NetLoop& loop() noexcept { return loop_; }
   [[nodiscard]] TcpTransport& transport() noexcept { return transport_; }
+  [[nodiscard]] FaultyTransport& faulty() noexcept { return faulty_; }
   [[nodiscard]] ReliableNode& reliable() noexcept { return reliable_; }
   [[nodiscard]] ProtocolHost& host() noexcept { return *host_; }
   [[nodiscard]] const RunRecorder& recorder() const noexcept {
@@ -145,6 +152,10 @@ class ProcessNode final : public MessageSink {
   RunTelemetry telemetry_;
   RunRecorder recorder_;
   TcpTransport transport_;
+  /// Fault-injection shim between the ARQ and the sockets: every outgoing
+  /// ARQ frame passes through it, faulted or not (inactive plan = verbatim
+  /// forward).  The ARQ attaches itself as the shim's sink.
+  FaultyTransport faulty_;
   ReliableNode reliable_;
   ArqEndpoint endpoint_;
   /// Recoverable mode: event dedup between the tee and the protocol — crash
@@ -158,12 +169,16 @@ class ProcessNode final : public MessageSink {
   std::map<int, ControlConn> controls_;
   bool shutdown_ = false;
   // -- durable state (boot_durable) ------------------------------------------
+  /// Storage failpoints routed through the WAL and snapshot writers (armed
+  /// from config_.storage_fail; pass-through when empty).
+  FailpointIoHooks io_hooks_;
   std::optional<StateDir> state_;
   std::optional<Wal> wal_;
   std::unique_ptr<WalEventSink> wal_sink_;
   std::uint64_t replayed_local_ops_ = 0;  ///< script resume index
   std::uint64_t incarnation_ = 0;
   WalStats wal_reported_;  ///< counters already folded into telemetry
+  std::uint64_t snapshot_failures_ = 0;  ///< spills skipped or failed
 };
 
 }  // namespace dsm

@@ -10,6 +10,7 @@
 
 #include "dsm/codec/codec.h"
 #include "dsm/common/contracts.h"
+#include "dsm/common/rng.h"
 
 namespace dsm {
 
@@ -27,6 +28,7 @@ TcpTransport::TcpTransport(NetLoop& loop, TcpTransportConfig config)
       config_(std::move(config)),
       peer_fd_(config_.peers.size(), -1),
       backoff_(config_.peers.size(), config_.reconnect_min),
+      redial_draws_(config_.peers.size(), 0),
       redial_pending_(config_.peers.size(), false),
       ever_established_(config_.peers.size(), false) {
   DSM_REQUIRE(config_.self < config_.peers.size());
@@ -102,8 +104,19 @@ void TcpTransport::dial(ProcessId peer) {
 void TcpTransport::schedule_redial(ProcessId peer) {
   if (redial_pending_[peer]) return;
   redial_pending_[peer] = true;
-  const SimTime delay = backoff_[peer];
+  const SimTime base = backoff_[peer];
   backoff_[peer] = std::min(backoff_[peer] * 2, config_.reconnect_max);
+  // Jittered delay in [base, 1.5·base): pure exponential backoff makes every
+  // dialer that lost its link at the same instant (a partition healing, a
+  // peer restarting) re-dial at the same instant too, stampeding the
+  // acceptor.  The draw is deterministic per (seed, self→peer, redial count)
+  // — the same splitmix64 chain as the fault plans — so runs still replay.
+  std::uint64_t s = config_.jitter_seed;
+  s = splitmix64(s) ^
+      ((std::uint64_t{config_.self} << 32) | std::uint64_t{peer});
+  s = splitmix64(s) ^ redial_draws_[peer]++;
+  Rng rng(splitmix64(s));
+  const SimTime delay = base + rng.below(base / 2 + 1);
   loop_->queue().schedule_after(delay, [this, peer, alive = alive_] {
     if (!*alive) return;
     redial_pending_[peer] = false;

@@ -87,6 +87,11 @@ struct TcpTransportConfig {
   int listen_fd = -1;
   SimTime reconnect_min = sim_ms(10);
   SimTime reconnect_max = sim_ms(500);
+  /// Seed for the deterministic re-dial jitter draw ([base, 1.5·base) is
+  /// added to the exponential backoff so healed-partition reconnect storms
+  /// de-synchronize).  Any value works; distinct per-process values are not
+  /// required (the draw already folds in self→peer).
+  std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
   /// Optional observability (owned by the caller, may be null): counters
   /// land in `metrics` under scope `self`; connection lifecycle events
   /// (kConnect/kDisconnect, var = peer id) go to `trace`.
@@ -192,6 +197,7 @@ class TcpTransport final : public DatagramTransport {
   /// fd of the current connection per peer, -1 when down.
   std::vector<int> peer_fd_;
   std::vector<SimTime> backoff_;        ///< next re-dial delay per peer
+  std::vector<std::uint64_t> redial_draws_;  ///< jitter draws per peer
   std::vector<bool> redial_pending_;    ///< a re-dial timer is armed
   std::vector<bool> ever_established_;  ///< for the reconnects counter
   TcpStats stats_;

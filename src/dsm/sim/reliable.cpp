@@ -185,6 +185,15 @@ bool ReliableNode::quiescent() const noexcept {
   return true;
 }
 
+bool ReliableNode::quiescent_except(
+    const std::vector<bool>& excluded) const noexcept {
+  for (std::size_t p = 0; p < tx_.size(); ++p) {
+    if (p < excluded.size() && excluded[p]) continue;
+    if (!tx_[p].unacked.empty()) return false;
+  }
+  return true;
+}
+
 void ReliableNode::skip_tx_sequences(std::uint64_t skip) noexcept {
   for (PeerTx& peer : tx_) peer.next_seq += skip;
 }

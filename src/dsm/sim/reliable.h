@@ -185,6 +185,15 @@ class ReliableNode final : public MessageSink {
   /// True when every sent payload has been acknowledged.
   [[nodiscard]] bool quiescent() const noexcept;
 
+  /// quiescent(), ignoring channels to peers flagged in `excluded`
+  /// (indexed by peer id; short vectors exclude nothing beyond their size).
+  /// The process tier flags peers behind an injected BLOCKED link: their
+  /// backlog is undeliverable until the nemesis heals the partition, and a
+  /// quiescence barrier must not deadlock against the very fault that
+  /// prevents the drain — "as quiescent as the injected faults allow".
+  [[nodiscard]] bool quiescent_except(
+      const std::vector<bool>& excluded) const noexcept;
+
  private:
   enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
 

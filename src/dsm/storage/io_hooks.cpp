@@ -1,0 +1,62 @@
+#include "dsm/storage/io_hooks.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+namespace dsm {
+
+ssize_t IoHooks::write(int fd, const void* buf, std::size_t len) noexcept {
+  return ::write(fd, buf, len);
+}
+
+int IoHooks::fsync(int fd) noexcept { return ::fsync(fd); }
+
+IoHooks& IoHooks::none() noexcept {
+  static IoHooks passthrough;
+  return passthrough;
+}
+
+const StorageFailpoint* FailpointIoHooks::firing(StorageFailpoint::Op op,
+                                                 std::uint64_t call) noexcept {
+  for (const StorageFailpoint& fp : points_) {
+    if (fp.op != op || call < fp.at_call) continue;
+    if (fp.times != 0 && call >= fp.at_call + fp.times) continue;
+    return &fp;
+  }
+  return nullptr;
+}
+
+ssize_t FailpointIoHooks::write(int fd, const void* buf,
+                                std::size_t len) noexcept {
+  ++write_calls_;
+  const StorageFailpoint* fp = firing(StorageFailpoint::Op::kWrite, write_calls_);
+  if (fp == nullptr) return ::write(fd, buf, len);
+  ++injected_;
+  switch (fp->kind) {
+    case StorageFailpoint::Kind::kEio:
+      errno = EIO;
+      return -1;
+    case StorageFailpoint::Kind::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case StorageFailpoint::Kind::kShort: {
+      const std::size_t part = len > 1 ? len / 2 : len;
+      return ::write(fd, buf, part);
+    }
+  }
+  errno = EIO;
+  return -1;
+}
+
+int FailpointIoHooks::fsync(int fd) noexcept {
+  ++fsync_calls_;
+  const StorageFailpoint* fp = firing(StorageFailpoint::Op::kFsync, fsync_calls_);
+  if (fp == nullptr) return ::fsync(fd);
+  ++injected_;
+  // Linux fsync reports EIO once and clears the error state ("fsyncgate");
+  // model that: the data may or may not be durable, caller must degrade.
+  errno = EIO;
+  return -1;
+}
+
+}  // namespace dsm

@@ -1,0 +1,88 @@
+// optcm — injectable I/O seam for storage failpoints.
+//
+// The durability layer (wal.h, snapshot_file.h) routes every write(2) and
+// fsync(2) through an IoHooks so tests and the chaos harness can make the
+// kernel "fail" on demand: EIO, ENOSPC, short writes, and fsync failures at
+// chosen call counts.  The default instance is a passthrough with zero
+// dispatch cost beyond one virtual call per syscall — negligible next to the
+// syscall itself — and callers that pass no hooks share a single static
+// passthrough object.
+//
+// FailpointIoHooks is the scripted implementation: each failpoint names an
+// operation (write/fsync), a failure kind, the 1-based call count at which
+// it starts firing, and for how many consecutive calls.  Call counts are
+// per-hooks-object and per-operation, so "fail the 3rd fsync" is exactly
+// that regardless of interleaved writes.  A short write transfers half the
+// requested bytes (at least one) and succeeds — the caller's write_all loop
+// must finish the record, which is precisely the behavior under test.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsm {
+
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  /// write(2) passthrough; overrides may fail with errno set or go short.
+  virtual ssize_t write(int fd, const void* buf, std::size_t len) noexcept;
+  /// fsync(2) passthrough; overrides may fail with errno set.
+  virtual int fsync(int fd) noexcept;
+
+  /// Shared passthrough used when a caller passes no hooks.
+  [[nodiscard]] static IoHooks& none() noexcept;
+};
+
+/// One scripted failure window on one operation.
+struct StorageFailpoint {
+  enum class Op : std::uint8_t { kNone = 0, kWrite = 1, kFsync = 2 };
+  enum class Kind : std::uint8_t {
+    kEio = 0,    ///< fail with EIO
+    kEnospc = 1, ///< fail with ENOSPC
+    kShort = 2,  ///< transfer half the bytes and succeed (write only)
+  };
+  Op op = Op::kNone;
+  Kind kind = Kind::kEio;
+  std::uint64_t at_call = 1;  ///< 1-based matching-call count of the first failure
+  std::uint64_t times = 1;    ///< consecutive failing calls (0 = forever)
+
+  [[nodiscard]] bool armed() const noexcept { return op != Op::kNone; }
+};
+
+class FailpointIoHooks final : public IoHooks {
+ public:
+  FailpointIoHooks() = default;
+  explicit FailpointIoHooks(std::vector<StorageFailpoint> points)
+      : points_(std::move(points)) {}
+
+  void add(const StorageFailpoint& fp) { points_.push_back(fp); }
+
+  ssize_t write(int fd, const void* buf, std::size_t len) noexcept override;
+  int fsync(int fd) noexcept override;
+
+  /// Failures actually injected so far (telemetry / test assertions).
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+  [[nodiscard]] std::uint64_t write_calls() const noexcept {
+    return write_calls_;
+  }
+  [[nodiscard]] std::uint64_t fsync_calls() const noexcept {
+    return fsync_calls_;
+  }
+
+ private:
+  [[nodiscard]] const StorageFailpoint* firing(StorageFailpoint::Op op,
+                                               std::uint64_t call) noexcept;
+
+  std::vector<StorageFailpoint> points_;
+  std::uint64_t write_calls_ = 0;
+  std::uint64_t fsync_calls_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace dsm

@@ -12,9 +12,10 @@
 namespace dsm {
 namespace {
 
-bool write_all(int fd, const std::uint8_t* data, std::size_t len) noexcept {
+bool write_all(IoHooks& io, int fd, const std::uint8_t* data,
+               std::size_t len) noexcept {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    const ssize_t n = io.write(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -46,7 +47,8 @@ void sync_parent_dir(const std::string& path) noexcept {
 }  // namespace
 
 bool SnapshotFile::write(const std::string& path,
-                         std::span<const std::uint8_t> bytes) {
+                         std::span<const std::uint8_t> bytes, IoHooks* io) {
+  IoHooks& hooks = io != nullptr ? *io : IoHooks::none();
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                         0644);
@@ -62,10 +64,10 @@ bool SnapshotFile::write(const std::string& path,
   header[5] = static_cast<std::uint8_t>(crc >> 8);
   header[6] = static_cast<std::uint8_t>(crc >> 16);
   header[7] = static_cast<std::uint8_t>(crc >> 24);
-  const bool ok = write_all(fd, header.data(), header.size()) &&
+  const bool ok = write_all(hooks, fd, header.data(), header.size()) &&
                   (bytes.empty() ||
-                   write_all(fd, bytes.data(), bytes.size())) &&
-                  ::fsync(fd) == 0;
+                   write_all(hooks, fd, bytes.data(), bytes.size())) &&
+                  hooks.fsync(fd) == 0;
   ::close(fd);
   if (!ok) {
     ::unlink(tmp.c_str());

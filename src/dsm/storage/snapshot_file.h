@@ -16,14 +16,18 @@
 #include <string>
 #include <vector>
 
+#include "dsm/storage/io_hooks.h"
+
 namespace dsm {
 
 class SnapshotFile {
  public:
   /// Atomically replaces `path` with `bytes`.  False on any I/O failure (the
-  /// previous snapshot, if any, is left intact).
+  /// previous snapshot, if any, is left intact).  `io` is the storage
+  /// failpoint seam (io_hooks.h); nullptr means real syscalls.
   [[nodiscard]] static bool write(const std::string& path,
-                                  std::span<const std::uint8_t> bytes);
+                                  std::span<const std::uint8_t> bytes,
+                                  IoHooks* io = nullptr);
 
   /// Reads and validates a snapshot.  nullopt if the file is absent,
   /// unreadable, torn, or fails its CRC — callers fall back to "no snapshot"

@@ -29,10 +29,13 @@ void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
-/// Loop a full write; short writes on regular files happen on signals/quota.
-bool write_all(int fd, const std::uint8_t* data, std::size_t len) noexcept {
+/// Loop a full write through the hooks; short writes on regular files happen
+/// on signals/quota (and are scripted by the short-write failpoint).  Leaves
+/// errno describing the failure on false.
+bool write_all(IoHooks& io, int fd, const std::uint8_t* data,
+               std::size_t len) noexcept {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    const ssize_t n = io.write(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -71,6 +74,16 @@ const char* to_string(FsyncPolicy p) noexcept {
     case FsyncPolicy::kNone: return "none";
     case FsyncPolicy::kInterval: return "interval";
     case FsyncPolicy::kEvery: return "every";
+  }
+  return "?";
+}
+
+const char* to_string(WalIoError e) noexcept {
+  switch (e) {
+    case WalIoError::kNone: return "none";
+    case WalIoError::kWrite: return "write";
+    case WalIoError::kNoSpace: return "nospace";
+    case WalIoError::kFsync: return "fsync";
   }
   return "?";
 }
@@ -150,23 +163,27 @@ std::optional<Wal> Wal::open(const std::string& path, WalOptions options,
   }
 
   if (open_stats != nullptr) *open_stats = stats;
-  return Wal(fd, options);
+  return Wal(fd, offset, options);
 }
 
 Wal::Wal(Wal&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      end_offset_(other.end_offset_),
       options_(other.options_),
       stats_(other.stats_),
       appends_since_sync_(other.appends_since_sync_),
+      dirty_(other.dirty_),
       scratch_(std::move(other.scratch_)) {}
 
 Wal& Wal::operator=(Wal&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    end_offset_ = other.end_offset_;
     options_ = other.options_;
     stats_ = other.stats_;
     appends_since_sync_ = other.appends_since_sync_;
+    dirty_ = other.dirty_;
     scratch_ = std::move(other.scratch_);
   }
   return *this;
@@ -176,14 +193,42 @@ Wal::~Wal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void Wal::append(std::span<const std::uint8_t> payload) {
+WalIoError Wal::append(std::span<const std::uint8_t> payload) {
   DSM_REQUIRE(fd_ >= 0);
   DSM_REQUIRE(payload.size() <= kWalMaxRecordBytes);
   scratch_.resize(kHeaderBytes + payload.size());
   store_le32(scratch_.data(), static_cast<std::uint32_t>(payload.size()));
   store_le32(scratch_.data() + 4, crc32(payload));
   std::memcpy(scratch_.data() + kHeaderBytes, payload.data(), payload.size());
-  DSM_REQUIRE(write_all(fd_, scratch_.data(), scratch_.size()));
+
+  // The record must land whole or not at all.  A failed (possibly partial)
+  // write leaves garbage past end_offset_; truncate back to the committed
+  // boundary before every retry and after giving up, so the log tail is
+  // never a half-record — recovery and crash semantics stay exact.
+  int saved_errno = 0;
+  bool written = false;
+  for (int attempt = 0; attempt <= kWalWriteRetries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.write_retries;
+      ::usleep(static_cast<useconds_t>(50u << (attempt - 1)));
+    }
+    if (write_all(io(), fd_, scratch_.data(), scratch_.size())) {
+      written = true;
+      break;
+    }
+    saved_errno = errno;
+    if (::ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(end_offset_), SEEK_SET) < 0) {
+      // Can't restore the boundary — the fd itself is broken.  Stop retrying;
+      // open() would still recover the committed prefix via the CRC scan.
+      break;
+    }
+  }
+  if (!written) {
+    ++stats_.write_errors;
+    return saved_errno == ENOSPC ? WalIoError::kNoSpace : WalIoError::kWrite;
+  }
+  end_offset_ += scratch_.size();
   ++stats_.appends;
   stats_.bytes += scratch_.size();
   ++appends_since_sync_;
@@ -191,20 +236,43 @@ void Wal::append(std::span<const std::uint8_t> payload) {
     case FsyncPolicy::kNone:
       break;
     case FsyncPolicy::kInterval:
-      if (appends_since_sync_ >= options_.fsync_interval) sync();
+      if (appends_since_sync_ >= options_.fsync_interval) return sync();
       break;
     case FsyncPolicy::kEvery:
-      sync();
-      break;
+      return sync();
   }
+  return WalIoError::kNone;
 }
 
-void Wal::sync() {
+WalIoError Wal::fsync_once() noexcept {
+  if (io().fsync(fd_) != 0) {
+    ++stats_.fsync_errors;
+    return WalIoError::kFsync;
+  }
+  return WalIoError::kNone;
+}
+
+WalIoError Wal::sync() {
   DSM_REQUIRE(fd_ >= 0);
-  if (appends_since_sync_ == 0) return;
-  DSM_REQUIRE(::fsync(fd_) == 0);
-  ++stats_.fsyncs;
-  appends_since_sync_ = 0;
+  if (appends_since_sync_ == 0 && !dirty_) return WalIoError::kNone;
+  // Bounded retry, then sticky-dirty.  Linux clears the fd's error state
+  // after reporting an fsync failure, so a later "successful" fsync does NOT
+  // prove the earlier pages hit disk — but our failure model is injected
+  // failpoints and transient device errors, where pages stay in cache and a
+  // successful retry does cover them; dirty_ is cleared only on success.
+  WalIoError err = WalIoError::kNone;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) ::usleep(static_cast<useconds_t>(50u << (attempt - 1)));
+    err = fsync_once();
+    if (err == WalIoError::kNone) {
+      ++stats_.fsyncs;
+      appends_since_sync_ = 0;
+      dirty_ = false;
+      return WalIoError::kNone;
+    }
+  }
+  dirty_ = true;
+  return err;
 }
 
 }  // namespace dsm

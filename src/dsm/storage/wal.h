@@ -21,6 +21,18 @@
 //   * every-record  — fsync after each append (strongest, slowest)
 // A kill -9 of the *process* never loses un-fsynced data (the page cache
 // survives the process); fsync matters for power loss / kernel panic.
+//
+// I/O failure handling (the chaos-engine contract): append() and sync()
+// return typed WalIoError instead of aborting.  A failed record write is
+// retried a bounded number of times; if it still fails the file is truncated
+// back to the last committed record boundary so the log tail is NEVER left
+// with a half-written record — the append is lost, reported, and the log
+// stays valid.  A failed fsync follows "fsyncgate" semantics: the record IS
+// in the log (page cache), but its durability is unknown, so the WAL is
+// marked sticky-dirty and the caller must degrade (e.g. force a snapshot on
+// the recovery path).  All syscalls route through an injectable IoHooks so
+// tests can script EIO/ENOSPC/short-write/fsync failures at exact call
+// counts (see io_hooks.h).
 
 #pragma once
 
@@ -31,6 +43,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "dsm/storage/io_hooks.h"
 
 namespace dsm {
 
@@ -45,9 +59,17 @@ enum class FsyncPolicy : std::uint8_t { kNone, kInterval, kEvery };
 /// by WAL records and snapshot files.  Exposed for tests.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
+/// Typed outcome of an append/sync.  kWrite/kNoSpace mean the record was NOT
+/// appended (log truncated back to the previous record boundary); kFsync
+/// means the record IS appended but durability is unknown (WAL now dirty).
+enum class WalIoError : std::uint8_t { kNone, kWrite, kNoSpace, kFsync };
+
+[[nodiscard]] const char* to_string(WalIoError e) noexcept;
+
 struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kEvery;
   std::uint64_t fsync_interval = 64;  ///< appends per fsync under kInterval
+  IoHooks* io = nullptr;              ///< failpoint seam; nullptr = real syscalls
 };
 
 /// Cumulative append-side counters (telemetry sources).
@@ -55,6 +77,9 @@ struct WalStats {
   std::uint64_t appends = 0;
   std::uint64_t bytes = 0;  ///< payload + framing bytes written
   std::uint64_t fsyncs = 0;
+  std::uint64_t write_errors = 0;  ///< appends lost after retry exhaustion
+  std::uint64_t write_retries = 0; ///< failed write attempts that were retried
+  std::uint64_t fsync_errors = 0;  ///< fsync attempts that failed
 };
 
 /// What open() found: the recovered prefix and the corrupt/torn remainder.
@@ -68,6 +93,9 @@ struct WalOpenStats {
 /// Records larger than this are treated as corruption during recovery scans
 /// (matches the 1<<24 defensive cap used by the protocol snapshot decoders).
 inline constexpr std::uint32_t kWalMaxRecordBytes = 1u << 24;
+
+/// Failed write attempts per append before giving up and truncating.
+inline constexpr int kWalWriteRetries = 3;
 
 class Wal {
  public:
@@ -90,22 +118,37 @@ class Wal {
   ~Wal();
 
   /// Appends one record and applies the fsync policy.  Aborts (DSM_REQUIRE)
-  /// on payloads over kWalMaxRecordBytes; crashes the process on write
-  /// failure — a WAL that silently drops records is worse than no WAL.
-  void append(std::span<const std::uint8_t> payload);
+  /// only on contract violations (payload over kWalMaxRecordBytes, closed
+  /// log).  I/O failure returns a typed error: kWrite/kNoSpace → the record
+  /// was not appended and the log tail is intact at the previous boundary;
+  /// kFsync → the record is appended but the WAL is now dirty.
+  [[nodiscard]] WalIoError append(std::span<const std::uint8_t> payload);
 
-  /// Forces an fsync regardless of policy (checkpoint barrier).
-  void sync();
+  /// Forces an fsync regardless of policy (checkpoint barrier).  kFsync on
+  /// persistent failure; the WAL stays dirty until an fsync succeeds.
+  [[nodiscard]] WalIoError sync();
 
   [[nodiscard]] const WalStats& stats() const noexcept { return stats_; }
 
+  /// True after any fsync failure until a later fsync succeeds: records past
+  /// the last good fsync may not be durable against power loss.
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+
  private:
-  Wal(int fd, WalOptions options) noexcept : fd_(fd), options_(options) {}
+  Wal(int fd, std::uint64_t end_offset, WalOptions options) noexcept
+      : fd_(fd), end_offset_(end_offset), options_(options) {}
+
+  [[nodiscard]] IoHooks& io() const noexcept {
+    return options_.io != nullptr ? *options_.io : IoHooks::none();
+  }
+  [[nodiscard]] WalIoError fsync_once() noexcept;
 
   int fd_ = -1;
+  std::uint64_t end_offset_ = 0;  ///< committed tail (last full record end)
   WalOptions options_;
   WalStats stats_;
   std::uint64_t appends_since_sync_ = 0;
+  bool dirty_ = false;
   std::vector<std::uint8_t> scratch_;
 };
 

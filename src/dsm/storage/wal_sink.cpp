@@ -60,10 +60,16 @@ void WalEventSink::note_incarnation(std::uint64_t boot) {
   batch_.u64(boot);
 }
 
-void WalEventSink::commit() {
-  if (batch_.size() == 0) return;
-  wal_->append(batch_.buffer());
+WalIoError WalEventSink::commit() {
+  if (batch_.size() == 0) return WalIoError::kNone;
+  const WalIoError err = wal_->append(batch_.buffer());
+  if (err == WalIoError::kWrite || err == WalIoError::kNoSpace) {
+    // The record did not land; keep the batch pending so the next commit
+    // (or the snapshot-forcing degradation path) retries the same bytes.
+    return err;
+  }
   batch_ = ByteWriter(std::move(batch_).take());  // keep capacity, clear
+  return err;
 }
 
 bool replay_wal_record(std::span<const std::uint8_t> record,

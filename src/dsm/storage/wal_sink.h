@@ -50,7 +50,9 @@ class WalEventSink final : public EventSink {
   void note_incarnation(std::uint64_t boot);
 
   /// Append the pending batch as one WAL record (no-op when empty).
-  void commit();
+  /// kWrite/kNoSpace → the batch stays pending (retry on the next commit);
+  /// kFsync → the batch is in the log, durability degraded (WAL dirty).
+  [[nodiscard]] WalIoError commit();
 
   [[nodiscard]] bool pending() const noexcept { return batch_.size() != 0; }
 

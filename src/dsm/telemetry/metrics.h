@@ -132,6 +132,21 @@ inline constexpr char kWalBytes[] = "wal_bytes_total";
 inline constexpr char kWalFsyncs[] = "wal_fsyncs_total";
 inline constexpr char kWalReplayed[] = "wal_replayed_records_total";
 inline constexpr char kSnapshotWrites[] = "snapshot_writes_total";
+// Storage degradation under injected/real I/O failures (per node).
+inline constexpr char kWalWriteErrors[] = "wal_write_errors_total";
+inline constexpr char kWalWriteRetries[] = "wal_write_retries_total";
+inline constexpr char kWalFsyncErrors[] = "wal_fsync_errors_total";
+inline constexpr char kWalDirty[] = "wal_dirty";  // gauge: 1 while degraded
+inline constexpr char kSnapshotFailures[] = "snapshot_failures_total";
+// Fault injection layer (dsm/net FaultyTransport; per node = sender side).
+inline constexpr char kFaultForwarded[] = "fault_forwarded_total";
+inline constexpr char kFaultDropped[] = "fault_dropped_total";
+inline constexpr char kFaultDuplicated[] = "fault_duplicated_total";
+inline constexpr char kFaultCorrupted[] = "fault_corrupted_total";
+inline constexpr char kFaultReordered[] = "fault_reordered_total";
+inline constexpr char kFaultDelayed[] = "fault_delayed_total";
+inline constexpr char kFaultThrottled[] = "fault_throttled_total";
+inline constexpr char kFaultBlocked[] = "fault_blocked_total";
 }  // namespace metric
 
 /// Named metrics for one run, owned per scope and aggregated on demand.

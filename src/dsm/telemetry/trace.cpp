@@ -22,6 +22,8 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::kConnect: return "connect";
     case TraceKind::kDisconnect: return "disconnect";
     case TraceKind::kWalReplay: return "wal_replay";
+    case TraceKind::kFaultInject: return "fault_inject";
+    case TraceKind::kIoFault: return "io_fault";
   }
   return "?";
 }

@@ -45,6 +45,8 @@ enum class TraceKind : std::uint8_t {
   kConnect,     ///< net: a peer connection became established (var = peer id)
   kDisconnect,  ///< net: a peer connection was lost/closed (var = peer id)
   kWalReplay,   ///< storage: durable boot replayed the WAL (bytes = records)
+  kFaultInject, ///< net: a frame was faulted on send (var = dest peer id)
+  kIoFault,     ///< storage: an injected/real I/O failure (bytes = errno-ish)
 };
 
 [[nodiscard]] std::string_view to_string(TraceKind k);

@@ -196,6 +196,78 @@ TEST(Frame, CorruptedHeaderNeverCrashesAssembler) {
   }
 }
 
+TEST(Frame, PayloadCorruptionIsTheUpperLayersProblem) {
+  // Framing carries no payload checksum: flipping body bytes yields a frame
+  // of the same length whose body differs — the assembler must deliver it
+  // un-poisoned.  Rejecting garbage is the ARQ's defensive decode's job
+  // (FaultyTransport's corrupt fault relies on exactly that split).
+  const auto body = bytes_of("these bytes will be mangled");
+  auto wire = encode_frame(FrameKind::kData, body);
+  for (std::size_t i = 5; i < wire.size(); ++i) wire[i] ^= 0xA5;
+  FrameAssembler rx;
+  ASSERT_TRUE(rx.feed(wire));
+  const auto f = rx.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->body.size(), body.size());
+  EXPECT_NE(f->body, body);
+  EXPECT_FALSE(rx.poisoned());
+}
+
+TEST(Frame, PoisonMidStreamKeepsEarlierFramesAndRefusesTheRest) {
+  // Adversarial chunking across a poison boundary: N good frames, then a
+  // zero-length header, then more valid-looking bytes — delivered one byte
+  // at a time.  Every pre-poison frame decodes; after the poison, feeds are
+  // refused and next() never produces another frame (no over-read).
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 3; ++i) {
+    const auto one =
+        encode_frame(FrameKind::kData, bytes_of("ok" + std::to_string(i)));
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  const std::vector<std::uint8_t> zero_len = {0, 0, 0, 0, 42};
+  wire.insert(wire.end(), zero_len.begin(), zero_len.end());
+  const auto trailing = encode_frame(FrameKind::kData, bytes_of("never seen"));
+  wire.insert(wire.end(), trailing.begin(), trailing.end());
+
+  FrameAssembler rx;
+  std::size_t decoded = 0;
+  bool refused = false;
+  for (const std::uint8_t b : wire) {
+    if (!rx.feed(std::span(&b, 1))) {
+      refused = true;
+      break;
+    }
+    while (rx.next().has_value()) ++decoded;
+  }
+  EXPECT_EQ(decoded, 3u);
+  EXPECT_TRUE(refused);
+  EXPECT_TRUE(rx.poisoned());
+  EXPECT_EQ(rx.error(), FrameError::kEmpty);
+  EXPECT_FALSE(rx.next().has_value());
+}
+
+TEST(Frame, RandomGarbageStreamsTerminate) {
+  // Pure adversarial input: random bytes in random chunks must never hang,
+  // crash, or hand back more frames than the bytes could possibly contain.
+  Rng rng(0xFEED5);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::uint8_t> wire(rng.below(2'000) + 1);
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.below(256));
+    FrameAssembler rx;
+    std::size_t off = 0;
+    std::size_t frames = 0;
+    while (off < wire.size()) {
+      const auto n =
+          std::min<std::size_t>(rng.below(97) + 1, wire.size() - off);
+      if (!rx.feed(std::span(wire.data() + off, n))) break;
+      off += n;
+      while (rx.next().has_value()) ++frames;
+    }
+    // Each frame costs at least a 4-byte header + 1 body byte.
+    EXPECT_LE(frames, wire.size() / 5);
+  }
+}
+
 // ----------------------------------------------------------------- hello --
 
 TEST(Hello, EncodedHelloParsesAsHelloFrame) {

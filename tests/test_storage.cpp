@@ -160,7 +160,7 @@ TEST(WalTest, AppendThenReplayInOrder) {
                          [](std::span<const std::uint8_t>) { FAIL(); });
     ASSERT_TRUE(wal.has_value());
     for (const auto& p : payloads) {
-      wal->append(p);
+      ASSERT_EQ(wal->append(p), WalIoError::kNone);
       framed += 8 + p.size();
     }
     EXPECT_EQ(wal->stats().appends, payloads.size());
@@ -182,26 +182,27 @@ TEST(WalTest, FsyncAccountingFollowsPolicy) {
   auto every = Wal::open(tmp.file("every.log"),
                          WalOptions{.fsync = FsyncPolicy::kEvery}, {});
   ASSERT_TRUE(every.has_value());
-  for (int i = 0; i < 3; ++i) every->append(record);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(every->append(record), WalIoError::kNone);
   EXPECT_EQ(every->stats().fsyncs, 3u);
 
   auto none = Wal::open(tmp.file("none.log"),
                         WalOptions{.fsync = FsyncPolicy::kNone}, {});
   ASSERT_TRUE(none.has_value());
-  for (int i = 0; i < 3; ++i) none->append(record);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(none->append(record), WalIoError::kNone);
   EXPECT_EQ(none->stats().fsyncs, 0u);
-  none->sync();  // checkpoint barrier forces one
+  EXPECT_EQ(none->sync(), WalIoError::kNone);  // checkpoint barrier forces one
   EXPECT_EQ(none->stats().fsyncs, 1u);
-  none->sync();  // nothing pending: no-op
+  EXPECT_EQ(none->sync(), WalIoError::kNone);  // nothing pending: no-op
   EXPECT_EQ(none->stats().fsyncs, 1u);
 
   auto interval = Wal::open(
       tmp.file("interval.log"),
       WalOptions{.fsync = FsyncPolicy::kInterval, .fsync_interval = 2}, {});
   ASSERT_TRUE(interval.has_value());
-  for (int i = 0; i < 5; ++i) interval->append(record);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(interval->append(record), WalIoError::kNone);
   EXPECT_EQ(interval->stats().fsyncs, 2u);  // after appends 2 and 4
-  interval->sync();                         // flushes the odd record out
+  EXPECT_EQ(interval->sync(), WalIoError::kNone);  // flushes the odd record
   EXPECT_EQ(interval->stats().fsyncs, 3u);
 }
 
@@ -215,7 +216,7 @@ TEST(WalTest, TornTailTruncatedAtEveryOffset) {
     auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone}, {});
     ASSERT_TRUE(wal.has_value());
     for (const auto& p : payloads) {
-      wal->append(p);
+      ASSERT_EQ(wal->append(p), WalIoError::kNone);
       boundary.push_back(boundary.back() + 8 + p.size());
     }
   }
@@ -245,7 +246,7 @@ TEST(WalTest, TornTailTruncatedAtEveryOffset) {
     EXPECT_EQ(stats.dropped_bytes, cut - boundary[whole]);
     EXPECT_EQ(file_size(torn), boundary[whole]);  // tail truncated away
     // The recovered log extends cleanly.
-    wal->append(payloads[0]);
+    ASSERT_EQ(wal->append(payloads[0]), WalIoError::kNone);
     wal.reset();
     EXPECT_EQ(replayed_payloads(torn).size(), whole + 1);
   }
@@ -260,7 +261,8 @@ TEST(WalTest, BitFlipFuzzRecoversLongestValidPrefix) {
   {
     auto wal = Wal::open(path, WalOptions{.fsync = FsyncPolicy::kNone}, {});
     ASSERT_TRUE(wal.has_value());
-    for (const auto& p : payloads) wal->append(p);
+    for (const auto& p : payloads)
+      ASSERT_EQ(wal->append(p), WalIoError::kNone);
   }
   const std::vector<std::uint8_t> full = slurp(path);
   const std::size_t tail_start = full.size() - (8 + payloads.back().size());
@@ -360,10 +362,10 @@ TEST(WalSinkTest, RecorderTeesLiveRecordsButNotRestores) {
   (void)rec.record_write(1, 0, 9);  // live history does
   EXPECT_TRUE(sink.pending());
 
-  sink.commit();
+  EXPECT_EQ(sink.commit(), WalIoError::kNone);
   EXPECT_FALSE(sink.pending());
   EXPECT_EQ(wal->stats().appends, 1u);
-  sink.commit();  // empty batch: no record
+  EXPECT_EQ(sink.commit(), WalIoError::kNone);  // empty batch: no record
   EXPECT_EQ(wal->stats().appends, 1u);
 }
 
@@ -388,7 +390,7 @@ TEST(WalSinkTest, SpillReplayRoundtripThroughRecorder) {
     sink.accept_write(0, 0, 7, w);
     sink.accept_event(spilled);
     sink.accept_read(1, 0, 7, w);
-    sink.commit();
+    ASSERT_EQ(sink.commit(), WalIoError::kNone);
   }
 
   RunRecorder rec(2, 1);
@@ -445,6 +447,167 @@ TEST(WalSinkTest, MalformedRecordIsRejected) {
   const std::vector<std::uint8_t> truncated = {0x01, 0x01};
   EXPECT_FALSE(replay_wal_record(truncated, rec, nullptr, nullptr));
   EXPECT_TRUE(rec.events().empty());
+}
+
+// -------------------------------------------------- storage failpoints -----
+// The chaos-engine contract (docs/FAULTS.md): injected I/O failures surface
+// as typed WalIoError values, never as aborts, and never leave a half-written
+// record on the log tail.
+
+TEST(FailpointTest, TransientWriteFailureIsRetriedAndAbsorbed) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // The 2nd write call fails once with EIO; the bounded retry re-issues it.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kWrite,
+                           StorageFailpoint::Kind::kEio, 2, 1}});
+  auto wal = Wal::open(path, {.fsync = FsyncPolicy::kNone, .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(wal->append(payload_of(1, 40)), WalIoError::kNone);
+  EXPECT_EQ(wal->append(payload_of(2, 40)), WalIoError::kNone);
+  EXPECT_EQ(wal->stats().write_retries, 1u);
+  EXPECT_EQ(wal->stats().write_errors, 0u);
+  EXPECT_EQ(hooks.injected(), 1u);
+  EXPECT_EQ(replayed_payloads(path).size(), 2u);
+}
+
+TEST(FailpointTest, ShortWritesAreCompletedByTheWriteLoop) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // Every write transfers half the requested bytes; the write_all loop must
+  // keep going until the record is complete.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kWrite,
+                           StorageFailpoint::Kind::kShort, 1, 0}});
+  auto wal = Wal::open(path, {.fsync = FsyncPolicy::kNone, .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(wal->append(payload_of(i, 100)), WalIoError::kNone) << int(i);
+  }
+  EXPECT_EQ(wal->stats().write_errors, 0u);
+  const auto got = replayed_payloads(path);
+  ASSERT_EQ(got.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) EXPECT_EQ(got[i], payload_of(i, 100));
+}
+
+TEST(FailpointTest, EnospcSurfacesAsNoSpaceAndDropsOnlyThatAppend) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // Writes 3..6 fail with ENOSPC — more than the retry budget, so append 3
+  // is lost; the disk "recovers" afterwards and append 4 lands.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kWrite,
+                           StorageFailpoint::Kind::kEnospc, 3,
+                           kWalWriteRetries + 1}});
+  auto wal = Wal::open(path, {.fsync = FsyncPolicy::kNone, .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(wal->append(payload_of(1, 30)), WalIoError::kNone);
+  EXPECT_EQ(wal->append(payload_of(2, 30)), WalIoError::kNone);
+  EXPECT_EQ(wal->append(payload_of(3, 30)), WalIoError::kNoSpace);
+  EXPECT_EQ(wal->append(payload_of(4, 30)), WalIoError::kNone);
+  EXPECT_EQ(wal->stats().write_errors, 1u);
+  const auto got = replayed_payloads(path);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[2], payload_of(4, 30));  // record 3 is the one missing
+}
+
+TEST(FailpointTest, FsyncFailureFollowsFsyncgateSemantics) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // fsync fails persistently (outlasting sync()'s internal retry of 3); the
+  // record must already be in the log (page cache), and the WAL stays
+  // sticky-dirty until a later fsync succeeds.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kFsync,
+                           StorageFailpoint::Kind::kEio, 1, 3}});
+  auto wal = Wal::open(path, {.fsync = FsyncPolicy::kEvery, .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(wal->append(payload_of(9, 50)), WalIoError::kFsync);
+  EXPECT_TRUE(wal->dirty());
+  EXPECT_EQ(wal->stats().fsync_errors, 3u);
+  // The record survived despite the failed fsync.
+  EXPECT_EQ(replayed_payloads(path).size(), 1u);
+  // A later successful fsync clears the dirty flag.
+  EXPECT_EQ(wal->sync(), WalIoError::kNone);
+  EXPECT_FALSE(wal->dirty());
+}
+
+/// Fuzz the failpoint offset: disk dies (EIO, forever) at every possible
+/// write call.  Whatever number of appends succeeded, reopen must recover
+/// exactly that prefix — typed errors, no aborts, no torn tail ever.
+TEST(FailpointTest, PermanentEioAtEveryOffsetRecoversTheExactPrefix) {
+  constexpr int kAppends = 8;
+  for (std::uint64_t fail_at = 1; fail_at <= kAppends + 2; ++fail_at) {
+    TempDir dir;
+    const std::string path = dir.file("wal.log");
+    FailpointIoHooks hooks({{StorageFailpoint::Op::kWrite,
+                             StorageFailpoint::Kind::kEio, fail_at, 0}});
+    std::size_t committed = 0;
+    {
+      auto wal = Wal::open(path, {.fsync = FsyncPolicy::kNone, .io = &hooks},
+                           [](std::span<const std::uint8_t>) {});
+      ASSERT_TRUE(wal.has_value()) << "fail_at=" << fail_at;
+      for (int i = 0; i < kAppends; ++i) {
+        const auto err = wal->append(payload_of(
+            static_cast<std::uint8_t>(i), 25 + static_cast<std::size_t>(i)));
+        if (err == WalIoError::kNone) ++committed;
+      }
+      EXPECT_EQ(committed, std::min<std::size_t>(fail_at - 1, kAppends))
+          << "fail_at=" << fail_at;
+    }
+    const auto got = replayed_payloads(path);
+    ASSERT_EQ(got.size(), committed) << "fail_at=" << fail_at;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], payload_of(static_cast<std::uint8_t>(i),
+                                   25 + static_cast<std::size_t>(i)));
+    }
+  }
+}
+
+TEST(FailpointTest, SnapshotWriteFailureLeavesThePreviousSnapshotIntact) {
+  TempDir dir;
+  const std::string path = dir.file("snapshot.bin");
+  const auto old_bytes = payload_of(1, 200);
+  ASSERT_TRUE(SnapshotFile::write(path, old_bytes));
+  // Every subsequent write fails with ENOSPC: the tmp-file write dies and
+  // the rename never happens.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kWrite,
+                           StorageFailpoint::Kind::kEnospc, 1, 0}});
+  EXPECT_FALSE(SnapshotFile::write(path, payload_of(2, 300), &hooks));
+  const auto back = SnapshotFile::read(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, old_bytes);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FailpointTest, SnapshotFsyncFailureAlsoFailsTheWrite) {
+  TempDir dir;
+  const std::string path = dir.file("snapshot.bin");
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kFsync,
+                           StorageFailpoint::Kind::kEio, 1, 0}});
+  EXPECT_FALSE(SnapshotFile::write(path, payload_of(3, 64), &hooks));
+  EXPECT_FALSE(SnapshotFile::read(path).has_value());
+}
+
+TEST(FailpointTest, CountersTrackMatchingCallsPerOperation) {
+  // "Fail starting at the 3rd fsync" fires on fsync calls 3..5 regardless of
+  // interleaved writes — counts are per operation.  Three consecutive
+  // failures exhaust sync()'s internal retry, so append 3 surfaces kFsync.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kFsync,
+                           StorageFailpoint::Kind::kEio, 3, 3}});
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  auto wal = Wal::open(path, {.fsync = FsyncPolicy::kEvery, .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(wal->append(payload_of(1, 20)), WalIoError::kNone);
+  EXPECT_EQ(wal->append(payload_of(2, 20)), WalIoError::kNone);
+  EXPECT_EQ(wal->append(payload_of(3, 20)), WalIoError::kFsync);
+  EXPECT_EQ(wal->append(payload_of(4, 20)), WalIoError::kNone);
+  EXPECT_FALSE(wal->dirty());  // append 4's successful fsync covered the gap
+  EXPECT_GE(hooks.write_calls(), 4u);
+  EXPECT_EQ(hooks.fsync_calls(), 6u);  // 1 + 1 + 3 failing + 1
+  EXPECT_EQ(hooks.injected(), 3u);
 }
 
 }  // namespace

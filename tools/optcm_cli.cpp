@@ -55,6 +55,17 @@
 //                          require byte-identical per-process observer-event
 //                          sequences (h1 only; fig1/fig3 choreograph latency,
 //                          which real sockets cannot reproduce)
+//   --nemesis=SPEC         run a deterministic fault schedule alongside the
+//                          scripts (docs/FAULTS.md; dsm/net/nemesis.h has the
+//                          full DSL).  ';'-separated entries, e.g.
+//                          "seed=7;drop=0.05;reorder=0.05;
+//                           partition=1:2@15+30;crash=0@40;wal-fail=0:fsync@2"
+//                          — crash/wal-fail entries imply durable state
+//                          (--state-dir or a fresh temp dir).  The schedule's
+//                          fault event trace is printed and is byte-identical
+//                          across runs of one spec; the run still ends with
+//                          the quiescence barrier + anti-entropy reconcile and
+//                          must pass the checker (and --compare-sim, when on)
 //
 // Common workload/network flags (all "--key=value"):
 //   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run/faults only)
@@ -99,6 +110,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -113,6 +125,7 @@
 #include "dsm/history/checker.h"
 #include "dsm/metrics/table.h"
 #include "dsm/net/merge.h"
+#include "dsm/net/nemesis.h"
 #include "dsm/net/process_cluster.h"
 #include "dsm/storage/wal.h"
 #include "dsm/telemetry/telemetry.h"
@@ -141,7 +154,7 @@ int usage(const char* program) {
                "       %s serve --id=P --peers=<host:port,...> "
                "[--state-dir=DIR --fsync=every]\n"
                "       %s drive --script=h1 [--spawn=3 --compare-sim "
-               "--kill-host=N@MS --respawn]\n"
+               "--kill-host=N@MS --respawn --nemesis=SPEC]\n"
                "see the header of tools/optcm_cli.cpp for the full flag list\n",
                program, program, program, program, program);
   return 2;
@@ -814,6 +827,7 @@ int cmd_drive(Flags& flags) {
   const bool compare_sim = flags.get_bool("compare-sim");
   const std::string kill_conn = flags.get("kill-conn", "");
   const std::string kill_host = flags.get("kill-host", "");
+  const std::string nemesis_spec = flags.get("nemesis", "");
   const bool want_respawn = flags.get_bool("respawn");
   std::string state_dir = flags.get("state-dir", "");
   const std::string fsync_flag = flags.get("fsync", "");
@@ -898,8 +912,26 @@ int cmd_drive(Flags& flags) {
                  "mid-run, then respawn it from its durable state dir\n");
     return 2;
   }
+  std::optional<NemesisPlan> nemesis;
+  if (!nemesis_spec.empty()) {
+    std::string nemesis_error;
+    nemesis = NemesisPlan::parse(nemesis_spec, scripts.size(), &nemesis_error);
+    if (!nemesis) {
+      std::fprintf(stderr, "bad --nemesis: %s\n", nemesis_error.c_str());
+      return 2;
+    }
+    if (want_kill_host) {
+      std::fprintf(stderr,
+                   "--nemesis already schedules crashes; drop --kill-host\n");
+      return 2;
+    }
+  }
+  // Crashes need a respawn source and wal-fail needs a WAL: both imply
+  // durable state (a temp dir is made below when none was given).
+  const bool nemesis_durable =
+      nemesis && (nemesis->has_crashes() || !nemesis->wal_fails.empty());
   if (flags.get_bool("dry-run")) return 0;
-  if (want_respawn && state_dir.empty()) {
+  if ((want_respawn || nemesis_durable) && state_dir.empty()) {
     const char* tmp = std::getenv("TMPDIR");
     std::string templ =
         std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
@@ -924,6 +956,10 @@ int cmd_drive(Flags& flags) {
       flags.get_bool("recoverable") || !state_dir.empty();
   cluster_config.state_dir = state_dir;
   cluster_config.fsync = fsync;
+  if (nemesis) {
+    cluster_config.net_faults = nemesis->boot_plan();
+    cluster_config.storage_fail = nemesis->wal_fails;
+  }
 
   ProcessCluster cluster(cluster_config);
   if (!cluster.spawn()) {
@@ -949,6 +985,20 @@ int cmd_drive(Flags& flags) {
     }
     std::printf("dropped connection p%llu -> p%llu at +%llums\n", kc_from,
                 kc_to, kc_at_ms);
+  }
+  NemesisOutcome nemesis_out;
+  nemesis_out.ok = true;
+  if (nemesis) {
+    const auto timeline = expand(*nemesis);
+    std::printf("nemesis schedule (%zu events):\n%s",
+                timeline.size(), trace_str(timeline).c_str());
+    nemesis_out = run_nemesis(cluster, *nemesis, scripts, time_scale);
+    if (!nemesis_out.ok) {
+      std::fprintf(stderr, "nemesis failed: %s\n", nemesis_out.error.c_str());
+      return 1;
+    }
+    std::printf("nemesis schedule complete (%zu crash(es) archived)\n",
+                nemesis_out.pre_crash.size());
   }
   std::optional<ImportedRun> pre_kill_log;
   if (want_kill_host) {
@@ -988,7 +1038,8 @@ int cmd_drive(Flags& flags) {
         kh_node, state_dir.c_str(), kh_node);
   }
   if (!cluster.wait_done()) {
-    std::fprintf(stderr, "run did not complete\n");
+    std::fprintf(stderr, "run did not complete (last control error: %s)\n",
+                 std::string(to_string(cluster.last_error())).c_str());
     return 1;
   }
 
@@ -1011,9 +1062,42 @@ int cmd_drive(Flags& flags) {
       total.tcp.bytes_out += stats->tcp.bytes_out;
       total.tcp.reconnects += stats->tcp.reconnects;
       total.tcp.sends_dropped += stats->tcp.sends_dropped;
+      total.faults.forwarded += stats->faults.forwarded;
+      total.faults.dropped += stats->faults.dropped;
+      total.faults.duplicated += stats->faults.duplicated;
+      total.faults.corrupted += stats->faults.corrupted;
+      total.faults.reordered += stats->faults.reordered;
+      total.faults.delayed += stats->faults.delayed;
+      total.faults.throttled += stats->faults.throttled;
+      total.faults.blocked += stats->faults.blocked;
+      total.wal_write_errors += stats->wal_write_errors;
+      total.wal_write_retries += stats->wal_write_retries;
+      total.wal_fsync_errors += stats->wal_fsync_errors;
+      total.snapshot_failures += stats->snapshot_failures;
     }
   }
   const bool clean_exit = cluster.shutdown();
+
+  if (!nemesis_out.pre_crash.empty()) {
+    // Each crash archived the victim's pre-kill view; stitch the archived
+    // incarnations (oldest first) against the node's final log.
+    std::map<ProcessId, std::vector<ImportedRun>> incarnations;
+    for (auto& [node, log] : nemesis_out.pre_crash) {
+      incarnations[node].push_back(std::move(log));
+    }
+    for (auto& [node, logs] : incarnations) {
+      logs.push_back(std::move(runs[node]));
+      auto stitched = stitch_incarnations(logs);
+      if (!stitched) {
+        std::fprintf(stderr,
+                     "p%u's incarnation logs do not stitch (inconsistent op "
+                     "prefixes)\n",
+                     static_cast<unsigned>(node));
+        return 1;
+      }
+      runs[node] = std::move(*stitched);
+    }
+  }
 
   if (pre_kill_log) {
     ImportedRun incs[2] = {std::move(*pre_kill_log),
@@ -1059,6 +1143,20 @@ int cmd_drive(Flags& flags) {
   table.add("clean shutdown", clean_exit ? "yes" : "NO");
   if (want_kill_host) {
     table.add("kill -9 + respawn + stitch", "p" + std::to_string(kh_node));
+  }
+  if (nemesis) {
+    table.add("faults: dropped", total.faults.dropped);
+    table.add("faults: duplicated", total.faults.duplicated);
+    table.add("faults: corrupted", total.faults.corrupted);
+    table.add("faults: reordered", total.faults.reordered);
+    table.add("faults: delayed", total.faults.delayed);
+    table.add("faults: blocked (partition)", total.faults.blocked);
+    table.add("WAL write errors / retries",
+              std::to_string(total.wal_write_errors) + " / " +
+                  std::to_string(total.wal_write_retries));
+    table.add("WAL fsync errors", total.wal_fsync_errors);
+    table.add("snapshot spills skipped/failed", total.snapshot_failures);
+    table.add("crashes (SIGKILL + respawn)", nemesis_out.pre_crash.size());
   }
   std::printf("%s", table.str().c_str());
 

@@ -53,6 +53,12 @@ echo "wrote results/BENCH_net.json"
 "$build/bench/exp_storage" --bench-json results/BENCH_storage.json > /dev/null
 echo "wrote results/BENCH_storage.json"
 
+# The chaos baseline (docs/FAULTS.md): nemesis schedules × drop rates over a
+# forked cluster.  Wall-clock columns vary with the host; the fault counters
+# are seeded and deterministic.
+"$build/bench/exp_chaos" --bench-json results/BENCH_chaos.json > /dev/null
+echo "wrote results/BENCH_chaos.json"
+
 # Loopback equivalence acceptance: a forked 3-process cluster must produce an
 # observer-event log byte-identical to the simulator's on the H1 script.
 if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
@@ -71,5 +77,33 @@ if "$build/tools/optcm" drive --script=h1 --spawn=3 --time-scale=3000 \
   echo "kill -9 respawn equivalence check: PASS (drive --kill-host=0@30 --respawn)"
 else
   echo "kill -9 respawn equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Chaos equivalence acceptance (docs/FAULTS.md): the seeded nemesis schedule —
+# drop + reorder noise, an asymmetric partition, a SIGKILL crash, and a WAL
+# fsync failpoint — run TWICE.  Both runs must reconcile to a merged log
+# byte-identical to the simulator, and the printed fault event trace must be
+# byte-identical across the two runs (the determinism contract of nemesis.h).
+nemesis_spec='seed=7;drop=0.05;reorder=0.05;partition=1:2@15+30;crash=0@40;wal-fail=0:fsync@2'
+trace_a=$(mktemp)
+trace_b=$(mktemp)
+trap 'rm -f "$trace_a" "$trace_b"' EXIT
+for out in "$trace_a" "$trace_b"; do
+  if ! "$build/tools/optcm" drive --script=h1 --spawn=3 --time-scale=3000 \
+      --compare-sim --nemesis="$nemesis_spec" > "$out.full"; then
+    echo "nemesis equivalence check: FAIL (run did not reconcile)" >&2
+    exit 1
+  fi
+  # The determinism contract covers the fault event trace (socket timings and
+  # tmp paths legitimately vary run to run).
+  grep -E '^\+[0-9]+ms |^nemesis schedule' "$out.full" > "$out"
+  rm -f "$out.full"
+done
+if cmp -s "$trace_a" "$trace_b"; then
+  echo "nemesis chaos check: PASS (schedule ran twice, traces identical)"
+else
+  echo "nemesis chaos check: FAIL (fault traces differ between runs)" >&2
+  diff "$trace_a" "$trace_b" >&2 || true
   exit 1
 fi
