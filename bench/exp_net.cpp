@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "dsm/net/ring_mesh.h"
 #include "dsm/net/socket.h"
 #include "dsm/net/tcp_transport.h"
 
@@ -161,6 +162,39 @@ int main(int argc, char** argv) {
                  (1024.0 * 1024.0));
   }
   emit("loopback one-way throughput (drained)", tput);
+
+  // ---- shard ring mesh one-way throughput ----------------------------------
+  // The co-located fast path (dsm/net/ring_mesh.h): refcounted payloads
+  // posted onto the SPSC ring, drained into a sink — no kernel in the data
+  // path (while the consumer keeps up the doorbell is unarmed and post()
+  // never syscalls).  Same single-threaded burst/drain harness as the TCP
+  // cell above, so the two numbers compare the per-message transport cost
+  // directly without scheduler noise (on a 1-CPU box a two-thread handoff
+  // measures context switching, not the ring).  This is the transport floor
+  // under `optcm drive --shards-per-proc`.
+  Table ring({"payload (B)", "messages", "wall (ms)", "msgs/s", "M msgs/s"});
+  for (const std::size_t payload_size : {16u, 256u}) {
+    RingMesh mesh(0, 2);
+    CountingSink rx;
+    const auto msg =
+        make_payload(std::vector<std::uint8_t>(payload_size, 0xEF));
+    constexpr std::size_t kMessages = 2'000'000;
+    const auto t0 = Clock::now();
+    std::size_t sent = 0;
+    while (rx.received < kMessages) {
+      while (sent < kMessages && sent - rx.received < 512) {
+        // A full ring is a datagram drop in the real stack; the burst cap
+        // keeps us under capacity so every post lands.
+        if (!mesh.post(0, 1, msg)) break;
+        ++sent;
+      }
+      (void)mesh.drain(1, rx);
+    }
+    const double wall_ms = us_between(t0, Clock::now()) / 1e3;
+    const double msgs_per_s = static_cast<double>(kMessages) / (wall_ms / 1e3);
+    ring.add(payload_size, kMessages, wall_ms, msgs_per_s, msgs_per_s / 1e6);
+  }
+  emit("shard ring mesh one-way throughput (SPSC burst/drain)", ring);
 
   return finish_bench_json("exp_net") ? 0 : 1;
 }

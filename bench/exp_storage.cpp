@@ -91,6 +91,40 @@ int main(int argc, char** argv) {
   emit("WAL append throughput (256 B records, final sync included)",
        append_table);
 
+  // ---- group-commit append throughput --------------------------------------
+  // The tick-edge batching mode (docs/PERF.md): appends defer their policy
+  // sync entirely; a group_sync() barrier — one per NetLoop tick in the real
+  // node — makes one fsync cover every record appended since the last one.
+  // The tick size is the amortization factor, so durable throughput scales
+  // with it until the disk write itself dominates.
+  Table group_table({"tick (records)", "records", "wall (ms)", "appends/s",
+                     "fsyncs", "group commits"});
+  for (const std::size_t tick : {std::size_t{8}, std::size_t{64},
+                                 std::size_t{512}}) {
+    const std::string path = dir + "/group-" + std::to_string(tick) + ".log";
+    auto wal = Wal::open(path,
+                         WalOptions{.fsync = FsyncPolicy::kInterval,
+                                    .group_commit = true},
+                         {});
+    if (!wal.has_value()) {
+      std::fprintf(stderr, "Wal::open(%s) failed\n", path.c_str());
+      return 1;
+    }
+    constexpr std::size_t kRecords = 20'000;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      (void)wal->append(payload);
+      if ((i + 1) % tick == 0) (void)wal->group_sync();
+    }
+    (void)wal->group_sync();  // final tick edge: everything durable
+    const double wall_ms = ms_between(t0, Clock::now());
+    group_table.add(tick, kRecords, wall_ms,
+                    static_cast<double>(kRecords) / (wall_ms / 1e3),
+                    wal->stats().fsyncs, wal->stats().group_commits);
+  }
+  emit("WAL group-commit throughput (256 B records, fsync=interval)",
+       group_table);
+
   // ---- recovery replay throughput ------------------------------------------
   // Reopen each cold log; Wal::open scans, CRC-checks and replays every
   // record — this is the restart-latency term a respawned node pays.

@@ -24,6 +24,15 @@ void NetLoop::set_want_write(int fd, bool want) {
 
 void NetLoop::unwatch(int fd) { fds_.erase(fd); }
 
+void NetLoop::add_tick_hook(std::function<void()> hook) {
+  tick_hooks_.push_back(std::move(hook));
+}
+
+void NetLoop::run_tick_hooks() {
+  // Index loop: a hook may register further hooks (shard boot paths).
+  for (std::size_t i = 0; i < tick_hooks_.size(); ++i) tick_hooks_[i]();
+}
+
 void NetLoop::service_queue() {
   const SimTime t = wall_now();
   queue_.run_until(t);
@@ -34,6 +43,10 @@ void NetLoop::poll_once(SimTime max_wait) {
   // Fire anything already due before sleeping: a callback from the previous
   // dispatch round may have scheduled immediate work.
   service_queue();
+  // Pre-poll batching edge: flush everything queued since the last tick
+  // (caller sends between poll_once calls, timer-driven sends just fired)
+  // before the loop commits to sleeping.
+  run_tick_hooks();
 
   SimTime wait = max_wait;
   if (const auto next = queue_.next_at()) {
@@ -76,6 +89,9 @@ void NetLoop::poll_once(SimTime max_wait) {
     }
   }
   service_queue();
+  // Post-dispatch batching edge: sends produced while handling this tick's
+  // I/O and timers go out in the same tick (an RTT costs no extra tick).
+  run_tick_hooks();
 }
 
 void NetLoop::run(const std::function<bool()>& stop) {

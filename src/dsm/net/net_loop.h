@@ -18,6 +18,14 @@
 // holds because everything (socket callbacks and timers) dispatches from
 // this one loop on one thread.
 //
+// Tick hooks are the end-to-end batching seam (docs/PERF.md): a hook runs at
+// both edges of every poll_once — after the pre-poll timer pass (so work
+// queued since the last tick flushes before the loop sleeps) and again after
+// dispatch (so work produced by socket callbacks flushes within the same
+// tick).  TcpTransport coalesces its out-queues into one writev per peer
+// there, and ProcessNode group-commits its WAL there; neither adds latency
+// beyond the tick that produced the work.
+//
 // Thread-safety: none.  One NetLoop per thread of control; tests may park
 // several transports on one loop (single-threaded multi-node harnesses).
 
@@ -27,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "dsm/sim/event_queue.h"
 
@@ -64,6 +73,11 @@ class NetLoop {
   /// own) and on unknown fds.
   void unwatch(int fd);
 
+  /// Register a batching hook, run at both edges of every poll_once (see the
+  /// header comment).  Hooks cannot be removed — owners that may die before
+  /// the loop guard with a liveness flag captured in the closure.
+  void add_tick_hook(std::function<void()> hook);
+
   /// One poll + dispatch + timer pass.  Blocks at most `max_wait` (µs),
   /// less when a timer is due sooner.
   void poll_once(SimTime max_wait);
@@ -80,10 +94,12 @@ class NetLoop {
   };
 
   void service_queue();
+  void run_tick_hooks();
 
   std::chrono::steady_clock::time_point epoch_;
   EventQueue queue_;
   std::map<int, Watch> fds_;
+  std::vector<std::function<void()>> tick_hooks_;
 };
 
 }  // namespace dsm

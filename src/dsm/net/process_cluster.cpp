@@ -5,12 +5,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <thread>
 #include <utility>
 
+#include "dsm/net/shard_host.h"
 #include "dsm/storage/state_dir.h"
 
 namespace dsm {
@@ -209,18 +211,7 @@ ProcessCluster::~ProcessCluster() {
   teardown();
 }
 
-pid_t ProcessCluster::spawn_child(std::size_t p) {
-  const pid_t pid = ::fork();
-  if (pid != 0) return pid;  // parent (or fork failure: pid < 0)
-
-  // Child: keep only our own listener; drop every other inherited fd — the
-  // sibling listeners on the first spawn, and the parent's control
-  // connections on the respawn path (they belong to the driver).
-  for (std::size_t q = 0; q < listen_fds_.size(); ++q) {
-    if (q != p && listen_fds_[q] >= 0) ::close(listen_fds_[q]);
-  }
-  for (ControlClient& client : controls_) client.close();
-
+ProcessNodeConfig ProcessCluster::node_config_of(std::size_t p) const {
   ProcessNodeConfig node_config;
   node_config.shape = config_.shape;
   node_config.shape.self = static_cast<ProcessId>(p);
@@ -231,6 +222,7 @@ pid_t ProcessCluster::spawn_child(std::size_t p) {
     node_config.state_dir =
         StateDir::node_subdir(config_.state_dir, static_cast<ProcessId>(p));
     node_config.fsync = config_.fsync;
+    node_config.wal_group_commit = config_.wal_group_commit;
   }
   node_config.net_faults = config_.net_faults;
   for (const auto& [target, fp] : config_.storage_fail) {
@@ -238,9 +230,36 @@ pid_t ProcessCluster::spawn_child(std::size_t p) {
       node_config.storage_fail.push_back(fp);
     }
   }
-  {
-    ProcessNode node(std::move(node_config));
+  return node_config;
+}
+
+pid_t ProcessCluster::spawn_child(std::size_t group) {
+  const std::size_t s = std::max<std::size_t>(1, config_.shards_per_proc);
+  const std::size_t lo = group * s;
+  const std::size_t hi = std::min(config_.shape.n_procs, lo + s);
+
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure: pid < 0)
+
+  // Child: keep only our own shard range's listeners; drop every other
+  // inherited fd — the sibling listeners on the first spawn, and the
+  // parent's control connections on the respawn path (they belong to the
+  // driver).
+  for (std::size_t q = 0; q < listen_fds_.size(); ++q) {
+    if ((q < lo || q >= hi) && listen_fds_[q] >= 0) ::close(listen_fds_[q]);
+  }
+  for (ControlClient& client : controls_) client.close();
+
+  if (hi - lo == 1) {
+    ProcessNode node(node_config_of(lo));
     node.run();
+  } else {
+    ShardHostConfig host_config;
+    for (std::size_t p = lo; p < hi; ++p) {
+      host_config.shards.push_back(node_config_of(p));
+    }
+    ShardHost host(std::move(host_config));
+    host.run();
   }
   ::_exit(0);  // no atexit / leak sweep of the inherited address space
 }
@@ -261,14 +280,16 @@ bool ProcessCluster::spawn() {
     peers_[p] = "127.0.0.1:" + std::to_string(ports_[p]);
   }
 
-  pids_.assign(n, -1);
-  for (std::size_t p = 0; p < n; ++p) {
-    const pid_t pid = spawn_child(p);
+  const std::size_t s = std::max<std::size_t>(1, config_.shards_per_proc);
+  const std::size_t n_children = (n + s - 1) / s;
+  pids_.assign(n_children, -1);
+  for (std::size_t g = 0; g < n_children; ++g) {
+    const pid_t pid = spawn_child(g);
     if (pid < 0) {
       teardown();
       return false;
     }
-    pids_[p] = pid;
+    pids_[g] = pid;
   }
   // Parent: the children own the listeners now.
   for (int& fd : listen_fds_) {
@@ -401,6 +422,9 @@ bool ProcessCluster::set_faults(ProcessId node, const NetFaultPlan& plan) {
 }
 
 bool ProcessCluster::kill_process(ProcessId node) {
+  // A shard group shares one OS process; SIGKILL would take out every
+  // co-located shard, which is not the single-node crash being modelled.
+  if (config_.shards_per_proc > 1) return false;
   if (node >= pids_.size() || pids_[node] <= 0) return false;
   if (::kill(pids_[node], SIGKILL) != 0) return false;
   int status = 0;
@@ -412,6 +436,7 @@ bool ProcessCluster::kill_process(ProcessId node) {
 }
 
 bool ProcessCluster::respawn_process(ProcessId node) {
+  if (config_.shards_per_proc > 1) return false;
   if (node >= pids_.size() || pids_[node] > 0) return false;
   // Rebind the original port (listen_tcp sets SO_REUSEADDR, so lingering
   // sockets from the killed incarnation don't block the bind); the peers'

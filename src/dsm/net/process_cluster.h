@@ -102,6 +102,14 @@ struct ProcessClusterConfig {
   /// kill_process()/respawn_process() to survive a real SIGKILL.
   std::string state_dir;
   FsyncPolicy fsync = FsyncPolicy::kEvery;
+  /// Tick-edge WAL group commit on every node (see ProcessNodeConfig).
+  bool wal_group_commit = false;
+  /// Shard-per-core packing: fork ceil(n_procs / shards_per_proc) children,
+  /// each a ShardHost running that many consecutive shards over a ring mesh
+  /// (docs/ARCHITECTURE.md).  1 = classic one-process-per-node.  Values > 1
+  /// are incompatible with kill_process()/respawn_process() — SIGKILL takes
+  /// out a whole shard group, which is not the fault being modelled.
+  std::size_t shards_per_proc = 1;
   /// Link-fault plan every node boots with (respawned incarnations included);
   /// replaceable per node at runtime via set_faults().
   NetFaultPlan net_faults;
@@ -186,11 +194,16 @@ class ProcessCluster {
   [[nodiscard]] std::optional<ControlMessage> call_node(
       ProcessId node, const ControlMessage& req, bool idempotent);
 
-  /// Fork the child for process p (its listener must sit in listen_fds_[p]).
-  /// The child closes every other inherited fd — sibling listeners and, on
-  /// the respawn path, the parent's control connections — builds its
-  /// ProcessNode (durable when config_.state_dir is set) and never returns.
-  [[nodiscard]] pid_t spawn_child(std::size_t p);
+  /// Fork the child for shard group `group` — processes [group·S, group·S+S)
+  /// clamped to n_procs, S = shards_per_proc (their listeners must sit in
+  /// listen_fds_).  The child closes every other inherited fd — sibling
+  /// listeners and, on the respawn path, the parent's control connections —
+  /// runs its ProcessNode (S = 1) or ShardHost (S > 1, durable when
+  /// config_.state_dir is set) and never returns.
+  [[nodiscard]] pid_t spawn_child(std::size_t group);
+
+  /// The per-shard node config (shared spawn logic for both child kinds).
+  [[nodiscard]] ProcessNodeConfig node_config_of(std::size_t p) const;
 
   ProcessClusterConfig config_;
   std::vector<std::string> peers_;  ///< "127.0.0.1:port" per process

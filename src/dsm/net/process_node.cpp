@@ -36,6 +36,22 @@ ReliableConfig net_reliable_defaults() {
   return config;
 }
 
+namespace {
+
+/// The mesh-reachable peers of `config.shape.self`: every other shard the
+/// RingMesh hosts.  These become the TcpTransport's out-of-band exclusions.
+std::vector<ProcessId> co_located_shards(const ProcessNodeConfig& config) {
+  std::vector<ProcessId> local;
+  if (config.mesh == nullptr) return local;
+  for (std::size_t i = 0; i < config.mesh->count(); ++i) {
+    const auto p = static_cast<ProcessId>(config.mesh->base() + i);
+    if (p != config.shape.self) local.push_back(p);
+  }
+  return local;
+}
+
+}  // namespace
+
 ProcessNode::ProcessNode(ProcessNodeConfig config)
     : config_(std::move(config)),
       telemetry_(config_.shape.n_procs),
@@ -48,13 +64,16 @@ ProcessNode::ProcessNode(ProcessNodeConfig config)
                      .listen_fd = config_.listen_fd,
                      .metrics = &telemetry_.metrics(),
                      .trace = &telemetry_.trace(),
+                     .local_peers = co_located_shards(config_),
                  }),
-      faulty_(loop_, transport_, config_.shape.self, &telemetry_.metrics(),
+      mux_(loop_, transport_, config_.shape.self, &telemetry_.metrics()),
+      faulty_(loop_, mux_, config_.shape.self, &telemetry_.metrics(),
               &telemetry_.trace()),
       reliable_(loop_.queue(), faulty_, config_.shape.self, *this,
                 config_.arq),
       endpoint_(reliable_) {
   telemetry_.set_clock([this] { return loop_.queue().now(); });
+  if (config_.mesh != nullptr) mux_.set_mesh(config_.mesh);
   DSM_REQUIRE(!durable() || config_.shape.recoverable);
   faulty_.set_plan(config_.net_faults);
   for (const StorageFailpoint& fp : config_.storage_fail) io_hooks_.add(fp);
@@ -81,8 +100,12 @@ void ProcessNode::run() {
         adopt_control(fd, std::move(residual));
       });
   transport_.start();
+  mux_.start();
   if (durable()) {
     boot_durable();
+    if (config_.wal_group_commit) {
+      loop_.add_tick_hook([this] { wal_tick(); });
+    }
   } else {
     host_->start();
   }
@@ -133,7 +156,10 @@ void ProcessNode::boot_durable() {
   WalOpenStats open_stats;
   WalReplayStats replay_stats;
   wal_ = Wal::open(
-      state_->wal_path(), WalOptions{.fsync = config_.fsync, .io = &io_hooks_},
+      state_->wal_path(),
+      WalOptions{.fsync = config_.fsync,
+                 .group_commit = config_.wal_group_commit,
+                 .io = &io_hooks_},
       [this, &replay_stats](std::span<const std::uint8_t> record) {
         DSM_REQUIRE(
             replay_wal_record(record, recorder_, filter_.get(), &replay_stats));
@@ -262,6 +288,28 @@ void ProcessNode::spill() {
   wal_reported_ = ws;
 }
 
+void ProcessNode::wal_tick() {
+  if (!wal_.has_value()) return;
+  const std::uint64_t covered = wal_->unsynced_appends();
+  if (covered == 0 && !wal_->dirty()) return;
+  const WalIoError err = wal_->group_sync();
+  MetricsRegistry& m = telemetry_.metrics();
+  if (err == WalIoError::kNone && covered > 0) {
+    m.counter(config_.shape.self, metric::kWalGroupCommits).add(1);
+    m.summary(config_.shape.self, metric::kWalRecordsPerSync)
+        .add(static_cast<double>(covered));
+  }
+  if (err != WalIoError::kNone) {
+    TraceEvent ev;
+    ev.kind = TraceKind::kIoFault;
+    ev.at = config_.shape.self;
+    ev.time = telemetry_.now();
+    ev.bytes = static_cast<std::uint64_t>(err);
+    telemetry_.trace().accept(ev);
+  }
+  m.gauge(config_.shape.self, metric::kWalDirty).set(wal_->dirty() ? 1 : 0);
+}
+
 std::uint64_t ProcessNode::local_op_count() const {
   return recorder_.history().local(config_.shape.self).size();
 }
@@ -331,7 +379,7 @@ ControlMessage ProcessNode::handle_control(const ControlMessage& req) {
   switch (req.op) {
     case ControlOp::kPing:
       rep.op = ControlOp::kPong;
-      rep.flag = transport_.fully_connected();
+      rep.flag = mux_.fully_connected();
       break;
     case ControlOp::kRun:
       if (runner_ != nullptr) {
@@ -456,7 +504,7 @@ bool ProcessNode::stack_quiescent() const {
             .blocked;
   }
   return host_->up() && host_->protocol().quiescent() &&
-         reliable_.quiescent_except(blocked) && transport_.flushed();
+         reliable_.quiescent_except(blocked) && mux_.flushed();
 }
 
 void ProcessNode::reply(ControlConn& conn, const ControlMessage& msg) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "dsm/net/control.h"
+#include "dsm/net/ring_mesh.h"
 #include "dsm/net/tcp_transport.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/protocol_host.h"
@@ -61,12 +62,25 @@ struct ProcessNodeConfig {
   /// had not yet committed to the WAL (and that only if fsync allows it).
   std::string state_dir;
   FsyncPolicy fsync = FsyncPolicy::kEvery;
+  /// Group-commit the WAL at NetLoop tick edges (docs/PERF.md): one fsync
+  /// per tick covers every mutation batch committed during that tick,
+  /// instead of one per batch.  Kill-9 durability is unchanged (the page
+  /// cache survives the process); the power-loss window grows from one
+  /// mutation to one tick.  Requires a durable state_dir.
+  bool wal_group_commit = false;
   /// Initial link-fault plan (docs/FAULTS.md); also settable at runtime via
   /// the control plane (kSetFaults).  Inactive by default.
   NetFaultPlan net_faults;
   /// Storage failpoints armed at boot: injected write/fsync failures in the
   /// WAL and snapshot paths (docs/FAULTS.md).
   std::vector<StorageFailpoint> storage_fail;
+  /// Shard-per-core packing (docs/ARCHITECTURE.md): when non-null, this node
+  /// is one shard of a ShardHost and the mesh carries its traffic to the
+  /// co-located shards [mesh->base(), mesh->base()+mesh->count()) over SPSC
+  /// rings; only genuinely remote peers get TCP connections.  The mesh is
+  /// owned by the host and must outlive the node.  Null = classic one-node
+  /// process (the mux is a pass-through).
+  RingMesh* mesh = nullptr;
 };
 
 class ProcessNode final : public MessageSink {
@@ -145,6 +159,9 @@ class ProcessNode final : public MessageSink {
   /// Spill hook: commit the pending WAL batch, then atomically write the
   /// snapshot file (op count + host checkpoint + ARQ state).
   void spill();
+  /// Tick-edge group-commit barrier (config_.wal_group_commit): one fsync
+  /// covering every WAL record appended during the tick.
+  void wal_tick();
   [[nodiscard]] std::uint64_t local_op_count() const;
 
   ProcessNodeConfig config_;
@@ -152,9 +169,13 @@ class ProcessNode final : public MessageSink {
   RunTelemetry telemetry_;
   RunRecorder recorder_;
   TcpTransport transport_;
-  /// Fault-injection shim between the ARQ and the sockets: every outgoing
-  /// ARQ frame passes through it, faulted or not (inactive plan = verbatim
-  /// forward).  The ARQ attaches itself as the shim's sink.
+  /// Shard router above the sockets: co-located shards ride the ring mesh,
+  /// remote peers the TcpTransport.  Without a mesh it forwards verbatim.
+  ShardMux mux_;
+  /// Fault-injection shim between the ARQ and the mux: every outgoing ARQ
+  /// frame passes through it, faulted or not (inactive plan = verbatim
+  /// forward) — so nemesis faults hit ring and socket links alike.  The ARQ
+  /// attaches itself as the shim's sink.
   FaultyTransport faulty_;
   ReliableNode reliable_;
   ArqEndpoint endpoint_;

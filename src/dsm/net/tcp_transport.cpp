@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <mutex>
 
 #include "dsm/codec/codec.h"
 #include "dsm/common/contracts.h"
@@ -30,10 +31,16 @@ TcpTransport::TcpTransport(NetLoop& loop, TcpTransportConfig config)
       backoff_(config_.peers.size(), config_.reconnect_min),
       redial_draws_(config_.peers.size(), 0),
       redial_pending_(config_.peers.size(), false),
-      ever_established_(config_.peers.size(), false) {
+      ever_established_(config_.peers.size(), false),
+      local_mask_(config_.peers.size(), false) {
   DSM_REQUIRE(config_.self < config_.peers.size());
   DSM_REQUIRE(config_.reconnect_min > 0 &&
               config_.reconnect_min <= config_.reconnect_max);
+  for (const ProcessId p : config_.local_peers) {
+    DSM_REQUIRE(p < config_.peers.size() && p != config_.self);
+    if (!local_mask_[p]) ++n_local_;
+    local_mask_[p] = true;
+  }
 }
 
 TcpTransport::~TcpTransport() {
@@ -58,8 +65,10 @@ void TcpTransport::start() {
   DSM_REQUIRE(!started_);
   started_ = true;
   // A write racing a peer's disconnect must surface as EPIPE (handled as a
-  // connection loss), not kill the process.
-  (void)std::signal(SIGPIPE, SIG_IGN);
+  // connection loss), not kill the process.  signal() mutates process-global
+  // state, and a sharded host starts several transports concurrently.
+  static std::once_flag sigpipe_once;
+  std::call_once(sigpipe_once, [] { (void)std::signal(SIGPIPE, SIG_IGN); });
   if (config_.listen_fd >= 0) {
     listen_fd_ = config_.listen_fd;
     net::set_nonblocking(listen_fd_);
@@ -70,7 +79,15 @@ void TcpTransport::start() {
     DSM_REQUIRE(listen_fd_ >= 0 && "cannot bind listen address");
   }
   loop_->watch(listen_fd_, [this](NetLoop::Ready) { on_listener_ready(); });
-  for (ProcessId q = 0; q < config_.self; ++q) dial(q);
+  // The batching edge: everything send() enqueued during this tick goes out
+  // as one writev per peer.  The hook outlives the transport (NetLoop hooks
+  // cannot be deregistered), so it is guarded by the alive_ flag.
+  loop_->add_tick_hook([this, alive = alive_] {
+    if (*alive) flush_all();
+  });
+  for (ProcessId q = 0; q < config_.self; ++q) {
+    if (!is_local(q)) dial(q);
+  }
 }
 
 // -- dialing ------------------------------------------------------------------
@@ -348,8 +365,23 @@ void TcpTransport::send(ProcessId from, ProcessId to, Payload payload) {
   OutChunk chunk;
   chunk.head.assign(head.begin(), head.end());
   chunk.payload = std::move(payload);  // shared, never copied
+  // Enqueue only: the NetLoop tick hook flushes every frame queued this tick
+  // in one writev per peer (end-to-end batching, docs/PERF.md).
   enqueue(*conn, std::move(chunk));
-  flush(*conn);
+}
+
+void TcpTransport::flush_all() {
+  // flush() can drop a conn (conn_lost erases from conns_), so walk by fd
+  // snapshot and re-look each one up.
+  std::vector<int> pending;
+  pending.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn->out.empty()) pending.push_back(fd);
+  }
+  for (const int fd : pending) {
+    const auto it = conns_.find(fd);
+    if (it != conns_.end()) flush(*it->second);
+  }
 }
 
 void TcpTransport::enqueue(Conn& conn, OutChunk chunk) {
@@ -364,28 +396,42 @@ void TcpTransport::enqueue(Conn& conn, OutChunk chunk) {
 }
 
 void TcpTransport::flush(Conn& conn) {
+  // One writev per iteration covers up to kWritevMaxFrames queued frames as
+  // an iovec chain — header and shared payload of each frame referenced in
+  // place, never copied.  conn.out_offset tracks bytes of out.front()
+  // already written (partial writes land mid-chain on a full socket buffer).
   while (!conn.out.empty()) {
-    const OutChunk& front = conn.out.front();
-    iovec iov[2];
+    iovec iov[2 * kWritevMaxFrames];
     int iovcnt = 0;
-    std::size_t off = conn.out_offset;
-    if (off < front.head.size()) {
-      iov[iovcnt].iov_base =
-          const_cast<std::uint8_t*>(front.head.data() + off);
-      iov[iovcnt].iov_len = front.head.size() - off;
-      ++iovcnt;
+    std::size_t frames = 0;
+    std::size_t chain_bytes = 0;
+    std::size_t off = conn.out_offset;  // applies to the first chunk only
+    for (const OutChunk& chunk : conn.out) {
+      if (frames == kWritevMaxFrames) break;
+      if (off < chunk.head.size()) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(chunk.head.data() + off);
+        iov[iovcnt].iov_len = chunk.head.size() - off;
+        chain_bytes += iov[iovcnt].iov_len;
+        ++iovcnt;
+        off = 0;
+      } else {
+        off -= chunk.head.size();
+      }
+      if (chunk.payload != nullptr && off < chunk.payload->size()) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(chunk.payload->data() + off);
+        iov[iovcnt].iov_len = chunk.payload->size() - off;
+        chain_bytes += iov[iovcnt].iov_len;
+        ++iovcnt;
+      }
       off = 0;
-    } else {
-      off -= front.head.size();
+      ++frames;
     }
-    if (front.payload != nullptr && off < front.payload->size()) {
-      iov[iovcnt].iov_base =
-          const_cast<std::uint8_t*>(front.payload->data() + off);
-      iov[iovcnt].iov_len = front.payload->size() - off;
-      ++iovcnt;
-    }
-    if (iovcnt == 0) {
-      conn.out.pop_front();
+    if (iovcnt == 0) {  // zero-byte chunks only: consume them
+      for (std::size_t i = 0; i < frames && !conn.out.empty(); ++i) {
+        conn.out.pop_front();
+      }
       conn.out_offset = 0;
       continue;
     }
@@ -398,10 +444,21 @@ void TcpTransport::flush(Conn& conn) {
       conn_lost(conn, /*count_as_drop=*/false);
       return;
     }
+    ++stats_.writev_calls;
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter(config_.self, metric::kTcpWritevCalls).add();
+      config_.metrics->summary(config_.self, metric::kTcpWritevFrames)
+          .add(static_cast<double>(frames));
+    }
     conn.out_offset += static_cast<std::size_t>(n);
-    if (conn.out_offset >= front.size()) {
+    while (!conn.out.empty() && conn.out_offset >= conn.out.front().size()) {
+      conn.out_offset -= conn.out.front().size();
       conn.out.pop_front();
-      conn.out_offset = 0;
+    }
+    if (static_cast<std::size_t>(n) < chain_bytes) {
+      // Socket buffer full mid-chain: poll for writability, don't spin.
+      loop_->set_want_write(conn.fd, true);
+      return;
     }
   }
   loop_->set_want_write(conn.fd, false);

@@ -23,6 +23,13 @@
 // byte buffer n−1 times and writev() sends header+payload without ever
 // copying the payload.
 //
+// End-to-end batching (docs/PERF.md): send() only enqueues.  The transport
+// registers a NetLoop tick hook, and at each tick edge every frame queued
+// for a peer since the last flush goes out as ONE writev over an iovec chain
+// (up to kWritevMaxFrames frames per call, under Linux's IOV_MAX).  The
+// batching win is visible as tcp_writev_calls_total versus
+// tcp_frames_out_total, and as the tcp_writev_frames_per_call summary.
+//
 // The listener is also the cluster's control-plane door: a Hello with the
 // control role hands the (already accepted) fd to the registered control
 // handler together with any pipelined bytes, and the transport forgets it.
@@ -74,7 +81,12 @@ struct TcpStats {
   std::uint64_t sends_dropped = 0;   ///< sends while the peer link was down
   std::uint64_t frame_errors = 0;    ///< malformed framing/handshake, conn closed
   std::uint64_t conns_killed = 0;    ///< kill_connection() test-hook closures
+  std::uint64_t writev_calls = 0;    ///< batched flushes (vs frames_out)
 };
+
+/// Frames coalesced into one writev call (each frame contributes a header
+/// iovec and usually a payload iovec, so this stays well under IOV_MAX).
+inline constexpr std::size_t kWritevMaxFrames = 64;
 
 struct TcpTransportConfig {
   ProcessId self = 0;
@@ -97,6 +109,10 @@ struct TcpTransportConfig {
   /// (kConnect/kDisconnect, var = peer id) go to `trace`.
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  /// Peers reached out-of-band (the ShardMux ring mesh): never dialed, never
+  /// expected to dial us, excluded from fully_connected(), and a send() to
+  /// one counts as a drop (the mux routes them away before they get here).
+  std::vector<ProcessId> local_peers;
 };
 
 class TcpTransport final : public DatagramTransport {
@@ -125,8 +141,10 @@ class TcpTransport final : public DatagramTransport {
 
   // -- runtime state ---------------------------------------------------------
   [[nodiscard]] std::size_t connected_peers() const;
+  /// Every SOCKET peer established; config_.local_peers don't count (their
+  /// link is the ring mesh, which needs no handshake).
   [[nodiscard]] bool fully_connected() const {
-    return connected_peers() + 1 == n_procs();
+    return connected_peers() + 1 + n_local_ == n_procs();
   }
   /// True when every established connection's out-queue is drained.
   [[nodiscard]] bool flushed() const;
@@ -164,9 +182,13 @@ class TcpTransport final : public DatagramTransport {
   };
 
   [[nodiscard]] bool dials_to(ProcessId peer) const {
-    return peer < config_.self;
+    return peer < config_.self && !is_local(peer);
+  }
+  [[nodiscard]] bool is_local(ProcessId peer) const {
+    return local_mask_[peer];
   }
 
+  void flush_all();  ///< tick-hook body: flush every conn with queued frames
   void dial(ProcessId peer);
   void schedule_redial(ProcessId peer);
   void on_listener_ready();
@@ -200,6 +222,8 @@ class TcpTransport final : public DatagramTransport {
   std::vector<std::uint64_t> redial_draws_;  ///< jitter draws per peer
   std::vector<bool> redial_pending_;    ///< a re-dial timer is armed
   std::vector<bool> ever_established_;  ///< for the reconnects counter
+  std::vector<bool> local_mask_;  ///< config_.local_peers as a bitmap
+  std::size_t n_local_ = 0;
   TcpStats stats_;
   bool started_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -1,0 +1,164 @@
+// optcm — RingInbox: a node's lock-free inbox for the threaded tier.
+//
+// Replaces the mutex+condvar Mailbox: one SPSC ring per PRODUCER (the
+// cluster gives every directed link i→j its own ring, so the single-producer
+// contract holds — all sends from node i are serialized under node i's
+// mutex, and the mutex hand-off orders successive producers on the same
+// ring), plus one doorbell the consumer parks on (futex-backed atomic wait,
+// no mutex on the hot path).
+//
+// The threaded tier is LOSSLESS — there is no ARQ above it, and the
+// recoverable mode's catch-up only repairs messages dropped at a crashed
+// process — so a full ring must not drop.  Instead the producer diverts the
+// message to the link's mutex-guarded spill deque and keeps diverting (the
+// `spilled` flag) until the consumer has spliced the deque back out; the
+// consumer only reads the deque after draining the ring, which preserves
+// per-link FIFO exactly:
+//
+//   ring entries (pre-spill) → spill deque (in order) → ring entries again
+//
+// The spill mutex is only ever touched in the overload regime; in steady
+// state post() is one try_push plus one doorbell fetch_add.
+//
+// Shutdown: close() closes every ring and rings the doorbell.  A consumer
+// that observes closed() must run ONE more full drain — close() is
+// release-ordered after every producer's final push — and then stop.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/runtime/spsc_ring.h"
+
+namespace dsm {
+
+/// One message between threaded nodes: the sender plus the same refcounted
+/// encoded payload every tier ships (broadcast posts ONE buffer n−1 times).
+struct MailEnvelope {
+  ProcessId from = 0;
+  Payload bytes;
+  /// Seeded delivery jitter (µs) the consumer sleeps before delivering.
+  std::uint32_t delay_us = 0;
+};
+
+/// Ring slots per directed link before the spill deque takes over.
+inline constexpr std::size_t kMailRingCapacity = 1024;
+
+class RingInbox {
+ public:
+  RingInbox(std::size_t n_producers, std::size_t ring_capacity)
+      : links_(n_producers) {
+    for (auto& link : links_) {
+      link = std::make_unique<Link>(ring_capacity);
+    }
+  }
+
+  RingInbox(const RingInbox&) = delete;
+  RingInbox& operator=(const RingInbox&) = delete;
+
+  /// Producer side (single producer per `from`, see header).  False = the
+  /// inbox is closed and the message was dropped; true = it WILL be
+  /// delivered (ring or spill deque).  `spilled` out-param style is avoided:
+  /// call spill_count() for observability.
+  [[nodiscard]] bool post(ProcessId from, MailEnvelope envelope) {
+    Link& link = *links_[from];
+    if (!link.spilled.load(std::memory_order_relaxed)) {
+      if (link.ring.try_push(envelope)) {
+        bell_.ring();
+        return true;
+      }
+      if (link.ring.closed()) return false;
+    }
+    {
+      const std::scoped_lock lock(link.mu);
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      link.spill.push_back(std::move(envelope));
+      link.spilled.store(true, std::memory_order_relaxed);
+      spills_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bell_.ring();
+    return true;
+  }
+
+  /// Consumer side: pop every deliverable message, calling fn(MailEnvelope&&)
+  /// per message in per-link FIFO order.  Returns the number delivered.
+  template <typename F>
+  std::size_t drain(F&& fn) {
+    std::size_t delivered = 0;
+    for (auto& link_ptr : links_) {
+      Link& link = *link_ptr;
+      // Ring first: while `spilled` is set the producer never touches the
+      // ring, so everything in it predates the spill deque's contents.
+      while (auto envelope = link.ring.try_pop()) {
+        fn(std::move(*envelope));
+        ++delivered;
+      }
+      if (link.spilled.load(std::memory_order_relaxed)) {
+        std::deque<MailEnvelope> taken;
+        {
+          const std::scoped_lock lock(link.mu);
+          taken.swap(link.spill);
+          // Atomically with the splice: later posts go back to the ring and
+          // are therefore newer than everything in `taken`.
+          link.spilled.store(false, std::memory_order_relaxed);
+        }
+        for (auto& envelope : taken) {
+          fn(std::move(envelope));
+          ++delivered;
+        }
+      }
+    }
+    return delivered;
+  }
+
+  /// Doorbell protocol: snapshot epoch() BEFORE a drain pass, wait(epoch)
+  /// only after that pass delivered nothing (a post between drain and wait
+  /// bumps the epoch and the wait returns immediately).
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return bell_.epoch(); }
+  void wait(std::uint32_t seen) const { bell_.wait(seen); }
+
+  void close() {
+    {
+      // Take every spill lock so a producer past its closed_ check cannot
+      // append to a deque the consumer will never splice again.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(links_.size());
+      for (auto& link : links_) locks.emplace_back(link->mu);
+      closed_.store(true, std::memory_order_relaxed);
+    }
+    for (auto& link : links_) link->ring.close();
+    bell_.ring();
+  }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Messages that took the spill path (ring full) — the overload signal.
+  [[nodiscard]] std::uint64_t spill_count() const noexcept {
+    return spills_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Link {
+    explicit Link(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<MailEnvelope> ring;
+    /// True while spill holds messages; producer-set, consumer-cleared.
+    std::atomic<bool> spilled{false};
+    std::mutex mu;  ///< guards spill (the overload path only)
+    std::deque<MailEnvelope> spill;
+  };
+
+  std::vector<std::unique_ptr<Link>> links_;
+  RingDoorbell bell_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> spills_{0};
+};
+
+}  // namespace dsm

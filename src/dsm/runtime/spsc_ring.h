@@ -1,0 +1,145 @@
+// optcm — bounded lock-free single-producer/single-consumer ring, the hot
+// handoff primitive of the shard-per-core runtime.
+//
+// One SpscRing carries one DIRECTED link: exactly one thread may push and
+// exactly one thread may pop for the ring's lifetime.  Under that contract
+// the ring is wait-free on both sides — a push is one store to the slot plus
+// one release store of the tail; a pop is one load plus one release store of
+// the head.  Head and tail live on separate cache lines, and each side keeps
+// a cached copy of the other's index so the common case touches only its own
+// line (the classic Lamport ring with index caching; see docs/NETWORK.md).
+//
+// Capacity is rounded up to a power of two so the index math is a mask, and
+// indices grow monotonically (wrap handled by the mask) so full/empty are
+// distinguishable without a dead slot: full ⇔ tail − head == capacity.
+//
+// The ring itself never blocks.  Waiting is layered on top with RingDoorbell,
+// a C++20 atomic wait/notify sequence counter: the producer rings after every
+// push, the consumer snapshots the sequence BEFORE its drain pass and parks
+// on that snapshot — a push landing between the drain and the wait bumps the
+// sequence, so the wait returns immediately and no wakeup is ever lost.
+//
+// close() is a producer-or-owner-side shutdown flag; the consumer observes it
+// only after a drain pass finds every slot empty, so close never drops
+// queued work ("shutdown drain" in tests/test_spsc_ring.cpp).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+
+/// Destructive-interference stride for the index padding.  A fixed 64 (the
+/// x86/arm64 line size) rather than std::hardware_destructive_interference_size
+/// — the latter is an ABI hazard GCC warns about (-Winterference-size) because
+/// its value can differ between translation units compiled with different
+/// tuning flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side.  False when the ring is full or closed; the value is NOT
+  /// consumed on failure (the caller may retry or divert to an overflow).
+  [[nodiscard]] bool try_push(T& value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  std::nullopt when empty (NOT when closed — a closed
+  /// ring still pops until drained).
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> value(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Refuse further pushes.  Queued values stay poppable (shutdown drain).
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate (racy by nature): exact when called from either endpoint.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  ///< consumer
+  std::uint64_t tail_cache_ = 0;  ///< consumer's view of tail_
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  ///< producer
+  std::uint64_t head_cache_ = 0;  ///< producer's view of head_
+};
+
+/// Lost-wakeup-free parking spot for a ring consumer (or a set of rings
+/// sharing one consumer thread).  Usage:
+///
+///   producer:  ring.try_push(v);  doorbell.ring();
+///   consumer:  for (;;) { auto seen = doorbell.epoch();
+///                         if (drain_everything()) continue;
+///                         doorbell.wait(seen); }
+///
+/// The epoch snapshot happens before the drain, so a ring() between the
+/// drain and the wait makes wait() return immediately.
+class RingDoorbell {
+ public:
+  void ring() noexcept {
+    seq_.fetch_add(1, std::memory_order_release);
+    seq_.notify_all();
+  }
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the epoch differs from `seen` (returns immediately when it
+  /// already does).
+  void wait(std::uint32_t seen) const noexcept { seq_.wait(seen); }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+};
+
+}  // namespace dsm

@@ -61,7 +61,8 @@ ThreadCluster::ThreadCluster(const Config& config)
   for (ProcessId p = 0; p < config.n_procs; ++p) {
     auto node = std::make_unique<Node>();
     node->endpoint = std::make_unique<ClusterEndpoint>(*this, p);
-    node->mailbox = std::make_unique<Mailbox>();
+    node->inbox =
+        std::make_unique<RingInbox>(config.n_procs, kMailRingCapacity);
     nodes_.push_back(std::move(node));
   }
   for (ProcessId p = 0; p < config.n_procs; ++p) {
@@ -87,7 +88,7 @@ ThreadCluster::~ThreadCluster() { shutdown(); }
 
 void ThreadCluster::shutdown() {
   if (stopped_.exchange(true)) return;
-  for (auto& node : nodes_) node->mailbox->close();
+  for (auto& node : nodes_) node->inbox->close();
   for (auto& node : nodes_) {
     if (node->delivery.joinable()) node->delivery.join();
   }
@@ -115,7 +116,7 @@ void ThreadCluster::post(ProcessId from, ProcessId to, Payload bytes) {
         static_cast<std::uint32_t>(jitter_rng_.below(max_jitter_us_ + 1));
   }
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (!nodes_[to]->mailbox->push(std::move(envelope))) {
+  if (!nodes_[to]->inbox->post(from, std::move(envelope))) {
     // Shutdown raced the send; the message is dropped, which is fine because
     // nothing after shutdown() observes the run.
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -124,17 +125,30 @@ void ThreadCluster::post(ProcessId from, ProcessId to, Payload bytes) {
 
 void ThreadCluster::deliver_loop(ProcessId p) {
   Node& node = *nodes_[p];
-  while (true) {
-    auto envelope = node.mailbox->pop();
-    if (!envelope) return;  // closed and drained
-    if (envelope->delay_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(envelope->delay_us));
+  const auto deliver = [&](MailEnvelope&& envelope) {
+    if (envelope.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(envelope.delay_us));
     }
     {
       const std::scoped_lock lock(node.mu);
-      node.host->deliver(envelope->from, *envelope->bytes);
+      node.host->deliver(envelope.from, *envelope.bytes);
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  bool closing = false;
+  while (true) {
+    // Doorbell protocol: snapshot the epoch BEFORE draining so a post that
+    // lands between the drain and the wait bumps it and the wait is a no-op.
+    const std::uint32_t epoch = node.inbox->epoch();
+    if (node.inbox->drain(deliver) > 0) continue;
+    if (closing) return;
+    if (node.inbox->closed()) {
+      // One more full drain now that close() — release-ordered after every
+      // producer's final post — is visible; then stop.
+      closing = true;
+      continue;
+    }
+    node.inbox->wait(epoch);
   }
 }
 

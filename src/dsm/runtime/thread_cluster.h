@@ -2,11 +2,14 @@
 //
 // Where the simulator proves *what* the protocols do (deterministically), the
 // threaded cluster proves the same code is correct under real concurrency:
-// every node runs a delivery thread draining its mailbox; client threads call
-// read/write through the cluster; a per-node mutex serializes protocol access
-// (the CausalProtocol concurrency contract).  Messages travel as encoded
-// bytes, with optional seeded per-message delivery jitter so interleavings
-// vary across seeds while staying loosely reproducible.
+// every node runs a delivery thread draining its RingInbox — one lock-free
+// SPSC ring per directed link plus a futex doorbell (dsm/runtime/ring_inbox.h)
+// — client threads call read/write through the cluster; a per-node mutex
+// serializes protocol access (the CausalProtocol concurrency contract).  The
+// single-producer contract per ring holds because all sends FROM node i are
+// made under node i's mutex.  Messages travel as encoded bytes, with optional
+// seeded per-message delivery jitter so interleavings vary across seeds while
+// staying loosely reproducible.
 //
 // The recorder captures the same event log as in simulation, so the
 // consistency checker and the optimality auditor run unchanged on threaded
@@ -19,15 +22,16 @@
 // protocol instance (messages delivered while down are dropped, like a
 // crashed host), and restart(p) rebuilds it from the checkpoint and runs
 // anti-entropy catch-up against the peers' write logs.  There is no ARQ
-// layer here — mailboxes are lossless — so the catch-up exchange is the ONLY
+// layer here — the inboxes are lossless (a full ring spills to a guarded
+// deque instead of dropping) — so the catch-up exchange is the ONLY
 // repair path for messages dropped while down; it suffices because every
 // peer logs every write it has seen and serves it on request.
 //
 // The per-process stack itself — protocol construction, recovery wiring,
 // checkpoints, kill/restart accounting — is ProtocolHost
 // (dsm/runtime/protocol_host.h), shared with the multi-process ProcessNode
-// runtime; this class adds only what is thread-specific: mailboxes, delivery
-// threads, and the per-node mutex.
+// runtime; this class adds only what is thread-specific: ring inboxes,
+// delivery threads, and the per-node mutex.
 
 #pragma once
 
@@ -43,8 +47,8 @@
 #include "dsm/protocols/recovery.h"
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
-#include "dsm/runtime/mailbox.h"
 #include "dsm/runtime/protocol_host.h"
+#include "dsm/runtime/ring_inbox.h"
 #include "dsm/telemetry/telemetry.h"
 
 namespace dsm {
@@ -121,8 +125,8 @@ class ThreadCluster {
  private:
   struct Node;
 
-  /// Endpoint implementation pushing encoded bytes into peer mailboxes.
-  /// A broadcast posts ONE refcounted payload to every mailbox — no
+  /// Endpoint implementation pushing encoded bytes into peer inboxes.
+  /// A broadcast posts ONE refcounted payload to every inbox — no
   /// per-receiver byte copies (the buffer is immutable and the refcount is
   /// atomic, so the sharing is race-free across delivery threads).
   class ClusterEndpoint final : public Endpoint {
@@ -141,7 +145,8 @@ class ThreadCluster {
     std::unique_ptr<ClusterEndpoint> endpoint;
     /// The protocol stack (shared with ProcessNode); guarded by mu.
     std::unique_ptr<ProtocolHost> host;
-    std::unique_ptr<Mailbox> mailbox;
+    /// Lock-free inbox: one SPSC ring per sending peer + futex doorbell.
+    std::unique_ptr<RingInbox> inbox;
     std::thread delivery;
     mutable std::mutex mu;  ///< serializes all protocol access
   };

@@ -232,6 +232,9 @@ WalIoError Wal::append(std::span<const std::uint8_t> payload) {
   ++stats_.appends;
   stats_.bytes += scratch_.size();
   ++appends_since_sync_;
+  // Group mode defers the policy's sync point to the owner's group_sync()
+  // barrier; records accumulate in appends_since_sync_ until then.
+  if (options_.group_commit) return WalIoError::kNone;
   switch (options_.fsync) {
     case FsyncPolicy::kNone:
       break;
@@ -272,6 +275,17 @@ WalIoError Wal::sync() {
     }
   }
   dirty_ = true;
+  return err;
+}
+
+WalIoError Wal::group_sync() {
+  DSM_REQUIRE(fd_ >= 0);
+  if (options_.fsync == FsyncPolicy::kNone && !dirty_) {
+    return WalIoError::kNone;  // the policy never syncs; nothing to amortize
+  }
+  const bool covering = appends_since_sync_ > 0;
+  const WalIoError err = sync();
+  if (err == WalIoError::kNone && covering) ++stats_.group_commits;
   return err;
 }
 

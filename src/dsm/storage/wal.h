@@ -22,6 +22,16 @@
 // A kill -9 of the *process* never loses un-fsynced data (the page cache
 // survives the process); fsync matters for power loss / kernel panic.
 //
+// Group commit (options.group_commit) moves the policy's sync POINT without
+// changing what is eventually durable: append() never fsyncs on its own;
+// instead the owner calls group_sync() at its batching edge (the ProcessNode
+// tick) and ONE fsync covers every record appended since the previous
+// barrier — the classic group-commit amortization.  Explicit sync() barriers
+// (checkpoint spill) are unaffected, so the "WAL covers at least the
+// snapshot" ordering invariant holds in group mode too.  The trade is the
+// power-loss window: records wait at most one tick instead of at most
+// `fsync_interval` appends.  Kill-9 of the process loses nothing either way.
+//
 // I/O failure handling (the chaos-engine contract): append() and sync()
 // return typed WalIoError instead of aborting.  A failed record write is
 // retried a bounded number of times; if it still fails the file is truncated
@@ -69,6 +79,9 @@ enum class WalIoError : std::uint8_t { kNone, kWrite, kNoSpace, kFsync };
 struct WalOptions {
   FsyncPolicy fsync = FsyncPolicy::kEvery;
   std::uint64_t fsync_interval = 64;  ///< appends per fsync under kInterval
+  /// Defer policy fsyncs to group_sync() barriers (see header comment).
+  /// Policy kNone still never syncs; explicit sync() is unaffected.
+  bool group_commit = false;
   IoHooks* io = nullptr;              ///< failpoint seam; nullptr = real syscalls
 };
 
@@ -80,6 +93,7 @@ struct WalStats {
   std::uint64_t write_errors = 0;  ///< appends lost after retry exhaustion
   std::uint64_t write_retries = 0; ///< failed write attempts that were retried
   std::uint64_t fsync_errors = 0;  ///< fsync attempts that failed
+  std::uint64_t group_commits = 0; ///< group_sync() barriers that fsynced
 };
 
 /// What open() found: the recovered prefix and the corrupt/torn remainder.
@@ -127,6 +141,18 @@ class Wal {
   /// Forces an fsync regardless of policy (checkpoint barrier).  kFsync on
   /// persistent failure; the WAL stays dirty until an fsync succeeds.
   [[nodiscard]] WalIoError sync();
+
+  /// Group-commit barrier: under group_commit, one fsync covering every
+  /// record appended since the last sync (no-op when nothing is pending and
+  /// the log is clean, and under policy kNone — that policy never syncs).
+  /// Same sticky-dirty semantics as sync() on failure.
+  [[nodiscard]] WalIoError group_sync();
+
+  /// Records appended since the last successful fsync (what the next
+  /// group_sync() barrier would cover — the wal_records_per_sync source).
+  [[nodiscard]] std::uint64_t unsynced_appends() const noexcept {
+    return appends_since_sync_;
+  }
 
   [[nodiscard]] const WalStats& stats() const noexcept { return stats_; }
 

@@ -126,10 +126,24 @@ inline constexpr char kTcpReconnects[] = "tcp_reconnects_total";
 inline constexpr char kTcpAccepted[] = "tcp_accepted_total";
 inline constexpr char kTcpSendsDropped[] = "tcp_sends_dropped_total";
 inline constexpr char kTcpFrameErrors[] = "tcp_frame_errors_total";
+// Batched hot path (dsm/net; per node).  A tick-edge flush coalesces every
+// frame queued for a peer into one writev; frames-per-call is the batching
+// win (1.0 = the old syscall-per-message behaviour).
+inline constexpr char kTcpWritevCalls[] = "tcp_writev_calls_total";
+inline constexpr char kTcpWritevFrames[] = "tcp_writev_frames_per_call";
+// Shard runtime SPSC rings (dsm/runtime; scope = consumer node, except
+// pushes which are counted at the producer).
+inline constexpr char kRingPushes[] = "ring_pushes_total";
+inline constexpr char kRingPops[] = "ring_pops_total";
+inline constexpr char kRingOverflows[] = "ring_overflows_total";
+inline constexpr char kRingWakeups[] = "ring_wakeups_total";
+inline constexpr char kRingDepth[] = "ring_depth";
 // Durable storage layer (dsm/storage; per node).
 inline constexpr char kWalAppends[] = "wal_appends_total";
 inline constexpr char kWalBytes[] = "wal_bytes_total";
 inline constexpr char kWalFsyncs[] = "wal_fsyncs_total";
+inline constexpr char kWalGroupCommits[] = "wal_group_commits_total";
+inline constexpr char kWalRecordsPerSync[] = "wal_records_per_sync";
 inline constexpr char kWalReplayed[] = "wal_replayed_records_total";
 inline constexpr char kSnapshotWrites[] = "snapshot_writes_total";
 // Storage degradation under injected/real I/O failures (per node).

@@ -532,6 +532,88 @@ TEST(FailpointTest, FsyncFailureFollowsFsyncgateSemantics) {
   EXPECT_FALSE(wal->dirty());
 }
 
+// -------------------------------------------------- WAL group commit -------
+// The tick-edge batching mode (docs/PERF.md): append() defers the policy's
+// sync point entirely; group_sync() — one call per NetLoop tick in the real
+// node — makes one fsync cover every record since the last barrier.
+
+TEST(GroupCommitTest, OneFsyncCoversEveryAppendSinceTheLastBarrier) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // Interval 2 would normally fsync every other append; group mode must
+  // override that and fsync only at the barrier.
+  auto wal = Wal::open(path,
+                       {.fsync = FsyncPolicy::kInterval,
+                        .fsync_interval = 2,
+                        .group_commit = true},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  for (std::uint8_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(wal->append(payload_of(i, 40)), WalIoError::kNone);
+  }
+  EXPECT_EQ(wal->stats().fsyncs, 0u);
+  EXPECT_EQ(wal->unsynced_appends(), 7u);
+  EXPECT_EQ(wal->group_sync(), WalIoError::kNone);
+  EXPECT_EQ(wal->stats().fsyncs, 1u);
+  EXPECT_EQ(wal->stats().group_commits, 1u);
+  EXPECT_EQ(wal->unsynced_appends(), 0u);
+  // An empty tick is free: no pending appends, clean log, no fsync.
+  EXPECT_EQ(wal->group_sync(), WalIoError::kNone);
+  EXPECT_EQ(wal->stats().fsyncs, 1u);
+  EXPECT_EQ(wal->stats().group_commits, 1u);
+}
+
+TEST(GroupCommitTest, FsyncFailureMidGroupKeepsStickyDirtyUntilSuccess) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // The barrier's fsync fails persistently (outlasting sync()'s retry of 3).
+  // Every record of the group must already be in the log (page cache), the
+  // WAL goes sticky-dirty, and the failed barrier does NOT count as a group
+  // commit; a later successful barrier clears the flag and covers the
+  // records appended in between.
+  FailpointIoHooks hooks({{StorageFailpoint::Op::kFsync,
+                           StorageFailpoint::Kind::kEio, 1, 3}});
+  auto wal = Wal::open(path,
+                       {.fsync = FsyncPolicy::kInterval,
+                        .group_commit = true,
+                        .io = &hooks},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(wal->append(payload_of(i, 40)), WalIoError::kNone);
+  }
+  EXPECT_EQ(wal->group_sync(), WalIoError::kFsync);
+  EXPECT_TRUE(wal->dirty());
+  EXPECT_EQ(wal->stats().fsync_errors, 3u);
+  EXPECT_EQ(wal->stats().group_commits, 0u);
+  // The group survived the failed barrier — durability unknown, data intact.
+  EXPECT_EQ(replayed_payloads(path).size(), 4u);
+  // Appends keep landing while dirty; the disk recovers and the next barrier
+  // covers both the old group and the new appends.
+  EXPECT_EQ(wal->append(payload_of(9, 40)), WalIoError::kNone);
+  EXPECT_EQ(wal->group_sync(), WalIoError::kNone);
+  EXPECT_FALSE(wal->dirty());
+  EXPECT_EQ(wal->stats().group_commits, 1u);
+  EXPECT_EQ(replayed_payloads(path).size(), 5u);
+}
+
+TEST(GroupCommitTest, ExplicitSyncBarriersStillWorkInGroupMode) {
+  TempDir dir;
+  const std::string path = dir.file("wal.log");
+  // The snapshot spill's WAL-before-snapshot ordering uses sync(); group
+  // mode must not defer it.
+  auto wal = Wal::open(path,
+                       {.fsync = FsyncPolicy::kInterval, .group_commit = true},
+                       [](std::span<const std::uint8_t>) {});
+  ASSERT_TRUE(wal.has_value());
+  EXPECT_EQ(wal->append(payload_of(1, 40)), WalIoError::kNone);
+  EXPECT_EQ(wal->sync(), WalIoError::kNone);
+  EXPECT_EQ(wal->stats().fsyncs, 1u);
+  // sync() is a plain barrier, not a group commit.
+  EXPECT_EQ(wal->stats().group_commits, 0u);
+  EXPECT_EQ(wal->unsynced_appends(), 0u);
+}
+
 /// Fuzz the failpoint offset: disk dies (EIO, forever) at every possible
 /// write call.  Whatever number of appends succeeded, reopen must recover
 /// exactly that prefix — typed errors, no aborts, no torn tail ever.

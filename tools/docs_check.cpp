@@ -12,7 +12,10 @@
 //     tree (benches and examples are referenced but not executed — some
 //     take minutes);
 //   * every `--preset NAME` a code block mentions is defined in
-//     CMakePresets.json.
+//     CMakePresets.json;
+//   * every backtick-cited metric name resolves to a registered name in
+//     `dsm::metric` (src/dsm/telemetry/metrics.h), and — the reverse — every
+//     registered name has a row in docs/OBSERVABILITY.md's catalogue.
 //
 // Usage: docs_check <repo_root> <optcm_binary> <build_dir>
 // Exit status: 0 iff every check passed; failures are listed one per line.
@@ -22,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,6 +61,7 @@ struct Checker {
   std::string optcm;
   fs::path build;
   std::string presets_json;
+  std::set<std::string> registered_metrics;  ///< names in dsm::metric
   std::vector<std::string> failures;
 
   void fail(const fs::path& file, const std::string& what) {
@@ -84,6 +89,55 @@ struct Checker {
       const fs::path resolved = md.parent_path() / target;
       if (!fs::exists(resolved)) {
         fail(md, "broken link \"" + target + "\" -> " + resolved.string());
+      }
+    }
+  }
+
+  // -- metric names ----------------------------------------------------------
+
+  void load_registered_metrics() {
+    const std::string header =
+        read_file(repo / "src/dsm/telemetry/metrics.h");
+    // inline constexpr char kName[] = "metric_name";
+    static const std::regex name_re(R"(constexpr char k\w+\[\]\s*=\s*"([a-z0-9_]+)\")");
+    for (auto it =
+             std::sregex_iterator(header.begin(), header.end(), name_re);
+         it != std::sregex_iterator(); ++it) {
+      registered_metrics.insert((*it)[1].str());
+    }
+  }
+
+  /// A backticked snake_case token is treated as a metric citation when it
+  /// carries one of the registry's naming suffixes (the conventions in
+  /// docs/OBSERVABILITY.md "Adding a metric"): `_total` counters,
+  /// `_per_*` ratio summaries, and the registered gauge/summary names
+  /// themselves.  Citing a name the registry does not know fails the doc.
+  void check_metric_citations(const fs::path& md, const std::string& text) {
+    static const std::regex tick_re(R"(`([a-z][a-z0-9_]*)`)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), tick_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (registered_metrics.count(name) != 0) continue;
+      const bool metric_like =
+          name.ends_with("_total") || name.find("_per_") != std::string::npos;
+      if (metric_like) {
+        fail(md, "cites metric \"" + name +
+                     "\" which is not registered in dsm::metric "
+                     "(src/dsm/telemetry/metrics.h)");
+      }
+    }
+  }
+
+  /// The reverse direction: every registered name must have a row in the
+  /// catalogue, so a new metric cannot land undocumented.
+  void check_catalogue_complete() {
+    const fs::path catalogue = repo / "docs/OBSERVABILITY.md";
+    const std::string text = read_file(catalogue);
+    for (const std::string& name : registered_metrics) {
+      if (text.find("`" + name + "`") == std::string::npos) {
+        fail(catalogue, "metric \"" + name +
+                            "\" is registered in dsm::metric but missing "
+                            "from the catalogue table");
       }
     }
   }
@@ -212,13 +266,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  c.load_registered_metrics();
+  if (c.registered_metrics.empty()) {
+    std::fprintf(stderr,
+                 "docs_check: no metric names found in "
+                 "src/dsm/telemetry/metrics.h under %s\n",
+                 argv[1]);
+    return 2;
+  }
+
   std::size_t checked = 0;
   for (const fs::path& md : md_files) {
     const std::string text = read_file(md);
     c.check_links(md, text);
     c.check_code_blocks(md, text);
+    c.check_metric_citations(md, text);
     ++checked;
   }
+  c.check_catalogue_complete();
 
   for (const std::string& f : c.failures) {
     std::fprintf(stderr, "FAIL %s\n", f.c_str());

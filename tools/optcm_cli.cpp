@@ -32,6 +32,9 @@
 //                          agree on the recoverable shape)
 //   --fsync=none|interval|every      WAL durability policy (requires
 //                          --state-dir; default every)
+//   --wal-group-commit     defer WAL fsyncs to the NetLoop tick edge: one
+//                          fsync covers every record appended during the
+//                          tick (docs/PERF.md; requires --state-dir)
 //
 // drive flags:
 //   --script=h1|fig1|fig3  paper workload (3 procs, 2 vars)
@@ -45,6 +48,16 @@
 //                          --recoverable on every node)
 //   --fsync=none|interval|every      WAL durability policy (default every;
 //                          needs durable state)
+//   --wal-group-commit     tick-edge WAL group commit on every node
+//                          (docs/PERF.md; --state-dir defaults to a fresh
+//                          temp dir)
+//   --shards-per-proc=S    pack S consecutive nodes into each forked child
+//                          as a ShardHost: one pinned thread + NetLoop per
+//                          shard, SPSC ring mesh between co-located shards,
+//                          TCP only between processes
+//                          (docs/ARCHITECTURE.md; incompatible with
+//                          --kill-host/--respawn and nemesis crash entries —
+//                          SIGKILL would hit the whole shard group)
 //   --kill-host=N[@MS]     SIGKILL node N's OS process after MS ms of run
 //                          time (default 30); must be paired with --respawn
 //   --respawn              fork a fresh process for the killed node on its
@@ -799,6 +812,13 @@ int cmd_serve(Flags& flags) {
                  "must agree on the recoverable shape)\n");
     return 2;
   }
+  config.wal_group_commit = flags.get_bool("wal-group-commit");
+  if (config.wal_group_commit && config.state_dir.empty()) {
+    std::fprintf(stderr,
+                 "--wal-group-commit requires --state-dir (group commit is a "
+                 "WAL fsync schedule; there is no WAL without one)\n");
+    return 2;
+  }
   const std::string own_addr = peers[static_cast<std::size_t>(id)];
   const std::string state_dir = config.state_dir;
   config.peers = std::move(peers);
@@ -870,6 +890,7 @@ int cmd_drive(Flags& flags) {
     std::fprintf(stderr, "--time-scale must be >= 1\n");
     return 2;
   }
+  const bool wal_group_commit = flags.get_bool("wal-group-commit");
   FsyncPolicy fsync = FsyncPolicy::kEvery;
   if (!fsync_flag.empty()) {
     const auto policy = parse_fsync_policy(fsync_flag);
@@ -878,10 +899,10 @@ int cmd_drive(Flags& flags) {
                    fsync_flag.c_str());
       return 2;
     }
-    if (state_dir.empty() && !want_respawn) {
+    if (state_dir.empty() && !want_respawn && !wal_group_commit) {
       std::fprintf(stderr,
-                   "--fsync requires durable state (--state-dir or "
-                   "--respawn's temp dir)\n");
+                   "--fsync requires durable state (--state-dir, or the "
+                   "temp dir --respawn/--wal-group-commit imply)\n");
       return 2;
     }
     fsync = *policy;
@@ -926,12 +947,35 @@ int cmd_drive(Flags& flags) {
       return 2;
     }
   }
+  const long long shards_per_proc = flags.get_int("shards-per-proc", 1);
+  if (shards_per_proc < 1) {
+    std::fprintf(stderr, "--shards-per-proc must be >= 1\n");
+    return 2;
+  }
+  if (shards_per_proc > 1) {
+    // SIGKILLing a shard group would take out several nodes at once — that
+    // is a different fault than the single-node crash these flags model.
+    if (want_kill_host || want_respawn) {
+      std::fprintf(stderr,
+                   "--shards-per-proc > 1 is incompatible with --kill-host/"
+                   "--respawn (a SIGKILL would hit the whole shard group)\n");
+      return 2;
+    }
+    if (nemesis && nemesis->has_crashes()) {
+      std::fprintf(stderr,
+                   "--shards-per-proc > 1 is incompatible with nemesis "
+                   "crash schedules (crashes SIGKILL whole processes)\n");
+      return 2;
+    }
+  }
   // Crashes need a respawn source and wal-fail needs a WAL: both imply
-  // durable state (a temp dir is made below when none was given).
+  // durable state (a temp dir is made below when none was given), and group
+  // commit is meaningless without a WAL to commit.
   const bool nemesis_durable =
       nemesis && (nemesis->has_crashes() || !nemesis->wal_fails.empty());
   if (flags.get_bool("dry-run")) return 0;
-  if ((want_respawn || nemesis_durable) && state_dir.empty()) {
+  if ((want_respawn || nemesis_durable || wal_group_commit) &&
+      state_dir.empty()) {
     const char* tmp = std::getenv("TMPDIR");
     std::string templ =
         std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
@@ -956,6 +1000,8 @@ int cmd_drive(Flags& flags) {
       flags.get_bool("recoverable") || !state_dir.empty();
   cluster_config.state_dir = state_dir;
   cluster_config.fsync = fsync;
+  cluster_config.wal_group_commit = wal_group_commit;
+  cluster_config.shards_per_proc = static_cast<std::size_t>(shards_per_proc);
   if (nemesis) {
     cluster_config.net_faults = nemesis->boot_plan();
     cluster_config.storage_fail = nemesis->wal_fails;
@@ -970,8 +1016,14 @@ int cmd_drive(Flags& flags) {
     std::fprintf(stderr, "cluster never became fully connected\n");
     return 1;
   }
-  std::printf("cluster up: %zu processes, full TCP mesh on 127.0.0.1\n",
-              cluster.n_procs());
+  if (shards_per_proc > 1) {
+    std::printf("cluster up: %zu shards packed %lld per process, ring mesh "
+                "inside, TCP between, on 127.0.0.1\n",
+                cluster.n_procs(), shards_per_proc);
+  } else {
+    std::printf("cluster up: %zu processes, full TCP mesh on 127.0.0.1\n",
+                cluster.n_procs());
+  }
   if (!cluster.run(scripts, time_scale)) {
     std::fprintf(stderr, "failed to start the scripted run\n");
     return 1;

@@ -59,6 +59,36 @@ echo "wrote results/BENCH_storage.json"
 "$build/bench/exp_chaos" --bench-json results/BENCH_chaos.json > /dev/null
 echo "wrote results/BENCH_chaos.json"
 
+# Schema guard: docs/PERF.md and anything downstream key on these table
+# names and column headers; a bench refactor that renames or drops one must
+# fail here, not silently regenerate a JSON missing the cell.
+require_table() {
+  file="$1"; table="$2"; shift 2
+  for field in "$@"; do
+    if ! jq -e --arg t "$table" --arg f "$field" \
+        '.tables[$t][0] | has($f)' "$file" > /dev/null 2>&1; then
+      echo "schema guard: $file table \"$table\" is missing field \"$field\"" >&2
+      exit 1
+    fi
+  done
+}
+require_table results/BENCH_net.json \
+  "loopback frame round-trip (2 transports, 1 loop)" \
+  "payload (B)" "rtt p50 (us)" "rtt p99 (us)"
+require_table results/BENCH_net.json \
+  "loopback one-way throughput (drained)" \
+  "payload (B)" "msgs/s" "MB/s"
+require_table results/BENCH_net.json \
+  "shard ring mesh one-way throughput (SPSC burst/drain)" \
+  "payload (B)" "msgs/s" "M msgs/s"
+require_table results/BENCH_storage.json \
+  "WAL append throughput (256 B records, final sync included)" \
+  "fsync" "appends/s" "fsyncs"
+require_table results/BENCH_storage.json \
+  "WAL group-commit throughput (256 B records, fsync=interval)" \
+  "tick (records)" "appends/s" "fsyncs" "group commits"
+echo "bench JSON schema guard: PASS"
+
 # Loopback equivalence acceptance: a forked 3-process cluster must produce an
 # observer-event log byte-identical to the simulator's on the H1 script.
 if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
@@ -66,6 +96,27 @@ if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
   echo "loopback equivalence check: PASS (drive --script=h1 --compare-sim)"
 else
   echo "loopback equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Shard equivalence acceptance: the same script packed into one OS process
+# (all traffic over the SPSC ring mesh) must match the simulator too —
+# sharding is a transport change only (docs/NETWORK.md).
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --shards-per-proc=3 \
+    --compare-sim > /dev/null; then
+  echo "shard equivalence check: PASS (drive --shards-per-proc=3 --compare-sim)"
+else
+  echo "shard equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Group-commit equivalence acceptance: tick-edge WAL batching must not change
+# observable behavior (docs/PERF.md).
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --wal-group-commit \
+    --fsync=interval --compare-sim > /dev/null; then
+  echo "group-commit equivalence check: PASS (drive --wal-group-commit --compare-sim)"
+else
+  echo "group-commit equivalence check: FAIL" >&2
   exit 1
 fi
 
