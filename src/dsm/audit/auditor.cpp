@@ -50,8 +50,21 @@ AuditReport OptimalityAuditor::audit(const RunRecorder& recorder) {
   return audit(recorder.history(), recorder.events());
 }
 
+std::uint64_t OptimalityAuditor::message_floor(
+    const GlobalHistory& history, const SubscriptionMap& subscription) {
+  std::uint64_t floor = 0;
+  for (const OpRef wref : history.writes()) {
+    const Operation& op = history.op(wref);
+    for (const ProcessId q : subscription.subscribers(op.var)) {
+      if (q != op.proc) ++floor;
+    }
+  }
+  return floor;
+}
+
 AuditReport OptimalityAuditor::audit(const GlobalHistory& history,
-                                     const std::vector<RunEvent>& events) {
+                                     const std::vector<RunEvent>& events,
+                                     const SubscriptionMap* subscription) {
   AuditReport report;
   const auto co = CoRelation::build(history);
   DSM_REQUIRE(co.has_value());
@@ -112,6 +125,13 @@ AuditReport OptimalityAuditor::audit(const GlobalHistory& history,
     const auto wref = history.find_write(e.write);
     DSM_REQUIRE(wref.has_value());
     for (const OpRef dep : co->write_causal_past(*wref)) {
+      // A causal-past write on a variable this process does not subscribe
+      // to never applies here; under subscription routing it cannot witness
+      // a necessary delay (the dep matrix carries its obligation instead).
+      if (subscription != nullptr &&
+          !subscription->is_subscriber(history.op(dep).var, e.at)) {
+        continue;
+      }
       const WriteId dep_id = history.op(dep).write_id;
       const auto dep_applied = applied_of.find(AtWrite{e.at, dep_id});
       if (dep_applied == applied_of.end() ||
@@ -150,9 +170,14 @@ AuditReport OptimalityAuditor::audit(const GlobalHistory& history,
   }
 
   // ---- Liveness: every write applied-or-skipped at every process ---------
+  // (under a subscription map: at every subscriber of its variable).
   for (const OpRef wref : writes) {
     const WriteId w = history.op(wref).write_id;
+    const VarId var = history.op(wref).var;
     for (ProcessId k = 0; k < n; ++k) {
+      if (subscription != nullptr && !subscription->is_subscriber(var, k)) {
+        continue;
+      }
       if (applied_of.find(AtWrite{k, w}) == applied_of.end()) {
         report.liveness_violations.push_back(to_string(w) +
                                              " never applied at " +

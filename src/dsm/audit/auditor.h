@@ -28,6 +28,7 @@
 
 #include "dsm/history/co_relation.h"
 #include "dsm/protocols/run_recorder.h"
+#include "dsm/protocols/subscription.h"
 
 namespace dsm {
 
@@ -81,8 +82,23 @@ class OptimalityAuditor {
   /// precise violation otherwise).
   [[nodiscard]] static AuditReport audit(const RunRecorder& recorder);
 
-  [[nodiscard]] static AuditReport audit(const GlobalHistory& history,
-                                         const std::vector<RunEvent>& events);
+  /// With a subscription map (subscription-routed runs): the liveness
+  /// obligation for a write narrows to its variable's subscribers, and the
+  /// necessity witness search skips causal-past writes the delayed process
+  /// does not subscribe to (they never apply there — a subscription-trimmed
+  /// wait condition covers them transitively through the dep matrix).
+  /// nullptr = the full-replication obligations, unchanged.
+  [[nodiscard]] static AuditReport audit(
+      const GlobalHistory& history, const std::vector<RunEvent>& events,
+      const SubscriptionMap* subscription = nullptr);
+
+  /// The message floor a subscription-routed run cannot beat (after Xiang &
+  /// Vaidya's lower bound): every write must reach each foreign subscriber
+  /// of its variable at least once, so Σ_w (|subs(var(w))| − 1) update
+  /// messages are necessary.  A protocol matching it is message-optimal for
+  /// the map; bench/exp_partial checks ShardedOptP hits it exactly.
+  [[nodiscard]] static std::uint64_t message_floor(
+      const GlobalHistory& history, const SubscriptionMap& subscription);
 };
 
 }  // namespace dsm

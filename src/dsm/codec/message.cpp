@@ -12,6 +12,12 @@ void WriteUpdate::encode(ByteWriter& w) const {
   w.u64(blob.size());
   w.bytes(blob);
   w.u64_vec(clock.components());
+  w.u64(sub_deps.size());
+  for (const auto& d : sub_deps) {
+    w.u32(d.row);
+    w.u32(d.col);
+    w.u64(d.seq);
+  }
 }
 
 std::optional<WriteUpdate> WriteUpdate::decode(ByteReader& r) {
@@ -35,6 +41,24 @@ std::optional<WriteUpdate> WriteUpdate::decode(ByteReader& r) {
   }
   auto clock = r.u64_vec();
   if (!clock) return std::nullopt;
+  const auto dep_count = r.u64();
+  // Each entry is at least 3 encoded bytes; cap by the remaining input so a
+  // forged count cannot drive the reserve below.
+  if (!dep_count || *dep_count > (1ULL << 24) || *dep_count > r.remaining()) {
+    return std::nullopt;
+  }
+  m.sub_deps.reserve(static_cast<std::size_t>(*dep_count));
+  for (std::uint64_t i = 0; i < *dep_count; ++i) {
+    SubDep d;
+    const auto row = r.u32();
+    const auto col = r.u32();
+    const auto dep_seq = r.u64();
+    if (!row || !col || !dep_seq) return std::nullopt;
+    d.row = *row;
+    d.col = *col;
+    d.seq = *dep_seq;
+    m.sub_deps.push_back(d);
+  }
   m.sender = *sender;
   m.var = *var;
   m.value = *value;

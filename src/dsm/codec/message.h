@@ -38,6 +38,19 @@ enum class MsgType : std::uint8_t {
   kCatchUpReply = 5,
 };
 
+/// One entry of ShardedOptP's sparse causal-knowledge matrix: "the latest
+/// write by `col` relevant to `row` in this write's causal past is `col`'s
+/// `seq`-th row-relevant write".  Entries are sorted by (row, col) and only
+/// nonzero seqs are shipped, so the encoded size is O(active subscriber
+/// pairs), not O(n²).
+struct SubDep {
+  ProcessId row = 0;  ///< the subscriber whose knowledge this entry mirrors
+  ProcessId col = 0;  ///< the writer the knowledge is about
+  SeqNo seq = 0;      ///< count of col's row-relevant writes known
+
+  friend bool operator==(const SubDep&, const SubDep&) = default;
+};
+
 /// A single write operation in flight.
 struct WriteUpdate {
   ProcessId sender = 0;   ///< issuing process p_u
@@ -60,6 +73,10 @@ struct WriteUpdate {
   /// bodies partial replication avoids shipping to non-replicas).  Empty for
   /// meta-only copies.
   std::vector<std::uint8_t> blob;
+  /// Subscription-routed sharding (ShardedOptP): the sparse causal-knowledge
+  /// matrix carried instead of the complete-group Apply counters.  Sorted by
+  /// (row, col), nonzero seqs only; empty for every other protocol.
+  std::vector<SubDep> sub_deps;
 
   void encode(ByteWriter& w) const;
   [[nodiscard]] static std::optional<WriteUpdate> decode(ByteReader& r);

@@ -140,6 +140,8 @@ void ShardMux::start() {
 void ShardMux::send(ProcessId from, ProcessId to, Payload payload) {
   if (mesh_ != nullptr && mesh_->hosts(to)) {
     DSM_REQUIRE(from == self_ && to != self_);
+    if (metrics_ != nullptr)
+      metrics_->counter(self_, metric::kShardLocalFrames).add();
     if (mesh_->post(from, to, std::move(payload))) {
       if (metrics_ != nullptr)
         metrics_->counter(self_, metric::kRingPushes).add();
@@ -152,6 +154,10 @@ void ShardMux::send(ProcessId from, ProcessId to, Payload payload) {
     }
     return;
   }
+  // Only count the split when a mesh exists: the non-sharded ProcessNode
+  // also routes through the mux, and every frame there would be "cross".
+  if (mesh_ != nullptr && metrics_ != nullptr)
+    metrics_->counter(self_, metric::kShardCrossFrames).add();
   tcp_->send(from, to, std::move(payload));
 }
 

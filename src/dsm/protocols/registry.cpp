@@ -4,6 +4,7 @@
 #include "dsm/protocols/buffering.h"
 #include "dsm/protocols/optp.h"
 #include "dsm/protocols/partial.h"
+#include "dsm/protocols/sharded.h"
 #include "dsm/protocols/token.h"
 
 namespace dsm {
@@ -17,6 +18,7 @@ const char* to_string(ProtocolKind k) noexcept {
     case ProtocolKind::kTokenWs: return "token-ws";
     case ProtocolKind::kOptPPartial: return "optp-partial";
     case ProtocolKind::kOptPConv: return "optp-conv";
+    case ProtocolKind::kOptPSharded: return "optp-sharded";
   }
   return "?";
 }
@@ -30,6 +32,9 @@ std::optional<ProtocolKind> parse_protocol(std::string_view name) {
   }
   if (name == to_string(ProtocolKind::kOptPConv)) {
     return ProtocolKind::kOptPConv;
+  }
+  if (name == to_string(ProtocolKind::kOptPSharded)) {
+    return ProtocolKind::kOptPSharded;
   }
   return std::nullopt;
 }
@@ -98,6 +103,16 @@ std::unique_ptr<CausalProtocol> build_protocol(ProtocolKind kind,
       return std::make_unique<PartialOptP>(self, n_procs, n_vars, endpoint,
                                            observer, std::move(map),
                                            /*writing_semantics=*/false,
+                                           config.write_blob_size);
+    }
+    case ProtocolKind::kOptPSharded: {
+      auto map = config.subscription;
+      if (map == nullptr) {
+        map = std::make_shared<const SubscriptionMap>(
+            SubscriptionMap::full(n_procs, n_vars));
+      }
+      return std::make_unique<ShardedOptP>(self, n_procs, n_vars, endpoint,
+                                           observer, std::move(map),
                                            config.write_blob_size);
     }
   }

@@ -14,6 +14,7 @@
 
 #include "dsm/protocols/protocol.h"
 #include "dsm/protocols/replication.h"
+#include "dsm/protocols/subscription.h"
 
 namespace dsm {
 
@@ -29,6 +30,10 @@ enum class ProtocolKind : std::uint8_t {
   kOptPConv,     ///< OptP + convergent (LWW-arbitrated) causal memory: the
                  ///< "causal+" strengthening — replicas agree on concurrent
                  ///< writes under a total order extending ↦co
+  kOptPSharded,  ///< subscription-routed OptP (after Xiang & Vaidya): writes
+                 ///< unicast to subs(x) only; needs a
+                 ///< ProtocolConfig::subscription map and subscription-aware
+                 ///< workloads, so it is NOT in all_protocol_kinds()
 };
 
 [[nodiscard]] const char* to_string(ProtocolKind k) noexcept;
@@ -52,6 +57,9 @@ struct ProtocolConfig {
   /// kOptPPartial: which process replicates which variable.  Defaults to
   /// full replication when unset.
   std::shared_ptr<const ReplicationMap> replication;
+  /// kOptPSharded: which process subscribes to which variable.  Defaults to
+  /// full subscription when unset (the protocol then degenerates to OptP).
+  std::shared_ptr<const SubscriptionMap> subscription;
   /// Buffering protocols: run the seed's O(|pending|²·n) linear drain
   /// instead of the dependency-indexed one — the differential-test baseline
   /// and the "before" side of BENCH_core.json (docs/PERF.md).  Ignored by

@@ -94,6 +94,8 @@ inline constexpr char kEnablingDeficit[] = "apply_enabling_deficit";
 inline constexpr char kPendingDepth[] = "pending_depth";
 inline constexpr char kSkips[] = "skips_total";
 inline constexpr char kMetaBytes[] = "meta_bytes_total";
+// Subscription routing (ShardedOptP; per node = sender side).
+inline constexpr char kSubDepEntries[] = "sub_dep_entries_total";
 // Fault-tolerance layer (per node).
 inline constexpr char kCrashes[] = "crashes_total";
 inline constexpr char kRestarts[] = "restarts_total";
@@ -138,6 +140,10 @@ inline constexpr char kRingPops[] = "ring_pops_total";
 inline constexpr char kRingOverflows[] = "ring_overflows_total";
 inline constexpr char kRingWakeups[] = "ring_wakeups_total";
 inline constexpr char kRingDepth[] = "ring_depth";
+// Shard-aware dispatch (dsm/net ShardMux; per node = sender side).  With a
+// disjoint subscription map, cross must stay 0: no frame leaves the host.
+inline constexpr char kShardLocalFrames[] = "shard_local_frames_total";
+inline constexpr char kShardCrossFrames[] = "shard_cross_frames_total";
 // Durable storage layer (dsm/storage; per node).
 inline constexpr char kWalAppends[] = "wal_appends_total";
 inline constexpr char kWalBytes[] = "wal_bytes_total";

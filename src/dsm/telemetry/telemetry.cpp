@@ -26,6 +26,10 @@ std::uint64_t meta_bytes(const WriteUpdate& m) {
   std::uint64_t n = varint_size(m.clock.size());
   for (const std::uint64_t c : m.clock.components()) n += varint_size(c);
   n += varint_size(m.run);
+  n += varint_size(m.sub_deps.size());
+  for (const SubDep& d : m.sub_deps) {
+    n += varint_size(d.row) + varint_size(d.col) + varint_size(d.seq);
+  }
   return n;
 }
 
@@ -41,6 +45,9 @@ class RunTelemetry::Tee final : public ProtocolObserver {
     const std::uint64_t meta = meta_bytes(m);
     t_.metrics_.counter(at, metric::kUpdatesSent).add();
     t_.metrics_.counter(at, metric::kMetaBytes).add(meta);
+    if (!m.sub_deps.empty()) {
+      t_.metrics_.counter(at, metric::kSubDepEntries).add(m.sub_deps.size());
+    }
     t_.trace_.accept({TraceKind::kSend, at, t_.now(),
                       WriteId{m.sender, m.write_seq}, m.var, m.value,
                       /*delayed=*/false, meta, m.clock});

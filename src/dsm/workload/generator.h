@@ -24,6 +24,7 @@
 
 #include "dsm/common/rng.h"
 #include "dsm/protocols/replication.h"
+#include "dsm/protocols/subscription.h"
 #include "dsm/workload/script.h"
 
 namespace dsm {
@@ -61,5 +62,13 @@ struct WorkloadSpec {
 /// one variable.
 [[nodiscard]] std::vector<Script> generate_replica_workload(
     const WorkloadSpec& spec, const ReplicationMap& map);
+
+/// Subscription-aware variant for ShardedOptP: every process only reads and
+/// writes variables it subscribes to.  Honors the spec's pattern over the
+/// process's subscribed set — kZipf skews popularity by the variable's rank
+/// within that set (exponent zipf_s), everything else picks uniformly.
+/// Requires every process to subscribe to at least one variable.
+[[nodiscard]] std::vector<Script> generate_subscriber_workload(
+    const WorkloadSpec& spec, const SubscriptionMap& map);
 
 }  // namespace dsm

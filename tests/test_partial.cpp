@@ -123,6 +123,19 @@ TEST(PartialOptP, CausalChainThroughUnreplicatedVariable) {
   EXPECT_EQ(c.node(2).stats().delayed_writes, 1u);
 }
 
+// The replica contract ("self must be a replica") is a DSM_REQUIRE: an
+// application touching a variable outside its replica set is a harness bug,
+// not a protocol state, and must abort rather than silently degrade.
+TEST(PartialOptPDeathTest, AccessOutsideReplicaSetDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // chained(3, 3, 2): x0 at {p0, p1} — p2 is no replica of it.
+  const auto map =
+      std::make_shared<const ReplicationMap>(ReplicationMap::chained(3, 3, 2));
+  DirectCluster c(ProtocolKind::kOptPPartial, 3, 3, partial_config(map));
+  EXPECT_DEATH(c.write(2, 0, 1), "replicas");
+  EXPECT_DEATH((void)c.read(2, 0), "replicas");
+}
+
 TEST(PartialOptP, NameAndRegistryDefaults) {
   DirectCluster c(ProtocolKind::kOptPPartial, 2, 2);  // defaults to full map
   EXPECT_EQ(c.node(0).name(), "optp-partial");

@@ -68,6 +68,18 @@
 //                          require byte-identical per-process observer-event
 //                          sequences (h1 only; fig1/fig3 choreograph latency,
 //                          which real sockets cannot reproduce)
+//   --subscriptions=SPEC   subscription map for --protocol=optp-sharded:
+//                          "full", "disjoint:G", or an explicit per-variable
+//                          list "v:p,p;v:p,p".  Writes route to the
+//                          variable's subscribers only; the audit's liveness
+//                          obligation narrows to subscribers.  Paper scripts
+//                          must stay inside the map (every process only
+//                          accesses variables it subscribes to).  Sharded
+//                          runs keep no durable state: incompatible with
+//                          --recoverable/--state-dir/--kill-host/--respawn/
+//                          --wal-group-commit and nemesis crash/wal-fail
+//                          entries
+//   --shards=G             shorthand for --subscriptions=disjoint:G
 //   --nemesis=SPEC         run a deterministic fault schedule alongside the
 //                          scripts (docs/FAULTS.md; dsm/net/nemesis.h has the
 //                          full DSL).  ';'-separated entries, e.g.
@@ -81,10 +93,26 @@
 //                          must pass the checker (and --compare-sim, when on)
 //
 // Common workload/network flags (all "--key=value"):
-//   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run/faults only)
+//   --protocol=optp|optp-ws|anbkh|anbkh-ws|token-ws   (run/faults only;
+//                         run also accepts optp-partial, optp-conv and
+//                         optp-sharded)
 //   --procs=N --vars=M --ops=K --write-fraction=F --seed=S
 //   --pattern=uniform|zipf|partitioned|hotspot  --zipf-s=S --hotspot=F
+//   --zipf=THETA          shorthand for --pattern=zipf --zipf-s=THETA
 //   --gap=USEC            mean think time between ops
+//
+// run-only sharding/replication flags:
+//   --subscriptions=SPEC  subscription map for --protocol=optp-sharded
+//                         ("full", "disjoint:G", or "v:p,p;v:p,p"); the
+//                         generated workload restricts every process to its
+//                         subscribed variables, and the audit narrows the
+//                         liveness obligation to subscribers.  Incompatible
+//                         with --crash (ShardedOptP has no checkpoint seam)
+//   --shards=G            shorthand for --subscriptions=disjoint:G
+//   --replication=F       chained replication factor for
+//                         --protocol=optp-partial (F replicas per variable;
+//                         default full); the generated workload restricts
+//                         every process to variables it replicates
 //   --latency=constant|uniform|exponential|lognormal
 //   --scale=USEC --spread=X
 //
@@ -157,6 +185,10 @@ struct CommonOptions {
   double spread = 1.0;
   FaultPlan fault;
   CrashPlan crash;
+  /// optp-sharded only (--subscriptions/--shards); null = full map.
+  std::shared_ptr<const SubscriptionMap> subscription;
+  /// optp-partial only (--replication); null = full replication.
+  std::shared_ptr<const ReplicationMap> replication;
 };
 
 int usage(const char* program) {
@@ -234,6 +266,19 @@ std::optional<CommonOptions> parse_common(Flags& flags) {
   o.spec.write_fraction = flags.get_double("write-fraction", 0.5);
   o.spec.pattern = parse_pattern(flags.get("pattern", "uniform"));
   o.spec.zipf_s = flags.get_double("zipf-s", 0.9);
+  // --zipf=THETA: pattern + exponent in one flag (the common case).
+  const std::string zipf_alias = flags.get("zipf", "");
+  if (!zipf_alias.empty()) {
+    char* end = nullptr;
+    const double theta = std::strtod(zipf_alias.c_str(), &end);
+    if (end == zipf_alias.c_str() || *end != '\0' || theta < 0.0) {
+      std::fprintf(stderr, "bad --zipf '%s' (want a non-negative exponent)\n",
+                   zipf_alias.c_str());
+      return std::nullopt;
+    }
+    o.spec.pattern = AccessPattern::kZipf;
+    o.spec.zipf_s = theta;
+  }
   o.spec.hotspot_fraction = flags.get_double("hotspot", 0.2);
   o.spec.mean_gap = static_cast<SimTime>(flags.get_int("gap", 300));
   o.spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -260,6 +305,80 @@ std::optional<CommonOptions> parse_common(Flags& flags) {
   return o;
 }
 
+/// Parse --subscriptions/--shards against the final run shape.  Leaves `out`
+/// null when neither flag was given (the protocol then defaults to a full
+/// map).  Returns false on an error (already reported).
+bool parse_subscription_flags(Flags& flags, ProtocolKind kind,
+                              std::size_t n_procs, std::size_t n_vars,
+                              std::shared_ptr<const SubscriptionMap>& out) {
+  std::string spec = flags.get("subscriptions", "");
+  const long long shards = flags.get_int("shards", 0);
+  if (spec.empty() && shards == 0) return true;
+  if (kind != ProtocolKind::kOptPSharded) {
+    std::fprintf(stderr,
+                 "--subscriptions/--shards require --protocol=optp-sharded\n");
+    return false;
+  }
+  if (!spec.empty() && shards != 0) {
+    std::fprintf(stderr,
+                 "--shards=G is shorthand for --subscriptions=disjoint:G; "
+                 "give one or the other\n");
+    return false;
+  }
+  if (shards != 0) {
+    if (shards < 1) {
+      std::fprintf(stderr, "--shards must be >= 1\n");
+      return false;
+    }
+    spec = "disjoint:" + std::to_string(shards);
+  }
+  std::string error;
+  auto map = SubscriptionMap::parse(spec, n_procs, n_vars, &error);
+  if (!map) {
+    std::fprintf(stderr, "bad --subscriptions '%s': %s\n", spec.c_str(),
+                 error.c_str());
+    return false;
+  }
+  out = std::make_shared<const SubscriptionMap>(std::move(*map));
+  return true;
+}
+
+/// Fixed (paper) scripts must stay inside the access map: the protocol would
+/// otherwise abort on the contract check mid-run.  Reject at flag time.
+bool scripts_within(const std::vector<Script>& scripts,
+                    const SubscriptionMap& map, const char* flag) {
+  for (ProcessId p = 0; p < scripts.size(); ++p) {
+    for (const ScriptStep& step : scripts[p]) {
+      if (!map.is_subscriber(step.var, p)) {
+        std::fprintf(stderr,
+                     "p%u accesses x%u but %s does not subscribe it there "
+                     "(the script must stay inside the map)\n",
+                     static_cast<unsigned>(p), static_cast<unsigned>(step.var),
+                     flag);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool scripts_within(const std::vector<Script>& scripts,
+                    const ReplicationMap& map, const char* flag) {
+  for (ProcessId p = 0; p < scripts.size(); ++p) {
+    for (const ScriptStep& step : scripts[p]) {
+      if (!map.is_replica(step.var, p)) {
+        std::fprintf(stderr,
+                     "p%u accesses x%u but %s does not replicate it there "
+                     "(the script must stay inside the map)\n",
+                     static_cast<unsigned>(p), static_cast<unsigned>(step.var),
+                     flag);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 SimRunResult run_one(ProtocolKind kind, const CommonOptions& o,
                      RunTelemetry* telemetry = nullptr,
                      const std::vector<Script>* scripts = nullptr,
@@ -275,6 +394,8 @@ SimRunResult run_one(ProtocolKind kind, const CommonOptions& o,
   cfg.crash = o.crash;
   cfg.protocol_config.token_max_rounds =
       o.spec.ops_per_proc * o.spec.n_procs * 50 + 1000;
+  cfg.protocol_config.subscription = o.subscription;
+  cfg.protocol_config.replication = o.replication;
   cfg.telemetry = telemetry;
   if (choreo != nullptr) cfg.latency_override = *choreo;
   return run_sim(cfg, scripts != nullptr ? *scripts : generate_workload(o.spec));
@@ -340,12 +461,18 @@ bool write_file(const std::string& path, const std::string& text) {
   return true;
 }
 
-void print_report(ProtocolKind kind, const SimRunResult& result) {
-  const auto audit = OptimalityAuditor::audit(*result.recorder);
+void print_report(ProtocolKind kind, const SimRunResult& result,
+                  const SubscriptionMap* subscription = nullptr) {
+  const auto audit = OptimalityAuditor::audit(
+      result.recorder->history(), result.recorder->events(), subscription);
   const auto check = ConsistencyChecker::check(result.recorder->history());
 
   Table table({"metric", "value"});
   table.add("protocol", to_string(kind));
+  if (subscription != nullptr) {
+    table.add("subscriptions", subscription->describe());
+    table.add("mean subscribers/var", subscription->mean_size());
+  }
   table.add("settled", result.settled ? "yes" : "NO");
   table.add("simulated time (ms)",
             static_cast<double>(result.end_time) / 1000.0);
@@ -411,6 +538,13 @@ int cmd_run(Flags& flags) {
                  "holder would require an election (see docs/FAULTS.md)\n");
     return 2;
   }
+  if (o.crash.active() && *kind == ProtocolKind::kOptPSharded) {
+    std::fprintf(stderr,
+                 "optp-sharded cannot run under a crash plan: it is not a "
+                 "class-P buffering protocol, so the checkpoint/catch-up "
+                 "recovery stack does not apply (see docs/FAULTS.md)\n");
+    return 2;
+  }
   const bool want_trace = flags.get_bool("trace");
   const bool want_history = flags.get_bool("history");
   const bool want_sequences = flags.get_bool("sequences");
@@ -440,7 +574,49 @@ int cmd_run(Flags& flags) {
     o.latency_kind = LatencyKind::kConstant;
     o.scale = sim_us(10);
   }
+  // Sharding/replication maps parse against the FINAL shape (a paper script
+  // may have just overridden --procs/--vars).
+  if (!parse_subscription_flags(flags, *kind, o.spec.n_procs, o.spec.n_vars,
+                                o.subscription)) {
+    return 2;
+  }
+  const long long repl_factor = flags.get_int("replication", 0);
+  if (repl_factor != 0) {
+    if (*kind != ProtocolKind::kOptPPartial) {
+      std::fprintf(stderr, "--replication requires --protocol=optp-partial\n");
+      return 2;
+    }
+    if (repl_factor < 1 ||
+        static_cast<std::size_t>(repl_factor) > o.spec.n_procs) {
+      std::fprintf(stderr, "--replication must be in [1, procs]\n");
+      return 2;
+    }
+    o.replication = std::make_shared<const ReplicationMap>(
+        ReplicationMap::chained(o.spec.n_procs, o.spec.n_vars,
+                                static_cast<std::size_t>(repl_factor)));
+  }
+  if (!scripts.empty()) {
+    if (o.subscription != nullptr &&
+        !scripts_within(scripts, *o.subscription, "--subscriptions")) {
+      return 2;
+    }
+    if (o.replication != nullptr &&
+        !scripts_within(scripts, *o.replication, "--replication")) {
+      return 2;
+    }
+  }
   if (flags.get_bool("dry-run")) return 0;
+
+  // Restricted access maps need a workload that honors them — the contract
+  // check inside the protocol would otherwise abort on the first
+  // out-of-map operation.
+  if (scripts.empty()) {
+    if (o.subscription != nullptr && !o.subscription->is_full()) {
+      scripts = generate_subscriber_workload(o.spec, *o.subscription);
+    } else if (o.replication != nullptr) {
+      scripts = generate_replica_workload(o.spec, *o.replication);
+    }
+  }
 
   const bool want_telemetry = !metrics_out.empty() || !trace_out.empty();
   std::optional<RunTelemetry> tel;
@@ -460,7 +636,7 @@ int cmd_run(Flags& flags) {
     std::printf("workload: paper script '%s' (%zu procs, %zu vars)\n\n",
                 script.c_str(), o.spec.n_procs, o.spec.n_vars);
   }
-  print_report(*kind, result);
+  print_report(*kind, result, o.subscription.get());
   if (want_history) {
     std::printf("\nhistory:\n%s", result.recorder->history().str().c_str());
   }
@@ -622,6 +798,12 @@ int cmd_faults(Flags& flags) {
       std::fprintf(stderr,
                    "token-ws cannot run under a crash plan: a crashed token "
                    "holder would require an election (see docs/FAULTS.md)\n");
+      return 2;
+    }
+    if (o.crash.active() && kind == ProtocolKind::kOptPSharded) {
+      std::fprintf(stderr,
+                   "optp-sharded cannot run under a crash plan: it is not a "
+                   "class-P buffering protocol (see docs/FAULTS.md)\n");
       return 2;
     }
     const auto result = run_one(kind, o);
@@ -973,6 +1155,28 @@ int cmd_drive(Flags& flags) {
   // commit is meaningless without a WAL to commit.
   const bool nemesis_durable =
       nemesis && (nemesis->has_crashes() || !nemesis->wal_fails.empty());
+  std::shared_ptr<const SubscriptionMap> subscription;
+  if (!parse_subscription_flags(flags, *kind, scripts.size(), paper::kH1Vars,
+                                subscription)) {
+    return 2;
+  }
+  if (*kind == ProtocolKind::kOptPSharded) {
+    // ShardedOptP is not a class-P buffering protocol: there is no WAL/
+    // checkpoint seam to restore from, so every durable-recovery mode is
+    // off-limits.
+    if (flags.get_bool("recoverable") || !state_dir.empty() ||
+        want_kill_host || want_respawn || wal_group_commit || nemesis_durable) {
+      std::fprintf(stderr,
+                   "optp-sharded has no durable-recovery seam: drop "
+                   "--recoverable/--state-dir/--kill-host/--respawn/"
+                   "--wal-group-commit and nemesis crash/wal-fail entries\n");
+      return 2;
+    }
+    if (subscription != nullptr &&
+        !scripts_within(scripts, *subscription, "--subscriptions")) {
+      return 2;
+    }
+  }
   if (flags.get_bool("dry-run")) return 0;
   if ((want_respawn || nemesis_durable || wal_group_commit) &&
       state_dir.empty()) {
@@ -998,6 +1202,9 @@ int cmd_drive(Flags& flags) {
   // the drive harness owns every node, so it is safe to imply the shape.
   cluster_config.shape.recoverable =
       flags.get_bool("recoverable") || !state_dir.empty();
+  // Forked without exec: the children inherit the map through the shared
+  // ProtocolConfig, so every node routes by the same subscription sets.
+  cluster_config.shape.protocol_config.subscription = subscription;
   cluster_config.state_dir = state_dir;
   cluster_config.fsync = fsync;
   cluster_config.wal_group_commit = wal_group_commit;
@@ -1170,11 +1377,15 @@ int cmd_drive(Flags& flags) {
     std::fprintf(stderr, "per-node logs do not merge into a causal order\n");
     return 1;
   }
-  const auto audit = OptimalityAuditor::audit(merged->history, merged->events);
+  const auto audit = OptimalityAuditor::audit(merged->history, merged->events,
+                                              subscription.get());
   const auto check = ConsistencyChecker::check(merged->history);
 
   Table table({"metric", "value"});
   table.add("script", script);
+  if (subscription != nullptr) {
+    table.add("subscriptions", subscription->describe());
+  }
   table.add("time scale", time_scale);
   table.add("operations (merged)", merged->history.size());
   table.add("events (merged)", merged->events.size());
@@ -1222,6 +1433,7 @@ int cmd_drive(Flags& flags) {
     sim_config.n_procs = scripts.size();
     sim_config.n_vars = paper::kH1Vars;
     sim_config.latency = &latency;
+    sim_config.protocol_config.subscription = subscription;
     const auto sim = run_sim(sim_config, scripts);
     bool equal = true;
     for (ProcessId p = 0; p < cluster.n_procs(); ++p) {

@@ -59,6 +59,14 @@ echo "wrote results/BENCH_storage.json"
 "$build/bench/exp_chaos" --bench-json results/BENCH_chaos.json > /dev/null
 echo "wrote results/BENCH_chaos.json"
 
+# The partial-replication / subscription-routing baseline (docs/NETWORK.md):
+# PartialOptP bytes-by-factor plus ShardedOptP's message-floor and shard-
+# scaling cells.  Fully seeded and simulated — every column is deterministic,
+# and the bench itself gates msgs == Xiang–Vaidya floor and zero cross-shard
+# receipts (nonzero exit on violation).
+"$build/bench/exp_partial" --bench-json results/BENCH_partial.json > /dev/null
+echo "wrote results/BENCH_partial.json"
+
 # Schema guard: docs/PERF.md and anything downstream key on these table
 # names and column headers; a bench refactor that renames or drops one must
 # fail here, not silently regenerate a JSON missing the cell.
@@ -87,6 +95,16 @@ require_table results/BENCH_storage.json \
 require_table results/BENCH_storage.json \
   "WAL group-commit throughput (256 B records, fsync=interval)" \
   "tick (records)" "appends/s" "fsyncs" "group commits"
+require_table results/BENCH_partial.json \
+  "exp_partial_by_factor" \
+  "factor" "net bytes" "bytes/write" "vs full (%)"
+require_table results/BENCH_partial.json \
+  "exp_partial_subscription" \
+  "groups" "subs/var" "msgs/write" "floor/write" "floor hit" "cross receipts"
+require_table results/BENCH_partial.json \
+  "exp_shard_scaling" \
+  "procs" "shards" "msgs/write" "full-group msgs/write" "cross receipts" \
+  "speedup vs 4p"
 echo "bench JSON schema guard: PASS"
 
 # Loopback equivalence acceptance: a forked 3-process cluster must produce an
@@ -128,6 +146,25 @@ if "$build/tools/optcm" drive --script=h1 --spawn=3 --time-scale=3000 \
   echo "kill -9 respawn equivalence check: PASS (drive --kill-host=0@30 --respawn)"
 else
   echo "kill -9 respawn equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Subscription-routing equivalence acceptance (docs/NETWORK.md): ShardedOptP
+# over real sockets must match the simulator byte for byte — once under the
+# full map (the OptP degeneration case) and once under a restricted explicit
+# map, where each write reaches only its variable's subscribers.
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --protocol=optp-sharded \
+    --subscriptions=full --compare-sim > /dev/null; then
+  echo "subscription full-map equivalence check: PASS (drive --protocol=optp-sharded --subscriptions=full)"
+else
+  echo "subscription full-map equivalence check: FAIL" >&2
+  exit 1
+fi
+if "$build/tools/optcm" drive --script=h1 --spawn=3 --protocol=optp-sharded \
+    --subscriptions='0:0,1;1:1,2' --compare-sim > /dev/null; then
+  echo "subscription routed equivalence check: PASS (drive --subscriptions=0:0,1;1:1,2)"
+else
+  echo "subscription routed equivalence check: FAIL" >&2
   exit 1
 fi
 
