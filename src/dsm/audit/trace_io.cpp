@@ -204,6 +204,26 @@ std::string export_trace_jsonl(const GlobalHistory& history,
       emit_kv(out, "wproc", op.write_id.proc);
       out += ",";
       emit_kv(out, "wseq", op.write_id.seq);
+      // Typed fields ride along only for non-register specs, so a classic
+      // register trace is byte-for-byte what it was before the extension.
+      if (op.spec != SpecId::kRegister) {
+        out += ",";
+        emit_kv(out, "spec", static_cast<std::uint64_t>(op.spec));
+        out += ",";
+        emit_kv(out, "opcode", static_cast<std::uint64_t>(op.opcode));
+        out += ",";
+        emit_kv_i(out, "arg2", op.arg2);
+        if (op.is_read()) {
+          out += ",\"visible\":[";
+          for (std::size_t v = 0; v < op.visible.size(); ++v) {
+            if (v != 0) out += ",";
+            char buf[24];
+            std::snprintf(buf, sizeof buf, "%" PRIu64, op.visible[v]);
+            out += buf;
+          }
+          out += "]";
+        }
+      }
       out += "}\n";
     }
   }
@@ -283,16 +303,49 @@ std::optional<ImportedRun> import_trace_jsonl(std::string_view text) {
       if (!proc || !kind || !var || !value || !wproc || !wseq) {
         return std::nullopt;
       }
+      // Typed fields are optional; their presence marks a non-register op.
+      const auto spec_raw = obj->u64("spec");
+      const auto opcode_raw = obj->u64("opcode");
+      const auto arg2 = obj->i64("arg2");
+      if (spec_raw.has_value() != opcode_raw.has_value() ||
+          spec_raw.has_value() != arg2.has_value()) {
+        return std::nullopt;
+      }
+      if (spec_raw &&
+          (*spec_raw == 0 || *spec_raw > 0xff || *opcode_raw > 0xff ||
+           !valid_spec_id(static_cast<std::uint8_t>(*spec_raw)) ||
+           !valid_opcode(static_cast<std::uint8_t>(*opcode_raw)))) {
+        return std::nullopt;
+      }
       if (*kind == "write") {
-        const WriteId id = history->add_write(
-            static_cast<ProcessId>(*proc), static_cast<VarId>(*var), *value);
+        const WriteId id =
+            spec_raw ? history->add_mutation(
+                           static_cast<ProcessId>(*proc),
+                           static_cast<VarId>(*var),
+                           static_cast<SpecId>(*spec_raw),
+                           static_cast<OpCode>(*opcode_raw), *value, *arg2)
+                     : history->add_write(static_cast<ProcessId>(*proc),
+                                          static_cast<VarId>(*var), *value);
         // Import must reproduce the exported ids (program order guarantees
         // it); a mismatch means the stream was reordered or corrupted.
         if (id.proc != *wproc || id.seq != *wseq) return std::nullopt;
       } else if (*kind == "read") {
-        history->add_read(static_cast<ProcessId>(*proc),
-                          static_cast<VarId>(*var), *value,
-                          WriteId{static_cast<ProcessId>(*wproc), *wseq});
+        if (spec_raw) {
+          auto visible = obj->arr("visible");
+          if (!visible) return std::nullopt;
+          // The exported value is the RETURNED value; the query operand rode
+          // in arg2 (mirrors Operation's accessor layout).
+          history->add_accessor(
+              static_cast<ProcessId>(*proc), static_cast<VarId>(*var),
+              static_cast<SpecId>(*spec_raw),
+              static_cast<OpCode>(*opcode_raw), *arg2, *value,
+              WriteId{static_cast<ProcessId>(*wproc), *wseq},
+              std::move(*visible));
+        } else {
+          history->add_read(static_cast<ProcessId>(*proc),
+                            static_cast<VarId>(*var), *value,
+                            WriteId{static_cast<ProcessId>(*wproc), *wseq});
+        }
       } else {
         return std::nullopt;
       }

@@ -1,14 +1,26 @@
 #include "dsm/codec/message.h"
 
+#include "dsm/objects/opcodes.h"  // header-only; no link dependency
+
 namespace dsm {
 
+namespace {
+// Flag bits of the WriteUpdate flags byte.  Bit 0 has always been the
+// meta_only marker (the byte was a plain bool before typed objects); bit 1
+// announces the typed trailer.  Unknown bits reject — they are reserved.
+constexpr std::uint8_t kFlagMetaOnly = 1;
+constexpr std::uint8_t kFlagTyped = 2;
+}  // namespace
+
 void WriteUpdate::encode(ByteWriter& w) const {
+  const bool typed = spec != 0 || opcode != 0 || arg2 != 0;
   w.u32(sender);
   w.u32(var);
   w.i64(value);
   w.u64(write_seq);
   w.u64(run);
-  w.u8(meta_only ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>((meta_only ? kFlagMetaOnly : 0) |
+                                 (typed ? kFlagTyped : 0)));
   w.u64(blob.size());
   w.bytes(blob);
   w.u64_vec(clock.components());
@@ -17,6 +29,11 @@ void WriteUpdate::encode(ByteWriter& w) const {
     w.u32(d.row);
     w.u32(d.col);
     w.u64(d.seq);
+  }
+  if (typed) {
+    w.u8(spec);
+    w.u8(opcode);
+    w.i64(arg2);
   }
 }
 
@@ -27,9 +44,10 @@ std::optional<WriteUpdate> WriteUpdate::decode(ByteReader& r) {
   const auto value = r.i64();
   const auto seq = r.u64();
   const auto run = r.u64();
-  const auto meta = r.u8();
+  const auto flags = r.u8();
   const auto blob_len = r.u64();
-  if (!sender || !var || !value || !seq || !run || !meta || !blob_len ||
+  if (!sender || !var || !value || !seq || !run || !flags || !blob_len ||
+      (*flags & ~(kFlagMetaOnly | kFlagTyped)) != 0 ||
       *blob_len > (1ULL << 24) || *blob_len > r.remaining()) {
     return std::nullopt;
   }
@@ -59,12 +77,29 @@ std::optional<WriteUpdate> WriteUpdate::decode(ByteReader& r) {
     d.seq = *dep_seq;
     m.sub_deps.push_back(d);
   }
+  if ((*flags & kFlagTyped) != 0) {
+    const auto spec = r.u8();
+    const auto opcode = r.u8();
+    const auto arg2 = r.i64();
+    // The trailer must name a known spec and a mutating opcode (only
+    // mutations travel as WriteUpdates), and must not be the degenerate
+    // register triple — that must ship flag-less for byte-identity.
+    if (!spec || !opcode || !arg2 || !valid_spec_id(*spec) ||
+        !valid_opcode(*opcode) ||
+        !is_mutation(static_cast<OpCode>(*opcode)) ||
+        (*spec == 0 && *opcode == 0 && *arg2 == 0)) {
+      return std::nullopt;
+    }
+    m.spec = *spec;
+    m.opcode = *opcode;
+    m.arg2 = *arg2;
+  }
   m.sender = *sender;
   m.var = *var;
   m.value = *value;
   m.write_seq = *seq;
   m.run = *run;
-  m.meta_only = *meta != 0;
+  m.meta_only = (*flags & kFlagMetaOnly) != 0;
   m.clock = VectorClock{std::move(*clock)};
   return m;
 }

@@ -77,6 +77,16 @@ struct WriteUpdate {
   /// matrix carried instead of the complete-group Apply counters.  Sorted by
   /// (row, col), nonzero seqs only; empty for every other protocol.
   std::vector<SubDep> sub_deps;
+  /// Typed-object extension (dsm/objects): the mutation travels as the
+  /// opaque triple (spec, opcode, arg) — `value` carries the primary
+  /// operand, `arg2` the secondary (CAS desired value).  Raw bytes here, not
+  /// enums, so the codec stays link-independent of the objects library.
+  /// All three are 0 for a plain register write, the frame's typed flag bit
+  /// stays clear, and the encoding degenerates byte-identically to the
+  /// pre-typed format.
+  std::uint8_t spec = 0;
+  std::uint8_t opcode = 0;
+  Value arg2 = 0;
 
   void encode(ByteWriter& w) const;
   [[nodiscard]] static std::optional<WriteUpdate> decode(ByteReader& r);

@@ -12,6 +12,7 @@ const char* to_string(ViolationKind k) noexcept {
     case ViolationKind::kValueMismatch: return "value-mismatch";
     case ViolationKind::kOverwrittenRead: return "overwritten-read";
     case ViolationKind::kStaleBottomRead: return "stale-bottom-read";
+    case ViolationKind::kIllegalReturn: return "illegal-return";
   }
   return "?";
 }

@@ -1,9 +1,18 @@
-// optcm — causal-consistency checker (paper Definitions 1–2).
+// optcm — causal-consistency checker (paper Definitions 1–2; register case
+// of the spec-driven legality rule).
 //
-// A history Ĥ = (H, ↦co) is causally consistent iff every read is legal:
+// The general legality rule (Mostéfaoui–Perrin–Raynal, PAPERS.md
+// arXiv:1802.00706): an accessor's return value is legal iff it is
+// producible by SOME linearization of the accessor's causally visible
+// mutations — consistent with ↦co — under the variable's sequential object
+// specification.  dsm/objects/spec_checker.h implements that rule for every
+// registered spec; THIS checker is its read/write-register special case,
+// where the rule collapses to the paper's Definition 1:
 //   r(x)v is legal iff ∃ w(x)v ↦co r(x)v and ∄ w(x)v' with
 //   w(x)v ↦co w(x)v' ↦co r(x)v;  a read with no ↦ro-predecessor must return ⊥
 //   and no write on x may be in its causal past.
+// The SpecChecker run with an all-register schema reproduces this checker's
+// verdicts byte-for-byte (the differential oracle in tests/).
 //
 // The checker is deliberately independent of every protocol implementation:
 // it recomputes ↦co from the recorded program order + ↦ro alone, then
@@ -28,6 +37,9 @@ enum class ViolationKind : std::uint8_t {
   kValueMismatch,      ///< read's value differs from the cited write's value
   kOverwrittenRead,    ///< ∃ w' on x with w ↦co w' ↦co r (Definition 1)
   kStaleBottomRead,    ///< read of ⊥ but a write on x is in the read's causal past
+  /// Typed objects only (emitted by dsm/objects/spec_checker.h): no
+  /// linearization of the accessor's visible mutations produces its return.
+  kIllegalReturn,
 };
 
 [[nodiscard]] const char* to_string(ViolationKind k) noexcept;
@@ -42,6 +54,10 @@ struct Violation {
 struct CheckResult {
   std::vector<Violation> violations;
   std::size_t reads_checked = 0;
+  /// Linearization-search work done by the spec checker (always 0 here: the
+  /// register rule needs no enumeration).  Feeds the
+  /// checker_linearizations_explored metric.
+  std::uint64_t linearizations_explored = 0;
 
   [[nodiscard]] bool consistent() const noexcept { return violations.empty(); }
 };

@@ -21,8 +21,15 @@ std::string op_to_string(const Operation& op) {
     val = buf;
   }
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%c%u(x%u)%s", op.is_write() ? 'w' : 'r',
-                op.proc + 1, op.var + 1, val.c_str());
+  if (op.spec == SpecId::kRegister) {
+    std::snprintf(buf, sizeof buf, "%c%u(x%u)%s", op.is_write() ? 'w' : 'r',
+                  op.proc + 1, op.var + 1, val.c_str());
+  } else {
+    // Typed rendering: opcode mnemonic instead of w/r, e.g. "inc1(x2)c".
+    std::snprintf(buf, sizeof buf, "%s%u(x%u)%s",
+                  std::string(to_string(op.opcode)).c_str(), op.proc + 1,
+                  op.var + 1, val.c_str());
+  }
   return buf;
 }
 
@@ -68,6 +75,46 @@ OpRef GlobalHistory::add_read(ProcessId p, VarId x, Value v, WriteId reads_from)
   op.value = v;
   op.write_id = reads_from;
   return push(op);
+}
+
+WriteId GlobalHistory::add_mutation(ProcessId p, VarId x, SpecId spec,
+                                    OpCode opcode, Value arg, Value arg2) {
+  DSM_REQUIRE(p < n_procs_);
+  DSM_REQUIRE(x < n_vars_);
+  DSM_REQUIRE(is_mutation(opcode));
+  Operation op;
+  op.proc = p;
+  op.kind = OpKind::kWrite;
+  op.var = x;
+  op.value = arg;
+  op.write_id = WriteId{p, ++write_counts_[p]};
+  op.spec = spec;
+  op.opcode = opcode;
+  op.arg2 = arg2;
+  const OpRef ref = push(std::move(op));
+  writes_.push_back(ref);
+  write_index_.emplace(ops_[ref].write_id, ref);
+  return ops_[ref].write_id;
+}
+
+OpRef GlobalHistory::add_accessor(ProcessId p, VarId x, SpecId spec,
+                                  OpCode opcode, Value arg, Value returned,
+                                  WriteId reads_from,
+                                  std::vector<std::uint64_t> visible) {
+  DSM_REQUIRE(p < n_procs_);
+  DSM_REQUIRE(x < n_vars_);
+  DSM_REQUIRE(is_accessor(opcode));
+  Operation op;
+  op.proc = p;
+  op.kind = OpKind::kRead;
+  op.var = x;
+  op.value = returned;
+  op.write_id = reads_from;
+  op.spec = spec;
+  op.opcode = opcode;
+  op.arg2 = arg;
+  op.visible = std::move(visible);
+  return push(std::move(op));
 }
 
 const Operation& GlobalHistory::op(OpRef r) const {

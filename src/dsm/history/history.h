@@ -29,6 +29,21 @@ class GlobalHistory {
   /// `reads_from` (use kNoWrite for a read of the initial value ⊥).
   OpRef add_read(ProcessId p, VarId x, Value v, WriteId reads_from);
 
+  /// Record the next typed mutation of process p on x: spec-defined opcode
+  /// with primary operand `arg` (stored in value) and secondary `arg2`.
+  /// Sequence numbering is shared with add_write — a typed mutation IS a
+  /// write for causal purposes.  Returns its id.
+  WriteId add_mutation(ProcessId p, VarId x, SpecId spec, OpCode opcode,
+                       Value arg, Value arg2);
+
+  /// Record the next typed accessor of process p on x: it returned
+  /// `returned` under query operand `arg`; `reads_from` tags the last
+  /// mutation applied locally (kNoWrite if none) and `visible` snapshots the
+  /// per-sender applied-mutation counts at accessor time (may be empty).
+  OpRef add_accessor(ProcessId p, VarId x, SpecId spec, OpCode opcode,
+                     Value arg, Value returned, WriteId reads_from,
+                     std::vector<std::uint64_t> visible);
+
   [[nodiscard]] std::size_t n_procs() const noexcept { return n_procs_; }
   [[nodiscard]] std::size_t n_vars() const noexcept { return n_vars_; }
   [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }

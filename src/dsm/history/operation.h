@@ -1,17 +1,29 @@
-// optcm — read/write operations of the shared-memory model (paper Section 2).
+// optcm — operations of the shared-memory model (paper Section 2, extended
+// to typed objects per Mostéfaoui–Perrin–Raynal).
 //
 // A local history h_i is the sequence of operations issued by p_i; a global
 // history H = ⟨h_1 … h_n⟩.  We record, for every read, the identity of the
 // write it returned (the ↦ro relation) — the runtime can always produce it
 // because stored values carry their writer's (process, seq) tag.  From
 // process order plus ↦ro the checker recomputes ↦co from scratch.
+//
+// Typed objects generalize the two-kind model: an operation carries a spec
+// id, an opcode and up to two operands.  OpKind stays as the coarse class —
+// every typed mutation IS a write (replicated, assigned a WriteId) and every
+// typed accessor IS a read (local, tagged with the last applied mutation) —
+// so ↦co, the protocols and the recorder are oblivious to specs.  The typed
+// fields (spec, opcode, arg2, visible) are meaningful only when
+// spec != SpecId::kRegister; plain register histories are bit-for-bit what
+// they were before the extension.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dsm/common/types.h"
+#include "dsm/objects/opcodes.h"
 
 namespace dsm {
 
@@ -31,6 +43,18 @@ struct Operation {
   /// For writes: this operation's own identity (proc, k-th write, 1-based).
   /// For reads: the write whose value was returned; kNoWrite for reads of ⊥.
   WriteId write_id;
+  /// Sequential spec governing `var`; kRegister for the classic model (then
+  /// every field below is at its default and ignored).
+  SpecId spec = SpecId::kRegister;
+  /// Typed opcode.  Mutations: value holds the primary operand, arg2 the
+  /// secondary (CAS desired value).  Accessors: value holds the RETURNED
+  /// value, arg2 the query operand (e.g. contains(arg2)).
+  OpCode opcode = OpCode::kWrite;
+  Value arg2 = 0;
+  /// Accessors only: per-sender counts of mutations on `var` applied at the
+  /// issuing replica when the accessor ran — the accessor's visible set, as
+  /// witnessed by the ObjectStore (empty when not recorded).
+  std::vector<std::uint64_t> visible;
 
   [[nodiscard]] bool is_write() const noexcept { return kind == OpKind::kWrite; }
   [[nodiscard]] bool is_read() const noexcept { return kind == OpKind::kRead; }

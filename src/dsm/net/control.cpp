@@ -125,6 +125,9 @@ std::vector<std::uint8_t> encode_control(const ControlMessage& m) {
         w.i64(step.value);
         w.u64(step.poll_every);
         w.u64(step.timeout);
+        w.u8(step.spec);
+        w.u8(step.opcode);
+        w.i64(step.arg2);
       }
       break;
     case ControlOp::kKillConn:
@@ -175,7 +178,7 @@ std::optional<ControlMessage> decode_control(
         ScriptStep step;
         step.delay = r.u64().value_or(0);
         const auto kind = r.u8();
-        if (!kind || *kind > static_cast<std::uint8_t>(StepKind::kReadUntil)) {
+        if (!kind || *kind > static_cast<std::uint8_t>(StepKind::kObserve)) {
           return std::nullopt;
         }
         step.kind = static_cast<StepKind>(*kind);
@@ -183,6 +186,12 @@ std::optional<ControlMessage> decode_control(
         step.value = r.i64().value_or(0);
         step.poll_every = r.u64().value_or(0);
         step.timeout = r.u64().value_or(0);
+        step.spec = r.u8().value_or(0);
+        step.opcode = r.u8().value_or(0);
+        step.arg2 = r.i64().value_or(0);
+        if (!valid_spec_id(step.spec) || !valid_opcode(step.opcode)) {
+          return std::nullopt;
+        }
         if (!r.ok()) return std::nullopt;
         m.script.push_back(step);
       }

@@ -77,10 +77,21 @@ class Merger {
     if (c.op >= local.size()) return false;
     const Operation& op = runs_[p].history.op(local[c.op]);
     if (op.is_write()) {
-      (void)merged_.history.add_write(p, op.var, op.value);
+      if (op.spec != SpecId::kRegister) {
+        (void)merged_.history.add_mutation(p, op.var, op.spec, op.opcode,
+                                           op.value, op.arg2);
+      } else {
+        (void)merged_.history.add_write(p, op.var, op.value);
+      }
     } else {
       if (op.write_id.valid() && !write_known(op.write_id)) return false;
-      (void)merged_.history.add_read(p, op.var, op.value, op.write_id);
+      if (op.spec != SpecId::kRegister) {
+        (void)merged_.history.add_accessor(p, op.var, op.spec, op.opcode,
+                                           op.arg2, op.value, op.write_id,
+                                           op.visible);
+      } else {
+        (void)merged_.history.add_read(p, op.var, op.value, op.write_id);
+      }
     }
     ++c.op;
     return true;
@@ -153,7 +164,8 @@ std::optional<ImportedRun> stitch_incarnations(
         const Operation& a = r.history.op(ops[i]);
         const Operation& b = longest->history.op(base[i]);
         if (a.kind != b.kind || a.var != b.var || a.value != b.value ||
-            a.write_id != b.write_id) {
+            a.write_id != b.write_id || a.spec != b.spec ||
+            a.opcode != b.opcode || a.arg2 != b.arg2) {
           return std::nullopt;
         }
       }
@@ -163,8 +175,15 @@ std::optional<ImportedRun> stitch_incarnations(
       if (op.is_write()) {
         // add_write assigns sequence numbers deterministically; a mismatch
         // means the log's own write ids were not in program order.
-        if (out.history.add_write(p, op.var, op.value) != op.write_id)
-          return std::nullopt;
+        const WriteId id =
+            op.spec != SpecId::kRegister
+                ? out.history.add_mutation(p, op.var, op.spec, op.opcode,
+                                           op.value, op.arg2)
+                : out.history.add_write(p, op.var, op.value);
+        if (id != op.write_id) return std::nullopt;
+      } else if (op.spec != SpecId::kRegister) {
+        (void)out.history.add_accessor(p, op.var, op.spec, op.opcode, op.arg2,
+                                       op.value, op.write_id, op.visible);
       } else {
         (void)out.history.add_read(p, op.var, op.value, op.write_id);
       }

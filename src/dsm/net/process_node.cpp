@@ -83,6 +83,18 @@ ProcessNode::ProcessNode(ProcessNodeConfig config)
     filter_ = std::make_unique<ReplayFilterObserver>(tee);
     head = filter_.get();
   }
+  if (config_.shape.protocol_config.objects != nullptr) {
+    // Typed objects: the store is outermost so it stashes each mutation's
+    // payload at send/receipt before the apply reaches it.  Catch-up
+    // redelivery arrives without that stash, so recoverable mode and typed
+    // schemas are mutually exclusive (the CLI rejects the combination).
+    DSM_REQUIRE(!config_.shape.recoverable &&
+                "typed objects are not supported in recoverable mode");
+    objects_ = std::make_unique<ObjectStore>(
+        config_.shape.protocol_config.objects, config_.shape.n_procs,
+        config_.shape.n_vars, *head);
+    head = objects_.get();
+  }
   host_ = std::make_unique<ProtocolHost>(config_.shape, endpoint_, *head,
                                          &telemetry_);
 }
@@ -475,6 +487,7 @@ void ProcessNode::start_run(const ControlMessage& req) {
       },
       config_.shape.self, script_, std::move(after_op));
   runner_->set_telemetry(&telemetry_);
+  runner_->set_objects(objects_.get());
   runner_->set_time_scale(req.time_scale);
   // Durable restart: the first replayed_local_ops_ steps already executed in
   // a previous incarnation (an op is in the WAL iff its step completed — the

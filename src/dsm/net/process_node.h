@@ -32,6 +32,7 @@
 #include "dsm/net/control.h"
 #include "dsm/net/ring_mesh.h"
 #include "dsm/net/tcp_transport.h"
+#include "dsm/objects/object_store.h"
 #include "dsm/protocols/run_recorder.h"
 #include "dsm/runtime/protocol_host.h"
 #include "dsm/sim/reliable.h"
@@ -184,6 +185,9 @@ class ProcessNode final : public MessageSink {
   /// and a respawned peer may re-broadcast a reconciled write; the filter
   /// keeps the recorded trace free of the echo on every node.
   std::unique_ptr<ReplayFilterObserver> filter_;
+  /// Typed-object state (set iff shape.protocol_config.objects): outermost
+  /// observer, answering the script's Observe steps.
+  std::unique_ptr<ObjectStore> objects_;
   std::unique_ptr<ProtocolHost> host_;
   Script script_;  ///< installed by kRun; runner_ points into it
   std::unique_ptr<ScriptRunner> runner_;

@@ -1,0 +1,126 @@
+// optcm — opcode vocabulary for typed objects over causal memory.
+//
+// Mostéfaoui–Perrin–Raynal (PAPERS.md, arXiv:1802.00706) extend causal
+// consistency from read/write registers to any object with a sequential
+// specification.  This header fixes the wire-level vocabulary of that
+// extension: a SpecId names a sequential specification, an OpCode names one
+// operation of it.  A typed operation travels as the opaque triple
+// (spec, opcode, arg[, arg2]) through the unchanged WriteUpdate path — for
+// causal metadata purposes a typed mutation IS a write, and a typed accessor
+// IS a read, so every protocol wait condition applies verbatim.
+//
+// SpecId::kRegister / OpCode::kWrite / OpCode::kRead are the zero values: a
+// plain register operation encodes exactly as before the typed extension
+// existed (byte-identical frames, see codec/message.cpp).
+//
+// Header-only by design: history/, codec/ and protocols/ may include it
+// without taking a link dependency on the optcm_objects library.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dsm {
+
+/// Sequential specifications known to the library (docs/OBJECTS.md).
+enum class SpecId : std::uint8_t {
+  kRegister = 0,     ///< read/write register (the paper's base object)
+  kCounter = 1,      ///< inc/dec/get
+  kCasRegister = 2,  ///< read/write/compare-and-exchange
+  kLog = 3,          ///< append/scan (order-sensitive digest)
+  kSet = 4,          ///< add/remove/contains
+};
+
+inline constexpr std::uint8_t kSpecCount = 5;
+
+/// Operations across all specs.  kWrite/kRead keep the values the register
+/// encoding has always used (0 = mutation, 1 = accessor of a register).
+enum class OpCode : std::uint8_t {
+  kWrite = 0,     ///< register, cas-register: install arg
+  kRead = 1,      ///< register, cas-register: return current value
+  kInc = 2,       ///< counter: add arg
+  kDec = 3,       ///< counter: subtract arg
+  kGet = 4,       ///< counter: return current count
+  kCas = 5,       ///< cas-register: if value == arg, install arg2
+  kAppend = 6,    ///< log: push arg
+  kScan = 7,      ///< log: return an order-sensitive digest of the contents
+  kAdd = 8,       ///< set: insert arg
+  kRemove = 9,    ///< set: erase arg
+  kContains = 10, ///< set: return 1 iff arg is a member
+};
+
+inline constexpr std::uint8_t kOpCodeCount = 11;
+
+[[nodiscard]] constexpr bool valid_spec_id(std::uint8_t raw) noexcept {
+  return raw < kSpecCount;
+}
+[[nodiscard]] constexpr bool valid_opcode(std::uint8_t raw) noexcept {
+  return raw < kOpCodeCount;
+}
+
+/// True iff the opcode changes object state (replicated as a WriteUpdate).
+[[nodiscard]] constexpr bool is_mutation(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kWrite:
+    case OpCode::kInc:
+    case OpCode::kDec:
+    case OpCode::kCas:
+    case OpCode::kAppend:
+    case OpCode::kAdd:
+    case OpCode::kRemove:
+      return true;
+    case OpCode::kRead:
+    case OpCode::kGet:
+    case OpCode::kScan:
+    case OpCode::kContains:
+      return false;
+  }
+  return false;
+}
+
+/// True iff the opcode only observes state (local, wait-free, like a read).
+[[nodiscard]] constexpr bool is_accessor(OpCode op) noexcept {
+  return !is_mutation(op);
+}
+
+[[nodiscard]] constexpr std::string_view to_string(SpecId s) noexcept {
+  switch (s) {
+    case SpecId::kRegister: return "register";
+    case SpecId::kCounter: return "counter";
+    case SpecId::kCasRegister: return "cas-register";
+    case SpecId::kLog: return "log";
+    case SpecId::kSet: return "set";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kWrite: return "w";
+    case OpCode::kRead: return "r";
+    case OpCode::kInc: return "inc";
+    case OpCode::kDec: return "dec";
+    case OpCode::kGet: return "get";
+    case OpCode::kCas: return "cas";
+    case OpCode::kAppend: return "app";
+    case OpCode::kScan: return "scan";
+    case OpCode::kAdd: return "add";
+    case OpCode::kRemove: return "rem";
+    case OpCode::kContains: return "has";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<SpecId> parse_spec_id(
+    std::string_view name) noexcept {
+  if (name == "register") return SpecId::kRegister;
+  if (name == "counter") return SpecId::kCounter;
+  if (name == "cas-register") return SpecId::kCasRegister;
+  if (name == "log") return SpecId::kLog;
+  if (name == "set") return SpecId::kSet;
+  return std::nullopt;
+}
+
+}  // namespace dsm

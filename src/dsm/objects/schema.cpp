@@ -1,0 +1,48 @@
+#include "dsm/objects/schema.h"
+
+#include <string>
+
+#include "dsm/common/format.h"
+
+namespace dsm {
+
+bool ObjectSchema::all_registers() const noexcept {
+  for (const SpecId s : specs_)
+    if (s != SpecId::kRegister) return false;
+  return true;
+}
+
+std::string ObjectSchema::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(specs_.size());
+  for (std::size_t x = 0; x < specs_.size(); ++x)
+    parts.push_back("x" + std::to_string(x + 1) + ":" +
+                    std::string(to_string(specs_[x])));
+  return join(parts, " ");
+}
+
+std::optional<ObjectSchema> ObjectSchema::parse(std::string_view text,
+                                                std::size_t n_vars,
+                                                std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ObjectSchema> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (n_vars == 0) return fail("empty variable space");
+  if (text.empty()) return fail("empty object spec");
+  std::vector<SpecId> specs;
+  specs.reserve(n_vars);
+  if (text == "mixed") {
+    for (std::size_t x = 0; x < n_vars; ++x)
+      specs.push_back(static_cast<SpecId>(x % kSpecCount));
+    return ObjectSchema(std::move(specs));
+  }
+  const std::optional<SpecId> id = parse_spec_id(text);
+  if (!id.has_value())
+    return fail("unknown object spec \"" + std::string(text) +
+                "\" (want register|counter|cas-register|log|set|mixed)");
+  specs.assign(n_vars, *id);
+  return ObjectSchema(std::move(specs));
+}
+
+}  // namespace dsm

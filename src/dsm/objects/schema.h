@@ -1,0 +1,51 @@
+// optcm — ObjectSchema: which sequential spec governs each variable.
+//
+// A schema is fixed for the lifetime of a run and shared by every process
+// (it rides in ProtocolConfig, so the fork-based process tier inherits it
+// for free).  Variables beyond the schema's explicit size default to plain
+// registers, which keeps every pre-typed call site working unchanged.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/objects/opcodes.h"
+
+namespace dsm {
+
+class ObjectSchema {
+ public:
+  ObjectSchema() = default;
+  explicit ObjectSchema(std::vector<SpecId> specs) : specs_(std::move(specs)) {}
+
+  /// Spec for variable x; plain register for anything outside the schema.
+  [[nodiscard]] SpecId spec_for(VarId x) const noexcept {
+    return x < specs_.size() ? specs_[x] : SpecId::kRegister;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+  /// True iff every variable is a plain register (the schema is a no-op).
+  [[nodiscard]] bool all_registers() const noexcept;
+
+  /// Human-readable per-var listing, e.g. "x1:counter x2:set".
+  [[nodiscard]] std::string str() const;
+
+  /// Parse a --objects=SPEC argument into a schema covering `n_vars`
+  /// variables.  Accepts a single spec name ("register", "counter",
+  /// "cas-register", "log", "set") applied to every variable, or "mixed"
+  /// (round-robin over all five specs).  Rejects with a typed error message
+  /// through `error` — never aborts.
+  [[nodiscard]] static std::optional<ObjectSchema> parse(
+      std::string_view text, std::size_t n_vars, std::string* error = nullptr);
+
+ private:
+  std::vector<SpecId> specs_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,295 @@
+#include "dsm/objects/spec.h"
+
+#include <set>
+
+#include "dsm/common/contracts.h"
+
+namespace dsm {
+namespace {
+
+// FNV-1a over the zig-zag image of a value; seeds the per-state digests.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_value(std::uint64_t h, Value v) noexcept {
+  return fnv_step(h, static_cast<std::uint64_t>(v));
+}
+
+// Wrap-around add in unsigned space: counter deltas must not trip UBSan.
+Value wrap_add(Value a, Value b) noexcept {
+  return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                            static_cast<std::uint64_t>(b));
+}
+
+// Mask a digest into the non-negative Value range, away from kBottom (so a
+// scan return can never collide with the "never written" sentinel).
+Value digest_to_value(std::uint64_t h) noexcept {
+  return static_cast<Value>(h & 0x3fffffffffffffffULL);
+}
+
+// ---- register --------------------------------------------------------------
+
+class RegisterState final : public ObjectState {
+ public:
+  Value apply(OpCode opcode, Value arg, Value /*arg2*/) override {
+    DSM_REQUIRE(opcode == OpCode::kWrite);
+    value_ = arg;
+    return arg;
+  }
+  [[nodiscard]] Value observe(OpCode opcode, Value /*arg*/) const override {
+    DSM_REQUIRE(opcode == OpCode::kRead);
+    return value_;
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    return fnv_value(kFnvOffset, value_);
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<RegisterState>(*this);
+  }
+
+ private:
+  Value value_ = kBottom;
+};
+
+class RegisterSpec final : public ObjectSpec {
+ public:
+  [[nodiscard]] SpecId id() const noexcept override {
+    return SpecId::kRegister;
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state() const override {
+    return std::make_unique<RegisterState>();
+  }
+  [[nodiscard]] bool valid_mutation(OpCode op) const noexcept override {
+    return op == OpCode::kWrite;
+  }
+  [[nodiscard]] bool valid_accessor(OpCode op) const noexcept override {
+    return op == OpCode::kRead;
+  }
+};
+
+// ---- counter ---------------------------------------------------------------
+
+class CounterState final : public ObjectState {
+ public:
+  Value apply(OpCode opcode, Value arg, Value /*arg2*/) override {
+    switch (opcode) {
+      case OpCode::kInc:
+        count_ = wrap_add(count_, arg);
+        return count_;
+      case OpCode::kDec:
+        count_ = wrap_add(count_, -arg);
+        return count_;
+      default:
+        DSM_REQUIRE(false);
+        return kBottom;
+    }
+  }
+  [[nodiscard]] Value observe(OpCode opcode, Value /*arg*/) const override {
+    DSM_REQUIRE(opcode == OpCode::kGet);
+    return count_;
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    return fnv_value(kFnvOffset, count_);
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<CounterState>(*this);
+  }
+
+ private:
+  Value count_ = 0;
+};
+
+class CounterSpec final : public ObjectSpec {
+ public:
+  [[nodiscard]] SpecId id() const noexcept override { return SpecId::kCounter; }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state() const override {
+    return std::make_unique<CounterState>();
+  }
+  [[nodiscard]] bool valid_mutation(OpCode op) const noexcept override {
+    return op == OpCode::kInc || op == OpCode::kDec;
+  }
+  [[nodiscard]] bool valid_accessor(OpCode op) const noexcept override {
+    return op == OpCode::kGet;
+  }
+  // inc/dec commute: any linearization of the same multiset yields the same
+  // count, so the checker evaluates a single order.
+  [[nodiscard]] bool order_sensitive() const noexcept override { return false; }
+};
+
+// ---- cas-register ----------------------------------------------------------
+
+// The SNIPPETS Lab-8 shape: compare a variable with a given value and, if
+// equal, set it to another given value.  The "interaction with the previous
+// requirement" pitfall — a CAS's effect depends on every previously applied
+// write — is why this spec is order_sensitive and never filtered.
+class CasRegisterState final : public ObjectState {
+ public:
+  Value apply(OpCode opcode, Value arg, Value arg2) override {
+    switch (opcode) {
+      case OpCode::kWrite:
+        value_ = arg;
+        return arg;
+      case OpCode::kCas:
+        if (value_ == arg) {
+          value_ = arg2;
+          return 1;
+        }
+        return 0;
+      default:
+        DSM_REQUIRE(false);
+        return kBottom;
+    }
+  }
+  [[nodiscard]] Value observe(OpCode opcode, Value /*arg*/) const override {
+    DSM_REQUIRE(opcode == OpCode::kRead);
+    return value_;
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    return fnv_value(kFnvOffset, value_);
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<CasRegisterState>(*this);
+  }
+
+ private:
+  Value value_ = kBottom;
+};
+
+class CasRegisterSpec final : public ObjectSpec {
+ public:
+  [[nodiscard]] SpecId id() const noexcept override {
+    return SpecId::kCasRegister;
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state() const override {
+    return std::make_unique<CasRegisterState>();
+  }
+  [[nodiscard]] bool valid_mutation(OpCode op) const noexcept override {
+    return op == OpCode::kWrite || op == OpCode::kCas;
+  }
+  [[nodiscard]] bool valid_accessor(OpCode op) const noexcept override {
+    return op == OpCode::kRead;
+  }
+};
+
+// ---- log -------------------------------------------------------------------
+
+class LogState final : public ObjectState {
+ public:
+  Value apply(OpCode opcode, Value arg, Value /*arg2*/) override {
+    DSM_REQUIRE(opcode == OpCode::kAppend);
+    entries_.push_back(arg);
+    return static_cast<Value>(entries_.size());
+  }
+  [[nodiscard]] Value observe(OpCode opcode, Value /*arg*/) const override {
+    DSM_REQUIRE(opcode == OpCode::kScan);
+    // Order-sensitive digest of the whole log: two scans agree iff the
+    // replicas applied the same appends in the same order.
+    return digest_to_value(digest());
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = kFnvOffset;
+    for (const Value v : entries_) h = fnv_value(h, v);
+    return h;
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<LogState>(*this);
+  }
+
+ private:
+  std::vector<Value> entries_;
+};
+
+class LogSpec final : public ObjectSpec {
+ public:
+  [[nodiscard]] SpecId id() const noexcept override { return SpecId::kLog; }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state() const override {
+    return std::make_unique<LogState>();
+  }
+  [[nodiscard]] bool valid_mutation(OpCode op) const noexcept override {
+    return op == OpCode::kAppend;
+  }
+  [[nodiscard]] bool valid_accessor(OpCode op) const noexcept override {
+    return op == OpCode::kScan;
+  }
+};
+
+// ---- set -------------------------------------------------------------------
+
+class SetState final : public ObjectState {
+ public:
+  Value apply(OpCode opcode, Value arg, Value /*arg2*/) override {
+    switch (opcode) {
+      case OpCode::kAdd:
+        return members_.insert(arg).second ? 1 : 0;
+      case OpCode::kRemove:
+        return members_.erase(arg) != 0 ? 1 : 0;
+      default:
+        DSM_REQUIRE(false);
+        return kBottom;
+    }
+  }
+  [[nodiscard]] Value observe(OpCode opcode, Value arg) const override {
+    DSM_REQUIRE(opcode == OpCode::kContains);
+    return members_.contains(arg) ? 1 : 0;
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = kFnvOffset;
+    for (const Value v : members_) h = fnv_value(h, v);  // sorted iteration
+    return h;
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<SetState>(*this);
+  }
+
+ private:
+  std::set<Value> members_;
+};
+
+class SetSpec final : public ObjectSpec {
+ public:
+  [[nodiscard]] SpecId id() const noexcept override { return SpecId::kSet; }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state() const override {
+    return std::make_unique<SetState>();
+  }
+  [[nodiscard]] bool valid_mutation(OpCode op) const noexcept override {
+    return op == OpCode::kAdd || op == OpCode::kRemove;
+  }
+  [[nodiscard]] bool valid_accessor(OpCode op) const noexcept override {
+    return op == OpCode::kContains;
+  }
+  // contains(a) only depends on add(a)/remove(a): mutations on other
+  // elements are dropped before the checker enumerates linearizations.
+  [[nodiscard]] bool relevant(const TypedOp& m, OpCode /*acc*/,
+                              Value acc_arg) const noexcept override {
+    return m.arg == acc_arg;
+  }
+};
+
+}  // namespace
+
+const ObjectSpec& spec_for(SpecId id) {
+  static const RegisterSpec reg;
+  static const CounterSpec counter;
+  static const CasRegisterSpec cas;
+  static const LogSpec log;
+  static const SetSpec set;
+  switch (id) {
+    case SpecId::kRegister: return reg;
+    case SpecId::kCounter: return counter;
+    case SpecId::kCasRegister: return cas;
+    case SpecId::kLog: return log;
+    case SpecId::kSet: return set;
+  }
+  DSM_REQUIRE(false);
+  return reg;
+}
+
+}  // namespace dsm

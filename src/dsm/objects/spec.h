@@ -1,0 +1,105 @@
+// optcm — sequential object specifications (the ObjectSpec seam).
+//
+// Each spec defines one object type's sequential semantics: which opcodes
+// mutate, which observe, and what a legal return value is after a given
+// sequence of mutations.  The protocol layer never looks inside a spec — it
+// replicates mutations as opaque (spec, opcode, arg, arg2) payloads — so the
+// wait conditions of OptP/ANBKH/ShardedOptP are untouched.  The spec is
+// consulted in exactly two places:
+//
+//   * ObjectStore (object_store.h) applies mutations to a materialized state
+//     per (process, variable) in local apply order, and answers accessors
+//     from that state — the app-facing view of the causal memory.
+//   * SpecChecker (spec_checker.h) replays candidate linearizations of an
+//     accessor's causal past to decide whether its recorded return value is
+//     legal (Mostéfaoui–Perrin–Raynal causal consistency for typed objects).
+//
+// Determinism contract: apply() and observe() are pure functions of the
+// state and their arguments.  Two replicas that apply the same mutation
+// sequence hold digest()-equal states — the typed analogue of the register
+// convergence argument.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsm/common/types.h"
+#include "dsm/objects/opcodes.h"
+
+namespace dsm {
+
+/// One typed operation as it travels through history and wire: the opcode
+/// plus up to two arguments.  For mutations `arg` is the primary operand
+/// (written value, delta, element); `arg2` is the CAS desired value.  For
+/// accessors `arg` is the query operand (e.g. contains(arg)); arg2 unused.
+struct TypedOp {
+  SpecId spec = SpecId::kRegister;
+  OpCode opcode = OpCode::kWrite;
+  Value arg = kBottom;
+  Value arg2 = 0;
+
+  [[nodiscard]] bool operator==(const TypedOp&) const = default;
+};
+
+/// Materialized state of one object instance.  Confined to one thread of
+/// control by the owner (ObjectStore takes a mutex; SpecChecker is
+/// single-threaded).
+class ObjectState {
+ public:
+  virtual ~ObjectState() = default;
+
+  /// Apply a mutation; returns the operation's local result (e.g. CAS
+  /// success as 1/0, the counter value after an inc).  Precondition: the
+  /// owning spec's valid_mutation(opcode) holds.
+  virtual Value apply(OpCode opcode, Value arg, Value arg2) = 0;
+
+  /// Answer an accessor without changing state.  Precondition: the owning
+  /// spec's valid_accessor(opcode) holds.
+  [[nodiscard]] virtual Value observe(OpCode opcode, Value arg) const = 0;
+
+  /// Order-sensitive digest of the state, used by the spec checker to
+  /// deduplicate linearization prefixes.  Equal mutation sequences yield
+  /// equal digests; the digest never equals kBottom when cast to Value.
+  [[nodiscard]] virtual std::uint64_t digest() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ObjectState> clone() const = 0;
+};
+
+/// A sequential specification: factory for states plus the static facts the
+/// checker and workload generator need.  Stateless and immutable; the
+/// library owns one singleton per SpecId (see spec_for).
+class ObjectSpec {
+ public:
+  virtual ~ObjectSpec() = default;
+
+  [[nodiscard]] virtual SpecId id() const noexcept = 0;
+  [[nodiscard]] virtual std::unique_ptr<ObjectState> make_state() const = 0;
+
+  [[nodiscard]] virtual bool valid_mutation(OpCode op) const noexcept = 0;
+  [[nodiscard]] virtual bool valid_accessor(OpCode op) const noexcept = 0;
+
+  /// True when the observable state depends on the ORDER mutations are
+  /// applied in, not just the multiset (cas-register, log, set).  When
+  /// false (counter) the checker evaluates one linearization instead of
+  /// searching — inc/dec commute.
+  [[nodiscard]] virtual bool order_sensitive() const noexcept { return true; }
+
+  /// True when mutation `m` can influence the return value of accessor
+  /// (acc, acc_arg).  The checker drops irrelevant mutations before
+  /// enumerating linearizations (e.g. add(3) never affects contains(7)).
+  [[nodiscard]] virtual bool relevant(const TypedOp& /*m*/, OpCode /*acc*/,
+                                      Value /*acc_arg*/) const noexcept {
+    return true;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(id());
+  }
+};
+
+/// The library singleton for `id` (aborts via contracts on an invalid id).
+[[nodiscard]] const ObjectSpec& spec_for(SpecId id);
+
+}  // namespace dsm

@@ -29,6 +29,7 @@ void Anbkh::write(VarId x, Value v) {
   m.write_seq = seq;
   m.clock = clock;
   m.run = next_run(x, clock);
+  stamp_typed(m);
 
   observer_->on_send(self_, m);
   endpoint_->broadcast(encode_payload(m));

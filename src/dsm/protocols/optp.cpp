@@ -30,6 +30,7 @@ const WriteUpdate& OptP::prepare_write(VarId x, Value v) {
   m.run = next_run(x, write_co_);
   m.meta_only = false;
   m.blob.assign(write_blob_size_, static_cast<std::uint8_t>(v));
+  stamp_typed(m);
 
   observer_->on_send(self_, m);
   return m;

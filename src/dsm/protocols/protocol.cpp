@@ -18,6 +18,19 @@ CausalProtocol::CausalProtocol(ProcessId self, std::size_t n_procs,
   DSM_REQUIRE(self < n_procs);
 }
 
+void CausalProtocol::write_typed(VarId x, std::uint8_t spec,
+                                 std::uint8_t opcode, Value arg, Value arg2) {
+  pending_typed_ = true;
+  pending_spec_ = spec;
+  pending_opcode_ = opcode;
+  pending_arg2_ = arg2;
+  write(x, arg);
+  // A protocol that supports typed mutations consumes the trailer via
+  // stamp_typed while building its outgoing update; reaching here with the
+  // trailer still pending means the typed op would have propagated untyped.
+  DSM_REQUIRE(!pending_typed_);
+}
+
 ReadResult CausalProtocol::peek(VarId x) const {
   DSM_REQUIRE(x < n_vars_);
   return copies_[x];

@@ -183,6 +183,17 @@ class CausalProtocol {
   /// merges LastWriteOn[x] into Write_co (the read-from edge, Fig. 5).
   virtual ReadResult read(VarId x) = 0;
 
+  /// Execute a typed mutation (dsm/objects): the spec-defined opcode with
+  /// primary operand `arg` and secondary operand `arg2` is replicated as an
+  /// opaque trailer on the ordinary WriteUpdate for x — for causal-metadata
+  /// purposes a typed mutation IS a write, so clocks, wait conditions and
+  /// observer events are exactly those of write(x, arg).  Raw spec/opcode
+  /// bytes keep this layer link-independent of the objects library.
+  /// Supported by the protocols that stamp their outgoing updates (OptP,
+  /// ANBKH, ShardedOptP); aborts via contracts elsewhere.
+  void write_typed(VarId x, std::uint8_t spec, std::uint8_t opcode, Value arg,
+                   Value arg2);
+
   /// A message (as bytes) arrived from `from`.  May trigger zero or more
   /// applies, including of previously buffered messages.
   /// Precondition: `bytes` is a complete frame produced by a peer instance
@@ -239,6 +250,23 @@ class CausalProtocol {
   /// Install `value` into the local copy of `x` (the apply event's effect).
   void store(VarId x, Value value, WriteId writer);
 
+  /// Transfer a pending typed trailer (set by write_typed) onto the
+  /// outgoing update, or clear the trailer fields for a plain write (the
+  /// update struct is a reused member in the hot protocols, so stale typed
+  /// fields must not leak into later frames).  Consumes the pending trailer.
+  void stamp_typed(WriteUpdate& m) noexcept {
+    if (pending_typed_) {
+      m.spec = pending_spec_;
+      m.opcode = pending_opcode_;
+      m.arg2 = pending_arg2_;
+      pending_typed_ = false;
+    } else {
+      m.spec = 0;
+      m.opcode = 0;
+      m.arg2 = 0;
+    }
+  }
+
   /// Encode `m` into a refcounted payload shared by every receiver.  The
   /// intermediate encode buffer is a reused member (no growth churn after
   /// warm-up); the returned allocation is exactly the encoded size.
@@ -258,6 +286,11 @@ class CausalProtocol {
  private:
   std::vector<ReadResult> copies_;  // x_1^i … x_m^i, initially ⊥
   std::vector<std::uint8_t> encode_scratch_;  // reused by encode_payload
+  // Typed trailer staged by write_typed for the next outgoing update.
+  bool pending_typed_ = false;
+  std::uint8_t pending_spec_ = 0;
+  std::uint8_t pending_opcode_ = 0;
+  Value pending_arg2_ = 0;
 };
 
 }  // namespace dsm

@@ -18,6 +18,8 @@
 
 namespace dsm {
 
+class ObjectSchema;  // dsm/objects/schema.h; carried opaquely here
+
 enum class ProtocolKind : std::uint8_t {
   kOptP,         ///< the paper's protocol (Section 4)
   kOptPWs,       ///< OptP + writing semantics (paper footnote 8)
@@ -65,6 +67,13 @@ struct ProtocolConfig {
   /// and the "before" side of BENCH_core.json (docs/PERF.md).  Ignored by
   /// kTokenWs, which has no pending buffer of this shape.
   bool reference_drain = false;
+  /// Typed objects (dsm/objects): which sequential spec governs each
+  /// variable.  When set, the harnesses attach an ObjectStore to the run's
+  /// observer chain and scripts may carry typed steps.  Unset (default) =
+  /// plain registers everywhere; nothing typed is allocated or encoded.
+  /// Riding in the config keeps sim, thread and forked process tiers on one
+  /// schema for free.
+  std::shared_ptr<const ObjectSchema> objects;
 };
 
 [[nodiscard]] std::unique_ptr<CausalProtocol> make_protocol(

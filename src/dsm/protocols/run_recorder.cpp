@@ -59,6 +59,28 @@ void RunRecorder::record_read(ProcessId p, VarId x, const ReadResult& r) {
   if (sink_ != nullptr) sink_->accept_read(p, x, r.value, r.writer);
 }
 
+WriteId RunRecorder::record_mutation(ProcessId p, VarId x, std::uint8_t spec,
+                                     std::uint8_t opcode, Value arg,
+                                     Value arg2) {
+  const std::scoped_lock lock(mu_);
+  const WriteId id =
+      history_.add_mutation(p, x, static_cast<SpecId>(spec),
+                            static_cast<OpCode>(opcode), arg, arg2);
+  if (sink_ != nullptr) sink_->accept_write(p, x, arg, id);
+  return id;
+}
+
+void RunRecorder::record_accessor(ProcessId p, VarId x, std::uint8_t spec,
+                                  std::uint8_t opcode, Value arg,
+                                  Value returned, WriteId from,
+                                  std::vector<std::uint64_t> visible) {
+  const std::scoped_lock lock(mu_);
+  history_.add_accessor(p, x, static_cast<SpecId>(spec),
+                        static_cast<OpCode>(opcode), arg, returned, from,
+                        std::move(visible));
+  if (sink_ != nullptr) sink_->accept_read(p, x, returned, from);
+}
+
 void RunRecorder::set_sink(EventSink* sink) {
   const std::scoped_lock lock(mu_);
   sink_ = sink;

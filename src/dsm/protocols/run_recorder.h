@@ -86,6 +86,17 @@ class RunRecorder final : public ProtocolObserver {
   WriteId record_write(ProcessId p, VarId x, Value v);
   /// Record a completed read.
   void record_read(ProcessId p, VarId x, const ReadResult& r);
+  /// Record that process p is about to issue a typed mutation on x (shares
+  /// write numbering with record_write; raw spec/opcode bytes as on the
+  /// wire).
+  WriteId record_mutation(ProcessId p, VarId x, std::uint8_t spec,
+                          std::uint8_t opcode, Value arg, Value arg2);
+  /// Record a completed typed accessor: it returned `returned` for query
+  /// operand `arg`; `from` tags the last locally applied mutation and
+  /// `visible` snapshots the ObjectStore's per-sender applied counts.
+  void record_accessor(ProcessId p, VarId x, std::uint8_t spec,
+                       std::uint8_t opcode, Value arg, Value returned,
+                       WriteId from, std::vector<std::uint64_t> visible);
 
   // -- durability seam -------------------------------------------------------
   /// Tee every subsequent record/event into `sink` (nullptr detaches).  The

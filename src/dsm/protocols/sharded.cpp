@@ -64,6 +64,7 @@ void ShardedOptP::write(VarId x, Value v) {
       if (row[t] != 0) m.sub_deps.push_back(SubDep{q, t, row[t]});
     }
   }
+  stamp_typed(m);
 
   observer_->on_send(self_, m);
 

@@ -58,4 +58,18 @@ ReadResult CausalMemory::Session::read_tagged(std::string_view name) {
   return owner_->cluster_->read(replica_, *var);
 }
 
+Value CausalMemory::Session::mutate(std::string_view name, SpecId spec,
+                                    OpCode opcode, Value arg, Value arg2) {
+  const auto var = owner_->resolve(name);
+  DSM_REQUIRE(var.has_value() && "variable capacity exhausted");
+  return owner_->cluster_->mutate(replica_, *var, spec, opcode, arg, arg2);
+}
+
+Value CausalMemory::Session::observe(std::string_view name, SpecId spec,
+                                     OpCode opcode, Value arg) {
+  const auto var = owner_->resolve(name);
+  DSM_REQUIRE(var.has_value() && "variable capacity exhausted");
+  return owner_->cluster_->observe(replica_, *var, spec, opcode, arg);
+}
+
 }  // namespace dsm

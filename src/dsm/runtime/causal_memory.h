@@ -49,6 +49,17 @@ class CausalMemory {
     [[nodiscard]] Value read(std::string_view name);
     /// Read with the writer's identity (kNoWrite when unwritten).
     [[nodiscard]] ReadResult read_tagged(std::string_view name);
+
+    /// Typed objects (requires Options::protocol_config.objects, whose
+    /// schema must give the resolved variable the same spec): issue one
+    /// operation of the variable's sequential spec.  `mutate` replicates
+    /// like a write and returns the local apply result (e.g. CAS success);
+    /// `observe` answers from this replica's causally consistent state.
+    Value mutate(std::string_view name, SpecId spec, OpCode opcode, Value arg,
+                 Value arg2 = 0);
+    Value observe(std::string_view name, SpecId spec, OpCode opcode,
+                  Value arg = 0);
+
     [[nodiscard]] ProcessId replica() const noexcept { return replica_; }
 
    private:

@@ -56,6 +56,17 @@ ThreadCluster::ThreadCluster(const Config& config)
     filter_ = std::make_unique<ReplayFilterObserver>(*observer_);
     observer_ = filter_.get();
   }
+  if (protocol_config_.objects != nullptr) {
+    // Typed objects: the store goes outermost so it stashes each mutation's
+    // payload at send/receipt before anything else sees the apply.  Catch-up
+    // redelivery would arrive without that stash, so recoverable mode and
+    // typed schemas are mutually exclusive (the CLI rejects the combination).
+    DSM_REQUIRE(!recoverable_ &&
+                "typed objects are not supported in recoverable mode");
+    objects_ = std::make_unique<ObjectStore>(
+        protocol_config_.objects, config.n_procs, n_vars_, *observer_);
+    observer_ = objects_.get();
+  }
 
   nodes_.reserve(config.n_procs);
   for (ProcessId p = 0; p < config.n_procs; ++p) {
@@ -173,6 +184,48 @@ ReadResult ThreadCluster::read(ProcessId p, VarId x) {
   // OptP merges Write_co on reads, so reads mutate durable state too.
   if (recoverable_) node.host->note_mutation();
   return r;
+}
+
+Value ThreadCluster::mutate(ProcessId p, VarId x, SpecId spec, OpCode opcode,
+                            Value arg, Value arg2) {
+  DSM_REQUIRE(p < nodes_.size());
+  DSM_REQUIRE(objects_ != nullptr && "mutate() needs protocol_config.objects");
+  DSM_REQUIRE(spec == objects_->spec_of(x) && "spec does not match schema");
+  DSM_REQUIRE(spec_for(spec).valid_mutation(opcode));
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(node.host->up() && "mutate() on a killed process");
+  recorder_->record_mutation(p, x, static_cast<std::uint8_t>(spec),
+                             static_cast<std::uint8_t>(opcode), arg, arg2);
+  if (telemetry_ != nullptr) {
+    telemetry_->record_write_op(p, x, arg);
+    telemetry_->record_object_op(p, spec);
+  }
+  node.host->protocol().write_typed(x, static_cast<std::uint8_t>(spec),
+                                    static_cast<std::uint8_t>(opcode), arg,
+                                    arg2);
+  // Still under the node mutex: the last apply at p is this mutation.
+  return objects_->last_apply_result(p);
+}
+
+Value ThreadCluster::observe(ProcessId p, VarId x, SpecId spec, OpCode opcode,
+                             Value arg) {
+  DSM_REQUIRE(p < nodes_.size());
+  DSM_REQUIRE(objects_ != nullptr && "observe() needs protocol_config.objects");
+  DSM_REQUIRE(spec == objects_->spec_of(x) && "spec does not match schema");
+  DSM_REQUIRE(spec_for(spec).valid_accessor(opcode));
+  Node& node = *nodes_[p];
+  const std::scoped_lock lock(node.mu);
+  DSM_REQUIRE(node.host->up() && "observe() on a killed process");
+  // The real read first: its Write_co merge installs every causally
+  // required mutation before the store answers.
+  const ReadResult r = node.host->protocol().read(x);
+  const Value answer = objects_->observe(p, x, opcode, arg);
+  recorder_->record_accessor(p, x, static_cast<std::uint8_t>(spec),
+                             static_cast<std::uint8_t>(opcode), arg, answer,
+                             r.writer, objects_->visible_counts(p, x));
+  if (telemetry_ != nullptr) telemetry_->record_object_op(p, spec);
+  return answer;
 }
 
 ReadResult ThreadCluster::peek(ProcessId p, VarId x) const {

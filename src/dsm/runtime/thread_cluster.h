@@ -44,6 +44,7 @@
 
 #include "dsm/audit/stability.h"
 #include "dsm/common/rng.h"
+#include "dsm/objects/object_store.h"
 #include "dsm/protocols/recovery.h"
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
@@ -89,6 +90,22 @@ class ThreadCluster {
 
   /// Issue r_p(x).  The process must be up.
   ReadResult read(ProcessId p, VarId x);
+
+  /// Issue a typed mutation (spec must match the schema's spec for x) and
+  /// return its apply result at p (e.g. CAS success).  Requires
+  /// config.protocol_config.objects; replicated exactly like a write.
+  Value mutate(ProcessId p, VarId x, SpecId spec, OpCode opcode, Value arg,
+               Value arg2 = 0);
+
+  /// Issue a typed accessor: one real protocol read (the causal Write_co
+  /// merge) followed by the spec's observe over p's materialized state.
+  Value observe(ProcessId p, VarId x, SpecId spec, OpCode opcode,
+                Value arg = 0);
+
+  /// The typed-object store (null unless config.protocol_config.objects).
+  [[nodiscard]] const ObjectStore* objects() const noexcept {
+    return objects_.get();
+  }
 
   /// Non-recording peek at p's local copy (monitoring only; ⊥ while down).
   [[nodiscard]] ReadResult peek(ProcessId p, VarId x) const;
@@ -163,6 +180,7 @@ class ThreadCluster {
   std::unique_ptr<RunRecorder> recorder_;
   std::unique_ptr<ProtocolObserver> fanout_;  ///< set iff extra observers given
   std::unique_ptr<ReplayFilterObserver> filter_;  ///< recoverable mode only
+  std::unique_ptr<ObjectStore> objects_;  ///< set iff a schema was configured
   ProtocolObserver* observer_ = nullptr;  ///< the chain head protocols report to
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<std::uint64_t> in_flight_{0};

@@ -96,6 +96,11 @@ inline constexpr char kSkips[] = "skips_total";
 inline constexpr char kMetaBytes[] = "meta_bytes_total";
 // Subscription routing (ShardedOptP; per node = sender side).
 inline constexpr char kSubDepEntries[] = "sub_dep_entries_total";
+// Typed objects (dsm/objects; per node = issuer side).
+inline constexpr char kObjectOps[] = "object_ops_total";
+// Spec checker search effort (run scope; see SpecChecker).
+inline constexpr char kCheckerLinearizations[] =
+    "checker_linearizations_explored";
 // Fault-tolerance layer (per node).
 inline constexpr char kCrashes[] = "crashes_total";
 inline constexpr char kRestarts[] = "restarts_total";

@@ -174,6 +174,10 @@ void RunTelemetry::record_write_op(ProcessId p, VarId x, Value v) {
                  /*delayed=*/false, 0, VectorClock{}});
 }
 
+void RunTelemetry::record_object_op(ProcessId p, SpecId /*spec*/) {
+  metrics_.counter(p, metric::kObjectOps).add();
+}
+
 void RunTelemetry::record_crash(ProcessId p) {
   metrics_.counter(p, metric::kCrashes).add();
   trace_.accept({TraceKind::kCrash, p, now(), WriteId{}, 0, kBottom,

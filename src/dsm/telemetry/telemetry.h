@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/objects/opcodes.h"
 #include "dsm/protocols/protocol.h"
 #include "dsm/protocols/recovery.h"
 #include "dsm/sim/fault.h"
@@ -84,6 +85,8 @@ class RunTelemetry {
   /// An application-level write operation was issued at p (counted
   /// separately from updates sent: writing-semantics protocols coalesce).
   void record_write_op(ProcessId p, VarId x, Value v);
+  /// A typed-object operation (mutation or accessor) was issued at p.
+  void record_object_op(ProcessId p, SpecId spec);
   /// Process p crashed (volatile state lost).
   void record_crash(ProcessId p);
   /// Process p restarted from its checkpoint.

@@ -19,10 +19,13 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dsm/common/rng.h"
+#include "dsm/objects/schema.h"
 #include "dsm/protocols/replication.h"
 #include "dsm/protocols/subscription.h"
 #include "dsm/workload/script.h"
@@ -70,5 +73,39 @@ struct WorkloadSpec {
 /// Requires every process to subscribe to at least one variable.
 [[nodiscard]] std::vector<Script> generate_subscriber_workload(
     const WorkloadSpec& spec, const SubscriptionMap& map);
+
+/// Typed-workload operation mix: relative integer weights over four
+/// operation categories, mapped per variable spec:
+///
+///   | category      | register | counter | cas-register     | log    | set      |
+///   | R accessor    | r        | get     | r                | scan   | contains |
+///   | W mutation    | w        | inc     | w                | append | add      |
+///   | C conditional | w        | inc     | cas              | append | add      |
+///   | A anti        | w        | dec     | w                | append | remove   |
+///
+/// Specs without a conditional/anti operation fold those categories into
+/// their primary mutation, so one mix string drives a heterogeneous schema.
+struct ObjectMix {
+  std::uint32_t reads = 6;
+  std::uint32_t writes = 2;
+  std::uint32_t cond = 1;
+  std::uint32_t anti = 1;
+
+  /// Parses "R:W:C:A" (non-negative integers, at least one positive),
+  /// e.g. "6:2:1:1".  Nullopt + *error on malformed input.
+  [[nodiscard]] static std::optional<ObjectMix> parse(
+      std::string_view text, std::string* error = nullptr);
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Typed-object workload over `schema`: every op draws its variable from a
+/// Zipf(spec.zipf_s) popularity ranking (rank 0 = x1; s = 0 is uniform) and
+/// its category from `mix`.  Mutation operands come from a small domain
+/// (0..9) so CAS races and set membership flips actually collide; register
+/// variables fall back to plain uniquely-valued write/read steps.
+/// Deterministic: equal (spec, schema, mix) yield equal scripts.
+[[nodiscard]] std::vector<Script> generate_mixed_object_workload(
+    const WorkloadSpec& spec, const ObjectSchema& schema, const ObjectMix& mix);
 
 }  // namespace dsm

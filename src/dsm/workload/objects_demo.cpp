@@ -1,0 +1,49 @@
+#include "dsm/workload/objects_demo.h"
+
+namespace dsm {
+namespace {
+
+constexpr VarId kCtr = 0;   // x1 counter
+constexpr VarId kSet = 1;   // x2 set
+constexpr VarId kLog = 2;   // x3 log
+constexpr VarId kCas = 3;   // x4 cas-register
+constexpr VarId kBar = 4;   // x5 register barrier
+
+}  // namespace
+
+std::shared_ptr<const ObjectSchema> make_objects_demo_schema() {
+  return std::make_shared<const ObjectSchema>(std::vector<SpecId>{
+      SpecId::kCounter, SpecId::kSet, SpecId::kLog, SpecId::kCasRegister,
+      SpecId::kRegister});
+}
+
+std::vector<Script> make_objects_demo_scripts() {
+  Script p1;
+  p1.push_back(mutate_step(0, kCtr, SpecId::kCounter, OpCode::kInc, 5));
+  p1.push_back(mutate_step(2, kSet, SpecId::kSet, OpCode::kAdd, 7));
+  p1.push_back(mutate_step(2, kLog, SpecId::kLog, OpCode::kAppend, 100));
+  p1.push_back(mutate_step(2, kCas, SpecId::kCasRegister, OpCode::kWrite, 3));
+  p1.push_back(write_step(2, kBar, 1));
+
+  Script p2;
+  p2.push_back(read_until_step(0, kBar, 1, sim_us(2)));
+  p2.push_back(observe_step(2, kCtr, SpecId::kCounter, OpCode::kGet));
+  p2.push_back(observe_step(2, kSet, SpecId::kSet, OpCode::kContains, 7));
+  p2.push_back(
+      mutate_step(2, kCas, SpecId::kCasRegister, OpCode::kCas, 3, 9));
+  p2.push_back(mutate_step(2, kCtr, SpecId::kCounter, OpCode::kDec, 2));
+  p2.push_back(mutate_step(2, kSet, SpecId::kSet, OpCode::kRemove, 7));
+  p2.push_back(mutate_step(2, kLog, SpecId::kLog, OpCode::kAppend, 200));
+  p2.push_back(write_step(2, kBar, 2));
+
+  Script p3;
+  p3.push_back(read_until_step(0, kBar, 2, sim_us(2)));
+  p3.push_back(observe_step(2, kCtr, SpecId::kCounter, OpCode::kGet));
+  p3.push_back(observe_step(2, kSet, SpecId::kSet, OpCode::kContains, 7));
+  p3.push_back(observe_step(2, kCas, SpecId::kCasRegister, OpCode::kRead));
+  p3.push_back(observe_step(2, kLog, SpecId::kLog, OpCode::kScan));
+
+  return {p1, p2, p3};
+}
+
+}  // namespace dsm

@@ -1,0 +1,51 @@
+// optcm — the deterministic typed-objects demo run (--script=objects).
+//
+// Three processes over five variables, one per sequential spec:
+//
+//   x1 counter   x2 set   x3 log   x4 cas-register   x5 register (barrier)
+//
+//   p1: inc(x1,5); add(x2,7); app(x3,100); w(x4)3;            w(x5)1
+//   p2: r(x5)=1 ⟶ get(x1)=5; has(x2,7)=1; cas(x4,3→9);
+//       dec(x1,2); rem(x2,7); app(x3,200);                    w(x5)2
+//   p3: r(x5)=2 ⟶ get(x1)=3; has(x2,7)=0; r(x4)=9; scan(x3)
+//
+// The register barrier x5 pins the causal structure exactly as Ĥ₁'s reactive
+// reads do: p2 only starts once it READ the value 1 — so every mutation of
+// p1 is causally before everything p2 does — and p3 only starts once it read
+// 2.  Under causal consistency every accessor's visible set is therefore
+// fully determined, every return value above is forced, and the run produces
+// the same history under every protocol, tier, and latency assignment —
+// which is what lets `optcm drive --script=objects --compare-sim` compare
+// observer sequences byte-for-byte across deployments.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dsm/objects/schema.h"
+#include "dsm/workload/script.h"
+
+namespace dsm {
+
+inline constexpr std::size_t kObjectsDemoProcs = 3;
+inline constexpr std::size_t kObjectsDemoVars = 5;
+
+/// The schema above (shared so ProtocolConfig and checks can alias it).
+[[nodiscard]] std::shared_ptr<const ObjectSchema> make_objects_demo_schema();
+
+/// The three reactive scripts above.
+[[nodiscard]] std::vector<Script> make_objects_demo_scripts();
+
+/// The forced accessor returns, in per-process script order (p2's two
+/// observes, then p3's four) — except the scan digest, which tests recompute
+/// from the spec (it is a hash, not a scripted constant).
+struct ObjectsDemoExpected {
+  Value p2_get = 5;       ///< get(x1) at p2
+  Value p2_has = 1;       ///< has(x2,7) at p2
+  Value p3_get = 3;       ///< get(x1) at p3
+  Value p3_has = 0;       ///< has(x2,7) at p3
+  Value p3_cas_read = 9;  ///< r(x4) at p3
+};
+
+}  // namespace dsm

@@ -29,6 +29,31 @@ ScriptStep read_until_step(SimTime delay, VarId x, Value v, SimTime poll_every) 
   return s;
 }
 
+ScriptStep mutate_step(SimTime delay, VarId x, SpecId spec, OpCode opcode,
+                       Value arg, Value arg2) {
+  ScriptStep s;
+  s.delay = delay;
+  s.kind = StepKind::kMutate;
+  s.var = x;
+  s.value = arg;
+  s.spec = static_cast<std::uint8_t>(spec);
+  s.opcode = static_cast<std::uint8_t>(opcode);
+  s.arg2 = arg2;
+  return s;
+}
+
+ScriptStep observe_step(SimTime delay, VarId x, SpecId spec, OpCode opcode,
+                        Value arg) {
+  ScriptStep s;
+  s.delay = delay;
+  s.kind = StepKind::kObserve;
+  s.var = x;
+  s.value = arg;
+  s.spec = static_cast<std::uint8_t>(spec);
+  s.opcode = static_cast<std::uint8_t>(opcode);
+  return s;
+}
+
 std::size_t count_steps(const std::vector<Script>& scripts, StepKind kind) {
   std::size_t n = 0;
   for (const auto& script : scripts) {

@@ -12,6 +12,13 @@
 //     reads x₂ only once it returns b — under any protocol and any latency
 //     assignment, so the *same history* is produced and only the event
 //     orders/delays differ (exactly what Figures 1–3 and 6 contrast).
+//   * Mutate(x, op, arg, arg2) — issue a typed mutation (dsm/objects): a
+//     spec-defined write such as inc/cas/append/add, replicated exactly
+//     like a write.
+//   * Observe(x, op, arg)    — issue a typed accessor (get/scan/contains…):
+//     answered from the ObjectStore's materialized state, recorded with its
+//     visible-set counts, and paired with one real protocol read so the
+//     causal merge-on-read discipline is preserved.
 //
 // Polling uses CausalProtocol::peek, which performs no Write_co merge and
 // records nothing; the semantically relevant read happens exactly once.
@@ -22,19 +29,29 @@
 #include <vector>
 
 #include "dsm/common/types.h"
+#include "dsm/objects/opcodes.h"
 #include "dsm/sim/sim_time.h"
 
 namespace dsm {
 
-enum class StepKind : std::uint8_t { kWrite, kRead, kReadUntil };
+enum class StepKind : std::uint8_t { kWrite, kRead, kReadUntil, kMutate,
+                                     kObserve };
 
 struct ScriptStep {
   SimTime delay = 0;  ///< gap after the previous step completed
   StepKind kind = StepKind::kWrite;
   VarId var = 0;
-  Value value = 0;                 ///< Write: value written; ReadUntil: value awaited
+  Value value = 0;                 ///< Write/Mutate: primary operand;
+                                   ///< ReadUntil: value awaited;
+                                   ///< Observe: query operand
   SimTime poll_every = sim_us(50); ///< ReadUntil polling period
   SimTime timeout = sim_s(3600);   ///< ReadUntil: give up and read anyway
+  /// Typed steps only (kMutate/kObserve): the governing spec, opcode, and
+  /// the secondary operand (CAS desired value).  Raw bytes, matching the
+  /// wire encoding.
+  std::uint8_t spec = 0;
+  std::uint8_t opcode = 0;
+  Value arg2 = 0;
 };
 
 using Script = std::vector<ScriptStep>;
@@ -44,6 +61,10 @@ using Script = std::vector<ScriptStep>;
 [[nodiscard]] ScriptStep read_step(SimTime delay, VarId x);
 [[nodiscard]] ScriptStep read_until_step(SimTime delay, VarId x, Value v,
                                          SimTime poll_every = sim_us(50));
+[[nodiscard]] ScriptStep mutate_step(SimTime delay, VarId x, SpecId spec,
+                                     OpCode opcode, Value arg, Value arg2 = 0);
+[[nodiscard]] ScriptStep observe_step(SimTime delay, VarId x, SpecId spec,
+                                      OpCode opcode, Value arg = 0);
 
 /// Total number of steps of a given kind across all scripts.
 [[nodiscard]] std::size_t count_steps(const std::vector<Script>& scripts,

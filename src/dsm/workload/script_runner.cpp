@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "dsm/common/contracts.h"
+#include "dsm/objects/object_store.h"
 #include "dsm/telemetry/telemetry.h"
 
 namespace dsm {
@@ -84,6 +85,33 @@ void ScriptRunner::execute(std::size_t idx) {
       waited_ = 0;
       const ReadResult r = proto->read(step.var);
       recorder_->record_read(self_, step.var, r);
+      break;
+    }
+    case StepKind::kMutate: {
+      recorder_->record_mutation(self_, step.var, step.spec, step.opcode,
+                                 step.value, step.arg2);
+      if (telemetry_ != nullptr) {
+        telemetry_->record_write_op(self_, step.var, step.value);
+        telemetry_->record_object_op(self_, static_cast<SpecId>(step.spec));
+      }
+      proto->write_typed(step.var, step.spec, step.opcode, step.value,
+                         step.arg2);
+      if (issued_ != nullptr) ++(*issued_)[self_];
+      break;
+    }
+    case StepKind::kObserve: {
+      DSM_REQUIRE(objects_ != nullptr);
+      // The protocol read runs first: its Write_co merge installs every
+      // causally required mutation, so the store's state and visibility
+      // counts are exactly what causal consistency lets the accessor see.
+      const ReadResult r = proto->read(step.var);
+      const Value answer = objects_->observe(
+          self_, step.var, static_cast<OpCode>(step.opcode), step.value);
+      recorder_->record_accessor(self_, step.var, step.spec, step.opcode,
+                                 step.value, answer, r.writer,
+                                 objects_->visible_counts(self_, step.var));
+      if (telemetry_ != nullptr)
+        telemetry_->record_object_op(self_, static_cast<SpecId>(step.spec));
       break;
     }
   }

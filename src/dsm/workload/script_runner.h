@@ -25,6 +25,7 @@
 
 namespace dsm {
 
+class ObjectStore;
 class RunTelemetry;
 
 class ScriptRunner {
@@ -51,6 +52,11 @@ class ScriptRunner {
     telemetry_ = telemetry;
   }
 
+  /// Attach the run's ObjectStore; required before any kMutate/kObserve step
+  /// fires (typed steps abort without one).  May stay null for register-only
+  /// scripts.
+  void set_objects(ObjectStore* objects) noexcept { objects_ = objects; }
+
   /// Multiply every step delay and poll interval by `scale` (the net runtime
   /// stretches microsecond-granularity sim scripts onto wall-clock time).
   /// Call before begin().
@@ -70,6 +76,7 @@ class ScriptRunner {
   EventQueue* queue_;
   RunRecorder* recorder_;
   RunTelemetry* telemetry_ = nullptr;
+  ObjectStore* objects_ = nullptr;
   ProtoFn proto_;
   ProcessId self_;
   const Script* script_;

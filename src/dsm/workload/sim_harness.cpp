@@ -91,6 +91,10 @@ struct ProcNode {
 SimRunResult run_sim_crash(const SimRunConfig& config,
                            const std::vector<Script>& scripts) {
   config.crash.validate(config.n_procs);
+  // Typed objects are not supported with crash/restart: a restarted process's
+  // catch-up applies arrive without their typed payload stash, so the store
+  // could not replay them.  The CLI rejects the combination up front.
+  DSM_REQUIRE(config.protocol_config.objects == nullptr);
 
   EventQueue queue;
   Network net(queue, *config.latency, config.n_procs);
@@ -337,6 +341,17 @@ SimRunResult run_sim(const SimRunConfig& config,
     observer = &tel->observe_through(*recorder);
   }
 
+  // Typed-object runs interpose the ObjectStore outermost: it stashes each
+  // mutation's typed payload at send/receipt and replays it on apply, before
+  // forwarding every event unchanged to telemetry/recorder.
+  std::unique_ptr<ObjectStore> objects;
+  if (config.protocol_config.objects != nullptr) {
+    objects = std::make_unique<ObjectStore>(config.protocol_config.objects,
+                                            config.n_procs, config.n_vars,
+                                            *observer);
+    observer = objects.get();
+  }
+
   // Wiring order matters in fault mode: the ARQ node registers itself as the
   // network sink and needs the (not-yet-filled) protocol sink as its upper
   // layer; the endpoint then routes protocol sends through the ARQ node.
@@ -378,6 +393,7 @@ SimRunResult run_sim(const SimRunConfig& config,
         queue, *recorder, [&protos, p] { return protos[p].get(); }, p,
         scripts[p]);
     runners.back().set_telemetry(tel);
+    runners.back().set_objects(objects.get());
   }
   for (auto& r : runners) r.begin();
 
@@ -432,6 +448,7 @@ SimRunResult run_sim(const SimRunConfig& config,
     tel->set_clock({});  // the queue dies with this frame
   }
   result.recorder = std::move(recorder);
+  result.objects = std::move(objects);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "dsm/objects/object_store.h"
 #include "dsm/protocols/recovery.h"
 #include "dsm/protocols/registry.h"
 #include "dsm/protocols/run_recorder.h"
@@ -82,6 +83,10 @@ struct RecoveryRecord {
 
 struct SimRunResult {
   std::unique_ptr<RunRecorder> recorder;   ///< history + ordered event log
+  /// Typed-object state (set iff config.protocol_config.objects was): the
+  /// store that answered the run's Observe steps; replica_digest() across
+  /// processes witnesses typed-state convergence.
+  std::unique_ptr<ObjectStore> objects;
   std::vector<ProtocolStats> stats;        ///< per process (summed across
                                            ///< incarnations in crash mode)
   NetworkStats net;

@@ -6,6 +6,7 @@
 #include "dsm/codec/codec.h"
 #include "dsm/codec/message.h"
 #include "dsm/common/rng.h"
+#include "dsm/objects/opcodes.h"
 
 namespace dsm {
 namespace {
@@ -183,6 +184,119 @@ TEST(Message, TruncationAnywhereRejected) {
   }
 }
 
+// ------------------------------------------------ typed-object trailer --
+// The (spec, opcode, arg2) trailer rides behind flag bit 1 of the WriteUpdate
+// flags byte (codec/message.cpp).  Register frames must stay byte-identical
+// to the pre-typed encoding; anything else must round-trip or reject cleanly.
+
+WriteUpdate sample_typed_update(SpecId spec, OpCode opcode, Value arg2 = 0) {
+  WriteUpdate m = sample_write_update();
+  m.spec = static_cast<std::uint8_t>(spec);
+  m.opcode = static_cast<std::uint8_t>(opcode);
+  m.arg2 = arg2;
+  return m;
+}
+
+TEST(Message, TypedWriteUpdateRoundTripsEveryMutationOpcode) {
+  const struct {
+    SpecId spec;
+    OpCode opcode;
+    Value arg2;
+  } cases[] = {
+      {SpecId::kCounter, OpCode::kInc, 0},
+      {SpecId::kCounter, OpCode::kDec, 0},
+      {SpecId::kCasRegister, OpCode::kWrite, 0},
+      {SpecId::kCasRegister, OpCode::kCas, 99},
+      {SpecId::kCasRegister, OpCode::kCas, -99},
+      {SpecId::kLog, OpCode::kAppend, 0},
+      {SpecId::kSet, OpCode::kAdd, 0},
+      {SpecId::kSet, OpCode::kRemove, 0},
+      // Degenerate-but-flagged shapes: any nonzero field forces the trailer.
+      {SpecId::kRegister, OpCode::kWrite, 7},
+  };
+  for (const auto& c : cases) {
+    const WriteUpdate original = sample_typed_update(c.spec, c.opcode, c.arg2);
+    const auto decoded = decode_message(encode_message(Message{original}));
+    ASSERT_TRUE(decoded.has_value()) << to_string(c.spec);
+    EXPECT_EQ(std::get<WriteUpdate>(*decoded), original) << to_string(c.spec);
+  }
+}
+
+TEST(Message, RegisterFrameIsByteIdenticalToPreTypedEncoding) {
+  // A plain register write (spec 0, opcode 0, arg2 0) must ship with the
+  // typed flag clear and no trailer — the wire format promise that lets old
+  // and new builds interoperate on register-only workloads.
+  const WriteUpdate plain = sample_write_update();
+  const auto plain_bytes = encode_message(Message{plain});
+  const auto typed_bytes = encode_message(
+      Message{sample_typed_update(SpecId::kCounter, OpCode::kInc, 1)});
+  // The typed frame differs (flag bit + u8 spec + u8 opcode + 1-byte arg2)...
+  EXPECT_EQ(typed_bytes.size(), plain_bytes.size() + 3);
+  // ...and zeroing the typed fields restores the original bytes exactly.
+  WriteUpdate rezeroed = sample_typed_update(SpecId::kCounter, OpCode::kInc, 1);
+  rezeroed.spec = 0;
+  rezeroed.opcode = 0;
+  rezeroed.arg2 = 0;
+  EXPECT_EQ(encode_message(Message{rezeroed}), plain_bytes);
+}
+
+TEST(Message, TypedTrailerRejectsAccessorOpcodes) {
+  // Only mutations travel as WriteUpdates; an accessor opcode in the trailer
+  // is a protocol violation the decoder must refuse.
+  for (const auto op :
+       {OpCode::kRead, OpCode::kGet, OpCode::kScan, OpCode::kContains}) {
+    const auto bytes =
+        encode_message(Message{sample_typed_update(SpecId::kSet, op)});
+    EXPECT_FALSE(decode_message(bytes).has_value()) << to_string(op);
+  }
+}
+
+TEST(Message, TypedTrailerRejectsUnknownSpecAndOpcode) {
+  WriteUpdate m = sample_write_update();
+  m.spec = 7;  // beyond kSpecCount
+  m.opcode = static_cast<std::uint8_t>(OpCode::kAdd);
+  EXPECT_FALSE(decode_message(encode_message(Message{m})).has_value());
+  m.spec = static_cast<std::uint8_t>(SpecId::kSet);
+  m.opcode = 23;  // beyond kOpCodeCount
+  EXPECT_FALSE(decode_message(encode_message(Message{m})).has_value());
+}
+
+TEST(Message, AllZeroTrailerWithTypedFlagRejected) {
+  // The degenerate register triple must ship flag-less (byte-identity); a
+  // frame carrying the flag with a zero trailer is malformed by fiat.
+  // Craft one by zeroing the 3 trailer bytes of a valid typed frame (arg2=1
+  // zig-zags to a single byte, so the trailer is exactly the last 3 bytes).
+  auto bytes = encode_message(
+      Message{sample_typed_update(SpecId::kCounter, OpCode::kInc, 1)});
+  const auto plain = encode_message(Message{sample_write_update()});
+  ASSERT_EQ(bytes.size(), plain.size() + 3);
+  bytes[bytes.size() - 3] = 0;
+  bytes[bytes.size() - 2] = 0;
+  bytes[bytes.size() - 1] = 0;
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Message, UnknownFlagBitsRejected) {
+  // Locate the flags byte as the single byte that flips with meta_only, then
+  // set a reserved bit — the decoder must refuse rather than ignore it.
+  WriteUpdate m = sample_write_update();
+  const auto clear = encode_message(Message{m});
+  m.meta_only = true;
+  const auto set = encode_message(Message{m});
+  ASSERT_EQ(clear.size(), set.size());
+  std::size_t flags_at = clear.size();
+  for (std::size_t i = 0; i < clear.size(); ++i) {
+    if (clear[i] != set[i]) {
+      ASSERT_EQ(flags_at, clear.size()) << "more than one differing byte";
+      flags_at = i;
+    }
+  }
+  ASSERT_LT(flags_at, clear.size());
+  auto bytes = clear;
+  bytes[flags_at] = 4;  // reserved bit
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
 // -------------------------- property sweep: random message round-trips -----
 
 class MessageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -199,6 +313,18 @@ TEST_P(MessageFuzz, RandomWriteUpdatesRoundTrip) {
     std::vector<std::uint64_t> clock(rng.below(16) + 1);
     for (auto& c : clock) c = rng.below(1'000'000);
     m.clock = VectorClock{std::move(clock)};
+    if (rng.below(2) == 0) {
+      // Half the population carries a valid typed trailer: a random spec and
+      // a random MUTATING opcode (the decoder rejects accessors by design).
+      constexpr OpCode kMutations[] = {OpCode::kWrite,  OpCode::kInc,
+                                       OpCode::kDec,    OpCode::kCas,
+                                       OpCode::kAppend, OpCode::kAdd,
+                                       OpCode::kRemove};
+      m.spec = static_cast<std::uint8_t>(rng.below(kSpecCount));
+      m.opcode = static_cast<std::uint8_t>(
+          kMutations[rng.below(std::size(kMutations))]);
+      m.arg2 = rng.between(INT64_MIN, INT64_MAX);
+    }
 
     const auto bytes = encode_message(Message{m});
     const auto decoded = decode_message(bytes);
@@ -227,6 +353,8 @@ TEST_P(MessageFuzz, RandomByteBlobsNeverCrashDecoder) {
 std::vector<std::vector<std::uint8_t>> sample_encodings() {
   std::vector<std::vector<std::uint8_t>> out;
   out.push_back(encode_message(Message{sample_write_update()}));
+  out.push_back(encode_message(
+      Message{sample_typed_update(SpecId::kCasRegister, OpCode::kCas, -7)}));
   out.push_back(encode_message(Message{TokenGrant{12345, 4}}));
   BatchUpdate batch;
   batch.sender = 1;

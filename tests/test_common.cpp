@@ -178,6 +178,29 @@ TEST(Zipf, SingleItemAlwaysRankZero) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
 }
 
+TEST(Zipf, HeavySkewConcentratesOnRankZero) {
+  // At s=3 the CDF is dominated by the first rank (1 / zeta(3) ≈ 0.83); the
+  // tail ranks should be rare but not impossible.
+  const ZipfSampler zipf(16, 3.0);
+  Rng rng(6);
+  std::vector<int> counts(16, 0);
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], kDraws * 3 / 4);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_LT(counts[15], kDraws / 100);
+}
+
+TEST(Zipf, SameSeedYieldsSameSequence) {
+  // Sampling is a pure function of (n, s, rng state): two samplers over
+  // same-seeded generators must agree draw for draw.
+  const ZipfSampler a(12, 0.9);
+  const ZipfSampler b(12, 0.9);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.sample(rng_a), b.sample(rng_b));
+}
+
 // ------------------------------------------------------------- BitMatrix --
 
 TEST(BitMatrix, StartsEmpty) {

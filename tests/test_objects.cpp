@@ -1,0 +1,328 @@
+// Unit tests for the typed-object layer (docs/OBJECTS.md): the opcode
+// vocabulary, the sequential specs behind the ObjectSpec seam, schema and
+// mix parsing, the ObjectStore replica decorator, and typed workload
+// generation.
+
+#include <gtest/gtest.h>
+
+#include "dsm/codec/message.h"
+#include "dsm/objects/object_store.h"
+#include "dsm/objects/opcodes.h"
+#include "dsm/objects/schema.h"
+#include "dsm/objects/spec.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/objects_demo.h"
+
+namespace dsm {
+namespace {
+
+// ---------------------------------------------------------------- opcodes --
+
+TEST(Opcodes, ValidityBounds) {
+  for (std::uint8_t s = 0; s < kSpecCount; ++s) EXPECT_TRUE(valid_spec_id(s));
+  EXPECT_FALSE(valid_spec_id(kSpecCount));
+  EXPECT_FALSE(valid_spec_id(0xff));
+  for (std::uint8_t op = 0; op < kOpCodeCount; ++op)
+    EXPECT_TRUE(valid_opcode(op));
+  EXPECT_FALSE(valid_opcode(kOpCodeCount));
+  EXPECT_FALSE(valid_opcode(0xff));
+}
+
+TEST(Opcodes, EveryOpcodeIsMutationXorAccessor) {
+  for (std::uint8_t raw = 0; raw < kOpCodeCount; ++raw) {
+    const auto op = static_cast<OpCode>(raw);
+    EXPECT_NE(is_mutation(op), is_accessor(op)) << raw;
+  }
+}
+
+TEST(Opcodes, SpecNamesRoundTrip) {
+  for (std::uint8_t raw = 0; raw < kSpecCount; ++raw) {
+    const auto s = static_cast<SpecId>(raw);
+    const auto parsed = parse_spec_id(to_string(s));
+    ASSERT_TRUE(parsed.has_value()) << to_string(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_spec_id("blob").has_value());
+  EXPECT_FALSE(parse_spec_id("").has_value());
+  EXPECT_FALSE(parse_spec_id("mixed").has_value());  // schema-level keyword
+}
+
+TEST(Opcodes, RegisterOpcodesKeepTheirPreTypedValues) {
+  // The wire format relies on these being the zero values (a plain register
+  // frame must be byte-identical to the pre-typed encoding).
+  EXPECT_EQ(static_cast<std::uint8_t>(SpecId::kRegister), 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(OpCode::kWrite), 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(OpCode::kRead), 1);
+}
+
+// ------------------------------------------------------------------ specs --
+
+TEST(ObjectSpecs, CounterSemantics) {
+  const ObjectSpec& spec = spec_for(SpecId::kCounter);
+  EXPECT_FALSE(spec.order_sensitive());  // inc/dec commute
+  auto state = spec.make_state();
+  EXPECT_EQ(state->apply(OpCode::kInc, 5, 0), 5);
+  EXPECT_EQ(state->apply(OpCode::kDec, 2, 0), 3);
+  EXPECT_EQ(state->observe(OpCode::kGet, 0), 3);
+}
+
+TEST(ObjectSpecs, CasRegisterSemantics) {
+  const ObjectSpec& spec = spec_for(SpecId::kCasRegister);
+  EXPECT_TRUE(spec.order_sensitive());
+  auto state = spec.make_state();
+  EXPECT_EQ(state->apply(OpCode::kWrite, 5, 0), 5);
+  EXPECT_EQ(state->apply(OpCode::kCas, 5, 9), 1);  // matched: install 9
+  EXPECT_EQ(state->observe(OpCode::kRead, 0), 9);
+  EXPECT_EQ(state->apply(OpCode::kCas, 5, 11), 0);  // stale expect: no-op
+  EXPECT_EQ(state->observe(OpCode::kRead, 0), 9);
+}
+
+TEST(ObjectSpecs, LogScanIsOrderSensitive) {
+  const ObjectSpec& spec = spec_for(SpecId::kLog);
+  auto ab = spec.make_state();
+  EXPECT_EQ(ab->apply(OpCode::kAppend, 1, 0), 1);  // returns new length
+  EXPECT_EQ(ab->apply(OpCode::kAppend, 2, 0), 2);
+  auto ba = spec.make_state();
+  ba->apply(OpCode::kAppend, 2, 0);
+  ba->apply(OpCode::kAppend, 1, 0);
+  auto ab2 = spec.make_state();
+  ab2->apply(OpCode::kAppend, 1, 0);
+  ab2->apply(OpCode::kAppend, 2, 0);
+  EXPECT_NE(ab->observe(OpCode::kScan, 0), ba->observe(OpCode::kScan, 0));
+  EXPECT_EQ(ab->observe(OpCode::kScan, 0), ab2->observe(OpCode::kScan, 0));
+  EXPECT_EQ(ab->digest(), ab2->digest());
+  EXPECT_NE(ab->digest(), ba->digest());
+}
+
+TEST(ObjectSpecs, SetSemanticsAndRelevanceFilter) {
+  const ObjectSpec& spec = spec_for(SpecId::kSet);
+  auto state = spec.make_state();
+  state->apply(OpCode::kAdd, 7, 0);
+  EXPECT_EQ(state->observe(OpCode::kContains, 7), 1);
+  EXPECT_EQ(state->observe(OpCode::kContains, 3), 0);
+  state->apply(OpCode::kRemove, 7, 0);
+  EXPECT_EQ(state->observe(OpCode::kContains, 7), 0);
+  // add(3) can never influence contains(7): the checker drops it before
+  // enumerating linearizations.
+  const TypedOp add3{SpecId::kSet, OpCode::kAdd, 3, 0};
+  EXPECT_FALSE(spec.relevant(add3, OpCode::kContains, 7));
+  EXPECT_TRUE(spec.relevant(add3, OpCode::kContains, 3));
+}
+
+TEST(ObjectSpecs, CloneIsIndependent) {
+  auto state = spec_for(SpecId::kCounter).make_state();
+  state->apply(OpCode::kInc, 4, 0);
+  const auto copy = state->clone();
+  state->apply(OpCode::kInc, 10, 0);
+  EXPECT_EQ(copy->observe(OpCode::kGet, 0), 4);
+  EXPECT_EQ(state->observe(OpCode::kGet, 0), 14);
+}
+
+TEST(ObjectSpecs, OpcodeTablesMatchTheVocabulary) {
+  EXPECT_TRUE(spec_for(SpecId::kRegister).valid_mutation(OpCode::kWrite));
+  EXPECT_FALSE(spec_for(SpecId::kRegister).valid_mutation(OpCode::kInc));
+  EXPECT_TRUE(spec_for(SpecId::kCounter).valid_accessor(OpCode::kGet));
+  EXPECT_FALSE(spec_for(SpecId::kCounter).valid_accessor(OpCode::kRead));
+  EXPECT_TRUE(spec_for(SpecId::kCasRegister).valid_mutation(OpCode::kCas));
+  EXPECT_TRUE(spec_for(SpecId::kLog).valid_mutation(OpCode::kAppend));
+  EXPECT_FALSE(spec_for(SpecId::kLog).valid_mutation(OpCode::kScan));
+  EXPECT_TRUE(spec_for(SpecId::kSet).valid_mutation(OpCode::kRemove));
+  EXPECT_TRUE(spec_for(SpecId::kSet).valid_accessor(OpCode::kContains));
+}
+
+// ----------------------------------------------------------------- schema --
+
+TEST(ObjectSchema, ParseSingleNameCoversAllVars) {
+  const auto schema = ObjectSchema::parse("counter", 3);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->size(), 3u);
+  for (VarId x = 0; x < 3; ++x) EXPECT_EQ(schema->spec_for(x), SpecId::kCounter);
+  EXPECT_FALSE(schema->all_registers());
+}
+
+TEST(ObjectSchema, ParseMixedRoundRobinsOverAllSpecs) {
+  const auto schema = ObjectSchema::parse("mixed", 7);
+  ASSERT_TRUE(schema.has_value());
+  for (VarId x = 0; x < 7; ++x) {
+    EXPECT_EQ(schema->spec_for(x), static_cast<SpecId>(x % kSpecCount));
+  }
+}
+
+TEST(ObjectSchema, ParseRejectsUnknownSpecWithTypedMessage) {
+  std::string error;
+  EXPECT_FALSE(ObjectSchema::parse("blob", 4, &error).has_value());
+  EXPECT_EQ(error,
+            "unknown object spec \"blob\" "
+            "(want register|counter|cas-register|log|set|mixed)");
+  EXPECT_FALSE(ObjectSchema::parse("", 4, &error).has_value());
+  EXPECT_FALSE(ObjectSchema::parse("counter", 0, &error).has_value());
+}
+
+TEST(ObjectSchema, VarsBeyondTheSchemaDefaultToRegister) {
+  const auto schema = ObjectSchema::parse("set", 2);
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->spec_for(100), SpecId::kRegister);
+  const auto registers = ObjectSchema::parse("register", 2);
+  ASSERT_TRUE(registers.has_value());
+  EXPECT_TRUE(registers->all_registers());
+}
+
+// -------------------------------------------------------------------- mix --
+
+TEST(ObjectMixParse, AcceptsWeightsAndRoundTrips) {
+  const auto mix = ObjectMix::parse("6:2:1:1");
+  ASSERT_TRUE(mix.has_value());
+  EXPECT_EQ(mix->reads, 6u);
+  EXPECT_EQ(mix->writes, 2u);
+  EXPECT_EQ(mix->cond, 1u);
+  EXPECT_EQ(mix->anti, 1u);
+  const auto again = ObjectMix::parse(mix->str());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->reads, mix->reads);
+  // Zero weights are fine as long as the total is positive.
+  EXPECT_TRUE(ObjectMix::parse("0:1:0:0").has_value());
+}
+
+TEST(ObjectMixParse, RejectsMalformedMixes) {
+  std::string error;
+  for (const char* bad : {"1:2", "1:1:1:1:1", "a:1:1:1", "0:0:0:0", "",
+                          "1:1:-1:1"}) {
+    EXPECT_FALSE(ObjectMix::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// ------------------------------------------------------------ ObjectStore --
+
+WriteUpdate typed_update(ProcessId sender, VarId var, SeqNo seq, SpecId spec,
+                         OpCode opcode, Value arg, Value arg2 = 0) {
+  WriteUpdate m;
+  m.sender = sender;
+  m.var = var;
+  m.value = arg;
+  m.write_seq = seq;
+  m.spec = static_cast<std::uint8_t>(spec);
+  m.opcode = static_cast<std::uint8_t>(opcode);
+  m.arg2 = arg2;
+  return m;
+}
+
+TEST(ObjectStore, ReplaysStashedMutationsIntoPerReplicaState) {
+  const auto schema = std::make_shared<const ObjectSchema>(
+      *ObjectSchema::parse("counter", 1));
+  ProtocolObserver sink;
+  ObjectStore store(schema, 2, 1, sink);
+
+  const auto inc = typed_update(0, 0, 1, SpecId::kCounter, OpCode::kInc, 5);
+  store.on_send(0, inc);                     // issuer stashes at send
+  store.on_apply(0, WriteId{0, 1}, false);   // local apply
+  EXPECT_EQ(store.last_apply_result(0), 5);
+  EXPECT_EQ(store.observe(0, 0, OpCode::kGet, 0), 5);
+  EXPECT_EQ(store.observe(1, 0, OpCode::kGet, 0), 0);  // not applied yet
+
+  store.on_receipt(1, inc);                  // receiver stashes at receipt
+  store.on_apply(1, WriteId{0, 1}, true);
+  EXPECT_EQ(store.observe(1, 0, OpCode::kGet, 0), 5);
+  EXPECT_EQ(store.replica_digest(0), store.replica_digest(1));
+  EXPECT_EQ(store.visible_counts(1, 0), (std::vector<std::uint64_t>{1, 0}));
+  EXPECT_EQ(store.unmatched_applies(), 0u);
+  EXPECT_EQ(store.spec_of(0), SpecId::kCounter);
+}
+
+TEST(ObjectStore, UnmatchedApplyIsCountedNotApplied) {
+  const auto schema = std::make_shared<const ObjectSchema>(
+      *ObjectSchema::parse("counter", 1));
+  ProtocolObserver sink;
+  ObjectStore store(schema, 2, 1, sink);
+  store.on_apply(0, WriteId{1, 7}, false);  // no stash for this id
+  EXPECT_EQ(store.unmatched_applies(), 1u);
+  EXPECT_EQ(store.observe(0, 0, OpCode::kGet, 0), 0);
+}
+
+TEST(ObjectStore, RegisterWritesFlowThroughTheSameMachinery) {
+  const auto schema = std::make_shared<const ObjectSchema>(
+      *ObjectSchema::parse("register", 1));
+  ProtocolObserver sink;
+  ObjectStore store(schema, 2, 1, sink);
+  const auto w = typed_update(1, 0, 1, SpecId::kRegister, OpCode::kWrite, 42);
+  store.on_receipt(0, w);
+  store.on_apply(0, WriteId{1, 1}, false);
+  EXPECT_EQ(store.observe(0, 0, OpCode::kRead, 0), 42);
+}
+
+// --------------------------------------------------------- typed workload --
+
+bool steps_equal(const ScriptStep& a, const ScriptStep& b) {
+  return a.delay == b.delay && a.kind == b.kind && a.var == b.var &&
+         a.value == b.value && a.spec == b.spec && a.opcode == b.opcode &&
+         a.arg2 == b.arg2;
+}
+
+TEST(MixedObjectWorkload, EqualSpecsYieldEqualScripts) {
+  WorkloadSpec spec;
+  spec.n_procs = 3;
+  spec.n_vars = 5;
+  spec.ops_per_proc = 60;
+  spec.zipf_s = 0.9;
+  spec.seed = 11;
+  const auto schema = ObjectSchema::parse("mixed", spec.n_vars);
+  ASSERT_TRUE(schema.has_value());
+  const ObjectMix mix;
+  const auto a = generate_mixed_object_workload(spec, *schema, mix);
+  const auto b = generate_mixed_object_workload(spec, *schema, mix);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p].size(), b[p].size()) << p;
+    for (std::size_t i = 0; i < a[p].size(); ++i) {
+      EXPECT_TRUE(steps_equal(a[p][i], b[p][i])) << p << ":" << i;
+    }
+  }
+}
+
+TEST(MixedObjectWorkload, RegisterSchemaFallsBackToPlainSteps) {
+  WorkloadSpec spec;
+  spec.n_procs = 2;
+  spec.n_vars = 3;
+  spec.ops_per_proc = 40;
+  const auto schema = ObjectSchema::parse("register", spec.n_vars);
+  const auto scripts = generate_mixed_object_workload(spec, *schema, {});
+  EXPECT_EQ(count_steps(scripts, StepKind::kMutate), 0u);
+  EXPECT_EQ(count_steps(scripts, StepKind::kObserve), 0u);
+  EXPECT_GT(count_steps(scripts, StepKind::kWrite), 0u);
+}
+
+TEST(MixedObjectWorkload, TypedStepsCarryTheSchemasSpec) {
+  WorkloadSpec spec;
+  spec.n_procs = 2;
+  spec.n_vars = 4;
+  spec.ops_per_proc = 50;
+  const auto schema = ObjectSchema::parse("counter", spec.n_vars);
+  const auto scripts = generate_mixed_object_workload(spec, *schema, {});
+  EXPECT_GT(count_steps(scripts, StepKind::kMutate), 0u);
+  EXPECT_GT(count_steps(scripts, StepKind::kObserve), 0u);
+  for (const auto& script : scripts) {
+    for (const auto& step : script) {
+      if (step.kind != StepKind::kMutate && step.kind != StepKind::kObserve)
+        continue;
+      EXPECT_EQ(static_cast<SpecId>(step.spec), SpecId::kCounter);
+      const auto op = static_cast<OpCode>(step.opcode);
+      EXPECT_TRUE(step.kind == StepKind::kMutate ? is_mutation(op)
+                                                 : is_accessor(op));
+    }
+  }
+}
+
+TEST(ObjectsDemo, SchemaCoversOneVariablePerSpec) {
+  const auto schema = make_objects_demo_schema();
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->size(), kObjectsDemoVars);
+  EXPECT_EQ(schema->spec_for(0), SpecId::kCounter);
+  EXPECT_EQ(schema->spec_for(1), SpecId::kSet);
+  EXPECT_EQ(schema->spec_for(2), SpecId::kLog);
+  EXPECT_EQ(schema->spec_for(3), SpecId::kCasRegister);
+  EXPECT_EQ(schema->spec_for(4), SpecId::kRegister);
+  EXPECT_EQ(make_objects_demo_scripts().size(), kObjectsDemoProcs);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,258 @@
+// Tests for the spec-driven legality checker (docs/OBJECTS.md): per-spec
+// legal/illegal accessor returns, the visible-set soundness gate, the search
+// budget, and the differential guarantee that on an all-register schema the
+// SpecChecker's verdicts are identical to the seed ConsistencyChecker's.
+
+#include <gtest/gtest.h>
+
+#include "dsm/objects/schema.h"
+#include "dsm/objects/spec.h"
+#include "dsm/objects/spec_checker.h"
+#include "dsm/workload/generator.h"
+#include "dsm/workload/sim_harness.h"
+
+namespace dsm {
+namespace {
+
+ObjectSchema schema_of(const char* name, std::size_t n_vars) {
+  const auto parsed = ObjectSchema::parse(name, n_vars);
+  EXPECT_TRUE(parsed.has_value()) << name;
+  return *parsed;
+}
+
+// Digest a mutation sequence under a spec and answer one accessor — the
+// reference for scripted scan/get returns.
+Value replay_observe(SpecId spec, std::initializer_list<TypedOp> mutations,
+                     OpCode accessor, Value arg = 0) {
+  auto state = spec_for(spec).make_state();
+  for (const TypedOp& m : mutations) state->apply(m.opcode, m.arg, m.arg2);
+  return state->observe(accessor, arg);
+}
+
+// -------------------------------------------------- per-spec legality ------
+
+TEST(SpecChecker, CounterSumLegalAndWrongSumFlagged) {
+  const ObjectSchema schema = schema_of("counter", 1);
+  {
+    GlobalHistory h(2, 1);
+    h.add_mutation(0, 0, SpecId::kCounter, OpCode::kInc, 5, 0);
+    h.add_mutation(0, 0, SpecId::kCounter, OpCode::kDec, 2, 0);
+    h.add_accessor(1, 0, SpecId::kCounter, OpCode::kGet, 0, 3, WriteId{0, 2},
+                   {2, 0});
+    const auto result = SpecChecker::check(h, schema);
+    EXPECT_TRUE(result.consistent());
+    EXPECT_GT(result.linearizations_explored, 0u);
+  }
+  {
+    GlobalHistory h(2, 1);
+    h.add_mutation(0, 0, SpecId::kCounter, OpCode::kInc, 5, 0);
+    h.add_mutation(0, 0, SpecId::kCounter, OpCode::kDec, 2, 0);
+    h.add_accessor(1, 0, SpecId::kCounter, OpCode::kGet, 0, 4, WriteId{0, 2},
+                   {2, 0});
+    const auto result = SpecChecker::check(h, schema);
+    ASSERT_EQ(result.violations.size(), 1u);
+    EXPECT_EQ(result.violations[0].kind, ViolationKind::kIllegalReturn);
+  }
+}
+
+TEST(SpecChecker, ConcurrentCasWritesAllowEitherFinalValue) {
+  // p0 and p1 write concurrently; the accessor may return whichever value a
+  // linearization leaves last — but nothing else.
+  const ObjectSchema schema = schema_of("cas-register", 1);
+  for (const Value returned : {1, 2}) {
+    GlobalHistory h(3, 1);
+    h.add_mutation(0, 0, SpecId::kCasRegister, OpCode::kWrite, 1, 0);
+    h.add_mutation(1, 0, SpecId::kCasRegister, OpCode::kWrite, 2, 0);
+    h.add_accessor(2, 0, SpecId::kCasRegister, OpCode::kRead, 0, returned,
+                   WriteId{static_cast<ProcessId>(returned - 1), 1},
+                   {1, 1, 0});
+    EXPECT_TRUE(SpecChecker::check(h, schema).consistent()) << returned;
+  }
+  GlobalHistory h(3, 1);
+  h.add_mutation(0, 0, SpecId::kCasRegister, OpCode::kWrite, 1, 0);
+  h.add_mutation(1, 0, SpecId::kCasRegister, OpCode::kWrite, 2, 0);
+  h.add_accessor(2, 0, SpecId::kCasRegister, OpCode::kRead, 0, 3,
+                 WriteId{0, 1}, {1, 1, 0});
+  const auto result = SpecChecker::check(h, schema);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kIllegalReturn);
+}
+
+TEST(SpecChecker, CasEffectDependsOnLinearizationOrder) {
+  // p0: w(5).  p1: cas(5 -> 9), causally after the write (it read it).
+  // A scan.. er, read returning 9 is forced; 5 would mean the cas was
+  // ordered first, which ↦co forbids.
+  const ObjectSchema schema = schema_of("cas-register", 1);
+  {
+    GlobalHistory h(2, 1);
+    h.add_mutation(0, 0, SpecId::kCasRegister, OpCode::kWrite, 5, 0);
+    h.add_accessor(1, 0, SpecId::kCasRegister, OpCode::kRead, 0, 5,
+                   WriteId{0, 1}, {1, 0});  // p1 read 5 (ro edge: w ↦co cas)
+    h.add_mutation(1, 0, SpecId::kCasRegister, OpCode::kCas, 5, 9);
+    h.add_accessor(1, 0, SpecId::kCasRegister, OpCode::kRead, 0, 9,
+                   WriteId{1, 1}, {1, 1});
+    EXPECT_TRUE(SpecChecker::check(h, schema).consistent());
+  }
+  {
+    GlobalHistory h(2, 1);
+    h.add_mutation(0, 0, SpecId::kCasRegister, OpCode::kWrite, 5, 0);
+    h.add_accessor(1, 0, SpecId::kCasRegister, OpCode::kRead, 0, 5,
+                   WriteId{0, 1}, {1, 0});
+    h.add_mutation(1, 0, SpecId::kCasRegister, OpCode::kCas, 5, 9);
+    h.add_accessor(1, 0, SpecId::kCasRegister, OpCode::kRead, 0, 5,
+                   WriteId{1, 1}, {1, 1});  // cas applied locally: 5 illegal
+    EXPECT_FALSE(SpecChecker::check(h, schema).consistent());
+  }
+}
+
+TEST(SpecChecker, LogScanAcceptsAnyOrderOfConcurrentAppendsOnly) {
+  const ObjectSchema schema = schema_of("log", 1);
+  const Value ab = replay_observe(SpecId::kLog,
+                                  {{SpecId::kLog, OpCode::kAppend, 1, 0},
+                                   {SpecId::kLog, OpCode::kAppend, 2, 0}},
+                                  OpCode::kScan);
+  const Value ba = replay_observe(SpecId::kLog,
+                                  {{SpecId::kLog, OpCode::kAppend, 2, 0},
+                                   {SpecId::kLog, OpCode::kAppend, 1, 0}},
+                                  OpCode::kScan);
+  ASSERT_NE(ab, ba);
+  for (const Value digest : {ab, ba}) {  // concurrent: both orders legal
+    GlobalHistory h(3, 1);
+    h.add_mutation(0, 0, SpecId::kLog, OpCode::kAppend, 1, 0);
+    h.add_mutation(1, 0, SpecId::kLog, OpCode::kAppend, 2, 0);
+    h.add_accessor(2, 0, SpecId::kLog, OpCode::kScan, 0, digest, WriteId{0, 1},
+                   {1, 1, 0});
+    EXPECT_TRUE(SpecChecker::check(h, schema).consistent()) << digest;
+  }
+  GlobalHistory h(3, 1);
+  h.add_mutation(0, 0, SpecId::kLog, OpCode::kAppend, 1, 0);
+  h.add_mutation(1, 0, SpecId::kLog, OpCode::kAppend, 2, 0);
+  h.add_accessor(2, 0, SpecId::kLog, OpCode::kScan, 0, 123456, WriteId{0, 1},
+                 {1, 1, 0});
+  EXPECT_FALSE(SpecChecker::check(h, schema).consistent());
+}
+
+TEST(SpecChecker, SetContainsRespectsAddRemoveOrder) {
+  const ObjectSchema schema = schema_of("set", 1);
+  // add(7) then causally-later rem(7): contains(7) must be 0.
+  GlobalHistory h(2, 1);
+  h.add_mutation(0, 0, SpecId::kSet, OpCode::kAdd, 7, 0);
+  h.add_accessor(1, 0, SpecId::kSet, OpCode::kContains, 7, 1, WriteId{0, 1},
+                 {1, 0});
+  h.add_mutation(1, 0, SpecId::kSet, OpCode::kRemove, 7, 0);
+  h.add_accessor(1, 0, SpecId::kSet, OpCode::kContains, 7, 0, WriteId{1, 1},
+                 {1, 1});
+  EXPECT_TRUE(SpecChecker::check(h, schema).consistent());
+
+  GlobalHistory bad(2, 1);
+  bad.add_mutation(0, 0, SpecId::kSet, OpCode::kAdd, 7, 0);
+  bad.add_accessor(1, 0, SpecId::kSet, OpCode::kContains, 7, 1, WriteId{0, 1},
+                   {1, 0});
+  bad.add_mutation(1, 0, SpecId::kSet, OpCode::kRemove, 7, 0);
+  bad.add_accessor(1, 0, SpecId::kSet, OpCode::kContains, 7, 1, WriteId{1, 1},
+                   {1, 1});  // claims 7 is still a member
+  EXPECT_FALSE(SpecChecker::check(bad, schema).consistent());
+}
+
+// ------------------------------------------------- soundness & budget ------
+
+TEST(SpecChecker, VisibleSetMissingCausallyPriorMutationIsUnsound) {
+  // The accessor follows its own process's mutation in program order but
+  // claims it never applied it — causal consistency forbids that.
+  const ObjectSchema schema = schema_of("counter", 1);
+  GlobalHistory h(2, 1);
+  h.add_mutation(0, 0, SpecId::kCounter, OpCode::kInc, 5, 0);
+  h.add_accessor(0, 0, SpecId::kCounter, OpCode::kGet, 0, 0, kNoWrite,
+                 {0, 0});
+  const auto result = SpecChecker::check(h, schema);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].kind, ViolationKind::kIllegalReturn);
+  EXPECT_NE(result.violations[0].detail.find("causally prior"),
+            std::string::npos);
+}
+
+TEST(SpecChecker, OverclaimedVisibleCountsAreFlagged) {
+  const ObjectSchema schema = schema_of("counter", 1);
+  GlobalHistory h(2, 1);
+  h.add_mutation(0, 0, SpecId::kCounter, OpCode::kInc, 5, 0);
+  h.add_accessor(1, 0, SpecId::kCounter, OpCode::kGet, 0, 5, WriteId{0, 1},
+                 {3, 0});  // only 1 mutation was ever issued
+  EXPECT_FALSE(SpecChecker::check(h, schema).consistent());
+}
+
+TEST(SpecChecker, ExhaustedBudgetAcceptsInsteadOfFalseViolation) {
+  // Eight concurrent appends make 8! linearizations; a budget of 1 cannot
+  // decide, so the checker must accept (never a false positive) while still
+  // reporting the work it did.
+  const ObjectSchema schema = schema_of("log", 1);
+  GlobalHistory h(9, 1);
+  for (ProcessId p = 0; p < 8; ++p)
+    h.add_mutation(p, 0, SpecId::kLog, OpCode::kAppend, p + 1, 0);
+  std::vector<std::uint64_t> visible(9, 1);
+  visible[8] = 0;
+  h.add_accessor(8, 0, SpecId::kLog, OpCode::kScan, 0, 999, WriteId{0, 1},
+                 std::move(visible));
+  SpecChecker::Options opts;
+  opts.max_explored_per_accessor = 1;
+  const auto result = SpecChecker::check(h, schema, opts);
+  EXPECT_TRUE(result.consistent());
+  EXPECT_GT(result.linearizations_explored, 0u);
+}
+
+// ------------------------------------------------- differential oracle -----
+
+void expect_identical_verdicts(const GlobalHistory& h,
+                               const ObjectSchema& schema) {
+  const CheckResult seed = ConsistencyChecker::check(h);
+  const CheckResult typed = SpecChecker::check(h, schema);
+  EXPECT_EQ(typed.reads_checked, seed.reads_checked);
+  EXPECT_EQ(typed.linearizations_explored, 0u);  // register rule: no search
+  ASSERT_EQ(typed.violations.size(), seed.violations.size());
+  for (std::size_t i = 0; i < seed.violations.size(); ++i) {
+    EXPECT_EQ(typed.violations[i].kind, seed.violations[i].kind) << i;
+    EXPECT_EQ(typed.violations[i].read, seed.violations[i].read) << i;
+    EXPECT_EQ(typed.violations[i].write, seed.violations[i].write) << i;
+    EXPECT_EQ(typed.violations[i].detail, seed.violations[i].detail) << i;
+  }
+}
+
+TEST(SpecCheckerDifferential, RegisterSchemaMatchesSeedCheckerOnCleanRuns) {
+  // Randomized register runs under OptP and ANBKH: the SpecChecker must
+  // reproduce the seed checker's verdicts byte for byte.
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    for (const auto kind : {ProtocolKind::kOptP, ProtocolKind::kAnbkh}) {
+      WorkloadSpec spec;
+      spec.n_procs = 4;
+      spec.n_vars = 4;
+      spec.ops_per_proc = 40;
+      spec.seed = seed;
+      const UniformLatency latency(sim_us(50), sim_us(800), seed);
+      SimRunConfig cfg;
+      cfg.kind = kind;
+      cfg.n_procs = 4;
+      cfg.n_vars = 4;
+      cfg.latency = &latency;
+      const auto result = run_sim(cfg, generate_workload(spec));
+      ASSERT_TRUE(result.settled);
+      expect_identical_verdicts(result.recorder->history(),
+                                schema_of("register", 4));
+    }
+  }
+}
+
+TEST(SpecCheckerDifferential, RegisterSchemaMatchesSeedCheckerOnViolations) {
+  // Hand-built inconsistent register history: w(1) ↦co w(2) ↦co r, yet the
+  // read returns the overwritten w(1) (Definition 1 violation).  Both
+  // checkers must flag it identically — kind, anchors and detail text.
+  GlobalHistory h(2, 1);
+  const WriteId w1 = h.add_write(0, 0, 1);
+  h.add_write(0, 0, 2);
+  h.add_read(1, 0, 2, WriteId{0, 2});  // pulls w2 (and thus w1) into the past
+  h.add_read(1, 0, 1, w1);             // stale: w2 intervenes
+  const auto seed = ConsistencyChecker::check(h);
+  ASSERT_FALSE(seed.consistent());
+  expect_identical_verdicts(h, schema_of("register", 1));
+}
+
+}  // namespace
+}  // namespace dsm

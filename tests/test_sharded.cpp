@@ -109,6 +109,26 @@ TEST(SubscriptionMap, ParseRejectsMalformedSpecs) {
   }
 }
 
+TEST(SubscriptionMap, ParseErrorsNameTheOffendingToken) {
+  // The error string is user-facing CLI output (--subscriptions=...), so it
+  // must point at the specific token, not just say "bad spec".
+  const struct {
+    const char* spec;
+    const char* error;
+  } cases[] = {
+      {"0:0;0:1;1:1", "variable 0 listed twice"},
+      {"0:9;1:0", "bad process in \"0:9\""},
+      // An empty subscriber list dies on the empty token, same branch.
+      {"0:;1:0", "bad process in \"0:\""},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    EXPECT_FALSE(SubscriptionMap::parse(c.spec, 3, 2, &error).has_value())
+        << c.spec;
+    EXPECT_EQ(error, c.error) << c.spec;
+  }
+}
+
 // ------------------------------------------------------------ ShardedOptP --
 
 TEST(ShardedOptP, FullMapBehavesExactlyLikeOptP) {

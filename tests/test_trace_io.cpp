@@ -7,6 +7,7 @@
 #include "dsm/audit/trace_io.h"
 #include "dsm/history/checker.h"
 #include "dsm/workload/generator.h"
+#include "dsm/workload/objects_demo.h"
 #include "dsm/workload/sim_harness.h"
 #include "test_util.h"
 
@@ -121,6 +122,86 @@ TEST(TraceIo, BlankLinesTolerated) {
       import_trace_jsonl("{\"type\":\"meta\",\"procs\":1,\"vars\":1}\n\n\n");
   ASSERT_TRUE(imported.has_value());
   EXPECT_EQ(imported->history.n_procs(), 1u);
+}
+
+TEST(TraceIo, TypedRunRoundTripsLosslessly) {
+  // The five-spec objects demo exercises every spec's mutations and
+  // accessors (visible sets included); the imported ops must compare equal
+  // field for field — Operation::operator== covers spec/opcode/arg2/visible.
+  const auto schema = make_objects_demo_schema();
+  const UniformLatency latency(sim_us(50), sim_us(400), 3);
+  SimRunConfig cfg;
+  cfg.n_procs = kObjectsDemoProcs;
+  cfg.n_vars = kObjectsDemoVars;
+  cfg.latency = &latency;
+  cfg.protocol_config.objects = schema;
+  const auto result = run_sim(cfg, make_objects_demo_scripts());
+  ASSERT_TRUE(result.settled);
+
+  const auto imported =
+      import_trace_jsonl(export_trace_jsonl(*result.recorder));
+  ASSERT_TRUE(imported.has_value());
+  const GlobalHistory& original = result.recorder->history();
+  ASSERT_EQ(imported->history.size(), original.size());
+  bool saw_typed = false;
+  for (ProcessId p = 0; p < kObjectsDemoProcs; ++p) {
+    const auto got = imported->history.local(p);
+    const auto want = original.local(p);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const Operation& op = original.op(want[i]);
+      EXPECT_EQ(imported->history.op(got[i]), op);
+      saw_typed = saw_typed || op.spec != SpecId::kRegister;
+    }
+  }
+  EXPECT_TRUE(saw_typed);  // the demo is not a pure register run
+}
+
+TEST(TraceIo, RegisterTracesCarryNoTypedKeys) {
+  // Byte-compatibility promise: a classic register run exports exactly the
+  // pre-typed-extension JSONL (no spec/opcode/arg2 keys anywhere).
+  DirectCluster c(ProtocolKind::kOptP, 2, 2);
+  c.write(0, 0, 1);
+  c.deliver_all();
+  (void)c.read(1, 0);
+  const auto text = export_trace_jsonl(c.recorder());
+  EXPECT_EQ(text.find("\"spec\""), std::string::npos);
+  EXPECT_EQ(text.find("\"opcode\""), std::string::npos);
+  EXPECT_EQ(text.find("\"arg2\""), std::string::npos);
+}
+
+TEST(TraceIo, PartialTypedFieldsRejected) {
+  // The typed keys are all-or-nothing on an op line.
+  const char* meta = "{\"type\":\"meta\",\"procs\":1,\"vars\":1}\n";
+  const char* partials[] = {
+      // spec without opcode/arg2
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"spec\":1}\n",
+      // spec+opcode without arg2
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"spec\":1,\"opcode\":2}\n",
+      // arg2 alone
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"arg2\":5}\n",
+  };
+  for (const char* line : partials) {
+    EXPECT_FALSE(import_trace_jsonl(std::string(meta) + line).has_value())
+        << line;
+  }
+  // spec 0 must ship key-less (the register byte-compatibility rule), and an
+  // unknown spec or opcode rejects outright.
+  const char* bad_values[] = {
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"spec\":0,\"opcode\":0,\"arg2\":0}\n",
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"spec\":9,\"opcode\":2,\"arg2\":0}\n",
+      "{\"type\":\"op\",\"proc\":0,\"kind\":\"write\",\"var\":0,\"value\":1,"
+      "\"wproc\":0,\"wseq\":1,\"spec\":1,\"opcode\":42,\"arg2\":0}\n",
+  };
+  for (const char* line : bad_values) {
+    EXPECT_FALSE(import_trace_jsonl(std::string(meta) + line).has_value())
+        << line;
+  }
 }
 
 TEST(TraceIo, WriteIdMismatchDetected) {

@@ -37,7 +37,11 @@
 //                          tick (docs/PERF.md; requires --state-dir)
 //
 // drive flags:
-//   --script=h1|fig1|fig3  paper workload (3 procs, 2 vars)
+//   --script=h1|fig1|fig3|objects   paper workload (3 procs, 2 vars), or the
+//                          typed-objects demo (3 procs, 5 vars: counter, set,
+//                          log, cas-register, register barrier — see
+//                          docs/OBJECTS.md; optp/anbkh/optp-sharded only,
+//                          incompatible with every durable-recovery mode)
 //   --spawn=N              number of processes to fork (must be 3)
 //   --protocol=... --recoverable       per-node stack shape
 //   --time-scale=K         multiply script delays (default 1000: µs -> ms,
@@ -113,6 +117,20 @@
 //                         --protocol=optp-partial (F replicas per variable;
 //                         default full); the generated workload restricts
 //                         every process to variables it replicates
+//
+// run-only typed-object flags (docs/OBJECTS.md):
+//   --objects=SPEC        sequential spec per variable: one of register,
+//                         counter, cas-register, log, set (applied to every
+//                         variable) or "mixed" (round-robin).  Generates a
+//                         typed workload, replicates mutations through the
+//                         unchanged update path, and validates accessor
+//                         returns with the spec-driven checker.  Requires
+//                         --protocol=optp, anbkh or optp-sharded; rejects
+//                         --crash (catch-up redelivery carries no typed
+//                         payload)
+//   --mix=R:W:C:A         typed workload category weights — reads : blind
+//                         writes : conditional/compound mutations : inverse
+//                         mutations (default 6:2:1:1; requires --objects)
 //   --latency=constant|uniform|exponential|lognormal
 //   --scale=USEC --spread=X
 //
@@ -131,9 +149,10 @@
 //   --trace-out=FILE      write the structured trace: Chrome trace_event
 //                         JSON (chrome://tracing / ui.perfetto.dev), or the
 //                         compact CSV when FILE ends in .csv
-//   --script=h1|fig1|fig3 run a paper scenario instead of a generated
-//                         workload (forces the paper's shape and constant
-//                         10µs latency; fig1/fig3 are choreographed)
+//   --script=h1|fig1|fig3|objects   run a paper scenario (or the typed-
+//                         objects demo) instead of a generated workload
+//                         (forces the scenario's shape and constant 10µs
+//                         latency; fig1/fig3 are choreographed)
 //
 // Every subcommand accepts --dry-run: parse and validate flags, then exit 0
 // without running (used by the docs-check tooling).
@@ -168,9 +187,13 @@
 #include "dsm/net/merge.h"
 #include "dsm/net/nemesis.h"
 #include "dsm/net/process_cluster.h"
+#include "dsm/objects/object_store.h"
+#include "dsm/objects/schema.h"
+#include "dsm/objects/spec_checker.h"
 #include "dsm/storage/wal.h"
 #include "dsm/telemetry/telemetry.h"
 #include "dsm/workload/generator.h"
+#include "dsm/workload/objects_demo.h"
 #include "dsm/workload/paper_examples.h"
 #include "dsm/workload/sim_harness.h"
 
@@ -189,6 +212,8 @@ struct CommonOptions {
   std::shared_ptr<const SubscriptionMap> subscription;
   /// optp-partial only (--replication); null = full replication.
   std::shared_ptr<const ReplicationMap> replication;
+  /// Typed objects (--objects / --script=objects); null = plain registers.
+  std::shared_ptr<const ObjectSchema> objects;
 };
 
 int usage(const char* program) {
@@ -396,6 +421,7 @@ SimRunResult run_one(ProtocolKind kind, const CommonOptions& o,
       o.spec.ops_per_proc * o.spec.n_procs * 50 + 1000;
   cfg.protocol_config.subscription = o.subscription;
   cfg.protocol_config.replication = o.replication;
+  cfg.protocol_config.objects = o.objects;
   cfg.telemetry = telemetry;
   if (choreo != nullptr) cfg.latency_override = *choreo;
   return run_sim(cfg, scripts != nullptr ? *scripts : generate_workload(o.spec));
@@ -462,16 +488,44 @@ bool write_file(const std::string& path, const std::string& text) {
 }
 
 void print_report(ProtocolKind kind, const SimRunResult& result,
-                  const SubscriptionMap* subscription = nullptr) {
+                  const SubscriptionMap* subscription = nullptr,
+                  const ObjectSchema* schema = nullptr,
+                  RunTelemetry* telemetry = nullptr,
+                  bool expect_convergence = false) {
   const auto audit = OptimalityAuditor::audit(
       result.recorder->history(), result.recorder->events(), subscription);
-  const auto check = ConsistencyChecker::check(result.recorder->history());
+  // A typed schema swaps in the spec-driven checker; on an all-register
+  // schema its verdicts are byte-identical to ConsistencyChecker's.
+  const auto check =
+      schema != nullptr
+          ? SpecChecker::check(result.recorder->history(), *schema)
+          : ConsistencyChecker::check(result.recorder->history());
+  if (schema != nullptr && telemetry != nullptr) {
+    telemetry->metrics()
+        .counter(MetricsRegistry::kRunScope, metric::kCheckerLinearizations)
+        .add(check.linearizations_explored);
+  }
 
   Table table({"metric", "value"});
   table.add("protocol", to_string(kind));
   if (subscription != nullptr) {
     table.add("subscriptions", subscription->describe());
     table.add("mean subscribers/var", subscription->mean_size());
+  }
+  if (schema != nullptr) {
+    table.add("objects", schema->str());
+    table.add("linearizations explored", check.linearizations_explored);
+    // Replica digests only witness convergence when the script choreographs
+    // a total order (the demo's barriers); concurrent non-commuting
+    // mutations legitimately leave replicas divergent under causal memory.
+    if (expect_convergence && result.objects != nullptr) {
+      bool converged = true;
+      const std::uint64_t d0 = result.objects->replica_digest(0);
+      for (ProcessId p = 1; p < result.recorder->history().n_procs(); ++p) {
+        converged = converged && result.objects->replica_digest(p) == d0;
+      }
+      table.add("object replicas converged", converged ? "yes" : "NO");
+    }
   }
   table.add("settled", result.settled ? "yes" : "NO");
   table.add("simulated time (ms)",
@@ -565,14 +619,74 @@ int cmd_run(Flags& flags) {
       auto c = script == "fig1" ? paper::make_fig1_run2() : paper::make_fig3();
       scripts = std::move(c.scripts);
       choreo = std::move(c.latency_override);
+    } else if (script == "objects") {
+      scripts = make_objects_demo_scripts();
+      o.objects = make_objects_demo_schema();
     } else {
-      std::fprintf(stderr, "unknown --script (want h1, fig1 or fig3)\n");
+      std::fprintf(stderr,
+                   "unknown --script (want h1, fig1, fig3 or objects)\n");
       return 2;
     }
-    o.spec.n_procs = paper::kH1Procs;
-    o.spec.n_vars = paper::kH1Vars;
+    if (script == "objects") {
+      o.spec.n_procs = kObjectsDemoProcs;
+      o.spec.n_vars = kObjectsDemoVars;
+    } else {
+      o.spec.n_procs = paper::kH1Procs;
+      o.spec.n_vars = paper::kH1Vars;
+    }
     o.latency_kind = LatencyKind::kConstant;
     o.scale = sim_us(10);
+  }
+  // --objects=SPEC: typed schema for the generated workload; --mix tunes the
+  // category weights of the typed op stream.
+  const std::string objects_flag = flags.get("objects", "");
+  ObjectMix mix;
+  if (!objects_flag.empty()) {
+    if (o.objects != nullptr) {
+      std::fprintf(stderr,
+                   "--script=objects fixes its own schema; drop --objects\n");
+      return 2;
+    }
+    std::string error;
+    auto schema = ObjectSchema::parse(objects_flag, o.spec.n_vars, &error);
+    if (!schema) {
+      std::fprintf(stderr, "bad --objects '%s': %s\n", objects_flag.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    o.objects = std::make_shared<const ObjectSchema>(std::move(*schema));
+  }
+  const std::string mix_flag = flags.get("mix", "");
+  if (!mix_flag.empty()) {
+    if (objects_flag.empty()) {
+      std::fprintf(stderr, "--mix requires --objects\n");
+      return 2;
+    }
+    std::string error;
+    const auto parsed_mix = ObjectMix::parse(mix_flag, &error);
+    if (!parsed_mix) {
+      std::fprintf(stderr, "bad --mix '%s': %s\n", mix_flag.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    mix = *parsed_mix;
+  }
+  if (o.objects != nullptr) {
+    if (*kind != ProtocolKind::kOptP && *kind != ProtocolKind::kAnbkh &&
+        *kind != ProtocolKind::kOptPSharded) {
+      std::fprintf(stderr,
+                   "typed objects require --protocol=optp, anbkh or "
+                   "optp-sharded (writing-semantics protocols skip superseded "
+                   "writes, which would drop mutations; partial replication "
+                   "has no object seam)\n");
+      return 2;
+    }
+    if (o.crash.active()) {
+      std::fprintf(stderr,
+                   "typed objects cannot run under a crash plan: catch-up "
+                   "redelivery carries no typed payload (docs/OBJECTS.md)\n");
+      return 2;
+    }
   }
   // Sharding/replication maps parse against the FINAL shape (a paper script
   // may have just overridden --procs/--vars).
@@ -605,13 +719,23 @@ int cmd_run(Flags& flags) {
       return 2;
     }
   }
+  if (o.objects != nullptr && scripts.empty() && o.subscription != nullptr &&
+      !o.subscription->is_full()) {
+    std::fprintf(stderr,
+                 "typed objects with a restricted subscription map need a "
+                 "script that stays inside the map; the generated typed "
+                 "workload assumes every process accesses every variable\n");
+    return 2;
+  }
   if (flags.get_bool("dry-run")) return 0;
 
   // Restricted access maps need a workload that honors them — the contract
   // check inside the protocol would otherwise abort on the first
   // out-of-map operation.
   if (scripts.empty()) {
-    if (o.subscription != nullptr && !o.subscription->is_full()) {
+    if (o.objects != nullptr) {
+      scripts = generate_mixed_object_workload(o.spec, *o.objects, mix);
+    } else if (o.subscription != nullptr && !o.subscription->is_full()) {
       scripts = generate_subscriber_workload(o.spec, *o.subscription);
     } else if (o.replication != nullptr) {
       scripts = generate_replica_workload(o.spec, *o.replication);
@@ -630,13 +754,20 @@ int cmd_run(Flags& flags) {
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
-  if (script.empty()) {
-    std::printf("workload: %s\n\n", o.spec.describe().c_str());
-  } else {
-    std::printf("workload: paper script '%s' (%zu procs, %zu vars)\n\n",
+  if (!script.empty()) {
+    std::printf("workload: %s script '%s' (%zu procs, %zu vars)\n\n",
+                script == "objects" ? "typed-objects" : "paper",
                 script.c_str(), o.spec.n_procs, o.spec.n_vars);
+  } else if (o.objects != nullptr) {
+    std::printf("workload: %s, typed objects '%s', mix %s\n\n",
+                o.spec.describe().c_str(), objects_flag.c_str(),
+                mix.str().c_str());
+  } else {
+    std::printf("workload: %s\n\n", o.spec.describe().c_str());
   }
-  print_report(*kind, result, o.subscription.get());
+  print_report(*kind, result, o.subscription.get(), o.objects.get(),
+               want_telemetry ? &*tel : nullptr,
+               /*expect_convergence=*/script == "objects");
   if (want_history) {
     std::printf("\nhistory:\n%s", result.recorder->history().str().c_str());
   }
@@ -1035,13 +1166,19 @@ int cmd_drive(Flags& flags) {
   const std::string fsync_flag = flags.get("fsync", "");
 
   std::vector<Script> scripts;
+  std::size_t n_vars = paper::kH1Vars;
+  std::shared_ptr<const ObjectSchema> schema;
   if (script == "h1") {
     scripts = paper::make_h1_scripts();
   } else if (script == "fig1" || script == "fig3") {
     auto c = script == "fig1" ? paper::make_fig1_run2() : paper::make_fig3();
     scripts = std::move(c.scripts);
+  } else if (script == "objects") {
+    scripts = make_objects_demo_scripts();
+    schema = make_objects_demo_schema();
+    n_vars = kObjectsDemoVars;
   } else {
-    std::fprintf(stderr, "unknown --script (want h1, fig1 or fig3)\n");
+    std::fprintf(stderr, "unknown --script (want h1, fig1, fig3 or objects)\n");
     return 2;
   }
   if (static_cast<std::size_t>(spawn) != scripts.size()) {
@@ -1049,11 +1186,19 @@ int cmd_drive(Flags& flags) {
                  scripts.size(), script.c_str());
     return 2;
   }
-  if (compare_sim && script != "h1") {
+  if (compare_sim && script != "h1" && script != "objects") {
     std::fprintf(stderr,
-                 "--compare-sim only works with --script=h1 (fig1/fig3 "
-                 "choreograph per-message latency, which real sockets cannot "
-                 "reproduce)\n");
+                 "--compare-sim only works with --script=h1 or "
+                 "--script=objects (fig1/fig3 choreograph per-message "
+                 "latency, which real sockets cannot reproduce)\n");
+    return 2;
+  }
+  if (schema != nullptr && *kind != ProtocolKind::kOptP &&
+      *kind != ProtocolKind::kAnbkh && *kind != ProtocolKind::kOptPSharded) {
+    std::fprintf(stderr,
+                 "--script=objects requires --protocol=optp, anbkh or "
+                 "optp-sharded (writing-semantics protocols skip superseded "
+                 "writes, which would drop mutations)\n");
     return 2;
   }
   unsigned long long kc_from = 0;
@@ -1155,8 +1300,18 @@ int cmd_drive(Flags& flags) {
   // commit is meaningless without a WAL to commit.
   const bool nemesis_durable =
       nemesis && (nemesis->has_crashes() || !nemesis->wal_fails.empty());
+  if (schema != nullptr &&
+      (flags.get_bool("recoverable") || !state_dir.empty() || want_kill_host ||
+       want_respawn || wal_group_commit || nemesis_durable)) {
+    std::fprintf(stderr,
+                 "--script=objects keeps no durable state (catch-up "
+                 "redelivery carries no typed payload): drop --recoverable/"
+                 "--state-dir/--kill-host/--respawn/--wal-group-commit and "
+                 "nemesis crash/wal-fail entries\n");
+    return 2;
+  }
   std::shared_ptr<const SubscriptionMap> subscription;
-  if (!parse_subscription_flags(flags, *kind, scripts.size(), paper::kH1Vars,
+  if (!parse_subscription_flags(flags, *kind, scripts.size(), n_vars,
                                 subscription)) {
     return 2;
   }
@@ -1197,14 +1352,16 @@ int cmd_drive(Flags& flags) {
   ProcessClusterConfig cluster_config;
   cluster_config.shape.kind = *kind;
   cluster_config.shape.n_procs = scripts.size();
-  cluster_config.shape.n_vars = paper::kH1Vars;
+  cluster_config.shape.n_vars = n_vars;
   // Durable state needs the recoverable stack (replay filter + anti-entropy);
   // the drive harness owns every node, so it is safe to imply the shape.
   cluster_config.shape.recoverable =
       flags.get_bool("recoverable") || !state_dir.empty();
   // Forked without exec: the children inherit the map through the shared
-  // ProtocolConfig, so every node routes by the same subscription sets.
+  // ProtocolConfig, so every node routes by the same subscription sets (and
+  // the same object schema).
   cluster_config.shape.protocol_config.subscription = subscription;
+  cluster_config.shape.protocol_config.objects = schema;
   cluster_config.state_dir = state_dir;
   cluster_config.fsync = fsync;
   cluster_config.wal_group_commit = wal_group_commit;
@@ -1379,10 +1536,16 @@ int cmd_drive(Flags& flags) {
   }
   const auto audit = OptimalityAuditor::audit(merged->history, merged->events,
                                               subscription.get());
-  const auto check = ConsistencyChecker::check(merged->history);
+  const auto check = schema != nullptr
+                         ? SpecChecker::check(merged->history, *schema)
+                         : ConsistencyChecker::check(merged->history);
 
   Table table({"metric", "value"});
   table.add("script", script);
+  if (schema != nullptr) {
+    table.add("objects", schema->str());
+    table.add("linearizations explored", check.linearizations_explored);
+  }
   if (subscription != nullptr) {
     table.add("subscriptions", subscription->describe());
   }
@@ -1431,9 +1594,10 @@ int cmd_drive(Flags& flags) {
     SimRunConfig sim_config;
     sim_config.kind = *kind;
     sim_config.n_procs = scripts.size();
-    sim_config.n_vars = paper::kH1Vars;
+    sim_config.n_vars = n_vars;
     sim_config.latency = &latency;
     sim_config.protocol_config.subscription = subscription;
+    sim_config.protocol_config.objects = schema;
     const auto sim = run_sim(sim_config, scripts);
     bool equal = true;
     for (ProcessId p = 0; p < cluster.n_procs(); ++p) {

@@ -67,6 +67,14 @@ echo "wrote results/BENCH_chaos.json"
 "$build/bench/exp_partial" --bench-json results/BENCH_partial.json > /dev/null
 echo "wrote results/BENCH_partial.json"
 
+# The typed-object baseline (docs/OBJECTS.md): the same register workload on
+# the seed path and through the typed machinery (wall-clock columns must stay
+# within noise), plus per-spec workloads under the SpecChecker.  The bench
+# itself gates structural equality of the two register rows and every
+# consistency verdict (nonzero exit on violation).
+"$build/bench/exp_objects" --bench-json results/BENCH_objects.json > /dev/null
+echo "wrote results/BENCH_objects.json"
+
 # Schema guard: docs/PERF.md and anything downstream key on these table
 # names and column headers; a bench refactor that renames or drops one must
 # fail here, not silently regenerate a JSON missing the cell.
@@ -105,6 +113,12 @@ require_table results/BENCH_partial.json \
   "exp_shard_scaling" \
   "procs" "shards" "msgs/write" "full-group msgs/write" "cross receipts" \
   "speedup vs 4p"
+require_table results/BENCH_objects.json \
+  "exp_objects_register_overhead" \
+  "path" "ops" "writes" "delayed" "ops/s" "overhead (%)" "consistent"
+require_table results/BENCH_objects.json \
+  "exp_objects_by_spec" \
+  "objects" "mutations" "accessors" "lin states" "consistent"
 echo "bench JSON schema guard: PASS"
 
 # Loopback equivalence acceptance: a forked 3-process cluster must produce an
@@ -114,6 +128,16 @@ if "$build/tools/optcm" drive --script=h1 --spawn=3 --compare-sim \
   echo "loopback equivalence check: PASS (drive --script=h1 --compare-sim)"
 else
   echo "loopback equivalence check: FAIL" >&2
+  exit 1
+fi
+
+# Typed-object equivalence acceptance (docs/OBJECTS.md): the five-spec demo
+# script over a forked cluster must merge into a SpecChecker-consistent run
+# whose observer events are byte-identical to the simulator's.
+if "$build/tools/optcm" drive --script=objects --compare-sim > /dev/null; then
+  echo "typed-object equivalence check: PASS (drive --script=objects --compare-sim)"
+else
+  echo "typed-object equivalence check: FAIL" >&2
   exit 1
 fi
 
